@@ -1,0 +1,77 @@
+//! Criterion benchmarks regenerating the paper's *figures*: the
+//! per-hardness (Figure 7) and per-characteristic (Figure 8) accuracy
+//! breakdowns, measured over a max-budget run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evalkit::breakdown::{by_characteristic, by_hardness, Characteristic};
+use evalkit::{run_config, EvalSetup, RunResult};
+use footballdb::DataModel;
+use std::hint::black_box;
+use std::sync::OnceLock;
+use textosql::{Budget, SystemKind};
+
+fn setup() -> &'static EvalSetup {
+    static SETUP: OnceLock<EvalSetup> = OnceLock::new();
+    SETUP.get_or_init(|| EvalSetup::small(7))
+}
+
+fn max_budget_run() -> &'static RunResult {
+    static RUN: OnceLock<RunResult> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let s = setup();
+        run_config(
+            s,
+            SystemKind::T5PicardKeys,
+            DataModel::V3,
+            Budget::FineTuned(300),
+            &s.benchmark.train,
+            "bench-figures",
+        )
+    })
+}
+
+fn bench_figure7_hardness_breakdown(c: &mut Criterion) {
+    let run = max_budget_run();
+    c.bench_function("figure7_hardness_breakdown", |b| {
+        b.iter(|| black_box(by_hardness(run)))
+    });
+}
+
+fn bench_figure7_full_run(c: &mut Criterion) {
+    let s = setup();
+    let mut g = c.benchmark_group("figure7");
+    g.sample_size(10);
+    g.bench_function("run_and_bucket", |b| {
+        b.iter(|| {
+            let run = run_config(
+                s,
+                SystemKind::Gpt35,
+                DataModel::V1,
+                Budget::FewShot(10),
+                &s.benchmark.train[..10.min(s.benchmark.train.len())],
+                "bench-fig7",
+            );
+            black_box(by_hardness(&run))
+        })
+    });
+    g.finish();
+}
+
+fn bench_figure8_characteristic_breakdown(c: &mut Criterion) {
+    let run = max_budget_run();
+    c.bench_function("figure8_characteristic_breakdown", |b| {
+        b.iter(|| {
+            for ch in Characteristic::ALL {
+                black_box(by_characteristic(run, ch));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_figure7_hardness_breakdown,
+    bench_figure7_full_run,
+    bench_figure8_characteristic_breakdown
+);
+criterion_main!(figures);

@@ -1,0 +1,131 @@
+//! Microbenchmarks of the substrates: dataset generation, ETL, SQL
+//! parsing, query execution, IR round-trips, constrained decoding, and
+//! the sampling pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use footballdb::{generate, load, DataModel, Domain};
+use sqlengine::{execute_sql, Database};
+use std::hint::black_box;
+use std::sync::OnceLock;
+use textosql::{constrain, JoinGraph, SemQl};
+
+fn domain() -> &'static Domain {
+    static D: OnceLock<Domain> = OnceLock::new();
+    D.get_or_init(|| generate(7))
+}
+
+fn v1() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| load(domain(), DataModel::V1))
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataset");
+    g.sample_size(10);
+    g.bench_function("generate_domain", |b| b.iter(|| black_box(generate(7))));
+    g.bench_function("etl_v1", |b| b.iter(|| black_box(load(domain(), DataModel::V1))));
+    g.finish();
+}
+
+const JOIN_SQL: &str = "SELECT T2.teamname FROM match AS T1 \
+     JOIN national_team AS T2 ON T1.home_team_id = T2.team_id \
+     JOIN world_cup AS T3 ON T1.world_cup_id = T3.world_cup_id \
+     WHERE T3.year = 2014 AND T1.home_team_goals > 2";
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("parse_join_query", |b| {
+        b.iter(|| black_box(sqlkit::parse_query(JOIN_SQL).unwrap()))
+    });
+    c.bench_function("analyze_query", |b| {
+        b.iter(|| black_box(sqlkit::analyze_sql(JOIN_SQL)))
+    });
+    c.bench_function("classify_hardness", |b| {
+        b.iter(|| black_box(sqlkit::classify_sql(JOIN_SQL)))
+    });
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let db = v1();
+    let mut g = c.benchmark_group("execute");
+    g.bench_function("three_way_join", |b| {
+        b.iter(|| black_box(execute_sql(db, JOIN_SQL).unwrap()))
+    });
+    g.bench_function("group_by_having", |b| {
+        b.iter(|| {
+            black_box(
+                execute_sql(
+                    db,
+                    "SELECT T2.teamname, count(*) FROM match AS T1 \
+                     JOIN national_team AS T2 ON T1.home_team_id = T2.team_id \
+                     GROUP BY T2.teamname HAVING count(*) > 5 \
+                     ORDER BY count(*) DESC LIMIT 10",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.bench_function("union_query", |b| {
+        b.iter(|| {
+            black_box(
+                execute_sql(
+                    db,
+                    "SELECT home_team_id FROM match WHERE home_team_goals > 4 \
+                     UNION SELECT away_team_id FROM match WHERE away_team_goals > 4",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_ir(c: &mut Criterion) {
+    let graph = JoinGraph::from_catalog(&DataModel::V3.catalog());
+    let sql = "SELECT T1.teamname FROM world_cup_result AS T1 \
+               JOIN world_cup AS T2 ON T1.world_cup_id = T2.world_cup_id \
+               WHERE T2.year = 2014 AND T1.winner = 'True'";
+    let query = sqlkit::parse_query(sql).unwrap();
+    c.bench_function("ir_roundtrip", |b| {
+        b.iter(|| {
+            let ir = SemQl::from_query(&query).unwrap();
+            black_box(ir.to_sql(&graph).unwrap())
+        })
+    });
+}
+
+fn bench_picard(c: &mut Criterion) {
+    let catalog = DataModel::V1.catalog();
+    c.bench_function("picard_constrain", |b| {
+        b.iter(|| black_box(constrain(JOIN_SQL, &catalog)))
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampling");
+    g.sample_size(10);
+    g.bench_function("gold_pipeline_small", |b| {
+        b.iter(|| {
+            let cfg = nlq::PipelineConfig {
+                raw_questions: 300,
+                pool_size: 120,
+                selected_size: 60,
+                test_size: 15,
+                clusters: 10,
+                ..nlq::PipelineConfig::default()
+            };
+            black_box(nlq::build_benchmark(domain(), 3, &cfg))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    substrate,
+    bench_generate,
+    bench_parse,
+    bench_execute,
+    bench_ir,
+    bench_picard,
+    bench_sampling
+);
+criterion_main!(substrate);

@@ -1,0 +1,115 @@
+//! Criterion benchmarks regenerating each *table* of the paper.
+//!
+//! Each benchmark measures the end-to-end cost of producing one table's
+//! data from an already-built evaluation setup (dataset generation and
+//! benchmark sampling are measured separately in `substrate.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evalkit::{report, run_config, run_latency, EvalSetup};
+use footballdb::DataModel;
+use std::hint::black_box;
+use std::sync::OnceLock;
+use textosql::{Budget, SystemKind};
+
+fn setup() -> &'static EvalSetup {
+    static SETUP: OnceLock<EvalSetup> = OnceLock::new();
+    SETUP.get_or_init(|| EvalSetup::small(7))
+}
+
+fn bench_table1_log_simulation(c: &mut Criterion) {
+    let s = setup();
+    c.bench_function("table1_log_simulation", |b| {
+        b.iter(|| black_box(report::table1(s)))
+    });
+}
+
+fn bench_table2_dataset_stats(c: &mut Criterion) {
+    let s = setup();
+    c.bench_function("table2_dataset_stats", |b| {
+        b.iter(|| black_box(report::table2(s)))
+    });
+}
+
+fn bench_table3_query_analysis(c: &mut Criterion) {
+    let s = setup();
+    c.bench_function("table3_query_analysis", |b| {
+        b.iter(|| black_box(report::table3(s)))
+    });
+}
+
+fn bench_table4_system_matrix(c: &mut Criterion) {
+    c.bench_function("table4_system_matrix", |b| {
+        b.iter(|| black_box(report::table4()))
+    });
+}
+
+fn bench_table5_finetuned_eval(c: &mut Criterion) {
+    // One cell of the Table 5 grid (the full grid is 36 of these; the
+    // repro binary regenerates the whole table).
+    let s = setup();
+    let pool: Vec<_> = s.benchmark.train.iter().take(100).cloned().collect();
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    g.bench_function("finetuned_eval_cell", |b| {
+        b.iter(|| {
+            black_box(run_config(
+                s,
+                SystemKind::T5PicardKeys,
+                DataModel::V3,
+                Budget::FineTuned(100),
+                &pool,
+                "bench-t5",
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_table6_llm_eval(c: &mut Criterion) {
+    // One fold of one Table 6 cell (GPT-3.5, v1, 10 shots).
+    let s = setup();
+    let pool: Vec<_> = s.benchmark.train.iter().take(10).cloned().collect();
+    let mut g = c.benchmark_group("table6");
+    g.sample_size(10);
+    g.bench_function("fewshot_eval_cell", |b| {
+        b.iter(|| {
+            black_box(run_config(
+                s,
+                SystemKind::Gpt35,
+                DataModel::V1,
+                Budget::FewShot(10),
+                &pool,
+                "bench-t6",
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_table7_inference_cost(c: &mut Criterion) {
+    let s = setup();
+    let mut g = c.benchmark_group("table7");
+    g.sample_size(10);
+    g.bench_function("latency_model", |b| b.iter(|| black_box(run_latency(s))));
+    g.finish();
+}
+
+fn bench_table8_benchmark_comparison(c: &mut Criterion) {
+    let s = setup();
+    c.bench_function("table8_benchmark_comparison", |b| {
+        b.iter(|| black_box(report::table8(s)))
+    });
+}
+
+criterion_group!(
+    tables,
+    bench_table1_log_simulation,
+    bench_table2_dataset_stats,
+    bench_table3_query_analysis,
+    bench_table4_system_matrix,
+    bench_table5_finetuned_eval,
+    bench_table6_llm_eval,
+    bench_table7_inference_cost,
+    bench_table8_benchmark_comparison
+);
+criterion_main!(tables);

@@ -1,0 +1,1 @@
+//! Benchmark crate; see benches/ and src/bin/repro.rs.

@@ -1,0 +1,433 @@
+//! Picard-style constrained decoding.
+//!
+//! Picard constrains an auto-regressive decoder to valid SQL by parsing
+//! each candidate prefix incrementally and rejecting continuations that
+//! cannot lead to a valid query. Our simulator applies the same *checks*
+//! to candidate SQL: token-prefix validation against the grammar plus
+//! schema validation of every table/column reference. It also records how
+//! many prefix checks a full decode performs — the quantity that makes
+//! T5-Picard's inference so slow (Table 7).
+
+use sqlengine::Catalog;
+use sqlkit::ast::{Expr, Query, SelectItem, TableRef};
+
+/// Outcome of constrained decoding over a candidate query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeOutcome {
+    /// The candidate passed every incremental check.
+    Accepted {
+        /// Number of prefix re-parses performed (cost-model input).
+        prefix_checks: usize,
+    },
+    /// The candidate was rejected (with the failing reason). A real
+    /// decoder would backtrack and try another beam.
+    Rejected { reason: String, prefix_checks: usize },
+}
+
+impl DecodeOutcome {
+    pub fn accepted(&self) -> bool {
+        matches!(self, DecodeOutcome::Accepted { .. })
+    }
+
+    pub fn prefix_checks(&self) -> usize {
+        match self {
+            DecodeOutcome::Accepted { prefix_checks }
+            | DecodeOutcome::Rejected { prefix_checks, .. } => *prefix_checks,
+        }
+    }
+}
+
+/// Coarse token classes for the per-step viability automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TokClass {
+    Keyword,
+    Ident,
+    Literal,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Operator,
+    Star,
+    Semicolon,
+}
+
+fn classify(t: &sqlkit::Token) -> TokClass {
+    use sqlkit::Token as T;
+    match t {
+        T::Word(w) => {
+            if is_sql_keyword(w) {
+                TokClass::Keyword
+            } else {
+                TokClass::Ident
+            }
+        }
+        T::QuotedIdent(_) => TokClass::Ident,
+        T::Str(_) | T::Int(_) | T::Float(_) => TokClass::Literal,
+        T::Comma => TokClass::Comma,
+        T::Dot => TokClass::Dot,
+        T::LParen => TokClass::LParen,
+        T::RParen => TokClass::RParen,
+        T::Star => TokClass::Star,
+        T::Semicolon => TokClass::Semicolon,
+        T::Plus | T::Minus | T::Slash | T::Percent | T::Eq | T::Neq | T::Lt | T::Lte
+        | T::Gt | T::Gte => TokClass::Operator,
+    }
+}
+
+fn is_sql_keyword(w: &str) -> bool {
+    matches!(
+        w.to_ascii_uppercase().as_str(),
+        "SELECT" | "DISTINCT" | "FROM" | "WHERE" | "GROUP" | "BY" | "HAVING" | "ORDER"
+            | "LIMIT" | "JOIN" | "LEFT" | "INNER" | "OUTER" | "ON" | "AS" | "AND" | "OR"
+            | "NOT" | "IN" | "EXISTS" | "BETWEEN" | "LIKE" | "IS" | "NULL" | "UNION"
+            | "ALL" | "INTERSECT" | "EXCEPT" | "ASC" | "DESC" | "TRUE" | "FALSE"
+    )
+}
+
+/// Checks whether a token *prefix* can still extend to valid SQL — the
+/// per-decoding-step test Picard's incremental parser performs.
+///
+/// Deliberately conservative, as Picard's own checker is: a few exotic
+/// shapes the full parser accepts (e.g. a literal followed by an
+/// implicit alias, `SELECT 5 five`) are rejected here; constrained
+/// decoders trade such recall for pruning power. Rules:
+/// parenthesis depth never goes negative, the query starts with
+/// `SELECT`/`(`, and locally impossible adjacencies (`,,`, `. <op>`,
+/// comma before `FROM`, operator runs) are rejected immediately.
+pub fn prefix_viable(tokens: &[sqlkit::Token]) -> bool {
+    let mut depth: i64 = 0;
+    let mut prev: Option<TokClass> = None;
+    for (i, t) in tokens.iter().enumerate() {
+        let c = classify(t);
+        if i == 0 {
+            let starts_select =
+                matches!(t, sqlkit::Token::Word(w) if w.eq_ignore_ascii_case("SELECT"));
+            if !(starts_select || c == TokClass::LParen) {
+                return false;
+            }
+        }
+        match c {
+            TokClass::LParen => depth += 1,
+            TokClass::RParen => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+        if let Some(p) = prev {
+            let bad = matches!(
+                (p, c),
+                (TokClass::Comma, TokClass::Comma)
+                    | (TokClass::Comma, TokClass::RParen)
+                    | (TokClass::Dot, TokClass::Operator)
+                    | (TokClass::Dot, TokClass::Comma)
+                    | (TokClass::Dot, TokClass::Literal)
+                    | (TokClass::Dot, TokClass::Dot)
+                    | (TokClass::Operator, TokClass::Operator)
+                    | (TokClass::Operator, TokClass::Comma)
+                    | (TokClass::Operator, TokClass::RParen)
+                    | (TokClass::Literal, TokClass::Literal)
+                    | (TokClass::Literal, TokClass::Ident)
+                    | (TokClass::Semicolon, _)
+            );
+            if bad {
+                return false;
+            }
+            // A comma directly before FROM/WHERE etc. is dead.
+            if p == TokClass::Comma && c == TokClass::Keyword {
+                if let sqlkit::Token::Word(w) = t {
+                    if matches!(
+                        w.to_ascii_uppercase().as_str(),
+                        "FROM" | "WHERE" | "GROUP" | "ORDER" | "HAVING" | "LIMIT"
+                    ) {
+                        return false;
+                    }
+                }
+            }
+        }
+        prev = Some(c);
+    }
+    true
+}
+
+/// Runs the incremental Picard check over a candidate SQL string.
+///
+/// Token prefixes are validated step by step with [`prefix_viable`] (each
+/// step counted, as each decoding step costs a re-parse); the complete
+/// string must then parse, and every identifier must exist in the schema.
+pub fn constrain(candidate: &str, catalog: &Catalog) -> DecodeOutcome {
+    let spanned = match sqlkit::tokenize(candidate) {
+        Ok(t) => t,
+        Err(e) => {
+            return DecodeOutcome::Rejected {
+                reason: format!("lexing failed: {e}"),
+                prefix_checks: 1,
+            }
+        }
+    };
+    let tokens: Vec<sqlkit::Token> = spanned.into_iter().map(|s| s.token).collect();
+    let mut prefix_checks = 0usize;
+    for k in 1..=tokens.len() {
+        prefix_checks += 1;
+        if !prefix_viable(&tokens[..k]) {
+            return DecodeOutcome::Rejected {
+                reason: format!("prefix of {k} tokens is not viable"),
+                prefix_checks,
+            };
+        }
+    }
+    let prefix_checks = prefix_checks.max(1);
+
+    let query = match sqlkit::parse_query(candidate) {
+        Ok(q) => q,
+        Err(e) => {
+            return DecodeOutcome::Rejected {
+                reason: format!("grammar: {e}"),
+                prefix_checks,
+            }
+        }
+    };
+    match validate_schema(&query, catalog) {
+        Ok(()) => DecodeOutcome::Accepted { prefix_checks },
+        Err(reason) => DecodeOutcome::Rejected {
+            reason,
+            prefix_checks,
+        },
+    }
+}
+
+/// Validates every table and (qualified) column reference against the
+/// schema.
+pub fn validate_schema(query: &Query, catalog: &Catalog) -> Result<(), String> {
+    let mut err = None;
+    query.visit_selects(&mut |s| {
+        if err.is_some() {
+            return;
+        }
+        // Bindings visible in this select.
+        let mut bindings: Vec<(String, Option<String>)> = Vec::new(); // (binding, base table)
+        for t in s.table_refs() {
+            match t {
+                TableRef::Named { name, alias } => {
+                    if catalog.table(name).is_none() {
+                        err = Some(format!("unknown table {name:?}"));
+                        return;
+                    }
+                    bindings.push((
+                        alias.clone().unwrap_or_else(|| name.clone()),
+                        Some(name.clone()),
+                    ));
+                }
+                TableRef::Derived { alias, .. } => bindings.push((alias.clone(), None)),
+            }
+        }
+        let check_col = |c: &sqlkit::ast::ColumnRef| -> Option<String> {
+            match &c.table {
+                Some(b) => {
+                    let Some((_, base)) = bindings
+                        .iter()
+                        .find(|(bind, _)| bind.eq_ignore_ascii_case(b))
+                    else {
+                        return Some(format!("unknown alias {b:?}"));
+                    };
+                    if let Some(base) = base {
+                        let t = catalog.table(base).unwrap();
+                        if t.column_index(&c.column).is_none() {
+                            return Some(format!("unknown column {base}.{}", c.column));
+                        }
+                    }
+                    None
+                }
+                None => {
+                    // Bare column: must exist in at least one bound table.
+                    let found = bindings.iter().any(|(_, base)| {
+                        base.as_ref()
+                            .and_then(|b| catalog.table(b))
+                            .is_some_and(|t| t.column_index(&c.column).is_some())
+                    });
+                    // Derived-table columns cannot be validated here;
+                    // treat selects with derived tables leniently.
+                    let has_derived = bindings.iter().any(|(_, b)| b.is_none());
+                    if found || has_derived {
+                        None
+                    } else {
+                        Some(format!("unknown column {:?}", c.column))
+                    }
+                }
+            }
+        };
+        let mut visit_expr = |e: &Expr| {
+            e.visit(&mut |x| {
+                if err.is_none() {
+                    if let Expr::Column(c) = x {
+                        err = check_col(c);
+                    }
+                }
+            });
+        };
+        for item in &s.projections {
+            if let SelectItem::Expr { expr, .. } = item {
+                visit_expr(expr);
+            }
+        }
+        for j in &s.joins {
+            if let Some(on) = &j.on {
+                visit_expr(on);
+            }
+        }
+        if let Some(w) = &s.where_clause {
+            visit_expr(w);
+        }
+        for g in &s.group_by {
+            visit_expr(g);
+        }
+        if let Some(h) = &s.having {
+            visit_expr(h);
+        }
+    });
+    match err {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use footballdb::DataModel;
+
+    fn v1() -> Catalog {
+        DataModel::V1.catalog()
+    }
+
+    #[test]
+    fn accepts_valid_sql() {
+        let out = constrain(
+            "SELECT T2.teamname FROM world_cup AS T1 \
+             JOIN national_team AS T2 ON T1.winner = T2.team_id WHERE T1.year = 2014",
+            &v1(),
+        );
+        assert!(out.accepted());
+        assert!(out.prefix_checks() > 10);
+    }
+
+    #[test]
+    fn rejects_grammar_errors() {
+        let out = constrain("SELECT FROM WHERE", &v1());
+        assert!(!out.accepted());
+    }
+
+    #[test]
+    fn rejects_unknown_tables() {
+        let out = constrain("SELECT x FROM hallucinated_table", &v1());
+        assert!(matches!(out, DecodeOutcome::Rejected { ref reason, .. }
+            if reason.contains("hallucinated_table")));
+    }
+
+    #[test]
+    fn rejects_unknown_columns() {
+        let out = constrain("SELECT nonexistent_col FROM player", &v1());
+        assert!(!out.accepted());
+        let out = constrain("SELECT p.made_up FROM player AS p", &v1());
+        assert!(!out.accepted());
+    }
+
+    #[test]
+    fn rejects_unknown_alias() {
+        let out = constrain("SELECT zz.full_name FROM player AS p", &v1());
+        assert!(!out.accepted());
+    }
+
+    #[test]
+    fn v3_columns_rejected_against_v1_schema() {
+        // A model decoding v3-style SQL against the v1 schema is caught.
+        let out = constrain(
+            "SELECT teamname FROM plays_match WHERE team_role = 'home'",
+            &v1(),
+        );
+        assert!(!out.accepted());
+        let out = constrain(
+            "SELECT teamname FROM plays_match WHERE team_role = 'home'",
+            &DataModel::V3.catalog(),
+        );
+        assert!(out.accepted());
+    }
+
+    #[test]
+    fn checks_set_operation_arms() {
+        let out = constrain(
+            "SELECT year FROM world_cup UNION SELECT bogus FROM world_cup",
+            &v1(),
+        );
+        assert!(!out.accepted());
+    }
+
+    #[test]
+    fn derived_table_columns_are_lenient() {
+        let out = constrain(
+            "SELECT n FROM (SELECT count(*) AS n FROM player) AS d WHERE n > 1",
+            &v1(),
+        );
+        assert!(out.accepted(), "{out:?}");
+    }
+
+    fn toks(sql: &str) -> Vec<sqlkit::Token> {
+        sqlkit::tokenize(sql)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
+    }
+
+    #[test]
+    fn viable_prefixes_of_valid_sql() {
+        let tokens = toks(
+            "SELECT T1.a, count(*) FROM t AS T1 WHERE T1.b = 'x' GROUP BY T1.a \
+             ORDER BY count(*) DESC LIMIT 3",
+        );
+        for k in 1..=tokens.len() {
+            assert!(prefix_viable(&tokens[..k]), "prefix of {k} rejected");
+        }
+    }
+
+    #[test]
+    fn nonviable_prefixes_rejected_early() {
+        assert!(!prefix_viable(&toks("FROM t")));
+        assert!(!prefix_viable(&toks("SELECT a , , b")));
+        assert!(!prefix_viable(&toks("SELECT a , FROM t")));
+        assert!(!prefix_viable(&toks("SELECT a = = 1")));
+        assert!(!prefix_viable(&toks("SELECT a ) FROM")));
+        assert!(!prefix_viable(&toks("SELECT 1 2")));
+    }
+
+    #[test]
+    fn early_rejection_costs_fewer_checks() {
+        let good = constrain("SELECT year FROM world_cup WHERE year = 2014", &v1());
+        // The second comma kills the prefix at token 4 even though the
+        // tail is long.
+        let bad = constrain(
+            "SELECT year , , year year year year year year year year FROM world_cup",
+            &v1(),
+        );
+        assert!(!bad.accepted());
+        assert!(
+            bad.prefix_checks() < good.prefix_checks(),
+            "early rejection should stop checking: {} vs {}",
+            bad.prefix_checks(),
+            good.prefix_checks()
+        );
+    }
+
+    #[test]
+    fn prefix_checks_scale_with_length() {
+        let short = constrain("SELECT year FROM world_cup", &v1());
+        let long = constrain(
+            "SELECT year FROM world_cup WHERE year > 1950 AND year < 2000 AND num_teams = 16",
+            &v1(),
+        );
+        assert!(long.prefix_checks() > short.prefix_checks());
+    }
+}

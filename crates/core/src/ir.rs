@@ -1,0 +1,694 @@
+//! SemQL-style intermediate representation.
+//!
+//! IRNet/ValueNet do not predict SQL directly: they predict an IR that
+//! eliminates FROM clauses (and join conditions), expressing the query as
+//! projections + a filter tree over (table, column) slots. The IR is then
+//! converted back to SQL, reconstructing the joins with the shortest-
+//! join-path algorithm over the schema's FK graph ([`crate::joinpath`]).
+//!
+//! Both directions are *lossy and partial*, exactly as the paper
+//! describes: set operations, derived tables, and repeated table
+//! instances have no IR form (pre-processing failures), and the join
+//! reconstruction fails on multi-FK table pairs (post-processing
+//! failures). These are the mechanisms behind ValueNet's v1 behaviour.
+
+use crate::joinpath::{JoinGraph, JoinPathError};
+use sqlkit::ast::{
+    AggFunc, BinOp, ColumnRef, Expr, Join, JoinKind, Lit, OrderItem, Query, QueryBody, Select,
+    SelectItem, TableRef,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A (table, column) slot in the IR. Tables are base-table names — the
+/// IR has no aliases.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IrColumn {
+    pub table: String,
+    pub column: String,
+}
+
+/// A projection: an optional aggregate over a column (or `*`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrProjection {
+    pub agg: Option<AggFunc>,
+    pub distinct: bool,
+    /// `None` means `*` (only valid under `count`).
+    pub column: Option<IrColumn>,
+}
+
+/// Comparison operators in filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrOp {
+    Eq,
+    Neq,
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+    Like,
+}
+
+impl IrOp {
+    fn to_binop(self) -> BinOp {
+        match self {
+            IrOp::Eq => BinOp::Eq,
+            IrOp::Neq => BinOp::Neq,
+            IrOp::Lt => BinOp::Lt,
+            IrOp::Lte => BinOp::Lte,
+            IrOp::Gt => BinOp::Gt,
+            IrOp::Gte => BinOp::Gte,
+            IrOp::Like => BinOp::Like,
+        }
+    }
+
+    fn from_binop(op: BinOp) -> Option<IrOp> {
+        Some(match op {
+            BinOp::Eq => IrOp::Eq,
+            BinOp::Neq => IrOp::Neq,
+            BinOp::Lt => IrOp::Lt,
+            BinOp::Lte => IrOp::Lte,
+            BinOp::Gt => IrOp::Gt,
+            BinOp::Gte => IrOp::Gte,
+            BinOp::Like => IrOp::Like,
+            _ => return None,
+        })
+    }
+}
+
+/// A filter predicate: column ⟨op⟩ (literal | column) or BETWEEN.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrPred {
+    Cmp {
+        column: IrColumn,
+        op: IrOp,
+        value: IrValue,
+    },
+    Between {
+        column: IrColumn,
+        low: Lit,
+        high: Lit,
+    },
+}
+
+/// Right-hand side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrValue {
+    Lit(Lit),
+    Column(IrColumn),
+}
+
+/// The SemQL "Filter subtree": a boolean tree of predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrFilter {
+    Pred(IrPred),
+    And(Vec<IrFilter>),
+    Or(Vec<IrFilter>),
+}
+
+/// An ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrOrder {
+    pub agg: Option<AggFunc>,
+    pub column: Option<IrColumn>,
+    pub desc: bool,
+}
+
+/// The IR of one query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SemQl {
+    pub distinct: bool,
+    pub projections: Vec<IrProjection>,
+    pub filter: Option<IrFilter>,
+    pub group_by: Vec<IrColumn>,
+    /// HAVING restricted to a single aggregate comparison (SemQL folds
+    /// HAVING into the filter subtree).
+    pub having: Option<(AggFunc, Option<IrColumn>, IrOp, Lit)>,
+    pub order_by: Vec<IrOrder>,
+    pub limit: Option<u64>,
+    /// Tables mentioned anywhere, in first-mention order.
+    pub tables: Vec<String>,
+}
+
+/// Why a SQL query has no IR form (pre-processing failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    SetOperation,
+    DerivedTable,
+    RepeatedTableInstance(String),
+    Subquery,
+    UnsupportedExpression(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::SetOperation => f.write_str("set operations have no IR form"),
+            IrError::DerivedTable => f.write_str("derived tables have no IR form"),
+            IrError::RepeatedTableInstance(t) => {
+                write!(f, "table {t:?} instantiated more than once")
+            }
+            IrError::Subquery => f.write_str("nested subqueries have no IR form"),
+            IrError::UnsupportedExpression(e) => write!(f, "unsupported expression: {e}"),
+        }
+    }
+}
+
+impl SemQl {
+    /// Converts a parsed SQL query into the IR. Fails on the shapes the
+    /// Spider parser / SemQL grammar cannot represent.
+    pub fn from_query(query: &Query) -> Result<SemQl, IrError> {
+        let select = match &query.body {
+            QueryBody::Select(s) => s,
+            QueryBody::SetOp { .. } => return Err(IrError::SetOperation),
+        };
+        // Alias → base table map; reject derived tables and repeats.
+        let mut alias_map: HashMap<String, String> = HashMap::new();
+        let mut tables: Vec<String> = Vec::new();
+        for t in select.table_refs() {
+            match t {
+                TableRef::Named { name, .. } => {
+                    if tables.iter().any(|x| x.eq_ignore_ascii_case(name)) {
+                        return Err(IrError::RepeatedTableInstance(name.clone()));
+                    }
+                    tables.push(name.clone());
+                    alias_map.insert(t.binding().to_ascii_lowercase(), name.clone());
+                }
+                TableRef::Derived { .. } => return Err(IrError::DerivedTable),
+            }
+        }
+        let resolve = |c: &ColumnRef| -> Result<IrColumn, IrError> {
+            let table = match &c.table {
+                Some(a) => alias_map
+                    .get(&a.to_ascii_lowercase())
+                    .cloned()
+                    .ok_or_else(|| IrError::UnsupportedExpression(format!("alias {a}")))?,
+                None => {
+                    // Bare column: attribute to the unique table that has
+                    // it, or the first table (SemQL's heuristic).
+                    tables.first().cloned().unwrap_or_default()
+                }
+            };
+            Ok(IrColumn {
+                table,
+                column: c.column.clone(),
+            })
+        };
+
+        let mut ir = SemQl {
+            distinct: select.distinct,
+            tables: tables.clone(),
+            limit: query.limit,
+            ..SemQl::default()
+        };
+
+        for item in &select.projections {
+            match item {
+                SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                    return Err(IrError::UnsupportedExpression("wildcard".into()))
+                }
+                SelectItem::Expr { expr, .. } => {
+                    ir.projections.push(projection_of(expr, &resolve)?)
+                }
+            }
+        }
+        if let Some(w) = &select.where_clause {
+            ir.filter = Some(filter_of(w, &resolve)?);
+        }
+        for g in &select.group_by {
+            match g {
+                Expr::Column(c) => ir.group_by.push(resolve(c)?),
+                other => {
+                    return Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(other)))
+                }
+            }
+        }
+        if let Some(h) = &select.having {
+            ir.having = Some(having_of(h, &resolve)?);
+        }
+        for o in &query.order_by {
+            ir.order_by.push(order_of(o, &resolve)?);
+        }
+        Ok(ir)
+    }
+
+    /// Reconstructs SQL from the IR using the join-path algorithm. This
+    /// is the post-processing stage; it fails on multi-FK table pairs.
+    pub fn to_sql(&self, graph: &JoinGraph) -> Result<String, JoinPathError> {
+        // Join tree over the mentioned tables.
+        let edges = graph.join_tree(&self.tables)?;
+
+        // Assign aliases T1.. in table order.
+        let mut alias: HashMap<String, String> = HashMap::new();
+        let mut ordered: Vec<String> = Vec::new();
+        let add = |t: &str, ordered: &mut Vec<String>, alias: &mut HashMap<String, String>| {
+            if !alias.contains_key(t) {
+                ordered.push(t.to_string());
+                let a = format!("T{}", ordered.len());
+                alias.insert(t.to_string(), a);
+            }
+        };
+        for t in &self.tables {
+            add(t, &mut ordered, &mut alias);
+        }
+        for e in &edges {
+            add(&e.from_table, &mut ordered, &mut alias);
+            add(&e.to_table, &mut ordered, &mut alias);
+        }
+
+        let col = |c: &IrColumn| Expr::col(&alias[&c.table], &c.column);
+
+        let mut select = Select {
+            distinct: self.distinct,
+            ..Select::default()
+        };
+        for p in &self.projections {
+            let expr = match (&p.agg, &p.column) {
+                (Some(f), Some(c)) => Expr::Agg {
+                    func: *f,
+                    distinct: p.distinct,
+                    arg: Some(Box::new(col(c))),
+                },
+                (Some(f), None) => Expr::Agg {
+                    func: *f,
+                    distinct: p.distinct,
+                    arg: None,
+                },
+                (None, Some(c)) => col(c),
+                (None, None) => Expr::int(1),
+            };
+            select.projections.push(SelectItem::Expr { expr, alias: None });
+        }
+
+        // FROM + joins: first table, then each edge joins in the table
+        // that is not yet present.
+        let mut present: Vec<&str> = Vec::new();
+        let first = ordered.first().cloned().unwrap_or_default();
+        select.from.push(TableRef::Named {
+            name: first.clone(),
+            alias: Some(alias[&first].clone()),
+        });
+        present.push(&ordered[0]);
+        for e in &edges {
+            let (new_table, on) = if present.iter().any(|p| *p == e.from_table) {
+                (
+                    e.to_table.as_str(),
+                    Expr::eq(
+                        Expr::col(&alias[&e.from_table], &e.from_column),
+                        Expr::col(&alias[&e.to_table], &e.to_column),
+                    ),
+                )
+            } else {
+                (
+                    e.from_table.as_str(),
+                    Expr::eq(
+                        Expr::col(&alias[&e.to_table], &e.to_column),
+                        Expr::col(&alias[&e.from_table], &e.from_column),
+                    ),
+                )
+            };
+            if present.contains(&new_table) {
+                continue;
+            }
+            select.joins.push(Join {
+                kind: JoinKind::Inner,
+                table: TableRef::Named {
+                    name: new_table.to_string(),
+                    alias: Some(alias[new_table].clone()),
+                },
+                on: Some(on),
+            });
+            present.push(match present.iter().any(|p| *p == e.from_table) {
+                true => match ordered.iter().find(|t| *t == new_table) {
+                    Some(t) => t.as_str(),
+                    None => new_table,
+                },
+                false => new_table,
+            });
+        }
+
+        if let Some(f) = &self.filter {
+            select.where_clause = Some(filter_to_expr(f, &col));
+        }
+        select.group_by = self.group_by.iter().map(&col).collect();
+        if let Some((f, c, op, lit)) = &self.having {
+            let agg = Expr::Agg {
+                func: *f,
+                distinct: false,
+                arg: c.as_ref().map(|c| Box::new(col(c))),
+            };
+            select.having = Some(Expr::binary(agg, op.to_binop(), Expr::Literal(lit.clone())));
+        }
+
+        let order_by = self
+            .order_by
+            .iter()
+            .map(|o| OrderItem {
+                expr: match (&o.agg, &o.column) {
+                    (Some(f), c) => Expr::Agg {
+                        func: *f,
+                        distinct: false,
+                        arg: c.as_ref().map(|c| Box::new(col(c))),
+                    },
+                    (None, Some(c)) => col(c),
+                    (None, None) => Expr::int(1),
+                },
+                desc: o.desc,
+            })
+            .collect();
+
+        let query = Query {
+            body: QueryBody::Select(select),
+            order_by,
+            limit: self.limit,
+        };
+        Ok(sqlkit::to_sql(&query))
+    }
+}
+
+fn projection_of(
+    expr: &Expr,
+    resolve: &impl Fn(&ColumnRef) -> Result<IrColumn, IrError>,
+) -> Result<IrProjection, IrError> {
+    match expr {
+        Expr::Column(c) => Ok(IrProjection {
+            agg: None,
+            distinct: false,
+            column: Some(resolve(c)?),
+        }),
+        Expr::Agg { func, distinct, arg } => {
+            let column = match arg.as_deref() {
+                None => None,
+                Some(Expr::Column(c)) => Some(resolve(c)?),
+                Some(other) => {
+                    return Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(other)))
+                }
+            };
+            Ok(IrProjection {
+                agg: Some(*func),
+                distinct: *distinct,
+                column,
+            })
+        }
+        other => Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(other))),
+    }
+}
+
+fn filter_of(
+    expr: &Expr,
+    resolve: &impl Fn(&ColumnRef) -> Result<IrColumn, IrError>,
+) -> Result<IrFilter, IrError> {
+    match expr {
+        Expr::Binary { left, op: BinOp::And, right } => {
+            let mut parts = Vec::new();
+            flatten(left, BinOp::And, &mut parts);
+            flatten(right, BinOp::And, &mut parts);
+            Ok(IrFilter::And(
+                parts
+                    .into_iter()
+                    .map(|p| filter_of(p, resolve))
+                    .collect::<Result<_, _>>()?,
+            ))
+        }
+        Expr::Binary { left, op: BinOp::Or, right } => {
+            let mut parts = Vec::new();
+            flatten(left, BinOp::Or, &mut parts);
+            flatten(right, BinOp::Or, &mut parts);
+            Ok(IrFilter::Or(
+                parts
+                    .into_iter()
+                    .map(|p| filter_of(p, resolve))
+                    .collect::<Result<_, _>>()?,
+            ))
+        }
+        Expr::Binary { left, op, right } => {
+            let Some(ir_op) = IrOp::from_binop(*op) else {
+                return Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(expr)));
+            };
+            let Expr::Column(lc) = left.as_ref() else {
+                return Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(expr)));
+            };
+            let value = match right.as_ref() {
+                Expr::Literal(l) => IrValue::Lit(l.clone()),
+                Expr::Column(rc) => IrValue::Column(resolve(rc)?),
+                Expr::ScalarSubquery(_) => return Err(IrError::Subquery),
+                other => {
+                    return Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(other)))
+                }
+            };
+            Ok(IrFilter::Pred(IrPred::Cmp {
+                column: resolve(lc)?,
+                op: ir_op,
+                value,
+            }))
+        }
+        Expr::Between { expr, low, high, negated: false } => {
+            let Expr::Column(c) = expr.as_ref() else {
+                return Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(expr)));
+            };
+            let (Expr::Literal(lo), Expr::Literal(hi)) = (low.as_ref(), high.as_ref()) else {
+                return Err(IrError::UnsupportedExpression("BETWEEN bounds".into()));
+            };
+            Ok(IrFilter::Pred(IrPred::Between {
+                column: resolve(c)?,
+                low: lo.clone(),
+                high: hi.clone(),
+            }))
+        }
+        Expr::InSubquery { .. } | Expr::Exists { .. } | Expr::ScalarSubquery(_) => {
+            Err(IrError::Subquery)
+        }
+        other => Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(other))),
+    }
+}
+
+fn flatten<'a>(e: &'a Expr, op: BinOp, out: &mut Vec<&'a Expr>) {
+    match e {
+        Expr::Binary { left, op: o, right } if *o == op => {
+            flatten(left, op, out);
+            flatten(right, op, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn having_of(
+    expr: &Expr,
+    resolve: &impl Fn(&ColumnRef) -> Result<IrColumn, IrError>,
+) -> Result<(AggFunc, Option<IrColumn>, IrOp, Lit), IrError> {
+    if let Expr::Binary { left, op, right } = expr {
+        if let (Expr::Agg { func, arg, .. }, Expr::Literal(lit)) = (left.as_ref(), right.as_ref())
+        {
+            let Some(ir_op) = IrOp::from_binop(*op) else {
+                return Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(expr)));
+            };
+            let column = match arg.as_deref() {
+                None => None,
+                Some(Expr::Column(c)) => Some(resolve(c)?),
+                Some(other) => {
+                    return Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(other)))
+                }
+            };
+            return Ok((*func, column, ir_op, lit.clone()));
+        }
+    }
+    Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(expr)))
+}
+
+fn order_of(
+    item: &OrderItem,
+    resolve: &impl Fn(&ColumnRef) -> Result<IrColumn, IrError>,
+) -> Result<IrOrder, IrError> {
+    match &item.expr {
+        Expr::Column(c) => Ok(IrOrder {
+            agg: None,
+            column: Some(resolve(c)?),
+            desc: item.desc,
+        }),
+        Expr::Agg { func, arg, .. } => {
+            let column = match arg.as_deref() {
+                None => None,
+                Some(Expr::Column(c)) => Some(resolve(c)?),
+                Some(other) => {
+                    return Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(other)))
+                }
+            };
+            Ok(IrOrder {
+                agg: Some(*func),
+                column,
+                desc: item.desc,
+            })
+        }
+        other => Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(other))),
+    }
+}
+
+fn filter_to_expr(f: &IrFilter, col: &impl Fn(&IrColumn) -> Expr) -> Expr {
+    match f {
+        IrFilter::Pred(IrPred::Cmp { column, op, value }) => {
+            let rhs = match value {
+                IrValue::Lit(l) => Expr::Literal(l.clone()),
+                IrValue::Column(c) => col(c),
+            };
+            Expr::binary(col(column), op.to_binop(), rhs)
+        }
+        IrFilter::Pred(IrPred::Between { column, low, high }) => Expr::Between {
+            expr: Box::new(col(column)),
+            low: Box::new(Expr::Literal(low.clone())),
+            high: Box::new(Expr::Literal(high.clone())),
+            negated: false,
+        },
+        IrFilter::And(parts) => parts
+            .iter()
+            .map(|p| filter_to_expr(p, col))
+            .reduce(Expr::and)
+            .unwrap_or_else(|| Expr::boolean(true)),
+        IrFilter::Or(parts) => parts
+            .iter()
+            .map(|p| filter_to_expr(p, col))
+            .reduce(Expr::or)
+            .unwrap_or_else(|| Expr::boolean(true)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joinpath::JoinGraph;
+    use footballdb::{generate, load, DataModel};
+    use sqlengine::execute_sql;
+
+    fn ir_of(sql: &str) -> Result<SemQl, IrError> {
+        SemQl::from_query(&sqlkit::parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn simple_query_roundtrips_through_ir() {
+        let ir = ir_of(
+            "SELECT T1.teamname FROM world_cup_result AS T1 \
+             JOIN world_cup AS T2 ON T1.world_cup_id = T2.world_cup_id \
+             WHERE T2.year = 2014 AND T1.winner = 'True'",
+        )
+        .unwrap();
+        assert_eq!(ir.tables, vec!["world_cup_result", "world_cup"]);
+        let graph = JoinGraph::from_catalog(&DataModel::V3.catalog());
+        let sql = ir.to_sql(&graph).unwrap();
+        // The reconstructed query must be executable and equivalent.
+        let d = generate(7);
+        let db = load(&d, DataModel::V3);
+        let rs = execute_sql(&db, &sql).unwrap();
+        assert_eq!(rs.rows[0][0], sqlengine::Value::text("Germany"));
+    }
+
+    #[test]
+    fn set_operations_are_rejected() {
+        assert_eq!(
+            ir_of("SELECT a FROM t UNION SELECT a FROM u").unwrap_err(),
+            IrError::SetOperation
+        );
+    }
+
+    #[test]
+    fn repeated_instances_are_rejected() {
+        let err = ir_of(
+            "SELECT T2.teamname FROM match AS T1 \
+             JOIN national_team AS T2 ON T1.home_team_id = T2.team_id \
+             JOIN national_team AS T3 ON T1.away_team_id = T3.team_id",
+        )
+        .unwrap_err();
+        assert_eq!(err, IrError::RepeatedTableInstance("national_team".into()));
+    }
+
+    #[test]
+    fn derived_tables_are_rejected() {
+        assert_eq!(
+            ir_of("SELECT n FROM (SELECT 1 AS n) AS d").unwrap_err(),
+            IrError::DerivedTable
+        );
+    }
+
+    #[test]
+    fn subqueries_are_rejected() {
+        assert_eq!(
+            ir_of("SELECT a FROM t WHERE x = (SELECT max(x) FROM t)").unwrap_err(),
+            IrError::Subquery
+        );
+    }
+
+    #[test]
+    fn v1_winner_query_fails_at_join_path() {
+        // IR conversion succeeds (single table instance) but the
+        // reconstruction hits the 4-reference world_cup↔national_team
+        // edge — the paper's post-processing failure.
+        let ir = ir_of(
+            "SELECT T2.teamname FROM world_cup AS T1 \
+             JOIN national_team AS T2 ON T1.winner = T2.team_id WHERE T1.year = 2014",
+        )
+        .unwrap();
+        let graph = JoinGraph::from_catalog(&DataModel::V1.catalog());
+        let err = ir.to_sql(&graph).unwrap_err();
+        assert!(matches!(err, JoinPathError::AmbiguousEdge { .. }));
+    }
+
+    #[test]
+    fn group_order_limit_roundtrip() {
+        let ir = ir_of(
+            "SELECT T3.full_name FROM goal AS T1 \
+             JOIN match AS T2 ON T1.match_id = T2.match_id \
+             JOIN player AS T3 ON T1.player_id = T3.player_id \
+             WHERE T2.year = 2014 \
+             GROUP BY T3.full_name ORDER BY count(*) DESC, T3.full_name LIMIT 1",
+        )
+        .unwrap();
+        assert_eq!(ir.group_by.len(), 1);
+        assert_eq!(ir.order_by.len(), 2);
+        assert_eq!(ir.limit, Some(1));
+        let graph = JoinGraph::from_catalog(&DataModel::V3.catalog());
+        let sql = ir.to_sql(&graph).unwrap();
+        let d = generate(7);
+        let db = load(&d, DataModel::V3);
+        // Must execute and agree with the original.
+        let orig = execute_sql(
+            &db,
+            "SELECT T3.full_name FROM goal AS T1 \
+             JOIN match AS T2 ON T1.match_id = T2.match_id \
+             JOIN player AS T3 ON T1.player_id = T3.player_id \
+             WHERE T2.year = 2014 \
+             GROUP BY T3.full_name ORDER BY count(*) DESC, T3.full_name LIMIT 1",
+        )
+        .unwrap();
+        let rec = execute_sql(&db, &sql).unwrap();
+        assert!(orig.matches(&rec), "orig:\n{orig}\nrec:\n{rec}");
+    }
+
+    #[test]
+    fn or_filters_survive() {
+        let ir = ir_of(
+            "SELECT count(*) FROM plays_match \
+             WHERE (teamname = 'Brazil' AND opponent_teamname = 'Italy') \
+             OR (teamname = 'Italy' AND opponent_teamname = 'Brazil')",
+        )
+        .unwrap();
+        assert!(matches!(ir.filter, Some(IrFilter::Or(_))));
+    }
+
+    #[test]
+    fn having_roundtrips() {
+        let ir = ir_of(
+            "SELECT teamname FROM plays_match GROUP BY teamname HAVING count(*) > 10",
+        )
+        .unwrap();
+        assert!(ir.having.is_some());
+        let graph = JoinGraph::from_catalog(&DataModel::V3.catalog());
+        let sql = ir.to_sql(&graph).unwrap();
+        assert!(sql.contains("HAVING count(*) > 10"));
+    }
+
+    #[test]
+    fn wildcard_projection_is_rejected() {
+        assert!(matches!(
+            ir_of("SELECT * FROM player").unwrap_err(),
+            IrError::UnsupportedExpression(_)
+        ));
+    }
+}

@@ -1,0 +1,163 @@
+//! Few-shot example retrieval with token budgets.
+//!
+//! LLM systems build their prompt from the schema encoding plus retrieved
+//! NL/SQL examples. LLaMA2-70B's 4,096-token context (paper footnote 2)
+//! caps how many shots fit — the mechanism behind its 2/4/8-shot rows in
+//! Table 6 versus GPT-3.5's 10/20/30.
+
+use crate::schema_encode::approx_tokens;
+use nlq::embed::{cosine, embed, Embedding};
+use nlq::GoldExample;
+use footballdb::DataModel;
+
+/// A retrieval index over training examples.
+pub struct RetrievalIndex<'a> {
+    examples: &'a [GoldExample],
+    embeddings: Vec<Embedding>,
+}
+
+impl<'a> RetrievalIndex<'a> {
+    pub fn build(examples: &'a [GoldExample]) -> Self {
+        let embeddings = examples.iter().map(|e| embed(&e.question)).collect();
+        RetrievalIndex {
+            examples,
+            embeddings,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Indices of the `k` most similar examples to the question, most
+    /// similar first.
+    pub fn top_k(&self, question: &str, k: usize) -> Vec<usize> {
+        let q = embed(question);
+        let mut scored: Vec<(usize, f32)> = self
+            .embeddings
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i, cosine(&q, e)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.into_iter().take(k).map(|(i, _)| i).collect()
+    }
+
+    /// Similarity of the best match.
+    pub fn best_similarity(&self, question: &str) -> f32 {
+        let q = embed(question);
+        self.embeddings
+            .iter()
+            .map(|e| cosine(&q, e))
+            .fold(f32::MIN, f32::max)
+    }
+
+    /// Retrieves up to `want` shots, stopping early when the running
+    /// prompt (schema + shots + question) would exceed `token_budget`.
+    /// Returns the selected indices and the resulting prompt tokens.
+    pub fn shots_within_budget(
+        &self,
+        question: &str,
+        model: DataModel,
+        want: usize,
+        schema_tokens: usize,
+        token_budget: usize,
+    ) -> (Vec<usize>, usize) {
+        let mut used = schema_tokens + approx_tokens(question) + 64; // instruction overhead
+        let mut out = Vec::new();
+        for i in self.top_k(question, want) {
+            let e = &self.examples[i];
+            let cost = approx_tokens(&e.question) + approx_tokens(e.sql(model)) + 8;
+            if used + cost > token_budget {
+                break;
+            }
+            used += cost;
+            out.push(i);
+        }
+        (out, used)
+    }
+
+    pub fn example(&self, i: usize) -> &GoldExample {
+        &self.examples[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_examples() -> Vec<GoldExample> {
+        let qs = [
+            ("Who won the world cup in 2014?", "winner"),
+            ("Who won the world cup in 1998?", "winner"),
+            ("Which club does Carlos Silva play for?", "club"),
+            ("How many red cards did Brazil get in 1994?", "cards"),
+            ("Which stadium hosted the 2006 final?", "stadium"),
+        ];
+        qs.iter()
+            .enumerate()
+            .map(|(i, (q, t))| GoldExample {
+                id: i,
+                question: q.to_string(),
+                sql: [
+                    format!("SELECT {i} FROM a"),
+                    format!("SELECT {i} FROM b"),
+                    format!("SELECT {i} FROM c"),
+                ],
+                topic: t,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn top_k_returns_most_similar_first() {
+        let ex = make_examples();
+        let idx = RetrievalIndex::build(&ex);
+        let top = idx.top_k("Who won the world cup in 2010?", 2);
+        assert_eq!(top.len(), 2);
+        assert!(ex[top[0]].topic == "winner");
+        assert!(ex[top[1]].topic == "winner");
+    }
+
+    #[test]
+    fn best_similarity_is_high_for_near_duplicates() {
+        let ex = make_examples();
+        let idx = RetrievalIndex::build(&ex);
+        assert!(idx.best_similarity("Who won the world cup in 2014?") > 0.99);
+        assert!(idx.best_similarity("completely unrelated banana question") < 0.3);
+    }
+
+    #[test]
+    fn budget_limits_shots() {
+        let ex = make_examples();
+        let idx = RetrievalIndex::build(&ex);
+        // Generous budget: all 5 fit.
+        let (all, _) = idx.shots_within_budget("Who won in 2014?", DataModel::V1, 5, 100, 4096);
+        assert_eq!(all.len(), 5);
+        // Tight budget: schema eats almost everything.
+        let (few, used) =
+            idx.shots_within_budget("Who won in 2014?", DataModel::V1, 5, 4000, 4096);
+        assert!(few.len() < 5);
+        assert!(used <= 4096);
+    }
+
+    #[test]
+    fn zero_budget_returns_no_shots() {
+        let ex = make_examples();
+        let idx = RetrievalIndex::build(&ex);
+        let (none, _) = idx.shots_within_budget("q", DataModel::V1, 5, 0, 10);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn empty_index_is_fine() {
+        let ex: Vec<GoldExample> = Vec::new();
+        let idx = RetrievalIndex::build(&ex);
+        assert!(idx.is_empty());
+        assert!(idx.top_k("q", 3).is_empty());
+    }
+}

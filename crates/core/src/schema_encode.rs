@@ -1,0 +1,136 @@
+//! Schema serialization for model input.
+//!
+//! Table 4's "DB Schema w/ FK" dimension: every system receives the
+//! schema, but T5-Picard's original encoding omits the PK/FK constraints
+//! while T5-Picard_Keys, ValueNet, and the LLM prompts include them. The
+//! token length of the encoding feeds the few-shot budget (LLaMA2's 4096
+//! limit) and the inference-time model.
+
+use sqlengine::{Catalog, Database};
+use std::fmt::Write;
+
+/// Encoding options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeOptions {
+    /// Include primary/foreign key constraints.
+    pub with_keys: bool,
+    /// Include a few sample values per column (ValueNet-style DB
+    /// content; LLM prompts with sample rows).
+    pub with_content: bool,
+    /// Sample values per column when `with_content`.
+    pub content_samples: usize,
+}
+
+impl EncodeOptions {
+    pub const SCHEMA_ONLY: EncodeOptions = EncodeOptions {
+        with_keys: false,
+        with_content: false,
+        content_samples: 0,
+    };
+    pub const WITH_KEYS: EncodeOptions = EncodeOptions {
+        with_keys: true,
+        with_content: false,
+        content_samples: 0,
+    };
+    pub const FULL: EncodeOptions = EncodeOptions {
+        with_keys: true,
+        with_content: true,
+        content_samples: 3,
+    };
+}
+
+/// Serializes a schema (optionally with content samples) into the flat
+/// text form models consume.
+pub fn encode_schema(catalog: &Catalog, db: Option<&Database>, opts: EncodeOptions) -> String {
+    let mut out = String::with_capacity(1024);
+    for t in &catalog.tables {
+        let _ = write!(out, "table {} (", t.name);
+        for (i, c) in t.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{} {}", c.name, c.ty);
+        }
+        out.push(')');
+        if opts.with_keys {
+            if !t.primary_key.is_empty() {
+                let _ = write!(out, " primary key ({})", t.primary_key.join(", "));
+            }
+            for fk in &t.foreign_keys {
+                let _ = write!(
+                    out,
+                    " foreign key ({}) references {} ({})",
+                    fk.columns.join(", "),
+                    fk.ref_table,
+                    fk.ref_columns.join(", ")
+                );
+            }
+        }
+        out.push('\n');
+        if opts.with_content {
+            if let Some(db) = db {
+                if let Some(rows) = db.rows(&t.name) {
+                    for row in rows.iter().take(opts.content_samples) {
+                        let cells: Vec<String> =
+                            row.iter().map(|v| v.to_string()).collect();
+                        let _ = writeln!(out, "  row: {}", cells.join(", "));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Approximate LM token count of a text (≈ 4 characters per token, the
+/// usual BPE rule of thumb used for budget accounting).
+pub fn approx_tokens(text: &str) -> usize {
+    text.chars().count().div_ceil(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use footballdb::{generate, load, DataModel};
+
+    #[test]
+    fn keys_are_included_only_when_asked() {
+        let cat = DataModel::V1.catalog();
+        let without = encode_schema(&cat, None, EncodeOptions::SCHEMA_ONLY);
+        let with = encode_schema(&cat, None, EncodeOptions::WITH_KEYS);
+        assert!(!without.contains("foreign key"));
+        assert!(with.contains("foreign key"));
+        assert!(with.contains("primary key"));
+        assert!(with.len() > without.len());
+    }
+
+    #[test]
+    fn content_samples_appear() {
+        let d = generate(7);
+        let db = load(&d, DataModel::V1);
+        let enc = encode_schema(db.catalog(), Some(&db), EncodeOptions::FULL);
+        assert!(enc.contains("row:"));
+        assert!(enc.contains("Brazil") || enc.contains("Argentina"));
+    }
+
+    #[test]
+    fn all_tables_listed() {
+        for m in DataModel::ALL {
+            let cat = m.catalog();
+            let enc = encode_schema(&cat, None, EncodeOptions::WITH_KEYS);
+            for t in &cat.tables {
+                assert!(enc.contains(&format!("table {} ", t.name)), "{m}: {}", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn token_estimate_scales_with_length() {
+        assert_eq!(approx_tokens(""), 0);
+        assert_eq!(approx_tokens("abcd"), 1);
+        assert_eq!(approx_tokens("abcde"), 2);
+        let cat = DataModel::V3.catalog();
+        let enc = encode_schema(&cat, None, EncodeOptions::WITH_KEYS);
+        assert!(approx_tokens(&enc) > 200);
+    }
+}

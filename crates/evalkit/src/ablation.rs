@@ -1,0 +1,306 @@
+//! Ablations for the design choices DESIGN.md calls out.
+//!
+//! * **Keys ablation** — the T5-Picard vs T5-Picard_Keys gap per data
+//!   model and train size (the paper's Section 6.2 verification that FK
+//!   encoding unlocks data-model gains).
+//! * **Join-path ablation** — how much of the gold corpus the SemQL
+//!   pipeline can represent at all per data model (the mechanistic
+//!   ceiling behind ValueNet's v1 behaviour).
+//! * **Extended-training ablation** — ValueNet on the full ~900-example
+//!   clean pool (the paper's 895-sample run reaching ≈29%).
+
+use crate::experiment::{run_config, EvalSetup};
+use footballdb::DataModel;
+use textosql::{Budget, SystemKind};
+
+/// Keys-encoding ablation result.
+#[derive(Debug, Clone)]
+pub struct KeysAblation {
+    pub model: DataModel,
+    pub train_size: usize,
+    pub without_keys: f64,
+    pub with_keys: f64,
+}
+
+impl KeysAblation {
+    pub fn gain(&self) -> f64 {
+        self.with_keys - self.without_keys
+    }
+}
+
+/// Runs the keys ablation over the given train sizes.
+pub fn keys_ablation(setup: &EvalSetup, train_sizes: &[usize]) -> Vec<KeysAblation> {
+    let mut out = Vec::new();
+    for model in DataModel::ALL {
+        for &n in train_sizes {
+            let pool: Vec<_> = setup.benchmark.train.iter().take(n).cloned().collect();
+            let without = run_config(
+                setup,
+                SystemKind::T5Picard,
+                model,
+                Budget::FineTuned(n),
+                &pool,
+                "ablation-keys",
+            );
+            let with = run_config(
+                setup,
+                SystemKind::T5PicardKeys,
+                model,
+                Budget::FineTuned(n),
+                &pool,
+                "ablation-keys",
+            );
+            out.push(KeysAblation {
+                model,
+                train_size: n,
+                without_keys: without.accuracy(),
+                with_keys: with.accuracy(),
+            });
+        }
+    }
+    out
+}
+
+/// Join-path / SemQL representability per data model.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinPathAblation {
+    pub model: DataModel,
+    pub total: usize,
+    /// Items with no SemQL form or failing join-path reconstruction.
+    pub vetoed: usize,
+}
+
+impl JoinPathAblation {
+    pub fn representable_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            1.0 - self.vetoed as f64 / self.total as f64
+        }
+    }
+}
+
+/// Measures the SemQL ceiling on the test set per data model.
+pub fn joinpath_ablation(setup: &EvalSetup) -> Vec<JoinPathAblation> {
+    DataModel::ALL
+        .iter()
+        .map(|&model| {
+            let profiles = setup.profiles(model);
+            JoinPathAblation {
+                model,
+                total: profiles.len(),
+                vetoed: profiles.iter().filter(|p| p.semql_veto).count(),
+            }
+        })
+        .collect()
+}
+
+/// The extended-training run: ValueNet with the full clean gold pool
+/// (the paper's 895 samples → ≈29% on v3).
+pub fn extended_training(setup: &EvalSetup) -> (usize, f64) {
+    // "Clean" = processable by the Spider parser / SemQL pipeline, as in
+    // the paper (105 of the 1K could not be processed).
+    let graph = setup.graph(DataModel::V3);
+    let clean: Vec<_> = setup
+        .benchmark
+        .gold_pool
+        .iter()
+        .filter(|e| {
+            sqlkit::parse_query(e.sql(DataModel::V3))
+                .ok()
+                .and_then(|q| textosql::SemQl::from_query(&q).ok())
+                .and_then(|ir| ir.to_sql(graph).ok())
+                .is_some()
+        })
+        .cloned()
+        .collect();
+    let n = clean.len();
+    let run = run_config(
+        setup,
+        SystemKind::ValueNet,
+        DataModel::V3,
+        Budget::FineTuned(n),
+        &clean,
+        "ablation-895",
+    );
+    (n, run.accuracy())
+}
+
+/// Lexical-gap ablation result for one data model.
+#[derive(Debug, Clone, Copy)]
+pub struct LexicalAblation {
+    pub model: DataModel,
+    /// Test questions phrased with gap vocabulary ("second place", …)
+    /// whose gold SQL hits a value-encoded concept.
+    pub gap_items: usize,
+    pub gap_accuracy: f64,
+    pub other_accuracy: f64,
+}
+
+/// Ablation A4 (paper Section 5.2 / future work): expected accuracy on
+/// questions exhibiting the lexical gap versus the rest, per data model,
+/// for the best fine-tuned system. v2 stores the runner-up concept as
+/// the text value `prize = 'runner-up'`, which user vocabulary misses;
+/// v1's FK column and v3's Boolean columns name the concept in the
+/// schema. Computed over the full 400-example selection (the 100-item
+/// test split may contain no gap-phrased question at all), using the
+/// capability model's per-item success probabilities.
+pub fn lexical_ablation(setup: &EvalSetup) -> Vec<LexicalAblation> {
+    use textosql::{profile_items_with_db, success_probabilities};
+    let mut out = Vec::new();
+    for model in DataModel::ALL {
+        let profiles = profile_items_with_db(
+            &setup.benchmark.selected,
+            model,
+            setup.graph(model),
+            Some(setup.db(model)),
+        );
+        let probs = success_probabilities(
+            SystemKind::T5PicardKeys,
+            model,
+            Budget::FineTuned(300),
+            &profiles,
+        );
+        let mut gap = (0usize, 0.0f64);
+        let mut other = (0usize, 0.0f64);
+        for (p, prob) in profiles.iter().zip(&probs) {
+            let bucket = if p.lexical_gap { &mut gap } else { &mut other };
+            bucket.0 += 1;
+            bucket.1 += prob;
+        }
+        let frac = |(n, c): (usize, f64)| if n == 0 { 0.0 } else { c / n as f64 };
+        out.push(LexicalAblation {
+            model,
+            gap_items: gap.0,
+            gap_accuracy: frac(gap),
+            other_accuracy: frac(other),
+        });
+    }
+    out
+}
+
+/// Renders all ablations as text.
+pub fn ablation_report(setup: &EvalSetup) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "Ablation A1: PK/FK key encoding (T5-Picard vs _Keys)");
+    for a in keys_ablation(setup, &[100, 300]) {
+        let _ = writeln!(
+            out,
+            "  {} train={:<4} without={:>6.2}% with={:>6.2}% gain={:+.2}pp",
+            a.model,
+            a.train_size,
+            a.without_keys * 100.0,
+            a.with_keys * 100.0,
+            a.gain() * 100.0
+        );
+    }
+    let _ = writeln!(out, "\nAblation A2: SemQL join-path representability");
+    for a in joinpath_ablation(setup) {
+        let _ = writeln!(
+            out,
+            "  {}: {}/{} gold test queries representable ({:.1}%)",
+            a.model,
+            a.total - a.vetoed,
+            a.total,
+            a.representable_fraction() * 100.0
+        );
+    }
+    let (n, acc) = extended_training(setup);
+    let _ = writeln!(
+        out,
+        "\nAblation A3: ValueNet extended training on {} clean samples: {:.2}%",
+        n,
+        acc * 100.0
+    );
+    let _ = writeln!(out, "\nAblation A4: lexical gap (\"second place\" vs prize values)");
+    for a in lexical_ablation(setup) {
+        let _ = writeln!(
+            out,
+            "  {}: {} gap questions, accuracy {:.1}% vs {:.1}% on the rest",
+            a.model,
+            a.gap_items,
+            a.gap_accuracy * 100.0,
+            a.other_accuracy * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn setup() -> &'static EvalSetup {
+        static SETUP: OnceLock<EvalSetup> = OnceLock::new();
+        SETUP.get_or_init(|| EvalSetup::small(11))
+    }
+
+    #[test]
+    fn keys_help_on_v3_at_full_train() {
+        let res = keys_ablation(setup(), &[300]);
+        let v3 = res
+            .iter()
+            .find(|a| a.model == DataModel::V3 && a.train_size == 300)
+            .unwrap();
+        assert!(
+            v3.gain() > 0.0,
+            "keys gain should be positive on v3: {v3:?}"
+        );
+    }
+
+    #[test]
+    fn v1_is_least_representable_for_semql() {
+        let res = joinpath_ablation(setup());
+        let frac = |m: DataModel| {
+            res.iter()
+                .find(|a| a.model == m)
+                .unwrap()
+                .representable_fraction()
+        };
+        // v1's multi-FK edges veto the winner/score questions.
+        assert!(
+            frac(DataModel::V1) < frac(DataModel::V3),
+            "v1 {} vs v3 {}",
+            frac(DataModel::V1),
+            frac(DataModel::V3)
+        );
+    }
+
+    #[test]
+    fn extended_training_beats_300(
+    ) {
+        let s = setup();
+        let (n, acc) = extended_training(s);
+        assert!(n > 0);
+        // Target is ≈29% on v3 (vs 25% at 300 samples).
+        assert!(
+            (0.15..0.45).contains(&acc),
+            "extended-training accuracy {acc} out of band"
+        );
+    }
+
+    #[test]
+    fn ablation_report_renders() {
+        let r = ablation_report(setup());
+        assert!(r.contains("Ablation A1"));
+        assert!(r.contains("Ablation A2"));
+        assert!(r.contains("Ablation A3"));
+        assert!(r.contains("Ablation A4"));
+    }
+
+    #[test]
+    fn lexical_gap_only_flags_v2() {
+        // Gap questions exist only where the concept is value-encoded:
+        // the v2 prize column. v1 and v3 name the concept in the schema.
+        let res = lexical_ablation(setup());
+        let get = |m: DataModel| res.iter().find(|a| a.model == m).unwrap().gap_items;
+        assert_eq!(get(DataModel::V1), 0);
+        assert_eq!(get(DataModel::V3), 0);
+        // The sampled test set usually contains runner-up questions, but
+        // a small draw may not; assert consistency rather than presence.
+        let v2 = res.iter().find(|a| a.model == DataModel::V2).unwrap();
+        assert!(v2.gap_items <= setup().benchmark.test.len());
+    }
+}

@@ -1,0 +1,175 @@
+//! Accuracy breakdowns for Figures 7 and 8.
+
+use crate::experiment::{ItemResult, RunResult};
+use sqlkit::Hardness;
+
+/// Accuracy and count for one bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    pub count: usize,
+    pub correct: usize,
+}
+
+impl Bucket {
+    pub fn accuracy(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.count as f64
+        }
+    }
+}
+
+fn bucketize<'a>(
+    items: impl Iterator<Item = &'a ItemResult>,
+    key: impl Fn(&ItemResult) -> usize,
+    n_buckets: usize,
+) -> Vec<Bucket> {
+    let mut out = vec![Bucket { count: 0, correct: 0 }; n_buckets];
+    for item in items {
+        let b = key(item).min(n_buckets - 1);
+        out[b].count += 1;
+        if item.outcome.is_correct() {
+            out[b].correct += 1;
+        }
+    }
+    out
+}
+
+/// Figure 7: accuracy per Spider hardness level (easy…extra).
+pub fn by_hardness(run: &RunResult) -> Vec<(Hardness, Bucket)> {
+    let buckets = bucketize(
+        run.items.iter(),
+        |i| (i.hardness.numeric() - 1) as usize,
+        4,
+    );
+    Hardness::ALL.into_iter().zip(buckets).collect()
+}
+
+/// A query-characteristic axis of Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Characteristic {
+    Joins,
+    Projections,
+    Filters,
+    Aggregations,
+    SetOps,
+    Subqueries,
+}
+
+impl Characteristic {
+    pub const ALL: [Characteristic; 6] = [
+        Characteristic::Joins,
+        Characteristic::Projections,
+        Characteristic::Filters,
+        Characteristic::Aggregations,
+        Characteristic::SetOps,
+        Characteristic::Subqueries,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Characteristic::Joins => "#joins",
+            Characteristic::Projections => "#projections",
+            Characteristic::Filters => "#filters",
+            Characteristic::Aggregations => "#aggregations",
+            Characteristic::SetOps => "#set ops",
+            Characteristic::Subqueries => "#subqueries",
+        }
+    }
+
+    fn of(self, item: &ItemResult) -> usize {
+        match self {
+            Characteristic::Joins => item.stats.joins,
+            Characteristic::Projections => item.stats.projections,
+            Characteristic::Filters => item.stats.filters,
+            Characteristic::Aggregations => item.stats.aggregations,
+            Characteristic::SetOps => item.stats.set_ops,
+            Characteristic::Subqueries => item.stats.subqueries,
+        }
+    }
+}
+
+/// Figure 8: accuracy per characteristic count, bucketed as
+/// {0, 1, ≥2} (the paper's per-characteristic bars).
+pub fn by_characteristic(run: &RunResult, ch: Characteristic) -> Vec<Bucket> {
+    bucketize(run.items.iter(), |i| ch.of(i), 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::ExOutcome;
+    use footballdb::DataModel;
+    use sqlkit::QueryStats;
+    use textosql::{Budget, SystemKind};
+
+    fn item(h: Hardness, joins: usize, correct: bool) -> ItemResult {
+        ItemResult {
+            item_id: 0,
+            outcome: if correct {
+                ExOutcome::Correct
+            } else {
+                ExOutcome::WrongResult
+            },
+            latency: 1.0,
+            shots_used: 0,
+            hardness: h,
+            stats: QueryStats {
+                joins,
+                ..QueryStats::default()
+            },
+        }
+    }
+
+    fn run(items: Vec<ItemResult>) -> RunResult {
+        RunResult {
+            system: SystemKind::Gpt35,
+            model: DataModel::V1,
+            budget: Budget::FewShot(10),
+            items,
+        }
+    }
+
+    #[test]
+    fn hardness_buckets_count_and_score() {
+        let r = run(vec![
+            item(Hardness::Easy, 0, true),
+            item(Hardness::Easy, 0, false),
+            item(Hardness::Extra, 3, false),
+        ]);
+        let b = by_hardness(&r);
+        assert_eq!(b[0].0, Hardness::Easy);
+        assert_eq!(b[0].1.count, 2);
+        assert_eq!(b[0].1.correct, 1);
+        assert_eq!(b[3].1.count, 1);
+        assert_eq!(b[3].1.accuracy(), 0.0);
+        assert_eq!(b[1].1.count, 0);
+    }
+
+    #[test]
+    fn characteristic_buckets_saturate_at_two() {
+        let r = run(vec![
+            item(Hardness::Easy, 0, true),
+            item(Hardness::Easy, 1, true),
+            item(Hardness::Easy, 2, false),
+            item(Hardness::Easy, 5, true),
+        ]);
+        let b = by_characteristic(&r, Characteristic::Joins);
+        assert_eq!(b[0].count, 1);
+        assert_eq!(b[1].count, 1);
+        assert_eq!(b[2].count, 2);
+        assert_eq!(b[2].correct, 1);
+    }
+
+    #[test]
+    fn empty_bucket_accuracy_zero() {
+        assert_eq!(Bucket { count: 0, correct: 0 }.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn labels_cover_axes() {
+        assert_eq!(Characteristic::ALL.len(), 6);
+        assert_eq!(Characteristic::SetOps.label(), "#set ops");
+    }
+}

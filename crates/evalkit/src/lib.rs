@@ -1,0 +1,35 @@
+//! `evalkit` — evaluation harness and report generation.
+//!
+//! Ties the workspace together: loads the FootballDB instances, builds
+//! the gold benchmark, runs every system configuration of the paper's
+//! evaluation (Section 6), and renders each table and figure:
+//!
+//! * [`metric`] — execution accuracy (EX / result matching);
+//! * [`experiment`] — the experiment grid (Tables 5–7);
+//! * [`breakdown`] — hardness and characteristic breakdowns (Figures
+//!   7–8);
+//! * [`report`] — text renderers for Tables 1–8 and both figures;
+//! * [`ablation`] — keys-encoding, join-path, and extended-training
+//!   ablations.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use evalkit::{EvalSetup, report};
+//!
+//! let setup = EvalSetup::paper_scale(7);
+//! println!("{}", report::full_report(&setup));
+//! ```
+
+pub mod ablation;
+pub mod breakdown;
+pub mod experiment;
+pub mod metric;
+pub mod report;
+pub mod tradeoff;
+
+pub use experiment::{
+    run_config, run_fewshot_grid, run_finetuned_grid, run_latency, EvalSetup, FoldedResult,
+    ItemResult, RunResult,
+};
+pub use metric::{accuracy, component_match, execution_match, ComponentMatch, ExOutcome};

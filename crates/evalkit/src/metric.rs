@@ -1,0 +1,323 @@
+//! Execution accuracy (EX / result matching).
+//!
+//! The paper evaluates with *exact execution matching*: a prediction is
+//! correct iff executing it yields the same results as executing the
+//! gold query (Section 6.1, "Evaluation Metrics"). Component-matching
+//! test suites could not even parse parts of the corpus, which is why EX
+//! is the metric of record.
+
+use sqlengine::{execute_sql, Database};
+
+/// Outcome of evaluating one prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExOutcome {
+    /// Executed and matched the gold results.
+    Correct,
+    /// Executed but produced different results.
+    WrongResult,
+    /// The predicted SQL failed to parse or execute.
+    ExecError,
+    /// The system produced no SQL.
+    NoSql,
+}
+
+impl ExOutcome {
+    pub fn is_correct(self) -> bool {
+        self == ExOutcome::Correct
+    }
+}
+
+/// Evaluates a prediction against gold SQL by execution matching.
+///
+/// A gold query that itself fails to execute is a labeling bug; we
+/// panic loudly rather than silently scoring it.
+pub fn execution_match(db: &Database, gold_sql: &str, predicted: Option<&str>) -> ExOutcome {
+    let gold = execute_sql(db, gold_sql)
+        .unwrap_or_else(|e| panic!("gold SQL failed to execute: {e}\n{gold_sql}"));
+    match predicted {
+        None => ExOutcome::NoSql,
+        Some(sql) => match execute_sql(db, sql) {
+            Ok(rs) => {
+                if rs.matches(&gold) {
+                    ExOutcome::Correct
+                } else {
+                    ExOutcome::WrongResult
+                }
+            }
+            Err(_) => ExOutcome::ExecError,
+        },
+    }
+}
+
+/// Fraction of correct outcomes.
+pub fn accuracy(outcomes: &[ExOutcome]) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    outcomes.iter().filter(|o| o.is_correct()).count() as f64 / outcomes.len() as f64
+}
+
+/// Component-level comparison of two queries (extension).
+///
+/// The paper could not use the Spider test-suite evaluation because its
+/// parser rejects parts of the FootballDB corpus; our own parser covers
+/// it, so we additionally provide the component-matching metric for
+/// error analysis: per-clause agreement between prediction and gold,
+/// order-insensitive and alias-insensitive where SQL semantics allow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComponentMatch {
+    pub tables: bool,
+    pub projections: bool,
+    pub filters: bool,
+    pub group_by: bool,
+    pub order_by: bool,
+    pub limit: bool,
+    pub set_shape: bool,
+}
+
+impl ComponentMatch {
+    /// All components agree (exact component matching).
+    pub fn exact(&self) -> bool {
+        self.tables
+            && self.projections
+            && self.filters
+            && self.group_by
+            && self.order_by
+            && self.limit
+            && self.set_shape
+    }
+
+    /// Number of agreeing components (0–7).
+    pub fn score(&self) -> usize {
+        [
+            self.tables,
+            self.projections,
+            self.filters,
+            self.group_by,
+            self.order_by,
+            self.limit,
+            self.set_shape,
+        ]
+        .iter()
+        .filter(|b| **b)
+        .count()
+    }
+}
+
+/// Compares gold and predicted SQL clause by clause. Returns `None` when
+/// either side fails to parse.
+pub fn component_match(gold_sql: &str, predicted_sql: &str) -> Option<ComponentMatch> {
+    use sqlkit::ast::{Query, SelectItem};
+
+    let gold = sqlkit::parse_query(gold_sql).ok()?;
+    let pred = sqlkit::parse_query(predicted_sql).ok()?;
+
+    // Alias-insensitive normalization: render each component with table
+    // aliases replaced by base-table names.
+    fn dealias(q: &Query, text: String) -> String {
+        let mut out = text;
+        let s = q.leftmost_select();
+        // Longest bindings first so T1 cannot corrupt T10-style aliases.
+        let mut refs: Vec<(&str, &str)> = s
+            .table_refs()
+            .filter_map(|t| t.base_table().map(|b| (t.binding(), b)))
+            .collect();
+        refs.sort_by_key(|(binding, _)| std::cmp::Reverse(binding.len()));
+        for (binding, base) in refs {
+            if !binding.eq_ignore_ascii_case(base) {
+                out = out.replace(&format!("{binding}."), &format!("{base}."));
+            }
+        }
+        out.to_ascii_lowercase()
+    }
+
+    fn sorted_set(items: Vec<String>) -> Vec<String> {
+        let mut v = items;
+        v.sort();
+        v
+    }
+
+    fn tables_of(q: &Query) -> Vec<String> {
+        sorted_set(
+            q.leftmost_select()
+                .table_refs()
+                .filter_map(|t| t.base_table().map(|b| b.to_ascii_lowercase()))
+                .collect(),
+        )
+    }
+
+    fn projections_of(q: &Query) -> Vec<String> {
+        sorted_set(
+            q.leftmost_select()
+                .projections
+                .iter()
+                .map(|item| match item {
+                    SelectItem::Wildcard => "*".to_string(),
+                    SelectItem::QualifiedWildcard(t) => format!("{t}.*"),
+                    SelectItem::Expr { expr, .. } => dealias(q, sqlkit::expr_to_sql(expr)),
+                })
+                .collect(),
+        )
+    }
+
+    fn filters_of(q: &Query) -> Vec<String> {
+        sorted_set(
+            q.leftmost_select()
+                .where_clause
+                .as_ref()
+                .map(|w| {
+                    w.conjuncts()
+                        .iter()
+                        .map(|c| dealias(q, sqlkit::expr_to_sql(c)))
+                        .collect()
+                })
+                .unwrap_or_default(),
+        )
+    }
+
+    fn group_of(q: &Query) -> Vec<String> {
+        sorted_set(
+            q.leftmost_select()
+                .group_by
+                .iter()
+                .map(|g| dealias(q, sqlkit::expr_to_sql(g)))
+                .collect(),
+        )
+    }
+
+    fn order_of(q: &Query) -> Vec<String> {
+        // Order matters here, so no sorting.
+        q.order_by
+            .iter()
+            .map(|o| format!("{} {}", dealias(q, sqlkit::expr_to_sql(&o.expr)), o.desc))
+            .collect()
+    }
+
+    Some(ComponentMatch {
+        tables: tables_of(&gold) == tables_of(&pred),
+        projections: projections_of(&gold) == projections_of(&pred),
+        filters: filters_of(&gold) == filters_of(&pred),
+        group_by: group_of(&gold) == group_of(&pred),
+        order_by: order_of(&gold) == order_of(&pred),
+        limit: gold.limit == pred.limit,
+        set_shape: gold.body.set_op_count() == pred.body.set_op_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlengine::{Catalog, DataType, TableSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new(Catalog::new(vec![TableSchema::new("t")
+            .column("a", DataType::Int)
+            .column("b", DataType::Text)
+            .pk(&["a"])]));
+        db.insert("t", vec![Value::Int(1), Value::text("x")]).unwrap();
+        db.insert("t", vec![Value::Int(2), Value::text("y")]).unwrap();
+        db
+    }
+
+    #[test]
+    fn equivalent_formulations_match() {
+        let db = db();
+        let out = execution_match(
+            &db,
+            "SELECT a FROM t WHERE b = 'x'",
+            Some("SELECT a FROM t WHERE a < 2"),
+        );
+        assert_eq!(out, ExOutcome::Correct);
+    }
+
+    #[test]
+    fn different_results_are_wrong() {
+        let db = db();
+        let out = execution_match(
+            &db,
+            "SELECT a FROM t WHERE b = 'x'",
+            Some("SELECT a FROM t"),
+        );
+        assert_eq!(out, ExOutcome::WrongResult);
+    }
+
+    #[test]
+    fn invalid_sql_is_exec_error() {
+        let db = db();
+        let out = execution_match(&db, "SELECT a FROM t", Some("SELECT nope FROM t"));
+        assert_eq!(out, ExOutcome::ExecError);
+        let out = execution_match(&db, "SELECT a FROM t", Some("garbage"));
+        assert_eq!(out, ExOutcome::ExecError);
+    }
+
+    #[test]
+    fn missing_sql_is_no_sql() {
+        let db = db();
+        assert_eq!(execution_match(&db, "SELECT a FROM t", None), ExOutcome::NoSql);
+    }
+
+    #[test]
+    #[should_panic(expected = "gold SQL failed")]
+    fn broken_gold_panics() {
+        let db = db();
+        execution_match(&db, "SELECT broken FROM t", Some("SELECT a FROM t"));
+    }
+
+    #[test]
+    fn accuracy_fraction() {
+        use ExOutcome::*;
+        assert_eq!(accuracy(&[Correct, WrongResult, Correct, NoSql]), 0.5);
+        assert_eq!(accuracy(&[]), 0.0);
+    }
+
+    #[test]
+    fn component_match_identical_queries() {
+        let sql = "SELECT a FROM t WHERE a = 1 AND b = 2 ORDER BY a LIMIT 3";
+        let m = component_match(sql, sql).unwrap();
+        assert!(m.exact());
+        assert_eq!(m.score(), 7);
+    }
+
+    #[test]
+    fn component_match_is_alias_insensitive() {
+        let gold = "SELECT T1.a FROM t AS T1 WHERE T1.b = 2";
+        let pred = "SELECT x.a FROM t AS x WHERE x.b = 2";
+        let m = component_match(gold, pred).unwrap();
+        assert!(m.exact(), "{m:?}");
+    }
+
+    #[test]
+    fn component_match_is_conjunct_order_insensitive() {
+        let gold = "SELECT a FROM t WHERE a = 1 AND b = 2";
+        let pred = "SELECT a FROM t WHERE b = 2 AND a = 1";
+        assert!(component_match(gold, pred).unwrap().filters);
+    }
+
+    #[test]
+    fn component_match_detects_clause_differences() {
+        let gold = "SELECT a FROM t WHERE a = 1 ORDER BY a LIMIT 3";
+        let pred = "SELECT b FROM u WHERE a = 2 ORDER BY a DESC LIMIT 4";
+        let m = component_match(gold, pred).unwrap();
+        assert!(!m.tables);
+        assert!(!m.projections);
+        assert!(!m.filters);
+        assert!(!m.order_by);
+        assert!(!m.limit);
+        assert!(m.group_by, "both have empty GROUP BY");
+        assert!(m.set_shape);
+        assert_eq!(m.score(), 2);
+    }
+
+    #[test]
+    fn component_match_checks_set_shape() {
+        let gold = "SELECT a FROM t UNION SELECT a FROM u";
+        let pred = "SELECT a FROM t";
+        let m = component_match(gold, pred).unwrap();
+        assert!(!m.set_shape);
+    }
+
+    #[test]
+    fn component_match_none_on_parse_failure() {
+        assert!(component_match("SELECT a FROM t", "garbage").is_none());
+    }
+}

@@ -1,0 +1,810 @@
+//! Deterministic synthesis of the FootballDB domain.
+//!
+//! The generator replaces the paper's semi-automatically curated data
+//! (Kaggle + Wikidata + scraping): same entity universe, same volumes
+//! (within a few percent of Table 2), same distributions that the
+//! benchmark queries exercise. Real-world facts that gold answers depend
+//! on — hosts, participant counts, and final standings of all 22 cups —
+//! are fixed from public history; everything below that level (players,
+//! clubs, match scores except finals' winners) is seeded-random.
+
+use crate::model::*;
+use crate::names::{self, NATIONAL_TEAMS, WORLD_CUPS};
+use xrng::Rng;
+
+/// Final standings (winner, runner-up, third, fourth) by year.
+const STANDINGS: [(i64, &str, &str, &str, &str); 22] = [
+    (1930, "Uruguay", "Argentina", "United States", "Yugoslavia"),
+    (1934, "Italy", "Czechoslovakia", "Germany", "Austria"),
+    (1938, "Italy", "Hungary", "Brazil", "Sweden"),
+    (1950, "Uruguay", "Brazil", "Sweden", "Spain"),
+    (1954, "West Germany", "Hungary", "Austria", "Uruguay"),
+    (1958, "Brazil", "Sweden", "France", "West Germany"),
+    (1962, "Brazil", "Czechoslovakia", "Chile", "Yugoslavia"),
+    (1966, "England", "West Germany", "Portugal", "Soviet Union"),
+    (1970, "Brazil", "Italy", "West Germany", "Uruguay"),
+    (1974, "West Germany", "Netherlands", "Poland", "Brazil"),
+    (1978, "Argentina", "Netherlands", "Brazil", "Italy"),
+    (1982, "Italy", "West Germany", "Poland", "France"),
+    (1986, "Argentina", "West Germany", "France", "Belgium"),
+    (1990, "West Germany", "Argentina", "Italy", "England"),
+    (1994, "Brazil", "Italy", "Sweden", "Bulgaria"),
+    (1998, "France", "Brazil", "Croatia", "Netherlands"),
+    (2002, "Brazil", "Germany", "Turkey", "South Korea"),
+    (2006, "Italy", "France", "Germany", "Portugal"),
+    (2010, "Spain", "Netherlands", "Germany", "Uruguay"),
+    (2014, "Germany", "Argentina", "Netherlands", "Brazil"),
+    (2018, "France", "Croatia", "Belgium", "England"),
+    (2022, "Argentina", "France", "Croatia", "Morocco"),
+];
+
+/// Whether a (possibly historical) nation can appear at a given cup.
+fn active_in(team: &str, year: i64) -> bool {
+    match team {
+        "West Germany" | "East Germany" => (1954..=1990).contains(&year),
+        "Germany" => !(1954..=1990).contains(&year),
+        "Soviet Union" => year <= 1990,
+        "Russia" => year >= 1994,
+        "Yugoslavia" => year <= 1998,
+        "Serbia and Montenegro" => year == 2006,
+        "Serbia" => year >= 2010,
+        "Czechoslovakia" => year <= 1990,
+        "Czech Republic" | "Slovakia" => year >= 1994,
+        "Croatia" | "Slovenia" => year >= 1994,
+        "Bosnia and Herzegovina" | "North Macedonia" => year >= 1998,
+        "Ukraine" => year >= 1994,
+        "Zaire" => year <= 1997,
+        _ => true,
+    }
+}
+
+/// Squad size per tournament.
+const SQUAD_SIZE: usize = 23;
+/// Probability a squad member returns for the team's next tournament
+/// (tuned so unique players land near the paper's 8,891).
+const CARRY_OVER: f64 = 0.25;
+
+/// Generates the complete domain from a seed.
+pub fn generate(seed: u64) -> Domain {
+    let root = Rng::new(seed);
+    let mut d = Domain::default();
+
+    gen_teams(&mut d, &mut root.fork("teams"));
+    gen_leagues_and_clubs(&mut d, &mut root.fork("clubs"));
+    gen_world_cups(&mut d, &mut root.fork("cups"));
+    gen_stadiums(&mut d, &mut root.fork("stadiums"));
+    gen_players_and_squads(&mut d, &mut root.fork("players"));
+    gen_matches(&mut d, &mut root.fork("matches"));
+    gen_appearances_and_events(&mut d, &mut root.fork("events"));
+    gen_coaches(&mut d, &mut root.fork("coaches"));
+    gen_club_spells(&mut d, &mut root.fork("spells"));
+    finalize_stats(&mut d);
+    d
+}
+
+fn team_code(name: &str) -> String {
+    let letters: String = name
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .collect::<String>()
+        .to_ascii_uppercase();
+    letters.chars().take(3).collect()
+}
+
+fn gen_teams(d: &mut Domain, rng: &mut Rng) {
+    for (i, (name, confed)) in NATIONAL_TEAMS.iter().enumerate() {
+        d.teams.push(NationalTeam {
+            team_id: (i + 1) as i64,
+            teamname: name.to_string(),
+            team_code: team_code(name),
+            confederation: confed.to_string(),
+            founded_year: rng.range_i64(1863, 1930),
+            fifa_ranking: 0, // assigned in finalize_stats
+            first_appearance_year: 0,
+            nickname: format!("The {}", name.split_whitespace().next_back().unwrap()),
+        });
+    }
+}
+
+fn gen_leagues_and_clubs(d: &mut Domain, rng: &mut Rng) {
+    // 89 leagues: two divisions for ~45 football countries.
+    let countries: Vec<String> = d.teams.iter().map(|t| t.teamname.clone()).collect();
+    let mut league_id = 0;
+    'outer: for division in 1..=2i64 {
+        for country in countries.iter().take(45) {
+            league_id += 1;
+            if league_id > 89 {
+                break 'outer;
+            }
+            let confed = d
+                .teams
+                .iter()
+                .find(|t| &t.teamname == country)
+                .map(|t| t.confederation.clone())
+                .unwrap_or_default();
+            d.leagues.push(League {
+                league_id,
+                name: names::league_name(country, division),
+                country: country.clone(),
+                division,
+                founded_year: rng.range_i64(1880, 1995),
+                confederation: confed,
+            });
+        }
+    }
+
+    // 1,874 clubs spread over the leagues.
+    let total_clubs = 1874usize;
+    for i in 0..total_clubs {
+        let league = &d.leagues[i % d.leagues.len()];
+        let city = names::city_name(rng);
+        d.clubs.push(Club {
+            club_id: (i + 1) as i64,
+            name: names::club_name(rng, &city, i),
+            country: league.country.clone(),
+            city,
+            league_id: league.league_id,
+            founded_year: rng.range_i64(1870, 2000),
+            stadium_name: names::stadium_name(rng, "Home"),
+        });
+    }
+}
+
+fn gen_world_cups(d: &mut Domain, rng: &mut Rng) {
+    for (i, (year, host, num_teams, matches)) in WORLD_CUPS.iter().enumerate() {
+        let (_, w, r, t, f) = STANDINGS[i];
+        let ids = |name: &str| -> i64 {
+            d.team_by_name(name)
+                .unwrap_or_else(|| panic!("unknown team {name}"))
+                .team_id
+        };
+        let mut participants = vec![ids(w), ids(r), ids(t), ids(f)];
+        let host_id = ids(host);
+        if !participants.contains(&host_id) {
+            participants.push(host_id);
+        }
+        // Brazil is the only nation to have played every World Cup.
+        let brazil = ids("Brazil");
+        if !participants.contains(&brazil) {
+            participants.push(brazil);
+        }
+        // Fill remaining slots with era-consistent teams, weighted toward
+        // football powers (lower team_id lists contain a spread already;
+        // use frequency weights by confederation prominence).
+        let mut candidates: Vec<i64> = d
+            .teams
+            .iter()
+            .filter(|tm| active_in(&tm.teamname, *year) && !participants.contains(&tm.team_id))
+            .map(|tm| tm.team_id)
+            .collect();
+        while participants.len() < *num_teams as usize && !candidates.is_empty() {
+            let idx = rng.index(candidates.len());
+            participants.push(candidates.swap_remove(idx));
+        }
+        let month_start = format!("{year}-06-01");
+        let month_end = format!("{year}-07-15");
+        d.world_cups.push(WorldCup {
+            world_cup_id: (i + 1) as i64,
+            year: *year,
+            host_country: host.to_string(),
+            start_date: month_start,
+            end_date: month_end,
+            num_teams: *num_teams,
+            total_attendance: 0, // filled after matches
+            matches_played: *matches,
+            goals_scored: 0,
+            winner: ids(w),
+            runner_up: ids(r),
+            third: ids(t),
+            fourth: ids(f),
+            participants,
+        });
+    }
+}
+
+fn gen_stadiums(d: &mut Domain, rng: &mut Rng) {
+    // 8–12 venues per cup, hosted in the host country.
+    let mut id = 0;
+    let cups = d.world_cups.clone();
+    for cup in &cups {
+        let venues = rng.range_i64(8, 12);
+        for _ in 0..venues {
+            id += 1;
+            let city = names::city_name(rng);
+            d.stadiums.push(Stadium {
+                stadium_id: id,
+                name: names::stadium_name(rng, &city),
+                city,
+                country: cup.host_country.clone(),
+                capacity: rng.range_i64(20, 110) * 1000,
+                opened_year: (cup.year - rng.range_i64(1, 40)).max(1900),
+            });
+        }
+    }
+}
+
+fn gen_players_and_squads(d: &mut Domain, rng: &mut Rng) {
+    let mut player_id = 0i64;
+    let mut squad_id = 0i64;
+    // Per-team pool of current players (ids).
+    let mut pools: Vec<Vec<i64>> = vec![Vec::new(); d.teams.len() + 1];
+
+    let cups = d.world_cups.clone();
+    for cup in &cups {
+        for &team_id in &cup.participants {
+            let pool = &mut pools[team_id as usize];
+            // Carry over a fraction of the previous squad.
+            let mut squad: Vec<i64> = pool
+                .iter()
+                .copied()
+                .filter(|_| rng.chance(CARRY_OVER))
+                .collect();
+            squad.truncate(SQUAD_SIZE);
+            // Top up with new players.
+            while squad.len() < SQUAD_SIZE {
+                player_id += 1;
+                let team = &d.teams[(team_id - 1) as usize];
+                let full_name = names::person_name(rng);
+                let nickname = names::nickname(rng, &full_name);
+                let birth_year = cup.year - rng.range_i64(19, 33);
+                let club = pick_club(d, rng, &team.teamname);
+                d.players.push(Player {
+                    player_id,
+                    full_name,
+                    nickname,
+                    date_of_birth: format!(
+                        "{birth_year}-{:02}-{:02}",
+                        rng.range_i64(1, 12),
+                        rng.range_i64(1, 28)
+                    ),
+                    country: team.teamname.clone(),
+                    position: names::position(rng).to_string(),
+                    height_cm: rng.range_i64(165, 200),
+                    preferred_foot: if rng.chance(0.25) { "left" } else { "right" }.to_string(),
+                    caps: 0, // filled in finalize_stats
+                    club_id: club,
+                });
+                squad.push(player_id);
+            }
+            *pool = squad.clone();
+            for (slot, pid) in squad.iter().enumerate() {
+                squad_id += 1;
+                let position = d.players[(*pid - 1) as usize].position.clone();
+                d.squads.push(SquadMember {
+                    squad_id,
+                    world_cup_id: cup.world_cup_id,
+                    team_id,
+                    player_id: *pid,
+                    shirt_number: (slot + 1) as i64,
+                    role: position,
+                });
+            }
+        }
+    }
+}
+
+fn pick_club(d: &Domain, rng: &mut Rng, country: &str) -> i64 {
+    // 70% of players play domestically when their country has a league.
+    if rng.chance(0.7) {
+        let domestic: Vec<i64> = d
+            .clubs
+            .iter()
+            .filter(|c| c.country == country)
+            .map(|c| c.club_id)
+            .collect();
+        if !domestic.is_empty() {
+            return domestic[rng.index(domestic.len())];
+        }
+    }
+    d.clubs[rng.index(d.clubs.len())].club_id
+}
+
+/// Weighted goal-count distribution per side per match.
+fn side_goals(rng: &mut Rng) -> i64 {
+    const W: [f64; 8] = [0.22, 0.31, 0.23, 0.13, 0.07, 0.03, 0.008, 0.002];
+    rng.choose_weighted(&W) as i64
+}
+
+fn gen_matches(d: &mut Domain, rng: &mut Rng) {
+    let mut match_id = 0i64;
+    let cups = d.world_cups.clone();
+    for cup in &cups {
+        let venues: Vec<i64> = d
+            .stadiums
+            .iter()
+            .filter(|s| s.country == cup.host_country && (s.opened_year <= cup.year))
+            .map(|s| s.stadium_id)
+            .collect();
+        let venue = |rng: &mut Rng| venues[rng.index(venues.len())];
+
+        let total = cup.matches_played;
+        // Reserve the four fixed knockout results:
+        //   semi 1: winner vs fourth, semi 2: runner-up vs third,
+        //   third-place play-off, final.
+        let group_matches = total - 4;
+        let mut day = 0i64;
+        let date = |day: &mut i64, rng: &mut Rng| {
+            *day += rng.range_i64(0, 1);
+            let day_in_month = 1 + (*day % 30);
+            let month = if *day / 30 == 0 { 6 } else { 7 };
+            format!("{}-{:02}-{:02}", cup.year, month, day_in_month)
+        };
+
+        for _ in 0..group_matches {
+            match_id += 1;
+            let hi = rng.index(cup.participants.len());
+            let mut ai = rng.index(cup.participants.len());
+            while ai == hi {
+                ai = rng.index(cup.participants.len());
+            }
+            let (hg, ag) = (side_goals(rng), side_goals(rng));
+            let md = date(&mut day, rng);
+            d.matches.push(make_match(
+                match_id,
+                cup,
+                venue(rng),
+                cup.participants[hi],
+                cup.participants[ai],
+                md,
+                "Group Stage",
+                hg,
+                ag,
+                false,
+                rng,
+            ));
+        }
+        // Semi-finals (the winner and runner-up must advance).
+        for (home, away) in [(cup.winner, cup.fourth), (cup.runner_up, cup.third)] {
+            match_id += 1;
+            let (hg, ag) = decisive_score(rng);
+            let md = date(&mut day, rng);
+            d.matches.push(make_match(
+                match_id, cup, venue(rng), home, away, md, "Semi-final", hg, ag, true, rng,
+            ));
+        }
+        // Third-place play-off: third beats fourth.
+        match_id += 1;
+        let (hg, ag) = decisive_score(rng);
+        let md = date(&mut day, rng);
+        d.matches.push(make_match(
+            match_id,
+            cup,
+            venue(rng),
+            cup.third,
+            cup.fourth,
+            md,
+            "Third-place play-off",
+            hg,
+            ag,
+            true,
+            rng,
+        ));
+        // Final: winner beats runner-up.
+        match_id += 1;
+        let (hg, ag) = decisive_score(rng);
+        let md = format!("{}-07-15", cup.year);
+        d.matches.push(make_match(
+            match_id, cup, venue(rng), cup.winner, cup.runner_up, md, "Final", hg, ag, true, rng,
+        ));
+    }
+}
+
+/// A score where the home side wins (possibly via penalties).
+fn decisive_score(rng: &mut Rng) -> (i64, i64) {
+    let ag = side_goals(rng).min(3);
+    let hg = ag + rng.range_i64(0, 2);
+    (hg, ag)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_match(
+    match_id: i64,
+    cup: &WorldCup,
+    stadium_id: i64,
+    home: i64,
+    away: i64,
+    match_date: String,
+    round: &str,
+    hg: i64,
+    ag: i64,
+    home_must_win: bool,
+    rng: &mut Rng,
+) -> Match {
+    // In knockout rounds a drawn match goes to penalties.
+    let knockout = round != "Group Stage";
+    let (mut hp, mut ap) = (0, 0);
+    if knockout && hg == ag {
+        hp = rng.range_i64(3, 5);
+        ap = if home_must_win {
+            hp - rng.range_i64(1, 2)
+        } else if rng.chance(0.5) {
+            hp + 1
+        } else {
+            hp - 1
+        };
+        ap = ap.max(0);
+    }
+    Match {
+        match_id,
+        world_cup_id: cup.world_cup_id,
+        stadium_id,
+        home_team_id: home,
+        away_team_id: away,
+        match_date,
+        round: round.to_string(),
+        home_goals: hg,
+        away_goals: ag,
+        attendance: rng.range_i64(18, 95) * 1000,
+        referee: format!("Referee {}", rng.range_i64(1, 400)),
+        half_time_home_goals: (hg / 2).min(hg),
+        half_time_away_goals: (ag / 2).min(ag),
+        home_penalty_goals: hp,
+        away_penalty_goals: ap,
+    }
+}
+
+fn gen_appearances_and_events(d: &mut Domain, rng: &mut Rng) {
+    // Index squads by (cup, team) for lineup selection.
+    use std::collections::HashMap;
+    let mut squad_index: HashMap<(i64, i64), Vec<i64>> = HashMap::new();
+    for s in &d.squads {
+        squad_index
+            .entry((s.world_cup_id, s.team_id))
+            .or_default()
+            .push(s.player_id);
+    }
+
+    let mut appearance_id = 0i64;
+    let mut goal_id = 0i64;
+    let mut card_id = 0i64;
+    let matches = d.matches.clone();
+    for m in &matches {
+        let mut scorers: Vec<(i64, Vec<i64>)> = Vec::with_capacity(2);
+        for (team_id, goals) in [(m.home_team_id, m.home_goals), (m.away_team_id, m.away_goals)]
+        {
+            let squad = squad_index
+                .get(&(m.world_cup_id, team_id))
+                .cloned()
+                .unwrap_or_default();
+            let mut on_pitch = Vec::with_capacity(squad.len());
+            for (slot, pid) in squad.iter().enumerate() {
+                appearance_id += 1;
+                let started = slot < 11;
+                d.appearances.push(Appearance {
+                    appearance_id,
+                    match_id: m.match_id,
+                    player_id: *pid,
+                    team_id,
+                    started,
+                    minutes_played: if started {
+                        rng.range_i64(60, 90)
+                    } else if rng.chance(0.3) {
+                        rng.range_i64(5, 40)
+                    } else {
+                        0
+                    },
+                });
+                if started {
+                    on_pitch.push(*pid);
+                }
+            }
+            scorers.push((team_id, on_pitch.clone()));
+            // Goals for this side.
+            for _ in 0..goals {
+                goal_id += 1;
+                let pid = if on_pitch.is_empty() {
+                    0
+                } else {
+                    on_pitch[rng.index(on_pitch.len())]
+                };
+                d.goals.push(Goal {
+                    goal_id,
+                    match_id: m.match_id,
+                    player_id: pid,
+                    team_id,
+                    minute: rng.range_i64(1, 90),
+                    own_goal: rng.chance(0.02),
+                    penalty: rng.chance(0.08),
+                });
+            }
+        }
+        // Cards: Poisson-ish count with mean ≈ 3.5.
+        const CARD_W: [f64; 9] = [0.03, 0.09, 0.16, 0.20, 0.19, 0.14, 0.10, 0.06, 0.03];
+        let n_cards = rng.choose_weighted(&CARD_W);
+        for _ in 0..n_cards {
+            let (_, pitch) = &scorers[rng.index(scorers.len())];
+            if pitch.is_empty() {
+                continue;
+            }
+            card_id += 1;
+            let ty = if rng.chance(0.9) { "yellow" } else { "red" };
+            d.cards.push(Card {
+                card_id,
+                match_id: m.match_id,
+                player_id: pitch[rng.index(pitch.len())],
+                minute: rng.range_i64(1, 90),
+                card_type: ty.to_string(),
+            });
+        }
+    }
+}
+
+fn gen_coaches(d: &mut Domain, rng: &mut Rng) {
+    for i in 0..1966i64 {
+        let team = &d.teams[(i as usize) % d.teams.len()];
+        d.coaches.push(Coach {
+            coach_id: i + 1,
+            name: names::person_name(rng),
+            country: team.teamname.clone(),
+            date_of_birth: format!(
+                "{}-{:02}-{:02}",
+                rng.range_i64(1930, 1980),
+                rng.range_i64(1, 12),
+                rng.range_i64(1, 28)
+            ),
+            team_id: team.team_id,
+        });
+    }
+}
+
+fn gen_club_spells(d: &mut Domain, rng: &mut Rng) {
+    let mut spell_id = 0i64;
+    let players: Vec<(i64, i64, String)> = d
+        .players
+        .iter()
+        .map(|p| (p.player_id, p.club_id, p.date_of_birth.clone()))
+        .collect();
+    for (pid, current_club, dob) in players {
+        let birth_year: i64 = dob[..4].parse().unwrap_or(1970);
+        let mut year = birth_year + 17;
+        let n_spells = rng.range_i64(2, 4);
+        for s in 0..n_spells {
+            spell_id += 1;
+            let dur = rng.range_i64(1, 6);
+            let club = if s == n_spells - 1 {
+                current_club
+            } else {
+                d.clubs[rng.index(d.clubs.len())].club_id
+            };
+            d.club_spells.push(ClubSpell {
+                spell_id,
+                player_id: pid,
+                club_id: club,
+                from_year: year,
+                to_year: year + dur,
+                appearances: dur * rng.range_i64(10, 40),
+            });
+            year += dur;
+        }
+    }
+}
+
+fn finalize_stats(d: &mut Domain) {
+    // Caps = appearances actually played.
+    let mut caps = vec![0i64; d.players.len() + 1];
+    for a in &d.appearances {
+        if a.minutes_played > 0 {
+            caps[a.player_id as usize] += 1;
+        }
+    }
+    for p in &mut d.players {
+        p.caps = caps[p.player_id as usize];
+    }
+    // First appearance year per team.
+    let mut first = vec![i64::MAX; d.teams.len() + 1];
+    for cup in &d.world_cups {
+        for &tid in &cup.participants {
+            first[tid as usize] = first[tid as usize].min(cup.year);
+        }
+    }
+    for t in &mut d.teams {
+        let f = first[t.team_id as usize];
+        t.first_appearance_year = if f == i64::MAX { 0 } else { f };
+    }
+    // FIFA ranking: teams ordered by number of participations, ties by id.
+    let mut participation = vec![0usize; d.teams.len() + 1];
+    for cup in &d.world_cups {
+        for &tid in &cup.participants {
+            participation[tid as usize] += 1;
+        }
+    }
+    let mut order: Vec<i64> = d.teams.iter().map(|t| t.team_id).collect();
+    order.sort_by_key(|id| {
+        (
+            std::cmp::Reverse(participation[*id as usize]),
+            *id,
+        )
+    });
+    for (rank, id) in order.iter().enumerate() {
+        d.teams[(*id - 1) as usize].fifa_ranking = (rank + 1) as i64;
+    }
+    // Per-cup totals.
+    for cup in &mut d.world_cups {
+        let cup_matches: Vec<&Match> = d
+            .matches
+            .iter()
+            .filter(|m| m.world_cup_id == cup.world_cup_id)
+            .collect();
+        cup.total_attendance = cup_matches.iter().map(|m| m.attendance).sum();
+        cup.goals_scored = cup_matches.iter().map(|m| m.home_goals + m.away_goals).sum();
+        cup.matches_played = cup_matches.len() as i64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> Domain {
+        generate(7)
+    }
+
+    #[test]
+    fn determinism() {
+        let a = generate(42);
+        let b = generate(42);
+        assert_eq!(a.players.len(), b.players.len());
+        assert_eq!(a.matches.len(), b.matches.len());
+        assert_eq!(a.players[100].full_name, b.players[100].full_name);
+        assert_eq!(a.matches[500].home_goals, b.matches[500].home_goals);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(1);
+        let b = generate(2);
+        let diff = a
+            .players
+            .iter()
+            .zip(&b.players)
+            .filter(|(x, y)| x.full_name != y.full_name)
+            .count();
+        assert!(diff > 100);
+    }
+
+    #[test]
+    fn headline_volumes_match_paper() {
+        let d = domain();
+        assert_eq!(d.teams.len(), 86);
+        assert_eq!(d.world_cups.len(), 22);
+        assert_eq!(d.clubs.len(), 1874);
+        assert_eq!(d.leagues.len(), 89);
+        assert_eq!(d.coaches.len(), 1966);
+        // ~8,891 players in the paper; the carry-over process lands close.
+        assert!(
+            (8000..10000).contains(&d.players.len()),
+            "players = {}",
+            d.players.len()
+        );
+        // 964 real matches across 22 cups.
+        assert_eq!(d.matches.len(), 964);
+    }
+
+    #[test]
+    fn total_rows_near_paper_table2() {
+        let d = domain();
+        let n = d.entity_count();
+        assert!(
+            (90_000..120_000).contains(&n),
+            "total entities = {n}, expected ≈104K"
+        );
+    }
+
+    #[test]
+    fn standings_are_historical() {
+        let d = domain();
+        let wc2014 = d.cup_by_year(2014).unwrap();
+        assert_eq!(d.team(wc2014.winner).teamname, "Germany");
+        assert_eq!(d.team(wc2014.runner_up).teamname, "Argentina");
+        assert_eq!(d.team(wc2014.fourth).teamname, "Brazil");
+        let wc1966 = d.cup_by_year(1966).unwrap();
+        assert_eq!(d.team(wc1966.winner).teamname, "England");
+    }
+
+    #[test]
+    fn germany_brazil_2014_semi_exists() {
+        // The paper's running example question must be answerable.
+        let d = domain();
+        let cup = d.cup_by_year(2014).unwrap();
+        let semi = d.matches.iter().find(|m| {
+            m.world_cup_id == cup.world_cup_id
+                && m.round == "Semi-final"
+                && d.team(m.home_team_id).teamname == "Germany"
+                && d.team(m.away_team_id).teamname == "Brazil"
+        });
+        let semi = semi.expect("Germany vs Brazil 2014 semi-final missing");
+        assert!(semi.home_goals > semi.away_goals || semi.home_penalty_goals > semi.away_penalty_goals);
+    }
+
+    #[test]
+    fn finals_won_by_recorded_winner() {
+        let d = domain();
+        for cup in &d.world_cups {
+            let final_match = d
+                .matches
+                .iter()
+                .find(|m| m.world_cup_id == cup.world_cup_id && m.round == "Final")
+                .unwrap();
+            assert_eq!(final_match.home_team_id, cup.winner);
+            assert_eq!(final_match.away_team_id, cup.runner_up);
+            assert_eq!(final_match.home_result(), "W", "cup {} final", cup.year);
+        }
+    }
+
+    #[test]
+    fn participants_are_era_consistent() {
+        let d = domain();
+        for cup in &d.world_cups {
+            assert_eq!(cup.participants.len(), cup.num_teams as usize);
+            for &tid in &cup.participants {
+                let name = &d.team(tid).teamname;
+                assert!(
+                    active_in(name, cup.year),
+                    "{name} cannot play in {}",
+                    cup.year
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn goals_match_scorelines() {
+        let d = domain();
+        use std::collections::HashMap;
+        let mut by_match: HashMap<(i64, i64), i64> = HashMap::new();
+        for g in &d.goals {
+            *by_match.entry((g.match_id, g.team_id)).or_default() += 1;
+        }
+        for m in d.matches.iter().take(200) {
+            let hg = by_match.get(&(m.match_id, m.home_team_id)).copied().unwrap_or(0);
+            let ag = by_match.get(&(m.match_id, m.away_team_id)).copied().unwrap_or(0);
+            assert_eq!(hg, m.home_goals, "home goals of match {}", m.match_id);
+            assert_eq!(ag, m.away_goals, "away goals of match {}", m.match_id);
+        }
+    }
+
+    #[test]
+    fn squads_have_fixed_size_and_valid_players() {
+        let d = domain();
+        use std::collections::HashMap;
+        let mut per: HashMap<(i64, i64), usize> = HashMap::new();
+        for s in &d.squads {
+            assert!(s.player_id >= 1 && s.player_id <= d.players.len() as i64);
+            *per.entry((s.world_cup_id, s.team_id)).or_default() += 1;
+        }
+        assert!(per.values().all(|n| *n == SQUAD_SIZE));
+        // 489 team-tournament entries in total.
+        assert_eq!(per.len(), 489);
+    }
+
+    #[test]
+    fn knockouts_are_decisive() {
+        let d = domain();
+        for m in d.matches.iter().filter(|m| m.round != "Group Stage") {
+            assert_ne!(m.home_result(), "D", "knockout match {} drawn", m.match_id);
+        }
+    }
+
+    #[test]
+    fn first_appearance_years_are_set() {
+        let d = domain();
+        let brazil = d.team_by_name("Brazil").unwrap();
+        assert_eq!(brazil.first_appearance_year, 1930);
+    }
+
+    #[test]
+    fn club_spells_end_at_current_club() {
+        let d = domain();
+        use std::collections::HashMap;
+        let mut last: HashMap<i64, (i64, i64)> = HashMap::new();
+        for s in &d.club_spells {
+            let e = last.entry(s.player_id).or_insert((s.from_year, s.club_id));
+            if s.from_year >= e.0 {
+                *e = (s.from_year, s.club_id);
+            }
+        }
+        for p in d.players.iter().take(300) {
+            assert_eq!(last[&p.player_id].1, p.club_id, "player {}", p.player_id);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! `footballdb` — the FootballDB dataset substrate.
+//!
+//! Synthesizes the paper's FIFA World Cup dataset (22 cups, 86 national
+//! teams, ~8.9K players, 1,874 clubs, 89 leagues, 1,966 coaches) from a
+//! deterministic seed and materializes it under the three benchmark data
+//! models (v1/v2/v3) as `sqlengine` databases.
+//!
+//! Real-world facts that gold answers depend on — hosts, participant
+//! counts, and the final standings of all 22 World Cups — are fixed from
+//! public history, so questions like *"Who won the world cup in 2014?"*
+//! have their true answers. Everything else (players, clubs, scores of
+//! non-deciding matches) is seeded-random.
+//!
+//! # Example
+//!
+//! ```
+//! use footballdb::{generate, load, DataModel};
+//! use sqlengine::execute_sql;
+//!
+//! let domain = generate(7);
+//! let v1 = load(&domain, DataModel::V1);
+//! let rs = execute_sql(
+//!     &v1,
+//!     "SELECT T2.teamname FROM world_cup AS T1 \
+//!      JOIN national_team AS T2 ON T1.winner = T2.team_id \
+//!      WHERE T1.year = 2014",
+//! )
+//! .unwrap();
+//! assert_eq!(rs.rows[0][0], sqlengine::Value::text("Germany"));
+//! ```
+
+pub mod csv;
+pub mod gen;
+pub mod load;
+pub mod model;
+pub mod names;
+pub mod schema;
+pub mod stats;
+
+pub use gen::generate;
+pub use load::{load, load_all};
+pub use model::Domain;
+pub use schema::DataModel;
+pub use stats::{dataset_stats, DatasetStats};
+
+/// The default dataset seed used throughout the reproduction.
+pub const DEFAULT_SEED: u64 = 7;

@@ -1,0 +1,298 @@
+//! Name pools for synthetic FootballDB content.
+//!
+//! National-team names are the real set of World Cup participants
+//! (including former nations such as the Soviet Union, matching the
+//! paper's 86 teams). Person, club, stadium, and league names are
+//! synthesized deterministically from regional part pools.
+
+use xrng::Rng;
+
+/// The 86 national teams (current and former) that have appeared at a
+/// World Cup, as the paper's dataset covers.
+pub const NATIONAL_TEAMS: [(&str, &str); 86] = [
+    ("Argentina", "CONMEBOL"),
+    ("Australia", "AFC"),
+    ("Austria", "UEFA"),
+    ("Algeria", "CAF"),
+    ("Angola", "CAF"),
+    ("Belgium", "UEFA"),
+    ("Bolivia", "CONMEBOL"),
+    ("Bosnia and Herzegovina", "UEFA"),
+    ("Brazil", "CONMEBOL"),
+    ("Bulgaria", "UEFA"),
+    ("Cameroon", "CAF"),
+    ("Canada", "CONCACAF"),
+    ("Chile", "CONMEBOL"),
+    ("China", "AFC"),
+    ("Colombia", "CONMEBOL"),
+    ("Costa Rica", "CONCACAF"),
+    ("Croatia", "UEFA"),
+    ("Cuba", "CONCACAF"),
+    ("Czech Republic", "UEFA"),
+    ("Czechoslovakia", "UEFA"),
+    ("Denmark", "UEFA"),
+    ("East Germany", "UEFA"),
+    ("Ecuador", "CONMEBOL"),
+    ("Egypt", "CAF"),
+    ("El Salvador", "CONCACAF"),
+    ("England", "UEFA"),
+    ("France", "UEFA"),
+    ("Germany", "UEFA"),
+    ("Ghana", "CAF"),
+    ("Greece", "UEFA"),
+    ("Haiti", "CONCACAF"),
+    ("Honduras", "CONCACAF"),
+    ("Hungary", "UEFA"),
+    ("Iceland", "UEFA"),
+    ("Iran", "AFC"),
+    ("Iraq", "AFC"),
+    ("Israel", "UEFA"),
+    ("Italy", "UEFA"),
+    ("Ivory Coast", "CAF"),
+    ("Jamaica", "CONCACAF"),
+    ("Japan", "AFC"),
+    ("Kuwait", "AFC"),
+    ("Mexico", "CONCACAF"),
+    ("Morocco", "CAF"),
+    ("Netherlands", "UEFA"),
+    ("New Zealand", "OFC"),
+    ("Nigeria", "CAF"),
+    ("North Korea", "AFC"),
+    ("North Macedonia", "UEFA"),
+    ("Northern Ireland", "UEFA"),
+    ("Norway", "UEFA"),
+    ("Panama", "CONCACAF"),
+    ("Paraguay", "CONMEBOL"),
+    ("Peru", "CONMEBOL"),
+    ("Poland", "UEFA"),
+    ("Portugal", "UEFA"),
+    ("Qatar", "AFC"),
+    ("Republic of Ireland", "UEFA"),
+    ("Romania", "UEFA"),
+    ("Russia", "UEFA"),
+    ("Saudi Arabia", "AFC"),
+    ("Scotland", "UEFA"),
+    ("Senegal", "CAF"),
+    ("Serbia", "UEFA"),
+    ("Serbia and Montenegro", "UEFA"),
+    ("Slovakia", "UEFA"),
+    ("Slovenia", "UEFA"),
+    ("South Africa", "CAF"),
+    ("South Korea", "AFC"),
+    ("Soviet Union", "UEFA"),
+    ("Spain", "UEFA"),
+    ("Sweden", "UEFA"),
+    ("Switzerland", "UEFA"),
+    ("Togo", "CAF"),
+    ("Trinidad and Tobago", "CONCACAF"),
+    ("Tunisia", "CAF"),
+    ("Turkey", "UEFA"),
+    ("Ukraine", "UEFA"),
+    ("United Arab Emirates", "AFC"),
+    ("United States", "CONCACAF"),
+    ("Uruguay", "CONMEBOL"),
+    ("Venezuela", "CONMEBOL"),
+    ("Wales", "UEFA"),
+    ("West Germany", "UEFA"),
+    ("Yugoslavia", "UEFA"),
+    ("Zaire", "CAF"),
+];
+
+/// (year, host, participating teams, matches) for the 22 World Cups.
+pub const WORLD_CUPS: [(i64, &str, i64, i64); 22] = [
+    (1930, "Uruguay", 13, 18),
+    (1934, "Italy", 16, 17),
+    (1938, "France", 15, 18),
+    (1950, "Brazil", 13, 22),
+    (1954, "Switzerland", 16, 26),
+    (1958, "Sweden", 16, 35),
+    (1962, "Chile", 16, 32),
+    (1966, "England", 16, 32),
+    (1970, "Mexico", 16, 32),
+    (1974, "West Germany", 16, 38),
+    (1978, "Argentina", 16, 38),
+    (1982, "Spain", 24, 52),
+    (1986, "Mexico", 24, 52),
+    (1990, "Italy", 24, 52),
+    (1994, "United States", 24, 52),
+    (1998, "France", 32, 64),
+    (2002, "South Korea", 32, 64),
+    (2006, "Germany", 32, 64),
+    (2010, "South Africa", 32, 64),
+    (2014, "Brazil", 32, 64),
+    (2018, "Russia", 32, 64),
+    (2022, "Qatar", 32, 64),
+];
+
+const FIRST_NAMES: [&str; 48] = [
+    "Carlos", "Diego", "Luis", "Miguel", "Javier", "Sergio", "Pablo", "Andres",
+    "Hans", "Karl", "Jurgen", "Thomas", "Stefan", "Lukas", "Manuel", "Felix",
+    "John", "James", "Harry", "Gary", "Steven", "Paul", "David", "Michael",
+    "Pierre", "Jean", "Antoine", "Michel", "Olivier", "Didier", "Hugo", "Louis",
+    "Hiroshi", "Kenji", "Takashi", "Shinji", "Ahmed", "Mohamed", "Youssef", "Karim",
+    "Ivan", "Dmitri", "Sergei", "Andrei", "Marco", "Paolo", "Luca", "Giovanni",
+];
+
+const LAST_NAMES: [&str; 48] = [
+    "Silva", "Santos", "Fernandez", "Gonzalez", "Rodriguez", "Martinez", "Lopez", "Perez",
+    "Muller", "Schmidt", "Schneider", "Fischer", "Weber", "Wagner", "Becker", "Hoffmann",
+    "Smith", "Jones", "Taylor", "Brown", "Wilson", "Evans", "Thomas", "Roberts",
+    "Dubois", "Bernard", "Moreau", "Laurent", "Girard", "Rousseau", "Lefevre", "Mercier",
+    "Tanaka", "Suzuki", "Takahashi", "Watanabe", "Hassan", "Ali", "Ibrahim", "Salah",
+    "Petrov", "Ivanov", "Volkov", "Smirnov", "Rossi", "Bianchi", "Ferrari", "Romano",
+];
+
+const NICKNAME_PREFIXES: [&str; 12] = [
+    "El", "O", "Der", "Le", "Big", "Little", "King", "Don", "Sir", "Magic", "Flying", "Golden",
+];
+
+const CITY_NAMES: [&str; 40] = [
+    "Riverton", "Lakefield", "Northport", "Eastvale", "Westbrook", "Southgate",
+    "Hillcrest", "Stonebridge", "Oakdale", "Maplewood", "Clearwater", "Fairview",
+    "Greenfield", "Harborview", "Ironside", "Kingsmere", "Larkspur", "Meadowvale",
+    "Newhaven", "Oldtown", "Pinehurst", "Quarrybank", "Redcliff", "Silverlake",
+    "Thornfield", "Umberton", "Valleyford", "Whitewater", "Ashgrove", "Birchwood",
+    "Cedarholm", "Dunmore", "Elmsworth", "Foxglove", "Glenrock", "Hawthorne",
+    "Inverpool", "Juniper", "Kestrel", "Lynwood",
+];
+
+const CLUB_SUFFIXES: [&str; 10] = [
+    "FC", "United", "City", "Athletic", "Rovers", "Wanderers", "Sporting", "Real",
+    "Dynamo", "Olympic",
+];
+
+const STADIUM_SUFFIXES: [&str; 8] = [
+    "Stadium", "Arena", "Park", "Ground", "Dome", "Field", "Coliseum", "Bowl",
+];
+
+/// Player positions with realistic squad weights.
+pub const POSITIONS: [(&str, f64); 4] = [
+    ("Goalkeeper", 3.0),
+    ("Defender", 8.0),
+    ("Midfielder", 8.0),
+    ("Forward", 4.0),
+];
+
+/// Generates a full person name.
+pub fn person_name(rng: &mut Rng) -> String {
+    format!("{} {}", rng.choose(&FIRST_NAMES), rng.choose(&LAST_NAMES))
+}
+
+/// Generates a nickname, often derived from the last name.
+pub fn nickname(rng: &mut Rng, full_name: &str) -> String {
+    let last = full_name.split_whitespace().last().unwrap_or(full_name);
+    if rng.chance(0.5) {
+        format!("{} {}", rng.choose(&NICKNAME_PREFIXES), last)
+    } else {
+        last.to_string()
+    }
+}
+
+/// Generates a city name (unique enough given the pool size × index).
+pub fn city_name(rng: &mut Rng) -> String {
+    let base = rng.choose(&CITY_NAMES);
+    if rng.chance(0.3) {
+        format!("New {base}")
+    } else {
+        base.to_string()
+    }
+}
+
+/// Generates a club name for a city.
+pub fn club_name(rng: &mut Rng, city: &str, index: usize) -> String {
+    let suffix = rng.choose(&CLUB_SUFFIXES);
+    if index.is_multiple_of(7) {
+        format!("{suffix} {city}")
+    } else {
+        format!("{city} {suffix}")
+    }
+}
+
+/// Generates a stadium name.
+pub fn stadium_name(rng: &mut Rng, city: &str) -> String {
+    format!("{city} {}", rng.choose(&STADIUM_SUFFIXES))
+}
+
+/// Generates a league name for a country and division.
+pub fn league_name(country: &str, division: i64) -> String {
+    match division {
+        1 => format!("{country} Premier League"),
+        2 => format!("{country} Championship"),
+        n => format!("{country} Division {n}"),
+    }
+}
+
+/// Picks a position according to the squad weights.
+pub fn position(rng: &mut Rng) -> &'static str {
+    let weights: Vec<f64> = POSITIONS.iter().map(|(_, w)| *w).collect();
+    POSITIONS[rng.choose_weighted(&weights)].0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn team_list_has_86_unique_names() {
+        let mut names: Vec<&str> = NATIONAL_TEAMS.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 86);
+    }
+
+    #[test]
+    fn world_cup_list_has_22_editions() {
+        assert_eq!(WORLD_CUPS.len(), 22);
+        assert_eq!(WORLD_CUPS[0].0, 1930);
+        assert_eq!(WORLD_CUPS[21].0, 2022);
+        // Hosts are real participating teams.
+        for (_, host, _, _) in WORLD_CUPS {
+            assert!(
+                NATIONAL_TEAMS.iter().any(|(n, _)| *n == host),
+                "host {host} not a known team"
+            );
+        }
+    }
+
+    #[test]
+    fn participant_counts_match_paper_narrative() {
+        assert_eq!(WORLD_CUPS[0].2, 13, "13 teams in the inaugural cup");
+        assert_eq!(WORLD_CUPS[21].2, 32, "32 teams in 2022");
+    }
+
+    #[test]
+    fn names_are_deterministic() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(1);
+        assert_eq!(person_name(&mut a), person_name(&mut b));
+    }
+
+    #[test]
+    fn generated_names_are_nonempty() {
+        let mut rng = Rng::new(5);
+        for i in 0..50 {
+            let n = person_name(&mut rng);
+            assert!(n.contains(' '));
+            let city = city_name(&mut rng);
+            assert!(!city.is_empty());
+            assert!(club_name(&mut rng, &city, i).contains(city.split(' ').next_back().unwrap()));
+            assert!(!stadium_name(&mut rng, &city).is_empty());
+        }
+    }
+
+    #[test]
+    fn league_names_follow_division() {
+        assert_eq!(league_name("Spain", 1), "Spain Premier League");
+        assert_eq!(league_name("Spain", 3), "Spain Division 3");
+    }
+
+    #[test]
+    fn positions_cover_all_roles() {
+        let mut rng = Rng::new(9);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(position(&mut rng));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}

@@ -1,0 +1,516 @@
+//! The three FootballDB data models.
+//!
+//! Reconstructed from Figures 3, 5, 6 and Table 2 of the paper:
+//!
+//! * **v1** — 13 tables, 97 columns, 14 FK constraints. `match` holds
+//!   `home_team_id`/`away_team_id` (two FK references to
+//!   `national_team`) and `world_cup` holds `winner`/`runner_up`/
+//!   `third`/`fourth` (four FK references) — the multi-FK edges that
+//!   break SemQL's join-path algorithm.
+//! * **v2** — 16 tables, 98 columns, 13 FKs. The 1:n relationships are
+//!   remodeled through bridge tables `plays_as_home`/`plays_as_away` and
+//!   `world_cup_result` (with a text `prize` column exhibiting the
+//!   lexical problem).
+//! * **v3** — 15 tables, 107 columns, 16 FKs. A single `plays_match`
+//!   bridge with `team_role` and denormalized `teamname` columns, and
+//!   `world_cup_result` with Boolean `winner`/`runner_up`/`third`/
+//!   `fourth` columns.
+//!
+//! A handful of joinable columns (e.g. `club.league_id`) intentionally
+//! carry no declared FK constraint, matching the constraint counts of the
+//! original database dumps.
+
+use sqlengine::{Catalog, DataType, TableSchema};
+
+/// Which data model a database instance follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataModel {
+    V1,
+    V2,
+    V3,
+}
+
+impl DataModel {
+    pub const ALL: [DataModel; 3] = [DataModel::V1, DataModel::V2, DataModel::V3];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            DataModel::V1 => "v1",
+            DataModel::V2 => "v2",
+            DataModel::V3 => "v3",
+        }
+    }
+
+    /// The schema catalog for this data model.
+    pub fn catalog(self) -> Catalog {
+        match self {
+            DataModel::V1 => catalog_v1(),
+            DataModel::V2 => catalog_v2(),
+            DataModel::V3 => catalog_v3(),
+        }
+    }
+}
+
+impl std::fmt::Display for DataModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+use DataType::{Bool, Date, Int, Text};
+
+// ---- shared tables -------------------------------------------------------
+
+fn t_national_team(with_nickname: bool) -> TableSchema {
+    let mut t = TableSchema::new("national_team")
+        .column("team_id", Int)
+        .column("teamname", Text)
+        .column("team_code", Text)
+        .column("confederation", Text)
+        .column("founded_year", Int)
+        .column("fifa_ranking", Int)
+        .column("first_appearance_year", Int)
+        .pk(&["team_id"]);
+    if with_nickname {
+        t = t.column("nickname", Text);
+    }
+    t
+}
+
+fn t_stadium() -> TableSchema {
+    TableSchema::new("stadium")
+        .column("stadium_id", Int)
+        .column("name", Text)
+        .column("city", Text)
+        .column("country", Text)
+        .column("capacity", Int)
+        .column("opened_year", Int)
+        .pk(&["stadium_id"])
+}
+
+fn t_player() -> TableSchema {
+    TableSchema::new("player")
+        .column("player_id", Int)
+        .column("full_name", Text)
+        .column("nickname", Text)
+        .column("date_of_birth", Date)
+        .column("country", Text)
+        .column("position", Text)
+        .column("height_cm", Int)
+        .column("preferred_foot", Text)
+        .column("caps", Int)
+        .column("club_id", Int)
+        .pk(&["player_id"])
+        .fk("club_id", "club", "club_id")
+}
+
+fn t_squad() -> TableSchema {
+    TableSchema::new("squad")
+        .column("squad_id", Int)
+        .column("world_cup_id", Int)
+        .column("team_id", Int)
+        .column("player_id", Int)
+        .column("shirt_number", Int)
+        .column("role", Text)
+        .pk(&["squad_id"])
+        .fk("team_id", "national_team", "team_id")
+        .fk("player_id", "player", "player_id")
+}
+
+fn t_appearance() -> TableSchema {
+    TableSchema::new("appearance")
+        .column("appearance_id", Int)
+        .column("match_id", Int)
+        .column("player_id", Int)
+        .column("team_id", Int)
+        .column("started", Bool)
+        .column("minutes_played", Int)
+        .pk(&["appearance_id"])
+}
+
+fn t_goal() -> TableSchema {
+    TableSchema::new("goal")
+        .column("goal_id", Int)
+        .column("match_id", Int)
+        .column("player_id", Int)
+        .column("team_id", Int)
+        .column("minute", Int)
+        .column("own_goal", Bool)
+        .column("penalty", Bool)
+        .pk(&["goal_id"])
+        .fk("match_id", "match", "match_id")
+        .fk("player_id", "player", "player_id")
+}
+
+fn t_card(declare_player_fk: bool) -> TableSchema {
+    let mut t = TableSchema::new("card")
+        .column("card_id", Int)
+        .column("match_id", Int)
+        .column("player_id", Int)
+        .column("minute", Int)
+        .column("card_type", Text)
+        .pk(&["card_id"])
+        .fk("match_id", "match", "match_id");
+    if declare_player_fk {
+        t = t.fk("player_id", "player", "player_id");
+    }
+    t
+}
+
+fn t_league() -> TableSchema {
+    TableSchema::new("league")
+        .column("league_id", Int)
+        .column("name", Text)
+        .column("country", Text)
+        .column("division", Int)
+        .column("founded_year", Int)
+        .column("confederation", Text)
+        .pk(&["league_id"])
+}
+
+fn t_club() -> TableSchema {
+    TableSchema::new("club")
+        .column("club_id", Int)
+        .column("name", Text)
+        .column("country", Text)
+        .column("city", Text)
+        .column("league_id", Int)
+        .column("founded_year", Int)
+        .column("stadium_name", Text)
+        .pk(&["club_id"])
+}
+
+fn t_coach(declare_team_fk: bool) -> TableSchema {
+    let mut t = TableSchema::new("coach")
+        .column("coach_id", Int)
+        .column("name", Text)
+        .column("country", Text)
+        .column("date_of_birth", Date)
+        .column("team_id", Int)
+        .pk(&["coach_id"]);
+    if declare_team_fk {
+        t = t.fk("team_id", "national_team", "team_id");
+    }
+    t
+}
+
+fn t_player_club(declare_player_fk: bool) -> TableSchema {
+    let mut t = TableSchema::new("player_club")
+        .column("spell_id", Int)
+        .column("player_id", Int)
+        .column("club_id", Int)
+        .column("from_year", Int)
+        .column("to_year", Int)
+        .column("appearances", Int)
+        .pk(&["spell_id"]);
+    if declare_player_fk {
+        t = t.fk("player_id", "player", "player_id");
+    }
+    t
+}
+
+// ---- v1 ------------------------------------------------------------------
+
+fn t_world_cup_v1() -> TableSchema {
+    TableSchema::new("world_cup")
+        .column("world_cup_id", Int)
+        .column("year", Int)
+        .column("host_country", Text)
+        .column("start_date", Date)
+        .column("end_date", Date)
+        .column("num_teams", Int)
+        .column("total_attendance", Int)
+        .column("matches_played", Int)
+        .column("goals_scored", Int)
+        .column("winner", Int)
+        .column("runner_up", Int)
+        .column("third", Int)
+        .column("fourth", Int)
+        .pk(&["world_cup_id"])
+        .fk("winner", "national_team", "team_id")
+        .fk("runner_up", "national_team", "team_id")
+        .fk("third", "national_team", "team_id")
+        .fk("fourth", "national_team", "team_id")
+}
+
+fn t_match_v1() -> TableSchema {
+    TableSchema::new("match")
+        .column("match_id", Int)
+        .column("world_cup_id", Int)
+        .column("stadium_id", Int)
+        .column("home_team_id", Int)
+        .column("away_team_id", Int)
+        .column("match_date", Date)
+        .column("round", Text)
+        .column("home_team_goals", Int)
+        .column("away_team_goals", Int)
+        .column("attendance", Int)
+        .column("referee", Text)
+        .column("half_time_home_goals", Int)
+        .column("half_time_away_goals", Int)
+        .pk(&["match_id"])
+        .fk("world_cup_id", "world_cup", "world_cup_id")
+        .fk("stadium_id", "stadium", "stadium_id")
+        .fk("home_team_id", "national_team", "team_id")
+        .fk("away_team_id", "national_team", "team_id")
+}
+
+fn catalog_v1() -> Catalog {
+    Catalog::new(vec![
+        t_national_team(false),
+        t_world_cup_v1(),
+        t_match_v1(),
+        t_stadium(),
+        t_player(),
+        t_squad(),
+        t_appearance(),
+        t_goal(),
+        t_card(false),
+        t_league(),
+        t_club(),
+        t_coach(false),
+        t_player_club(false),
+    ])
+}
+
+// ---- v2 ------------------------------------------------------------------
+
+fn t_world_cup_v2() -> TableSchema {
+    TableSchema::new("world_cup")
+        .column("world_cup_id", Int)
+        .column("year", Int)
+        .column("host_country", Text)
+        .column("start_date", Date)
+        .column("end_date", Date)
+        .column("num_teams", Int)
+        .column("total_attendance", Int)
+        .column("matches_played", Int)
+        .column("goals_scored", Int)
+        .pk(&["world_cup_id"])
+}
+
+fn t_match_v2() -> TableSchema {
+    TableSchema::new("match")
+        .column("match_id", Int)
+        .column("world_cup_id", Int)
+        .column("stadium_id", Int)
+        .column("match_date", Date)
+        .column("round", Text)
+        .column("attendance", Int)
+        .column("referee", Text)
+        .pk(&["match_id"])
+        .fk("world_cup_id", "world_cup", "world_cup_id")
+        .fk("stadium_id", "stadium", "stadium_id")
+}
+
+fn t_plays_as(side: &str) -> TableSchema {
+    let (table, pk) = match side {
+        "home" => ("plays_as_home", "home_id"),
+        _ => ("plays_as_away", "away_id"),
+    };
+    TableSchema::new(table)
+        .column(pk, Int)
+        .column("match_id", Int)
+        .column("team_id", Int)
+        .column("goals", Int)
+        .pk(&[pk])
+        .fk("match_id", "match", "match_id")
+        .fk("team_id", "national_team", "team_id")
+}
+
+fn t_world_cup_result_v2() -> TableSchema {
+    TableSchema::new("world_cup_result")
+        .column("world_cup_id", Int)
+        .column("team_id", Int)
+        .column("prize", Text)
+        .pk(&["world_cup_id", "team_id"])
+        .fk("world_cup_id", "world_cup", "world_cup_id")
+}
+
+fn catalog_v2() -> Catalog {
+    Catalog::new(vec![
+        t_national_team(false),
+        t_world_cup_v2(),
+        t_world_cup_result_v2(),
+        t_match_v2(),
+        t_plays_as("home"),
+        t_plays_as("away"),
+        t_stadium(),
+        t_player(),
+        t_squad(),
+        t_appearance(),
+        t_goal(),
+        t_card(false),
+        t_league(),
+        t_club(),
+        t_coach(false),
+        t_player_club(false),
+    ])
+}
+
+// ---- v3 ------------------------------------------------------------------
+
+fn t_match_v3() -> TableSchema {
+    TableSchema::new("match")
+        .column("match_id", Int)
+        .column("world_cup_id", Int)
+        .column("stadium_id", Int)
+        .column("match_date", Date)
+        .column("round", Text)
+        .column("attendance", Int)
+        .column("referee", Text)
+        .column("year", Int)
+        .pk(&["match_id"])
+        .fk("world_cup_id", "world_cup", "world_cup_id")
+        .fk("stadium_id", "stadium", "stadium_id")
+}
+
+fn t_plays_match() -> TableSchema {
+    TableSchema::new("plays_match")
+        .column("match_team_id", Text)
+        .column("match_id", Int)
+        .column("team_id", Int)
+        .column("opponent_team_id", Int)
+        .column("team_role", Text)
+        .column("teamname", Text)
+        .column("opponent_teamname", Text)
+        .column("goals", Int)
+        .column("opponent_goals", Int)
+        .column("result", Text)
+        .column("penalty_goals", Int)
+        .pk(&["match_team_id"])
+        .fk("match_id", "match", "match_id")
+        .fk("team_id", "national_team", "team_id")
+        .fk("opponent_team_id", "national_team", "team_id")
+}
+
+fn t_world_cup_result_v3() -> TableSchema {
+    TableSchema::new("world_cup_result")
+        .column("world_cup_id", Int)
+        .column("team_id", Int)
+        .column("teamname", Text)
+        .column("winner", Bool)
+        .column("runner_up", Bool)
+        .column("third", Bool)
+        .column("fourth", Bool)
+        .pk(&["world_cup_id", "team_id"])
+        .fk("world_cup_id", "world_cup", "world_cup_id")
+        .fk("team_id", "national_team", "team_id")
+}
+
+fn catalog_v3() -> Catalog {
+    Catalog::new(vec![
+        t_national_team(true),
+        t_world_cup_v2(),
+        t_world_cup_result_v3(),
+        t_match_v3(),
+        t_plays_match(),
+        t_stadium(),
+        t_player(),
+        t_squad(),
+        t_appearance(),
+        t_goal(),
+        t_card(true),
+        t_league(),
+        t_club(),
+        t_coach(true),
+        t_player_club(true),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_counts_match_paper_table2() {
+        assert_eq!(DataModel::V1.catalog().table_count(), 13);
+        assert_eq!(DataModel::V2.catalog().table_count(), 16);
+        assert_eq!(DataModel::V3.catalog().table_count(), 15);
+    }
+
+    #[test]
+    fn column_counts_match_paper_table2() {
+        assert_eq!(DataModel::V1.catalog().column_count(), 97);
+        assert_eq!(DataModel::V2.catalog().column_count(), 98);
+        assert_eq!(DataModel::V3.catalog().column_count(), 107);
+    }
+
+    #[test]
+    fn fk_counts_match_paper_table2() {
+        assert_eq!(DataModel::V1.catalog().foreign_key_count(), 14);
+        assert_eq!(DataModel::V2.catalog().foreign_key_count(), 13);
+        assert_eq!(DataModel::V3.catalog().foreign_key_count(), 16);
+    }
+
+    #[test]
+    fn mean_columns_per_table_match_paper() {
+        let v1 = DataModel::V1.catalog().mean_columns_per_table();
+        let v2 = DataModel::V2.catalog().mean_columns_per_table();
+        let v3 = DataModel::V3.catalog().mean_columns_per_table();
+        assert!((v1 - 7.46).abs() < 0.01, "v1 = {v1}");
+        assert!((v2 - 6.13).abs() < 0.01, "v2 = {v2}");
+        assert!((v3 - 7.13).abs() < 0.01, "v3 = {v3}");
+    }
+
+    #[test]
+    fn all_catalogs_validate() {
+        for m in DataModel::ALL {
+            assert!(m.catalog().validate().is_empty(), "{m} invalid");
+        }
+    }
+
+    #[test]
+    fn v1_has_the_multi_fk_edges() {
+        let pairs = DataModel::V1.catalog().multi_fk_pairs();
+        assert!(pairs
+            .iter()
+            .any(|(a, b, n)| a == "match" && b == "national_team" && *n == 2));
+        assert!(pairs
+            .iter()
+            .any(|(a, b, n)| a == "world_cup" && b == "national_team" && *n == 4));
+    }
+
+    #[test]
+    fn v2_and_v3_have_no_multi_fk_edges_for_match() {
+        for m in [DataModel::V2, DataModel::V3] {
+            let pairs = m.catalog().multi_fk_pairs();
+            assert!(
+                !pairs.iter().any(|(a, b, _)| a == "match" && b == "national_team"),
+                "{m} still has the match multi-edge: {pairs:?}"
+            );
+            assert!(
+                !pairs.iter().any(|(a, _, _)| a == "world_cup"),
+                "{m} still has the world_cup multi-edge"
+            );
+        }
+        // v3's plays_match intentionally references national_team twice
+        // (team and opponent) but through *named roles*, which the v3
+        // query style uses directly rather than via join-path search.
+        let v3_pairs = DataModel::V3.catalog().multi_fk_pairs();
+        assert!(v3_pairs
+            .iter()
+            .any(|(a, b, _)| a == "plays_match" && b == "national_team"));
+    }
+
+    #[test]
+    fn v2_has_prize_column_v3_has_booleans() {
+        let v2 = DataModel::V2.catalog();
+        let wcr2 = v2.table("world_cup_result").unwrap();
+        assert!(wcr2.column_index("prize").is_some());
+        assert!(wcr2.column_index("winner").is_none());
+
+        let v3 = DataModel::V3.catalog();
+        let wcr3 = v3.table("world_cup_result").unwrap();
+        assert!(wcr3.column_index("prize").is_none());
+        for c in ["winner", "runner_up", "third", "fourth"] {
+            assert!(wcr3.column_index(c).is_some(), "missing {c}");
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        assert_eq!(DataModel::V1.to_string(), "v1");
+        assert_eq!(DataModel::ALL.len(), 3);
+    }
+}

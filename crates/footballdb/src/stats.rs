@@ -1,0 +1,60 @@
+//! Dataset statistics (Table 2 of the paper).
+
+use crate::schema::DataModel;
+use sqlengine::Database;
+
+/// The per-data-model characteristics reported in Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    pub model: DataModel,
+    pub tables: usize,
+    pub columns: usize,
+    pub rows: usize,
+    pub foreign_keys: usize,
+    pub mean_columns_per_table: f64,
+    pub mean_rows_per_table: f64,
+}
+
+/// Computes Table 2 statistics for a loaded database instance.
+pub fn dataset_stats(model: DataModel, db: &Database) -> DatasetStats {
+    let c = db.catalog();
+    DatasetStats {
+        model,
+        tables: c.table_count(),
+        columns: c.column_count(),
+        rows: db.total_rows(),
+        foreign_keys: c.foreign_key_count(),
+        mean_columns_per_table: c.mean_columns_per_table(),
+        mean_rows_per_table: db.mean_rows_per_table(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::load::load;
+
+    #[test]
+    fn stats_reproduce_table2_structure() {
+        let d = generate(7);
+        let expectations = [
+            (DataModel::V1, 13, 97, 14),
+            (DataModel::V2, 16, 98, 13),
+            (DataModel::V3, 15, 107, 16),
+        ];
+        let mut totals = Vec::new();
+        for (m, t, c, fk) in expectations {
+            let db = load(&d, m);
+            let s = dataset_stats(m, &db);
+            assert_eq!(s.tables, t);
+            assert_eq!(s.columns, c);
+            assert_eq!(s.foreign_keys, fk);
+            assert!((90_000..120_000).contains(&s.rows), "{m}: rows {}", s.rows);
+            totals.push(s.rows);
+        }
+        // Ordering matches the paper: v1 < v3 <= v2.
+        assert!(totals[0] < totals[1]);
+        assert!(totals[2] <= totals[1]);
+    }
+}

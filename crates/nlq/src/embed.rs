@@ -1,0 +1,136 @@
+//! Sentence embeddings (SentenceBERT substitute).
+//!
+//! The paper uses SentenceBERT cosine similarity for near-duplicate
+//! detection (≥ 0.96 auto-label threshold) and diversity sampling
+//! (< 0.93 to the cluster centroid). Those pipeline steps only need an
+//! embedding whose cosine is high for lexically/semantically close
+//! questions and low across topics. We use deterministic feature-hashed
+//! bag-of-tokens embeddings with unigram + bigram features and L2
+//! normalization — the classic hashing-trick sentence encoder — which has
+//! exactly that operational behaviour and runs offline.
+
+/// Embedding dimensionality.
+pub const DIM: usize = 128;
+
+/// A dense, L2-normalized sentence embedding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding(pub [f32; DIM]);
+
+/// Lowercases and splits a question into word tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn hash_feature(feature: &str) -> (usize, f32) {
+    // FNV-1a with a sign bit, the standard hashing-trick construction.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in feature.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let idx = (h % DIM as u64) as usize;
+    let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
+    (idx, sign)
+}
+
+/// Embeds a sentence.
+pub fn embed(text: &str) -> Embedding {
+    let tokens = tokenize(text);
+    let mut v = [0f32; DIM];
+    for t in &tokens {
+        let (i, s) = hash_feature(t);
+        v[i] += s;
+    }
+    for pair in tokens.windows(2) {
+        let bigram = format!("{} {}", pair[0], pair[1]);
+        let (i, s) = hash_feature(&bigram);
+        v[i] += 0.5 * s;
+    }
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    Embedding(v)
+}
+
+/// Cosine similarity between two embeddings (they are unit vectors, so
+/// this is a dot product).
+pub fn cosine(a: &Embedding, b: &Embedding) -> f32 {
+    a.0.iter().zip(&b.0).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_strips_punctuation_and_lowercases() {
+        assert_eq!(
+            tokenize("Who won the World Cup in 2014?"),
+            ["who", "won", "the", "world", "cup", "in", "2014"]
+        );
+    }
+
+    #[test]
+    fn identical_sentences_have_similarity_one() {
+        let a = embed("Who won the world cup in 2014?");
+        let b = embed("who won the world cup in 2014");
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn near_duplicates_score_high() {
+        let a = embed("Who won the world cup in 2014?");
+        let b = embed("Who won the world cup in 2018?");
+        let sim = cosine(&a, &b);
+        assert!(sim > 0.8, "sim = {sim}");
+    }
+
+    #[test]
+    fn different_topics_score_lower() {
+        let a = embed("Who won the world cup in 2014?");
+        let b = embed("Which club does Carlos Silva play for?");
+        let sim = cosine(&a, &b);
+        assert!(sim < 0.5, "sim = {sim}");
+    }
+
+    #[test]
+    fn paraphrase_closer_than_cross_topic() {
+        let q = embed("Who won the world cup in 2014?");
+        let para = embed("Which country won the 2014 world cup?");
+        let other = embed("How many red cards did Brazil get in 1994?");
+        assert!(cosine(&q, &para) > cosine(&q, &other));
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let e = embed("some arbitrary question about football");
+        let norm: f32 = e.0.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero() {
+        let e = embed("???");
+        assert!(e.0.iter().all(|x| *x == 0.0));
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        assert_eq!(embed("alpha beta"), embed("alpha beta"));
+    }
+}

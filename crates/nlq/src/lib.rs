@@ -1,0 +1,45 @@
+//! `nlq` — natural-language question corpus construction.
+//!
+//! Rebuilds the paper's data pipeline end-to-end:
+//!
+//! * [`templates`] — question templates over the FootballDB domain with
+//!   gold SQL for all three data models (the paper's manual labels);
+//! * [`log`] — the simulated nine-month deployment log (Table 1), with
+//!   non-English, out-of-scope, unanswerable, and misspelled questions;
+//! * [`embed`] — feature-hashed sentence embeddings (SentenceBERT
+//!   substitute);
+//! * [`topic`] — seeded spherical k-means (BERTopic substitute);
+//! * [`gold`] — diversity sampling, hardness-uniform subsampling, and the
+//!   train/test split of Section 6.1.
+//!
+//! # Example
+//!
+//! ```
+//! use footballdb::generate;
+//! use nlq::gold::{build_benchmark, PipelineConfig};
+//!
+//! let domain = generate(7);
+//! let cfg = PipelineConfig {
+//!     raw_questions: 400,
+//!     pool_size: 150,
+//!     selected_size: 60,
+//!     test_size: 15,
+//!     clusters: 10,
+//!     ..PipelineConfig::default()
+//! };
+//! let bench = build_benchmark(&domain, 9, &cfg);
+//! assert_eq!(bench.test.len(), 15);
+//! assert_eq!(bench.train.len() + bench.test.len(), bench.selected.len());
+//! ```
+
+pub mod embed;
+pub mod example;
+pub mod export;
+pub mod gold;
+pub mod log;
+pub mod templates;
+pub mod topic;
+
+pub use example::GoldExample;
+pub use gold::{build_benchmark, Benchmark, PipelineConfig};
+pub use log::{simulate_log, LogEntry, LogStats, PAPER_LOG_SIZE};

@@ -1,0 +1,275 @@
+//! Live-deployment log simulation (Table 1).
+//!
+//! Reproduces the statistics of the paper's nine-month deployment:
+//! ~5,900 NL questions, 89% SQL-generation rate, sparse thumbs-up,
+//! frequent thumbs-down, and ~1,300 expert SQL corrections — plus the
+//! noise phenomena the paper reports: non-English questions, out-of-scope
+//! questions, unanswerable questions, and spelling errors in player
+//! names.
+
+use crate::templates::instantiate;
+use footballdb::model::Domain;
+use xrng::Rng;
+
+/// What kind of interaction a log entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// A football question the database can answer.
+    Answerable,
+    /// Asked in a language other than English.
+    NonEnglish,
+    /// Unrelated to football entirely.
+    OutOfScope,
+    /// Football-related but not answerable from the database content
+    /// (semantic mismatch).
+    Unanswerable,
+}
+
+/// User feedback on a shown result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feedback {
+    None,
+    ThumbsUp,
+    ThumbsDown,
+}
+
+/// One logged interaction.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    pub question: String,
+    pub category: Category,
+    /// Whether the deployed system produced SQL at all.
+    pub sql_generated: bool,
+    pub feedback: Feedback,
+    /// Whether an expert user submitted a corrected SQL query.
+    pub corrected: bool,
+}
+
+/// Aggregate statistics in the shape of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogStats {
+    pub questions: usize,
+    pub sql_generated: usize,
+    pub no_sql_generated: usize,
+    pub thumbs_up: usize,
+    pub thumbs_down: usize,
+    pub corrected: usize,
+}
+
+impl LogStats {
+    pub fn from_entries(entries: &[LogEntry]) -> LogStats {
+        LogStats {
+            questions: entries.len(),
+            sql_generated: entries.iter().filter(|e| e.sql_generated).count(),
+            no_sql_generated: entries.iter().filter(|e| !e.sql_generated).count(),
+            thumbs_up: entries
+                .iter()
+                .filter(|e| e.feedback == Feedback::ThumbsUp)
+                .count(),
+            thumbs_down: entries
+                .iter()
+                .filter(|e| e.feedback == Feedback::ThumbsDown)
+                .count(),
+            corrected: entries.iter().filter(|e| e.corrected).count(),
+        }
+    }
+}
+
+/// Injects a realistic typo into a question (character swap, drop, or
+/// doubling — the misspelled-player-name phenomenon).
+pub fn add_typo(question: &str, rng: &mut Rng) -> String {
+    let chars: Vec<char> = question.chars().collect();
+    if chars.len() < 4 {
+        return question.to_string();
+    }
+    // Pick a position inside a word.
+    let mut idx = 1 + rng.index(chars.len() - 2);
+    for _ in 0..10 {
+        if chars[idx].is_alphabetic() && chars[idx + 1].is_alphabetic() {
+            break;
+        }
+        idx = 1 + rng.index(chars.len() - 2);
+    }
+    let mut out = chars.clone();
+    match rng.index(3) {
+        0 => out.swap(idx, idx + 1),
+        1 => {
+            out.remove(idx);
+        }
+        _ => out.insert(idx, chars[idx]),
+    }
+    out.into_iter().collect()
+}
+
+const NON_ENGLISH: [&str; 6] = [
+    "Wer hat die Weltmeisterschaft 2014 gewonnen?",
+    "Qui a gagné la coupe du monde 1998 ?",
+    "¿Quién ganó la copa del mundo en 2010?",
+    "Chi ha vinto i mondiali del 2006?",
+    "Quem venceu a copa do mundo de 2002?",
+    "2022 dünya kupasını kim kazandı?",
+];
+
+const OUT_OF_SCOPE: [&str; 6] = [
+    "What is the weather in Doha today?",
+    "Tell me a joke about databases",
+    "How do I cook risotto?",
+    "What is the capital of Switzerland?",
+    "Who is the president of FIFA's biggest sponsor?",
+    "Play some music",
+];
+
+const UNANSWERABLE: [&str; 6] = [
+    "Who was the best dribbler of the 2018 world cup?",
+    "Which team had the most possession in 2014?",
+    "How many kilometers did the players run in the 2022 final?",
+    "What was the expected goals value of the 2010 final?",
+    "Which goalkeeper made the most saves in 1986?",
+    "Who had the fastest shot at the 2006 world cup?",
+];
+
+/// Simulates `n` logged interactions.
+pub fn simulate_log(d: &Domain, rng: &mut Rng, n: usize) -> Vec<LogEntry> {
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Category mix observed in the deployment.
+        let category = match rng.choose_weighted(&[0.83, 0.05, 0.06, 0.06]) {
+            0 => Category::Answerable,
+            1 => Category::NonEnglish,
+            2 => Category::OutOfScope,
+            _ => Category::Unanswerable,
+        };
+        let question = match category {
+            Category::Answerable => {
+                let q = instantiate(d, rng).question;
+                if rng.chance(0.12) {
+                    add_typo(&q, rng)
+                } else {
+                    q
+                }
+            }
+            Category::NonEnglish => rng.choose(&NON_ENGLISH).to_string(),
+            Category::OutOfScope => rng.choose(&OUT_OF_SCOPE).to_string(),
+            Category::Unanswerable => rng.choose(&UNANSWERABLE).to_string(),
+        };
+        // SQL generation probability by category, tuned to the overall
+        // 89% rate of Table 1 (failures: other language, out of scope,
+        // no similar training questions).
+        let p_sql = match category {
+            Category::Answerable => 0.955,
+            Category::NonEnglish => 0.30,
+            Category::OutOfScope => 0.70,
+            Category::Unanswerable => 0.80,
+        };
+        let sql_generated = rng.chance(p_sql);
+        // Feedback is sparse; thumbs-down dominates (174 vs 949).
+        let feedback = if !sql_generated {
+            Feedback::None
+        } else if rng.chance(0.0295) {
+            Feedback::ThumbsUp
+        } else if rng.chance(0.166) {
+            Feedback::ThumbsDown
+        } else {
+            Feedback::None
+        };
+        // Expert corrections: more likely after a thumbs-down.
+        let corrected = sql_generated
+            && match feedback {
+                Feedback::ThumbsDown => rng.chance(0.55),
+                _ => rng.chance(0.19),
+            };
+        entries.push(LogEntry {
+            question,
+            category,
+            sql_generated,
+            feedback,
+            corrected,
+        });
+    }
+    entries
+}
+
+/// The paper's deployment volume.
+pub const PAPER_LOG_SIZE: usize = 5900;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use footballdb::generate;
+
+    #[test]
+    fn stats_reproduce_table1_shape() {
+        let d = generate(7);
+        let mut rng = Rng::new(21);
+        let entries = simulate_log(&d, &mut rng, PAPER_LOG_SIZE);
+        let s = LogStats::from_entries(&entries);
+        assert_eq!(s.questions, 5900);
+        // Paper: 5,275 generated / 625 not (89.4%).
+        let rate = s.sql_generated as f64 / s.questions as f64;
+        assert!((0.85..0.93).contains(&rate), "rate = {rate}");
+        // Paper: 174 up, 949 down, 1,287 corrections.
+        assert!((100..260).contains(&s.thumbs_up), "up = {}", s.thumbs_up);
+        assert!((800..1100).contains(&s.thumbs_down), "down = {}", s.thumbs_down);
+        assert!((1100..1500).contains(&s.corrected), "corr = {}", s.corrected);
+        assert_eq!(s.sql_generated + s.no_sql_generated, s.questions);
+    }
+
+    #[test]
+    fn log_contains_all_noise_categories() {
+        let d = generate(7);
+        let mut rng = Rng::new(22);
+        let entries = simulate_log(&d, &mut rng, 2000);
+        for cat in [
+            Category::Answerable,
+            Category::NonEnglish,
+            Category::OutOfScope,
+            Category::Unanswerable,
+        ] {
+            assert!(entries.iter().any(|e| e.category == cat), "{cat:?} missing");
+        }
+    }
+
+    #[test]
+    fn corrections_only_when_sql_generated() {
+        let d = generate(7);
+        let mut rng = Rng::new(23);
+        let entries = simulate_log(&d, &mut rng, 3000);
+        assert!(entries.iter().all(|e| !e.corrected || e.sql_generated));
+        assert!(entries
+            .iter()
+            .all(|e| e.feedback == Feedback::None || e.sql_generated));
+    }
+
+    #[test]
+    fn typos_change_text_but_keep_length_close() {
+        let mut rng = Rng::new(24);
+        let q = "Who won the world cup in 2014?";
+        let mut changed = 0;
+        for _ in 0..50 {
+            let t = add_typo(q, &mut rng);
+            assert!((t.chars().count() as i64 - q.chars().count() as i64).abs() <= 1);
+            if t != q {
+                changed += 1;
+            }
+        }
+        assert!(changed > 40);
+    }
+
+    #[test]
+    fn add_typo_handles_short_strings() {
+        let mut rng = Rng::new(25);
+        assert_eq!(add_typo("ok", &mut rng), "ok");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let d = generate(7);
+        let a = simulate_log(&d, &mut Rng::new(26), 500);
+        let b = simulate_log(&d, &mut Rng::new(26), 500);
+        assert_eq!(
+            LogStats::from_entries(&a),
+            LogStats::from_entries(&b)
+        );
+        assert_eq!(a[17].question, b[17].question);
+    }
+}

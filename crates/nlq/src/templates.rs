@@ -1,0 +1,994 @@
+//! Question templates over the FootballDB domain.
+//!
+//! Each template produces a natural-language question (with several
+//! phrasings, mirroring the linguistic variety of the live deployment)
+//! and gold SQL for all three data models. The template mix is derived
+//! from the question topics the paper reports users actually asked:
+//! winners and runners-up, scores between two teams, player clubs and
+//! coaches, leagues, top scorers, attendance, cards, and squad questions.
+//!
+//! The two-team templates are the set-operation drivers: in v1/v2 a
+//! "Germany against Brazil" question needs a UNION over home/away role
+//! assignments (Figure 4), while v3's `plays_match` answers it with a
+//! single join — which is exactly why #Set Operations drops to zero in
+//! Table 3.
+
+use crate::example::GoldExample;
+use footballdb::model::Domain;
+use xrng::Rng;
+
+/// A template instantiation before corpus-level dedup.
+pub struct Instantiated {
+    pub question: String,
+    pub sql_v1: String,
+    pub sql_v2: String,
+    pub sql_v3: String,
+    pub topic: &'static str,
+}
+
+impl Instantiated {
+    pub fn into_example(self, id: usize) -> GoldExample {
+        GoldExample {
+            id,
+            question: self.question,
+            sql: [self.sql_v1, self.sql_v2, self.sql_v3],
+            topic: self.topic,
+        }
+    }
+}
+
+type TemplateFn = fn(&Domain, &mut Rng) -> Instantiated;
+
+/// Template registry with sampling weights (heavier topics were asked
+/// more often in the deployment).
+pub const TEMPLATES: &[(f64, TemplateFn)] = &[
+    (9.0, who_won_cup),
+    (6.0, runner_up),
+    (7.0, times_won),
+    (5.0, score_between),
+    (2.0, host_country),
+    (2.0, host_year),
+    (3.0, match_count_year),
+    (8.0, player_club),
+    (9.0, squad_list),
+    (8.0, top_scorer),
+    (6.0, coach_of_team),
+    (3.0, division_one_leagues),
+    (6.0, red_cards_team_year),
+    (5.0, highest_attendance),
+    (4.0, team_appearances),
+    (4.0, matches_between),
+    (3.0, wins_against),
+    (2.0, tallest_player),
+    (4.0, player_goals),
+    (3.0, stadium_of_final),
+    (3.0, third_place),
+    (2.0, avg_attendance),
+    (2.0, most_finals),
+    (2.0, best_attended_referee),
+    (2.0, taller_than_average),
+    (2.0, goals_scored_year),
+    (4.0, final_scorers),
+    (4.0, club_players),
+];
+
+/// Draws one instantiated template.
+pub fn instantiate(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let weights: Vec<f64> = TEMPLATES.iter().map(|(w, _)| *w).collect();
+    let idx = rng.choose_weighted(&weights);
+    TEMPLATES[idx].1(d, rng)
+}
+
+// ---- slot pickers --------------------------------------------------------
+
+fn year(d: &Domain, rng: &mut Rng) -> i64 {
+    d.world_cups[rng.index(d.world_cups.len())].year
+}
+
+fn team(d: &Domain, rng: &mut Rng) -> String {
+    d.teams[rng.index(d.teams.len())].teamname.clone()
+}
+
+fn player(d: &Domain, rng: &mut Rng) -> String {
+    d.players[rng.index(d.players.len())].full_name.clone()
+}
+
+fn league_country(d: &Domain, rng: &mut Rng) -> String {
+    d.leagues[rng.index(d.leagues.len())].country.clone()
+}
+
+/// An actual played match, so two-team questions have answers.
+fn real_pairing(d: &Domain, rng: &mut Rng) -> (String, String, i64) {
+    let m = &d.matches[rng.index(d.matches.len())];
+    let cup_year = d.world_cups[(m.world_cup_id - 1) as usize].year;
+    (
+        d.team(m.home_team_id).teamname.clone(),
+        d.team(m.away_team_id).teamname.clone(),
+        cup_year,
+    )
+}
+
+fn pick(rng: &mut Rng, options: &[String]) -> String {
+    options[rng.index(options.len())].clone()
+}
+
+// ---- standings templates -------------------------------------------------
+
+fn who_won_cup(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let y = year(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("Who won the world cup in {y}?"),
+            format!("Which country won the {y} world cup?"),
+            format!("Which team was the world cup winner in {y}?"),
+            format!("{y} world cup champion"),
+        ],
+    );
+    Instantiated {
+        question,
+        sql_v1: format!(
+            "SELECT T2.teamname FROM world_cup AS T1 \
+             JOIN national_team AS T2 ON T1.winner = T2.team_id WHERE T1.year = {y}"
+        ),
+        sql_v2: format!(
+            "SELECT T2.teamname FROM world_cup_result AS T1 \
+             JOIN national_team AS T2 ON T1.team_id = T2.team_id \
+             JOIN world_cup AS T3 ON T1.world_cup_id = T3.world_cup_id \
+             WHERE T3.year = {y} AND T1.prize = 'winner'"
+        ),
+        sql_v3: format!(
+            "SELECT T1.teamname FROM world_cup_result AS T1 \
+             JOIN world_cup AS T2 ON T1.world_cup_id = T2.world_cup_id \
+             WHERE T2.year = {y} AND T1.winner = 'True'"
+        ),
+        topic: "winner",
+    }
+}
+
+fn runner_up(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let y = year(d, rng);
+    // Users say "second place" / "lost in the final" ≈ 3× as often as
+    // "runner-up" — the lexical problem of Section 5.2.
+    let question = pick(
+        rng,
+        &[
+            format!("Who came second in the world cup {y}?"),
+            format!("Which team lost in the final in {y}?"),
+            format!("Who finished second place at the {y} world cup?"),
+            format!("Who was the runner-up in {y}?"),
+        ],
+    );
+    Instantiated {
+        question,
+        sql_v1: format!(
+            "SELECT T2.teamname FROM world_cup AS T1 \
+             JOIN national_team AS T2 ON T1.runner_up = T2.team_id WHERE T1.year = {y}"
+        ),
+        sql_v2: format!(
+            "SELECT T2.teamname FROM world_cup_result AS T1 \
+             JOIN national_team AS T2 ON T1.team_id = T2.team_id \
+             JOIN world_cup AS T3 ON T1.world_cup_id = T3.world_cup_id \
+             WHERE T3.year = {y} AND T1.prize = 'runner-up'"
+        ),
+        sql_v3: format!(
+            "SELECT T1.teamname FROM world_cup_result AS T1 \
+             JOIN world_cup AS T2 ON T1.world_cup_id = T2.world_cup_id \
+             WHERE T2.year = {y} AND T1.runner_up = 'True'"
+        ),
+        topic: "runner_up",
+    }
+}
+
+fn third_place(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let y = year(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("Who finished third at the {y} world cup?"),
+            format!("Which team won the third-place play-off in {y}?"),
+        ],
+    );
+    Instantiated {
+        question,
+        sql_v1: format!(
+            "SELECT T2.teamname FROM world_cup AS T1 \
+             JOIN national_team AS T2 ON T1.third = T2.team_id WHERE T1.year = {y}"
+        ),
+        sql_v2: format!(
+            "SELECT T2.teamname FROM world_cup_result AS T1 \
+             JOIN national_team AS T2 ON T1.team_id = T2.team_id \
+             JOIN world_cup AS T3 ON T1.world_cup_id = T3.world_cup_id \
+             WHERE T3.year = {y} AND T1.prize = 'third'"
+        ),
+        sql_v3: format!(
+            "SELECT T1.teamname FROM world_cup_result AS T1 \
+             JOIN world_cup AS T2 ON T1.world_cup_id = T2.world_cup_id \
+             WHERE T2.year = {y} AND T1.third = 'True'"
+        ),
+        topic: "third_place",
+    }
+}
+
+fn times_won(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let t = team(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("How many times did {t} win the worldcup?"),
+            format!("How many world cups has {t} won?"),
+            format!("Number of world cup titles for {t}"),
+        ],
+    );
+    Instantiated {
+        question,
+        sql_v1: format!(
+            "SELECT count(*) FROM world_cup AS T1 \
+             JOIN national_team AS T2 ON T1.winner = T2.team_id \
+             WHERE T2.teamname = '{t}'"
+        ),
+        sql_v2: format!(
+            "SELECT count(*) FROM world_cup_result AS T1 \
+             JOIN national_team AS T2 ON T1.team_id = T2.team_id \
+             WHERE T2.teamname = '{t}' AND T1.prize = 'winner'"
+        ),
+        sql_v3: format!(
+            "SELECT count(*) FROM world_cup_result AS T1 \
+             JOIN national_team AS T2 ON T1.team_id = T2.team_id \
+             WHERE T2.teamname = '{t}' AND T1.winner = 'True'"
+        ),
+        topic: "times_won",
+    }
+}
+
+// ---- match / score templates ----------------------------------------------
+
+fn score_between(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let (a, b, y) = real_pairing(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("What was the score between {a} and {b} in {y}?"),
+            format!("How did the match {a} against {b} end in {y}?"),
+            format!("Result of {a} vs {b} at the {y} world cup"),
+        ],
+    );
+    Instantiated {
+        question,
+        sql_v1: format!(
+            "SELECT T1.home_team_goals, T1.away_team_goals FROM match AS T1 \
+             JOIN national_team AS T2 ON T1.home_team_id = T2.team_id \
+             JOIN national_team AS T3 ON T1.away_team_id = T3.team_id \
+             JOIN world_cup AS T4 ON T1.world_cup_id = T4.world_cup_id \
+             WHERE T2.teamname = '{a}' AND T3.teamname = '{b}' AND T4.year = {y} \
+             UNION \
+             SELECT T1.away_team_goals, T1.home_team_goals FROM match AS T1 \
+             JOIN national_team AS T2 ON T1.home_team_id = T2.team_id \
+             JOIN national_team AS T3 ON T1.away_team_id = T3.team_id \
+             JOIN world_cup AS T4 ON T1.world_cup_id = T4.world_cup_id \
+             WHERE T2.teamname = '{b}' AND T3.teamname = '{a}' AND T4.year = {y}"
+        ),
+        sql_v2: format!(
+            "SELECT T2.goals, T3.goals FROM match AS T1 \
+             JOIN plays_as_home AS T2 ON T1.match_id = T2.match_id \
+             JOIN plays_as_away AS T3 ON T1.match_id = T3.match_id \
+             JOIN national_team AS T4 ON T2.team_id = T4.team_id \
+             JOIN national_team AS T5 ON T3.team_id = T5.team_id \
+             JOIN world_cup AS T6 ON T1.world_cup_id = T6.world_cup_id \
+             WHERE T4.teamname = '{a}' AND T5.teamname = '{b}' AND T6.year = {y} \
+             UNION \
+             SELECT T3.goals, T2.goals FROM match AS T1 \
+             JOIN plays_as_home AS T2 ON T1.match_id = T2.match_id \
+             JOIN plays_as_away AS T3 ON T1.match_id = T3.match_id \
+             JOIN national_team AS T4 ON T2.team_id = T4.team_id \
+             JOIN national_team AS T5 ON T3.team_id = T5.team_id \
+             JOIN world_cup AS T6 ON T1.world_cup_id = T6.world_cup_id \
+             WHERE T4.teamname = '{b}' AND T5.teamname = '{a}' AND T6.year = {y}"
+        ),
+        sql_v3: format!(
+            "SELECT T1.goals, T1.opponent_goals FROM plays_match AS T1 \
+             JOIN match AS T2 ON T1.match_id = T2.match_id \
+             WHERE T1.teamname = '{a}' AND T1.opponent_teamname = '{b}' AND T2.year = {y}"
+        ),
+        topic: "score_between",
+    }
+}
+
+fn matches_between(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let (a, b, _) = real_pairing(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("How many times did {a} play against {b}?"),
+            format!("How often have {a} and {b} met at world cups?"),
+            format!("Number of world cup matches between {a} and {b}"),
+        ],
+    );
+    let v1 = format!(
+        "SELECT count(*) FROM match AS T1 \
+         JOIN national_team AS T2 ON T1.home_team_id = T2.team_id \
+         JOIN national_team AS T3 ON T1.away_team_id = T3.team_id \
+         WHERE (T2.teamname = '{a}' AND T3.teamname = '{b}') \
+         OR (T2.teamname = '{b}' AND T3.teamname = '{a}')"
+    );
+    let v2 = format!(
+        "SELECT count(*) FROM match AS T1 \
+         JOIN plays_as_home AS T2 ON T1.match_id = T2.match_id \
+         JOIN plays_as_away AS T3 ON T1.match_id = T3.match_id \
+         JOIN national_team AS T4 ON T2.team_id = T4.team_id \
+         JOIN national_team AS T5 ON T3.team_id = T5.team_id \
+         WHERE (T4.teamname = '{a}' AND T5.teamname = '{b}') \
+         OR (T4.teamname = '{b}' AND T5.teamname = '{a}')"
+    );
+    let v3 = format!(
+        "SELECT count(*) FROM plays_match \
+         WHERE teamname = '{a}' AND opponent_teamname = '{b}'"
+    );
+    Instantiated {
+        question,
+        sql_v1: v1,
+        sql_v2: v2,
+        sql_v3: v3,
+        topic: "matches_between",
+    }
+}
+
+fn wins_against(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let (a, b, _) = real_pairing(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("How many times did {a} beat {b}?"),
+            format!("How often has {a} won against {b} in regular time?"),
+        ],
+    );
+    Instantiated {
+        question,
+        sql_v1: format!(
+            "SELECT count(*) FROM match AS T1 \
+             JOIN national_team AS T2 ON T1.home_team_id = T2.team_id \
+             JOIN national_team AS T3 ON T1.away_team_id = T3.team_id \
+             WHERE (T2.teamname = '{a}' AND T3.teamname = '{b}' AND T1.home_team_goals > T1.away_team_goals) \
+             OR (T2.teamname = '{b}' AND T3.teamname = '{a}' AND T1.away_team_goals > T1.home_team_goals)"
+        ),
+        sql_v2: format!(
+            "SELECT count(*) FROM match AS T1 \
+             JOIN plays_as_home AS T2 ON T1.match_id = T2.match_id \
+             JOIN plays_as_away AS T3 ON T1.match_id = T3.match_id \
+             JOIN national_team AS T4 ON T2.team_id = T4.team_id \
+             JOIN national_team AS T5 ON T3.team_id = T5.team_id \
+             WHERE (T4.teamname = '{a}' AND T5.teamname = '{b}' AND T2.goals > T3.goals) \
+             OR (T4.teamname = '{b}' AND T5.teamname = '{a}' AND T3.goals > T2.goals)"
+        ),
+        sql_v3: format!(
+            "SELECT count(*) FROM plays_match \
+             WHERE teamname = '{a}' AND opponent_teamname = '{b}' AND goals > opponent_goals"
+        ),
+        topic: "wins_against",
+    }
+}
+
+fn match_count_year(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let y = year(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("How many matches were played at the {y} world cup?"),
+            format!("Number of games in the world cup {y}"),
+        ],
+    );
+    let joined = format!(
+        "SELECT count(*) FROM match AS T1 \
+         JOIN world_cup AS T2 ON T1.world_cup_id = T2.world_cup_id WHERE T2.year = {y}"
+    );
+    Instantiated {
+        question,
+        sql_v1: joined.clone(),
+        sql_v2: joined,
+        sql_v3: format!("SELECT count(*) FROM match WHERE year = {y}"),
+        topic: "match_count",
+    }
+}
+
+fn highest_attendance(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let y = year(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("Which match had the highest attendance in {y}?"),
+            format!("What was the best attended game of the {y} world cup?"),
+        ],
+    );
+    Instantiated {
+        question,
+        sql_v1: format!(
+            "SELECT T2.teamname, T3.teamname FROM match AS T1 \
+             JOIN national_team AS T2 ON T1.home_team_id = T2.team_id \
+             JOIN national_team AS T3 ON T1.away_team_id = T3.team_id \
+             JOIN world_cup AS T4 ON T1.world_cup_id = T4.world_cup_id \
+             WHERE T4.year = {y} \
+             ORDER BY T1.attendance DESC, T2.teamname LIMIT 1"
+        ),
+        sql_v2: format!(
+            "SELECT T4.teamname, T5.teamname FROM match AS T1 \
+             JOIN plays_as_home AS T2 ON T1.match_id = T2.match_id \
+             JOIN plays_as_away AS T3 ON T1.match_id = T3.match_id \
+             JOIN national_team AS T4 ON T2.team_id = T4.team_id \
+             JOIN national_team AS T5 ON T3.team_id = T5.team_id \
+             JOIN world_cup AS T6 ON T1.world_cup_id = T6.world_cup_id \
+             WHERE T6.year = {y} \
+             ORDER BY T1.attendance DESC, T4.teamname LIMIT 1"
+        ),
+        sql_v3: format!(
+            "SELECT T1.teamname, T1.opponent_teamname FROM plays_match AS T1 \
+             JOIN match AS T2 ON T1.match_id = T2.match_id \
+             WHERE T2.year = {y} AND T1.team_role = 'home' \
+             ORDER BY T2.attendance DESC, T1.teamname LIMIT 1"
+        ),
+        topic: "attendance",
+    }
+}
+
+fn avg_attendance(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let y = year(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("What was the average attendance at the {y} world cup?"),
+            format!("Average crowd size in {y}"),
+        ],
+    );
+    let joined = format!(
+        "SELECT avg(T1.attendance) FROM match AS T1 \
+         JOIN world_cup AS T2 ON T1.world_cup_id = T2.world_cup_id WHERE T2.year = {y}"
+    );
+    Instantiated {
+        question,
+        sql_v1: joined.clone(),
+        sql_v2: joined,
+        sql_v3: format!("SELECT avg(attendance) FROM match WHERE year = {y}"),
+        topic: "avg_attendance",
+    }
+}
+
+fn stadium_of_final(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let y = year(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("In which stadium was the {y} world cup final played?"),
+            format!("Where was the final of the {y} world cup?"),
+        ],
+    );
+    let joined = format!(
+        "SELECT T2.name, T2.city FROM match AS T1 \
+         JOIN stadium AS T2 ON T1.stadium_id = T2.stadium_id \
+         JOIN world_cup AS T3 ON T1.world_cup_id = T3.world_cup_id \
+         WHERE T3.year = {y} AND T1.round = 'Final'"
+    );
+    Instantiated {
+        question,
+        sql_v1: joined.clone(),
+        sql_v2: joined,
+        sql_v3: format!(
+            "SELECT T2.name, T2.city FROM match AS T1 \
+             JOIN stadium AS T2 ON T1.stadium_id = T2.stadium_id \
+             WHERE T1.year = {y} AND T1.round = 'Final'"
+        ),
+        topic: "stadium_final",
+    }
+}
+
+fn most_finals(_d: &Domain, rng: &mut Rng) -> Instantiated {
+    let question = pick(
+        rng,
+        &[
+            "Which team reached the most world cup finals?".to_string(),
+            "Who played the most finals?".to_string(),
+        ],
+    );
+    let union_form = |hg: &str, ag: &str| {
+        format!(
+            "SELECT teamname FROM (\
+             SELECT T2.teamname AS teamname FROM match AS T1 \
+             JOIN national_team AS T2 ON T1.{hg} = T2.team_id WHERE T1.round = 'Final' \
+             UNION ALL \
+             SELECT T2.teamname AS teamname FROM match AS T1 \
+             JOIN national_team AS T2 ON T1.{ag} = T2.team_id WHERE T1.round = 'Final') AS U \
+             GROUP BY teamname ORDER BY count(*) DESC, teamname LIMIT 1"
+        )
+    };
+    Instantiated {
+        question,
+        sql_v1: union_form("home_team_id", "away_team_id"),
+        sql_v2: "SELECT teamname FROM (\
+             SELECT T3.teamname AS teamname FROM match AS T1 \
+             JOIN plays_as_home AS T2 ON T1.match_id = T2.match_id \
+             JOIN national_team AS T3 ON T2.team_id = T3.team_id WHERE T1.round = 'Final' \
+             UNION ALL \
+             SELECT T3.teamname AS teamname FROM match AS T1 \
+             JOIN plays_as_away AS T2 ON T1.match_id = T2.match_id \
+             JOIN national_team AS T3 ON T2.team_id = T3.team_id WHERE T1.round = 'Final') AS U \
+             GROUP BY teamname ORDER BY count(*) DESC, teamname LIMIT 1"
+            .to_string(),
+        sql_v3: "SELECT T1.teamname FROM plays_match AS T1 \
+             JOIN match AS T2 ON T1.match_id = T2.match_id WHERE T2.round = 'Final' \
+             GROUP BY T1.teamname ORDER BY count(*) DESC, T1.teamname LIMIT 1"
+            .to_string(),
+        topic: "most_finals",
+    }
+}
+
+// ---- cup metadata ----------------------------------------------------------
+
+fn host_country(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let y = year(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("Where was the world cup in {y}?"),
+            format!("Which country hosted the {y} world cup?"),
+        ],
+    );
+    let sql = format!("SELECT host_country FROM world_cup WHERE year = {y}");
+    Instantiated {
+        question,
+        sql_v1: sql.clone(),
+        sql_v2: sql.clone(),
+        sql_v3: sql,
+        topic: "host",
+    }
+}
+
+fn host_year(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let cup = &d.world_cups[rng.index(d.world_cups.len())];
+    let c = cup.host_country.clone();
+    let question = pick(
+        rng,
+        &[
+            format!("When did {c} host the world cup?"),
+            format!("In which years was the world cup held in {c}?"),
+        ],
+    );
+    let sql = format!("SELECT year FROM world_cup WHERE host_country = '{c}'");
+    Instantiated {
+        question,
+        sql_v1: sql.clone(),
+        sql_v2: sql.clone(),
+        sql_v3: sql,
+        topic: "host_year",
+    }
+}
+
+fn goals_scored_year(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let y = year(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("How many goals were scored at the {y} world cup?"),
+            format!("Total goals in the world cup {y}"),
+        ],
+    );
+    let sql = format!("SELECT goals_scored FROM world_cup WHERE year = {y}");
+    Instantiated {
+        question,
+        sql_v1: sql.clone(),
+        sql_v2: sql.clone(),
+        sql_v3: sql,
+        topic: "goals_year",
+    }
+}
+
+// ---- player / club / coach templates ---------------------------------------
+
+fn player_club(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let p = player(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("Which club does {p} play for?"),
+            format!("What is the club of {p}?"),
+            format!("{p} current club"),
+        ],
+    );
+    let sql = format!(
+        "SELECT T2.name, T2.country FROM player AS T1 \
+         JOIN club AS T2 ON T1.club_id = T2.club_id WHERE T1.full_name = '{p}'"
+    );
+    Instantiated {
+        question,
+        sql_v1: sql.clone(),
+        sql_v2: sql.clone(),
+        sql_v3: sql,
+        topic: "player_club",
+    }
+}
+
+fn squad_list(d: &Domain, rng: &mut Rng) -> Instantiated {
+    // Pick a real (team, cup) pairing so the squad is non-empty.
+    let s = &d.squads[rng.index(d.squads.len())];
+    let t = d.team(s.team_id).teamname.clone();
+    let y = d.world_cups[(s.world_cup_id - 1) as usize].year;
+    let question = pick(
+        rng,
+        &[
+            format!("Which players played for {t} in {y}?"),
+            format!("List the {t} squad at the {y} world cup"),
+            format!("Who was in the {t} team in {y}?"),
+        ],
+    );
+    let sql = format!(
+        "SELECT T3.full_name, T1.shirt_number FROM squad AS T1 \
+         JOIN national_team AS T2 ON T1.team_id = T2.team_id \
+         JOIN player AS T3 ON T1.player_id = T3.player_id \
+         JOIN world_cup AS T4 ON T1.world_cup_id = T4.world_cup_id \
+         WHERE T2.teamname = '{t}' AND T4.year = {y}"
+    );
+    Instantiated {
+        question,
+        sql_v1: sql.clone(),
+        sql_v2: sql.clone(),
+        sql_v3: sql,
+        topic: "squad",
+    }
+}
+
+fn top_scorer(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let y = year(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("Who scored the most goals at the {y} world cup?"),
+            format!("Top scorer of the world cup {y}"),
+        ],
+    );
+    let joined = format!(
+        "SELECT T3.full_name, count(*) FROM goal AS T1 \
+         JOIN match AS T2 ON T1.match_id = T2.match_id \
+         JOIN player AS T3 ON T1.player_id = T3.player_id \
+         JOIN world_cup AS T4 ON T2.world_cup_id = T4.world_cup_id \
+         WHERE T4.year = {y} \
+         GROUP BY T3.full_name ORDER BY count(*) DESC, T3.full_name LIMIT 1"
+    );
+    Instantiated {
+        question,
+        sql_v1: joined.clone(),
+        sql_v2: joined,
+        sql_v3: format!(
+            "SELECT T3.full_name, count(*) FROM goal AS T1 \
+             JOIN match AS T2 ON T1.match_id = T2.match_id \
+             JOIN player AS T3 ON T1.player_id = T3.player_id \
+             WHERE T2.year = {y} \
+             GROUP BY T3.full_name ORDER BY count(*) DESC, T3.full_name LIMIT 1"
+        ),
+        topic: "top_scorer",
+    }
+}
+
+fn player_goals(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let p = player(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("How many goals did {p} score at world cups?"),
+            format!("World cup goals of {p}"),
+        ],
+    );
+    let sql = format!(
+        "SELECT count(*) FROM goal AS T1 \
+         JOIN player AS T2 ON T1.player_id = T2.player_id WHERE T2.full_name = '{p}'"
+    );
+    Instantiated {
+        question,
+        sql_v1: sql.clone(),
+        sql_v2: sql.clone(),
+        sql_v3: sql,
+        topic: "player_goals",
+    }
+}
+
+fn coach_of_team(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let t = team(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("Who coached {t}?"),
+            format!("List the coaches of the {t} national team"),
+        ],
+    );
+    let sql = format!(
+        "SELECT T1.name FROM coach AS T1 \
+         JOIN national_team AS T2 ON T1.team_id = T2.team_id WHERE T2.teamname = '{t}'"
+    );
+    Instantiated {
+        question,
+        sql_v1: sql.clone(),
+        sql_v2: sql.clone(),
+        sql_v3: sql,
+        topic: "coach",
+    }
+}
+
+fn division_one_leagues(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let c = league_country(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("Which league is division one in {c}?"),
+            format!("What is the top league of {c}?"),
+        ],
+    );
+    let sql = format!("SELECT name FROM league WHERE country = '{c}' AND division = 1");
+    Instantiated {
+        question,
+        sql_v1: sql.clone(),
+        sql_v2: sql.clone(),
+        sql_v3: sql,
+        topic: "league",
+    }
+}
+
+fn red_cards_team_year(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let (t, _, y) = real_pairing(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("How many red cards did {t} get in {y}?"),
+            format!("Red cards for {t} at the {y} world cup"),
+        ],
+    );
+    let joined = format!(
+        "SELECT count(*) FROM card AS T1 \
+         JOIN match AS T2 ON T1.match_id = T2.match_id \
+         JOIN player AS T3 ON T1.player_id = T3.player_id \
+         JOIN world_cup AS T4 ON T2.world_cup_id = T4.world_cup_id \
+         WHERE T3.country = '{t}' AND T4.year = {y} AND T1.card_type = 'red'"
+    );
+    Instantiated {
+        question,
+        sql_v1: joined.clone(),
+        sql_v2: joined,
+        sql_v3: format!(
+            "SELECT count(*) FROM card AS T1 \
+             JOIN match AS T2 ON T1.match_id = T2.match_id \
+             JOIN player AS T3 ON T1.player_id = T3.player_id \
+             WHERE T3.country = '{t}' AND T2.year = {y} AND T1.card_type = 'red'"
+        ),
+        topic: "cards",
+    }
+}
+
+fn team_appearances(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let t = team(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("How many world cups did {t} play in?"),
+            format!("Number of world cup participations of {t}"),
+        ],
+    );
+    let sql = format!(
+        "SELECT count(DISTINCT T1.world_cup_id) FROM squad AS T1 \
+         JOIN national_team AS T2 ON T1.team_id = T2.team_id WHERE T2.teamname = '{t}'"
+    );
+    Instantiated {
+        question,
+        sql_v1: sql.clone(),
+        sql_v2: sql.clone(),
+        sql_v3: sql,
+        topic: "appearances",
+    }
+}
+
+fn tallest_player(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let t = team(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("Who is the tallest player of {t}?"),
+            format!("Tallest {t} player"),
+        ],
+    );
+    let sql = format!(
+        "SELECT full_name, height_cm FROM player WHERE country = '{t}' \
+         ORDER BY height_cm DESC, full_name LIMIT 1"
+    );
+    Instantiated {
+        question,
+        sql_v1: sql.clone(),
+        sql_v2: sql.clone(),
+        sql_v3: sql,
+        topic: "tallest",
+    }
+}
+
+fn best_attended_referee(_d: &Domain, rng: &mut Rng) -> Instantiated {
+    let question = pick(
+        rng,
+        &[
+            "Which referee officiated the match with the highest attendance?".to_string(),
+            "Who refereed the best attended world cup game?".to_string(),
+        ],
+    );
+    let sql = "SELECT referee FROM match \
+               WHERE attendance = (SELECT max(attendance) FROM match)"
+        .to_string();
+    Instantiated {
+        question,
+        sql_v1: sql.clone(),
+        sql_v2: sql.clone(),
+        sql_v3: sql,
+        topic: "referee",
+    }
+}
+
+fn taller_than_average(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let t = team(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("Which {t} players are taller than the average player?"),
+            format!("{t} players above average height"),
+        ],
+    );
+    let sql = format!(
+        "SELECT full_name FROM player WHERE country = '{t}' \
+         AND height_cm > (SELECT avg(height_cm) FROM player)"
+    );
+    Instantiated {
+        question,
+        sql_v1: sql.clone(),
+        sql_v2: sql.clone(),
+        sql_v3: sql,
+        topic: "tall_avg",
+    }
+}
+
+fn final_scorers(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let y = year(d, rng);
+    let question = pick(
+        rng,
+        &[
+            format!("Who scored in the final of the {y} world cup?"),
+            format!("Which players scored in the {y} final?"),
+        ],
+    );
+    let joined = format!(
+        "SELECT T3.full_name, T1.minute FROM goal AS T1 \
+         JOIN match AS T2 ON T1.match_id = T2.match_id \
+         JOIN player AS T3 ON T1.player_id = T3.player_id \
+         JOIN world_cup AS T4 ON T2.world_cup_id = T4.world_cup_id \
+         WHERE T4.year = {y} AND T2.round = 'Final'"
+    );
+    Instantiated {
+        question,
+        sql_v1: joined.clone(),
+        sql_v2: joined,
+        sql_v3: format!(
+            "SELECT T3.full_name, T1.minute FROM goal AS T1 \
+             JOIN match AS T2 ON T1.match_id = T2.match_id \
+             JOIN player AS T3 ON T1.player_id = T3.player_id \
+             WHERE T2.year = {y} AND T2.round = 'Final'"
+        ),
+        topic: "final_scorers",
+    }
+}
+
+fn club_players(d: &Domain, rng: &mut Rng) -> Instantiated {
+    let c = d.clubs[rng.index(d.clubs.len())].name.clone();
+    let question = pick(
+        rng,
+        &[
+            format!("Which players play for {c}?"),
+            format!("List the world cup players of {c}"),
+        ],
+    );
+    let sql = format!(
+        "SELECT T1.full_name, T1.position FROM player AS T1 \
+         JOIN club AS T2 ON T1.club_id = T2.club_id WHERE T2.name = '{c}'"
+    );
+    Instantiated {
+        question,
+        sql_v1: sql.clone(),
+        sql_v2: sql.clone(),
+        sql_v3: sql,
+        topic: "club_players",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use footballdb::{generate, load, DataModel};
+    use sqlengine::execute;
+
+    #[test]
+    fn all_templates_parse_in_all_models() {
+        let d = generate(7);
+        let mut rng = Rng::new(11);
+        for (i, (_, f)) in TEMPLATES.iter().enumerate() {
+            let inst = f(&d, &mut rng);
+            for sql in [&inst.sql_v1, &inst.sql_v2, &inst.sql_v3] {
+                sqlkit::parse_query(sql)
+                    .unwrap_or_else(|e| panic!("template {i} ({}): {e}\n{sql}", inst.topic));
+            }
+        }
+    }
+
+    #[test]
+    fn all_templates_execute_and_agree_across_models() {
+        let d = generate(7);
+        let dbs = [
+            load(&d, DataModel::V1),
+            load(&d, DataModel::V2),
+            load(&d, DataModel::V3),
+        ];
+        let mut rng = Rng::new(13);
+        for (i, (_, f)) in TEMPLATES.iter().enumerate() {
+            // Two instantiations per template for slot variety.
+            for rep in 0..2 {
+                let inst = f(&d, &mut rng);
+                let results: Vec<_> = [&inst.sql_v1, &inst.sql_v2, &inst.sql_v3]
+                    .iter()
+                    .zip(&dbs)
+                    .map(|(sql, db)| {
+                        let q = sqlkit::parse_query(sql).unwrap();
+                        execute(db, &q).unwrap_or_else(|e| {
+                            panic!("template {i}/{rep} ({}): {e}\n{sql}", inst.topic)
+                        })
+                    })
+                    .collect();
+                assert!(
+                    results[0].matches(&results[1]),
+                    "template {i} ({}) v1 vs v2 disagree\nQ: {}\nv1:\n{}\nv2:\n{}",
+                    inst.topic,
+                    inst.question,
+                    results[0],
+                    results[1]
+                );
+                assert!(
+                    results[0].matches(&results[2]),
+                    "template {i} ({}) v1 vs v3 disagree\nQ: {}\nv1:\n{}\nv3:\n{}",
+                    inst.topic,
+                    inst.question,
+                    results[0],
+                    results[2]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v3_gold_has_no_set_operations() {
+        let d = generate(7);
+        let mut rng = Rng::new(17);
+        for _ in 0..100 {
+            let inst = instantiate(&d, &mut rng);
+            let q = sqlkit::parse_query(&inst.sql_v3).unwrap();
+            assert_eq!(
+                sqlkit::analyze(&q).set_ops,
+                0,
+                "v3 gold uses a set op: {}",
+                inst.sql_v3
+            );
+        }
+    }
+
+    #[test]
+    fn weights_are_positive() {
+        assert!(TEMPLATES.iter().all(|(w, _)| *w > 0.0));
+    }
+
+    #[test]
+    fn instantiate_is_deterministic() {
+        let d = generate(7);
+        let mut a = Rng::new(3);
+        let mut b = Rng::new(3);
+        for _ in 0..20 {
+            let x = instantiate(&d, &mut a);
+            let y = instantiate(&d, &mut b);
+            assert_eq!(x.question, y.question);
+            assert_eq!(x.sql_v1, y.sql_v1);
+        }
+    }
+}

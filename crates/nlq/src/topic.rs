@@ -1,0 +1,251 @@
+//! Topic clustering (BERTopic substitute).
+//!
+//! The paper clusters the filtered user questions with BERTopic to get
+//! dense topical clusters, then samples diversely from each cluster. We
+//! implement seeded spherical k-means over the hashed embeddings — same
+//! pipeline role: group near-topic questions so sampling can enforce
+//! cross-topic coverage.
+
+use crate::embed::{Embedding, DIM};
+use xrng::Rng;
+
+/// Clustering output: an assignment per input and the centroid index of
+/// each cluster's most central member.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    pub k: usize,
+    /// Cluster id per input item.
+    pub assignment: Vec<usize>,
+    /// For each cluster, the index of the item closest to its centroid
+    /// (`None` for empty clusters).
+    pub medoid: Vec<Option<usize>>,
+    /// Final centroids.
+    pub centroids: Vec<[f32; DIM]>,
+}
+
+impl Clustering {
+    /// Items belonging to a cluster, in input order.
+    pub fn members(&self, cluster: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == cluster)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+fn normalize(v: &mut [f32; DIM]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+fn dot(a: &[f32; DIM], b: &Embedding) -> f32 {
+    a.iter().zip(&b.0).map(|(x, y)| x * y).sum()
+}
+
+/// Spherical k-means with k-means++-style seeding, fixed iteration cap.
+pub fn kmeans(embeddings: &[Embedding], k: usize, rng: &mut Rng, iters: usize) -> Clustering {
+    assert!(k > 0, "k must be positive");
+    let n = embeddings.len();
+    let k = k.min(n.max(1));
+    if n == 0 {
+        return Clustering {
+            k,
+            assignment: Vec::new(),
+            medoid: vec![None; k],
+            centroids: vec![[0.0; DIM]; k],
+        };
+    }
+
+    // Seeding: first centroid uniform, the rest biased to low-similarity
+    // points (cosine analogue of k-means++).
+    let mut centroids: Vec<[f32; DIM]> = Vec::with_capacity(k);
+    centroids.push(embeddings[rng.index(n)].0);
+    while centroids.len() < k {
+        let weights: Vec<f64> = embeddings
+            .iter()
+            .map(|e| {
+                let best = centroids
+                    .iter()
+                    .map(|c| dot(c, e))
+                    .fold(f32::MIN, f32::max);
+                f64::from((1.0 - best).max(0.0)).powi(2) + 1e-9
+            })
+            .collect();
+        let idx = rng.choose_weighted(&weights);
+        centroids.push(embeddings[idx].0);
+    }
+
+    let mut assignment = vec![0usize; n];
+    for _ in 0..iters {
+        // Assign.
+        let mut changed = false;
+        for (i, e) in embeddings.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_sim = f32::MIN;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let sim = dot(centroid, e);
+                if sim > best_sim {
+                    best_sim = sim;
+                    best = c;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![[0f32; DIM]; k];
+        for (i, e) in embeddings.iter().enumerate() {
+            let c = assignment[i];
+            for (s, x) in sums[c].iter_mut().zip(&e.0) {
+                *s += x;
+            }
+        }
+        for (c, sum) in sums.iter_mut().enumerate() {
+            let size = assignment.iter().filter(|a| **a == c).count();
+            if size > 0 {
+                normalize(sum);
+                centroids[c] = *sum;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Medoids.
+    let mut medoid = vec![None; k];
+    let mut medoid_sim = vec![f32::MIN; k];
+    for (i, e) in embeddings.iter().enumerate() {
+        let c = assignment[i];
+        let sim = dot(&centroids[c], e);
+        if sim > medoid_sim[c] {
+            medoid_sim[c] = sim;
+            medoid[c] = Some(i);
+        }
+    }
+
+    Clustering {
+        k,
+        assignment,
+        medoid,
+        centroids,
+    }
+}
+
+/// Purity of a clustering against ground-truth labels: the fraction of
+/// items whose cluster's majority label matches their own. Used to sanity
+/// check that the substitute clustering actually groups topics.
+pub fn purity(assignment: &[usize], labels: &[&str], k: usize) -> f64 {
+    use std::collections::HashMap;
+    if assignment.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for c in 0..k {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for (i, a) in assignment.iter().enumerate() {
+            if *a == c {
+                *counts.entry(labels[i]).or_insert(0) += 1;
+            }
+        }
+        correct += counts.values().copied().max().unwrap_or(0);
+    }
+    correct as f64 / assignment.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::embed;
+
+    fn sample_corpus() -> (Vec<Embedding>, Vec<&'static str>) {
+        let questions: Vec<(&str, &str)> = vec![
+            ("Who won the world cup in 2014?", "winner"),
+            ("Who won the world cup in 2018?", "winner"),
+            ("Which country won the 1998 world cup?", "winner"),
+            ("Which club does Carlos Silva play for?", "club"),
+            ("Which club does Hans Muller play for?", "club"),
+            ("What is the club of Diego Lopez?", "club"),
+            ("How many red cards did Brazil get in 1994?", "cards"),
+            ("How many red cards did Italy get in 1990?", "cards"),
+            ("Red cards for Germany at the 2006 world cup", "cards"),
+        ];
+        let em = questions.iter().map(|(q, _)| embed(q)).collect();
+        let labels = questions.iter().map(|(_, l)| *l).collect();
+        (em, labels)
+    }
+
+    #[test]
+    fn clusters_group_topics() {
+        let (em, labels) = sample_corpus();
+        let mut rng = Rng::new(5);
+        let c = kmeans(&em, 3, &mut rng, 20);
+        let p = purity(&c.assignment, &labels, c.k);
+        assert!(p >= 0.7, "purity = {p}");
+    }
+
+    #[test]
+    fn assignment_covers_all_items() {
+        let (em, _) = sample_corpus();
+        let mut rng = Rng::new(5);
+        let c = kmeans(&em, 3, &mut rng, 20);
+        assert_eq!(c.assignment.len(), em.len());
+        assert!(c.assignment.iter().all(|a| *a < c.k));
+    }
+
+    #[test]
+    fn medoids_are_members_of_their_cluster() {
+        let (em, _) = sample_corpus();
+        let mut rng = Rng::new(5);
+        let c = kmeans(&em, 3, &mut rng, 20);
+        for (cluster, m) in c.medoid.iter().enumerate() {
+            if let Some(i) = m {
+                assert_eq!(c.assignment[*i], cluster);
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let (em, _) = sample_corpus();
+        let mut rng = Rng::new(5);
+        let c = kmeans(&em, 100, &mut rng, 5);
+        assert_eq!(c.k, em.len());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let mut rng = Rng::new(5);
+        let c = kmeans(&[], 3, &mut rng, 5);
+        assert!(c.assignment.is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (em, _) = sample_corpus();
+        let c1 = kmeans(&em, 3, &mut Rng::new(5), 20);
+        let c2 = kmeans(&em, 3, &mut Rng::new(5), 20);
+        assert_eq!(c1.assignment, c2.assignment);
+    }
+
+    #[test]
+    fn members_lists_cluster_items() {
+        let (em, _) = sample_corpus();
+        let c = kmeans(&em, 3, &mut Rng::new(5), 20);
+        let total: usize = (0..c.k).map(|k| c.members(k).len()).sum();
+        assert_eq!(total, em.len());
+    }
+
+    #[test]
+    fn purity_empty_is_zero() {
+        assert_eq!(purity(&[], &[], 3), 0.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Schema metadata: tables, columns, types, and key constraints.
+//!
+//! The catalog carries primary- and foreign-key information because the
+//! paper's central finding is that *keys' information* drives Text-to-SQL
+//! accuracy: systems receive the schema with or without keys depending on
+//! their encoding (Table 4).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Int,
+    Float,
+    Text,
+    Bool,
+    /// ISO-8601 date stored as text.
+    Date,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Text => "text",
+            DataType::Bool => "bool",
+            DataType::Date => "date",
+        })
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: DataType,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// A foreign-key constraint from one table's columns to another's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing columns in the owning table.
+    pub columns: Vec<String>,
+    /// Referenced table.
+    pub ref_table: String,
+    /// Referenced columns (usually the primary key).
+    pub ref_columns: Vec<String>,
+}
+
+impl ForeignKey {
+    pub fn new(
+        column: impl Into<String>,
+        ref_table: impl Into<String>,
+        ref_column: impl Into<String>,
+    ) -> Self {
+        ForeignKey {
+            columns: vec![column.into()],
+            ref_table: ref_table.into(),
+            ref_columns: vec![ref_column.into()],
+        }
+    }
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    pub primary_key: Vec<String>,
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableSchema {
+    pub fn new(name: impl Into<String>) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns: Vec::new(),
+            primary_key: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    pub fn column(mut self, name: &str, ty: DataType) -> Self {
+        self.columns.push(ColumnDef::new(name, ty));
+        self
+    }
+
+    pub fn pk(mut self, columns: &[&str]) -> Self {
+        self.primary_key = columns.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    pub fn fk(mut self, column: &str, ref_table: &str, ref_column: &str) -> Self {
+        self.foreign_keys
+            .push(ForeignKey::new(column, ref_table, ref_column));
+        self
+    }
+
+    /// Index of a column by name (case-insensitive, as SQL identifiers
+    /// are).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|c| c.name.as_str())
+    }
+}
+
+/// A database schema: an ordered collection of table definitions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    /// Ordered table list (order matters for deterministic output).
+    pub tables: Vec<TableSchema>,
+}
+
+impl Catalog {
+    pub fn new(tables: Vec<TableSchema>) -> Self {
+        Catalog { tables }
+    }
+
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn column_count(&self) -> usize {
+        self.tables.iter().map(|t| t.columns.len()).sum()
+    }
+
+    pub fn foreign_key_count(&self) -> usize {
+        self.tables.iter().map(|t| t.foreign_keys.len()).sum()
+    }
+
+    /// Mean number of columns per table (Table 2 statistic).
+    pub fn mean_columns_per_table(&self) -> f64 {
+        if self.tables.is_empty() {
+            0.0
+        } else {
+            self.column_count() as f64 / self.tables.len() as f64
+        }
+    }
+
+    /// Counts, for each ordered table pair, how many FK references link
+    /// them. Pairs with more than one reference are exactly the shapes
+    /// that break SemQL's shortest-join-path algorithm (Section 5.1).
+    pub fn fk_multiplicity(&self) -> BTreeMap<(String, String), usize> {
+        let mut out = BTreeMap::new();
+        for t in &self.tables {
+            for fk in &t.foreign_keys {
+                *out.entry((t.name.clone(), fk.ref_table.clone()))
+                    .or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Table pairs connected by more than one PK/FK reference.
+    pub fn multi_fk_pairs(&self) -> Vec<(String, String, usize)> {
+        self.fk_multiplicity()
+            .into_iter()
+            .filter(|(_, n)| *n > 1)
+            .map(|((a, b), n)| (a, b, n))
+            .collect()
+    }
+
+    /// Validates that every FK references an existing table/column and
+    /// that PK columns exist. Returns all violations.
+    pub fn validate(&self) -> Vec<String> {
+        let mut errors = Vec::new();
+        for t in &self.tables {
+            for pk in &t.primary_key {
+                if t.column_index(pk).is_none() {
+                    errors.push(format!("{}: primary key column {pk:?} missing", t.name));
+                }
+            }
+            for fk in &t.foreign_keys {
+                for c in &fk.columns {
+                    if t.column_index(c).is_none() {
+                        errors.push(format!("{}: FK column {c:?} missing", t.name));
+                    }
+                }
+                match self.table(&fk.ref_table) {
+                    None => errors.push(format!(
+                        "{}: FK references unknown table {:?}",
+                        t.name, fk.ref_table
+                    )),
+                    Some(rt) => {
+                        for rc in &fk.ref_columns {
+                            if rt.column_index(rc).is_none() {
+                                errors.push(format!(
+                                    "{}: FK references missing column {}.{rc}",
+                                    t.name, fk.ref_table
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_catalog() -> Catalog {
+        Catalog::new(vec![
+            TableSchema::new("national_team")
+                .column("team_id", DataType::Int)
+                .column("teamname", DataType::Text)
+                .pk(&["team_id"]),
+            TableSchema::new("match")
+                .column("match_id", DataType::Int)
+                .column("home_team_id", DataType::Int)
+                .column("away_team_id", DataType::Int)
+                .pk(&["match_id"])
+                .fk("home_team_id", "national_team", "team_id")
+                .fk("away_team_id", "national_team", "team_id"),
+        ])
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let c = small_catalog();
+        assert!(c.table("MATCH").is_some());
+        assert_eq!(c.table("match").unwrap().column_index("HOME_TEAM_ID"), Some(1));
+    }
+
+    #[test]
+    fn counts_are_correct() {
+        let c = small_catalog();
+        assert_eq!(c.table_count(), 2);
+        assert_eq!(c.column_count(), 5);
+        assert_eq!(c.foreign_key_count(), 2);
+        assert!((c.mean_columns_per_table() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_fk_pairs_detects_paper_failure_shape() {
+        let c = small_catalog();
+        let pairs = c.multi_fk_pairs();
+        assert_eq!(
+            pairs,
+            vec![("match".to_string(), "national_team".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn validate_accepts_consistent_schema() {
+        assert!(small_catalog().validate().is_empty());
+    }
+
+    #[test]
+    fn validate_reports_dangling_fk() {
+        let mut c = small_catalog();
+        c.tables[1]
+            .foreign_keys
+            .push(ForeignKey::new("away_team_id", "nonexistent", "id"));
+        let errors = c.validate();
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].contains("nonexistent"));
+    }
+
+    #[test]
+    fn validate_reports_missing_pk_column() {
+        let mut c = small_catalog();
+        c.tables[0].primary_key = vec!["missing".into()];
+        assert!(!c.validate().is_empty());
+    }
+}

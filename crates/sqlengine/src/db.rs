@@ -1,0 +1,270 @@
+//! In-memory database: catalog plus row storage.
+
+use crate::catalog::{Catalog, DataType, TableSchema};
+use crate::error::EngineError;
+use crate::value::Value;
+use std::collections::HashSet;
+
+/// A stored table: schema reference by index plus rows.
+#[derive(Debug, Clone, Default)]
+pub struct TableData {
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// An in-memory relational database.
+#[derive(Debug, Clone)]
+pub struct Database {
+    catalog: Catalog,
+    data: Vec<TableData>,
+}
+
+impl Database {
+    /// Creates an empty database from a catalog. Panics on an invalid
+    /// catalog — schemas are authored in code and must be consistent.
+    pub fn new(catalog: Catalog) -> Self {
+        let errors = catalog.validate();
+        assert!(errors.is_empty(), "invalid catalog: {errors:?}");
+        let data = catalog.tables.iter().map(|_| TableData::default()).collect();
+        Database { catalog, data }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    fn table_index(&self, name: &str) -> Option<usize> {
+        self.catalog
+            .tables
+            .iter()
+            .position(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The schema of a table.
+    pub fn schema(&self, name: &str) -> Option<&TableSchema> {
+        self.catalog.table(name)
+    }
+
+    /// Read-only access to a table's rows.
+    pub fn rows(&self, name: &str) -> Option<&[Vec<Value>]> {
+        self.table_index(name).map(|i| self.data[i].rows.as_slice())
+    }
+
+    /// Inserts a row after type-checking it against the schema.
+    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<(), EngineError> {
+        let idx = self
+            .table_index(table)
+            .ok_or_else(|| EngineError::UnknownTable(table.to_string()))?;
+        let schema = &self.catalog.tables[idx];
+        if row.len() != schema.columns.len() {
+            return Err(EngineError::Arity {
+                table: table.to_string(),
+                expected: schema.columns.len(),
+                got: row.len(),
+            });
+        }
+        for (value, col) in row.iter().zip(&schema.columns) {
+            if !type_matches(value, col.ty) {
+                return Err(EngineError::TypeMismatch {
+                    table: table.to_string(),
+                    column: col.name.clone(),
+                    expected: col.ty,
+                    got: format!("{value:?}"),
+                });
+            }
+        }
+        self.data[idx].rows.push(row);
+        Ok(())
+    }
+
+    /// Inserts many rows.
+    pub fn insert_all(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<(), EngineError> {
+        for row in rows {
+            self.insert(table, row)?;
+        }
+        Ok(())
+    }
+
+    /// Total number of stored rows (Table 2 statistic).
+    pub fn total_rows(&self) -> usize {
+        self.data.iter().map(|t| t.rows.len()).sum()
+    }
+
+    /// Number of rows in one table.
+    pub fn row_count(&self, table: &str) -> usize {
+        self.rows(table).map_or(0, |r| r.len())
+    }
+
+    /// Mean rows per table (Table 2 statistic).
+    pub fn mean_rows_per_table(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.total_rows() as f64 / self.data.len() as f64
+        }
+    }
+
+    /// Checks referential integrity of all foreign keys; returns
+    /// violations as human-readable strings (empty = consistent).
+    pub fn check_foreign_keys(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (ti, schema) in self.catalog.tables.iter().enumerate() {
+            for fk in &schema.foreign_keys {
+                let Some(ref_idx) = self.table_index(&fk.ref_table) else {
+                    continue;
+                };
+                let ref_schema = &self.catalog.tables[ref_idx];
+                let ref_cols: Vec<usize> = fk
+                    .ref_columns
+                    .iter()
+                    .filter_map(|c| ref_schema.column_index(c))
+                    .collect();
+                let own_cols: Vec<usize> = fk
+                    .columns
+                    .iter()
+                    .filter_map(|c| schema.column_index(c))
+                    .collect();
+                let referenced: HashSet<Vec<String>> = self.data[ref_idx]
+                    .rows
+                    .iter()
+                    .map(|r| ref_cols.iter().map(|c| r[*c].to_string()).collect())
+                    .collect();
+                for (ri, row) in self.data[ti].rows.iter().enumerate() {
+                    let key: Vec<String> =
+                        own_cols.iter().map(|c| row[*c].to_string()).collect();
+                    if own_cols.iter().any(|c| row[*c].is_null()) {
+                        continue; // NULL FKs are permitted.
+                    }
+                    if !referenced.contains(&key) {
+                        violations.push(format!(
+                            "{}[{ri}].{} = {key:?} has no match in {}",
+                            schema.name,
+                            fk.columns.join(","),
+                            fk.ref_table
+                        ));
+                        if violations.len() > 20 {
+                            return violations; // cap the report
+                        }
+                    }
+                }
+            }
+        }
+        violations
+    }
+}
+
+fn type_matches(value: &Value, ty: DataType) -> bool {
+    match (value, ty) {
+        (Value::Null, _) => true,
+        (Value::Int(_), DataType::Int) => true,
+        (Value::Float(_), DataType::Float) => true,
+        (Value::Int(_), DataType::Float) => true,
+        (Value::Text(_), DataType::Text | DataType::Date) => true,
+        (Value::Bool(_), DataType::Bool) => true,
+        // The v3 schema stores booleans as 'True'/'False' text filters; be
+        // permissive about text-typed bools.
+        (Value::Text(_), DataType::Bool) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        Database::new(Catalog::new(vec![
+            TableSchema::new("team")
+                .column("team_id", DataType::Int)
+                .column("name", DataType::Text)
+                .pk(&["team_id"]),
+            TableSchema::new("player")
+                .column("player_id", DataType::Int)
+                .column("team_id", DataType::Int)
+                .column("goals", DataType::Int)
+                .pk(&["player_id"])
+                .fk("team_id", "team", "team_id"),
+        ]))
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut d = db();
+        d.insert("team", vec![Value::Int(1), Value::text("Brazil")])
+            .unwrap();
+        assert_eq!(d.row_count("team"), 1);
+        assert_eq!(d.rows("team").unwrap()[0][1], Value::text("Brazil"));
+    }
+
+    #[test]
+    fn insert_rejects_wrong_arity() {
+        let mut d = db();
+        let err = d.insert("team", vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, EngineError::Arity { expected: 2, got: 1, .. }));
+    }
+
+    #[test]
+    fn insert_rejects_wrong_type() {
+        let mut d = db();
+        let err = d
+            .insert("team", vec![Value::text("x"), Value::text("Brazil")])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn insert_allows_nulls() {
+        let mut d = db();
+        d.insert("team", vec![Value::Int(1), Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let mut d = db();
+        assert!(matches!(
+            d.insert("nope", vec![]).unwrap_err(),
+            EngineError::UnknownTable(_)
+        ));
+    }
+
+    #[test]
+    fn fk_check_detects_dangling_reference() {
+        let mut d = db();
+        d.insert("team", vec![Value::Int(1), Value::text("Brazil")])
+            .unwrap();
+        d.insert(
+            "player",
+            vec![Value::Int(10), Value::Int(1), Value::Int(3)],
+        )
+        .unwrap();
+        assert!(d.check_foreign_keys().is_empty());
+        d.insert(
+            "player",
+            vec![Value::Int(11), Value::Int(99), Value::Int(0)],
+        )
+        .unwrap();
+        let v = d.check_foreign_keys();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("player"));
+    }
+
+    #[test]
+    fn fk_check_allows_null_fk() {
+        let mut d = db();
+        d.insert("player", vec![Value::Int(1), Value::Null, Value::Int(0)])
+            .unwrap();
+        assert!(d.check_foreign_keys().is_empty());
+    }
+
+    #[test]
+    fn row_statistics() {
+        let mut d = db();
+        d.insert("team", vec![Value::Int(1), Value::text("A")]).unwrap();
+        d.insert("team", vec![Value::Int(2), Value::text("B")]).unwrap();
+        assert_eq!(d.total_rows(), 2);
+        assert!((d.mean_rows_per_table() - 1.0).abs() < 1e-9);
+    }
+}

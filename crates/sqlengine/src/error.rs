@@ -1,0 +1,85 @@
+//! Engine error type.
+
+use crate::catalog::DataType;
+use std::fmt;
+
+/// Errors produced while loading data or executing queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    UnknownTable(String),
+    UnknownColumn(String),
+    AmbiguousColumn(String),
+    Arity {
+        table: String,
+        expected: usize,
+        got: usize,
+    },
+    TypeMismatch {
+        table: String,
+        column: String,
+        expected: DataType,
+        got: String,
+    },
+    /// Set-operation arms with differing column counts.
+    SetOpArity { left: usize, right: usize },
+    /// Scalar subquery returned more than one row.
+    ScalarSubqueryCardinality(usize),
+    /// Feature present in the AST but unsupported by the executor.
+    Unsupported(String),
+    /// Expression evaluation failure (bad operand types etc.).
+    Eval(String),
+    /// Parse failure when executing from SQL text.
+    Parse(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            EngineError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            EngineError::AmbiguousColumn(c) => write!(f, "ambiguous column {c:?}"),
+            EngineError::Arity {
+                table,
+                expected,
+                got,
+            } => write!(f, "table {table:?} expects {expected} values, got {got}"),
+            EngineError::TypeMismatch {
+                table,
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch in {table}.{column}: expected {expected}, got {got}"
+            ),
+            EngineError::SetOpArity { left, right } => write!(
+                f,
+                "set operation arms have {left} and {right} columns"
+            ),
+            EngineError::ScalarSubqueryCardinality(n) => {
+                write!(f, "scalar subquery returned {n} rows")
+            }
+            EngineError::Unsupported(s) => write!(f, "unsupported: {s}"),
+            EngineError::Eval(s) => write!(f, "evaluation error: {s}"),
+            EngineError::Parse(s) => write!(f, "parse error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            EngineError::UnknownTable("x".into()).to_string(),
+            "unknown table \"x\""
+        );
+        assert!(EngineError::ScalarSubqueryCardinality(3)
+            .to_string()
+            .contains("3 rows"));
+    }
+}

@@ -1,0 +1,290 @@
+//! Query plan explanation.
+//!
+//! Describes, without executing, how the executor will evaluate a query:
+//! which scans receive pushed-down predicates, which joins can use the
+//! hash algorithm (equi-keys in the ON clause) versus nested loops, what
+//! remains as a residual filter, and the aggregation/ordering tail.
+//! Used by the SQL shell's `\explain` and by tests pinning the planner's
+//! decisions.
+
+use crate::db::Database;
+use crate::exec::{fold_uncorrelated, plan_pushdown};
+use sqlkit::ast::*;
+use sqlkit::printer::expr_to_sql;
+use std::fmt::Write;
+
+/// Renders the execution plan of a query.
+pub fn explain(db: &Database, query: &Query) -> String {
+    let mut out = String::with_capacity(256);
+    explain_query(db, query, 0, &mut out);
+    out
+}
+
+/// Parses and explains SQL text.
+pub fn explain_sql(db: &Database, sql: &str) -> Result<String, crate::EngineError> {
+    let q = sqlkit::parse_query(sql).map_err(|e| crate::EngineError::Parse(e.to_string()))?;
+    Ok(explain(db, &q))
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn explain_query(db: &Database, q: &Query, indent: usize, out: &mut String) {
+    explain_body(db, &q.body, indent, out);
+    if !q.order_by.is_empty() {
+        pad(out, indent);
+        let keys: Vec<String> = q
+            .order_by
+            .iter()
+            .map(|o| {
+                format!(
+                    "{}{}",
+                    expr_to_sql(&o.expr),
+                    if o.desc { " DESC" } else { "" }
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "sort by {}", keys.join(", "));
+    }
+    if let Some(n) = q.limit {
+        pad(out, indent);
+        let _ = writeln!(out, "limit {n}");
+    }
+}
+
+fn explain_body(db: &Database, body: &QueryBody, indent: usize, out: &mut String) {
+    match body {
+        QueryBody::Select(s) => explain_select(db, s, indent, out),
+        QueryBody::SetOp { op, all, left, right } => {
+            pad(out, indent);
+            let _ = writeln!(
+                out,
+                "{}{}",
+                op,
+                if *all { " ALL (concatenate)" } else { " (deduplicate)" }
+            );
+            explain_body(db, left, indent + 1, out);
+            explain_body(db, right, indent + 1, out);
+        }
+    }
+}
+
+fn table_label(t: &TableRef) -> String {
+    match t {
+        TableRef::Named { name, alias } => match alias {
+            Some(a) => format!("{name} AS {a}"),
+            None => name.clone(),
+        },
+        TableRef::Derived { alias, .. } => format!("(subquery) AS {alias}"),
+    }
+}
+
+/// True when the ON clause contains at least one column=column equi-pair
+/// (the executor's hash-join criterion).
+fn has_equi_key(on: &Option<Expr>) -> bool {
+    let Some(on) = on else { return false };
+    on.conjuncts().iter().any(|c| {
+        matches!(
+            c,
+            Expr::Binary { left, op: BinOp::Eq, right }
+                if matches!(left.as_ref(), Expr::Column(_))
+                    && matches!(right.as_ref(), Expr::Column(_))
+        )
+    })
+}
+
+fn explain_select(db: &Database, s: &Select, indent: usize, out: &mut String) {
+    // Fold uncorrelated subqueries exactly as the executor does, so the
+    // displayed pushdown matches the executed plan.
+    let folded = s.where_clause.as_ref().map(|w| fold_uncorrelated(db, w));
+    let (pushed, residual) = plan_pushdown(s, folded.as_ref());
+    let pushed_for = |binding: &str| -> Vec<String> {
+        pushed
+            .iter()
+            .filter(|(b, _)| b.eq_ignore_ascii_case(binding))
+            .map(|(_, e)| expr_to_sql(e))
+            .collect()
+    };
+
+    pad(out, indent);
+    let _ = writeln!(out, "select ({} output column(s))", s.projections.len());
+
+    for t in &s.from {
+        pad(out, indent + 1);
+        let rows = t
+            .base_table()
+            .map(|b| db.row_count(b))
+            .unwrap_or_default();
+        let filters = pushed_for(t.binding());
+        let _ = write!(out, "scan {} [{rows} row(s)]", table_label(t));
+        if !filters.is_empty() {
+            let _ = write!(out, " filter: {}", filters.join(" AND "));
+        }
+        out.push('\n');
+        if let TableRef::Derived { query, .. } = t {
+            explain_query(db, query, indent + 2, out);
+        }
+    }
+    for j in &s.joins {
+        pad(out, indent + 1);
+        let algo = if has_equi_key(&j.on) {
+            "hash join"
+        } else {
+            "nested-loop join"
+        };
+        let kind = match j.kind {
+            JoinKind::Inner => "",
+            JoinKind::Left => " (left outer)",
+        };
+        let rows = j
+            .table
+            .base_table()
+            .map(|b| db.row_count(b))
+            .unwrap_or_default();
+        let _ = write!(out, "{algo}{kind} {} [{rows} row(s)]", table_label(&j.table));
+        let filters = pushed_for(j.table.binding());
+        if !filters.is_empty() && j.kind == JoinKind::Inner {
+            let _ = write!(out, " filter: {}", filters.join(" AND "));
+        }
+        if let Some(on) = &j.on {
+            let _ = write!(out, " on {}", expr_to_sql(on));
+        }
+        out.push('\n');
+        if let TableRef::Derived { query, .. } = &j.table {
+            explain_query(db, query, indent + 2, out);
+        }
+    }
+    if let Some(r) = residual {
+        pad(out, indent + 1);
+        let _ = writeln!(out, "residual filter: {}", expr_to_sql(&r));
+    }
+    let aggregated = !s.group_by.is_empty()
+        || s.projections.iter().any(|p| {
+            matches!(p, SelectItem::Expr { expr, .. } if expr.contains_aggregate())
+        });
+    if aggregated {
+        pad(out, indent + 1);
+        if s.group_by.is_empty() {
+            let _ = writeln!(out, "aggregate: single group");
+        } else {
+            let keys: Vec<String> = s.group_by.iter().map(expr_to_sql).collect();
+            let _ = writeln!(out, "aggregate: group by {}", keys.join(", "));
+        }
+    }
+    if let Some(h) = &s.having {
+        pad(out, indent + 1);
+        let _ = writeln!(out, "having: {}", expr_to_sql(h));
+    }
+    if s.distinct {
+        pad(out, indent + 1);
+        out.push_str("distinct\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, DataType, TableSchema};
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new(Catalog::new(vec![
+            TableSchema::new("t")
+                .column("id", DataType::Int)
+                .column("x", DataType::Int)
+                .pk(&["id"]),
+            TableSchema::new("u")
+                .column("id", DataType::Int)
+                .column("y", DataType::Int)
+                .pk(&["id"]),
+        ]));
+        for i in 0..5 {
+            db.insert("t", vec![Value::Int(i), Value::Int(i * 10)]).unwrap();
+            db.insert("u", vec![Value::Int(i), Value::Int(i + 100)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn explains_pushdown_and_hash_join() {
+        let db = db();
+        let plan = explain_sql(
+            &db,
+            "SELECT a.x FROM t AS a JOIN u AS b ON a.id = b.id WHERE a.x > 1 AND b.y = 103",
+        )
+        .unwrap();
+        assert!(plan.contains("scan t AS a [5 row(s)] filter: a.x > 1"), "{plan}");
+        assert!(plan.contains("hash join"), "{plan}");
+        assert!(plan.contains("filter: b.y = 103"), "{plan}");
+        assert!(!plan.contains("residual"), "{plan}");
+    }
+
+    #[test]
+    fn cross_binding_predicates_stay_residual() {
+        let db = db();
+        let plan = explain_sql(
+            &db,
+            "SELECT a.x FROM t AS a JOIN u AS b ON a.id = b.id WHERE a.x > b.y",
+        )
+        .unwrap();
+        assert!(plan.contains("residual filter: a.x > b.y"), "{plan}");
+    }
+
+    #[test]
+    fn non_equi_join_uses_nested_loop() {
+        let db = db();
+        let plan = explain_sql(
+            &db,
+            "SELECT a.x FROM t AS a JOIN u AS b ON a.id < b.id",
+        )
+        .unwrap();
+        assert!(plan.contains("nested-loop join"), "{plan}");
+    }
+
+    #[test]
+    fn left_join_does_not_receive_pushed_filters() {
+        let db = db();
+        let plan = explain_sql(
+            &db,
+            "SELECT a.x FROM t AS a LEFT JOIN u AS b ON a.id = b.id WHERE b.y = 103",
+        )
+        .unwrap();
+        assert!(plan.contains("(left outer)"), "{plan}");
+        assert!(plan.contains("residual filter: b.y = 103"), "{plan}");
+    }
+
+    #[test]
+    fn aggregation_and_tail_described() {
+        let db = db();
+        let plan = explain_sql(
+            &db,
+            "SELECT x, count(*) FROM t GROUP BY x HAVING count(*) > 0 ORDER BY x DESC LIMIT 2",
+        )
+        .unwrap();
+        assert!(plan.contains("aggregate: group by x"), "{plan}");
+        assert!(plan.contains("having: count(*) > 0"), "{plan}");
+        assert!(plan.contains("sort by x DESC"), "{plan}");
+        assert!(plan.contains("limit 2"), "{plan}");
+    }
+
+    #[test]
+    fn set_ops_render_as_tree() {
+        let db = db();
+        let plan = explain_sql(
+            &db,
+            "SELECT id FROM t UNION SELECT id FROM u",
+        )
+        .unwrap();
+        assert!(plan.contains("UNION (deduplicate)"), "{plan}");
+        assert_eq!(plan.matches("select (").count(), 2, "{plan}");
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let db = db();
+        assert!(explain_sql(&db, "nope").is_err());
+    }
+}

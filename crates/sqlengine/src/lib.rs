@@ -1,0 +1,46 @@
+//! `sqlengine` — an embedded, in-memory relational engine.
+//!
+//! Plays the role PostgreSQL played in the paper's deployment: it stores
+//! the FootballDB instances for all three data models and executes both
+//! gold and predicted SQL so that execution accuracy (EX) can be computed
+//! by result comparison.
+//!
+//! * [`catalog`] — schema metadata with PK/FK constraints;
+//! * [`db`] — row storage with type checking and referential-integrity
+//!   auditing;
+//! * [`exec`] — the executor (hash/nested-loop joins, grouping, HAVING,
+//!   ordering, set operations, correlated subqueries);
+//! * [`value`] — runtime values with SQL NULL semantics;
+//! * [`result`] — result sets and the bag-semantics execution match used
+//!   by the EX metric.
+//!
+//! # Example
+//!
+//! ```
+//! use sqlengine::{Catalog, Database, DataType, TableSchema, Value, execute_sql};
+//!
+//! let catalog = Catalog::new(vec![TableSchema::new("team")
+//!     .column("team_id", DataType::Int)
+//!     .column("name", DataType::Text)
+//!     .pk(&["team_id"])]);
+//! let mut db = Database::new(catalog);
+//! db.insert("team", vec![Value::Int(1), Value::text("Brazil")]).unwrap();
+//! let rs = execute_sql(&db, "SELECT name FROM team WHERE team_id = 1").unwrap();
+//! assert_eq!(rs.rows[0][0], Value::text("Brazil"));
+//! ```
+
+pub mod catalog;
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod explain;
+pub mod result;
+pub mod value;
+
+pub use catalog::{Catalog, ColumnDef, DataType, ForeignKey, TableSchema};
+pub use db::Database;
+pub use error::EngineError;
+pub use exec::{execute, execute_sql};
+pub use explain::{explain, explain_sql};
+pub use result::ResultSet;
+pub use value::{like_match, Value};

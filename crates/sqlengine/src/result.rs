@@ -1,0 +1,201 @@
+//! Query results and the execution-match comparison used by the EX
+//! metric.
+
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A query result: column names plus rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+    /// True when the producing query had a top-level ORDER BY, in which
+    /// case row order is semantically meaningful.
+    pub ordered: bool,
+}
+
+impl ResultSet {
+    pub fn new(columns: Vec<String>) -> Self {
+        ResultSet {
+            columns,
+            rows: Vec::new(),
+            ordered: false,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Execution match ("EX", result matching): true when both results
+    /// contain the same bag of rows. Row order is compared only when
+    /// *both* queries declared an ordering; column names are ignored, as
+    /// in the paper's exact execution matching.
+    pub fn matches(&self, other: &ResultSet) -> bool {
+        if self.columns.len() != other.columns.len() {
+            return false;
+        }
+        if self.rows.len() != other.rows.len() {
+            return false;
+        }
+        if self.ordered && other.ordered {
+            self.rows
+                .iter()
+                .zip(&other.rows)
+                .all(|(a, b)| rows_equal(a, b))
+        } else {
+            let mut a = self.rows.clone();
+            let mut b = other.rows.clone();
+            canonical_sort(&mut a);
+            canonical_sort(&mut b);
+            a.iter().zip(&b).all(|(x, y)| rows_equal(x, y))
+        }
+    }
+}
+
+impl fmt::Display for ResultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Value equality for result comparison: NULLs compare equal, numbers
+/// compare with a small tolerance so `avg` results from different plans
+/// agree.
+fn values_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (Value::Text(x), Value::Text(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => {
+                let scale = x.abs().max(y.abs()).max(1.0);
+                (x - y).abs() <= 1e-9 * scale
+            }
+            _ => false,
+        },
+    }
+}
+
+fn rows_equal(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| values_equal(x, y))
+}
+
+fn canonical_sort(rows: &mut [Vec<Value>]) {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b.iter()) {
+            match x.total_cmp(y) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        a.len().cmp(&b.len())
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(rows: Vec<Vec<Value>>, ordered: bool) -> ResultSet {
+        let cols = (0..rows.first().map_or(1, |r| r.len()))
+            .map(|i| format!("c{i}"))
+            .collect();
+        ResultSet {
+            columns: cols,
+            rows,
+            ordered,
+        }
+    }
+
+    #[test]
+    fn bag_equality_ignores_order() {
+        let a = rs(vec![vec![Value::Int(1)], vec![Value::Int(2)]], false);
+        let b = rs(vec![vec![Value::Int(2)], vec![Value::Int(1)]], false);
+        assert!(a.matches(&b));
+    }
+
+    #[test]
+    fn bag_equality_respects_multiplicity() {
+        let a = rs(
+            vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+            false,
+        );
+        let b = rs(
+            vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(2)]],
+            false,
+        );
+        assert!(!a.matches(&b));
+    }
+
+    #[test]
+    fn ordered_comparison_when_both_ordered() {
+        let a = rs(vec![vec![Value::Int(1)], vec![Value::Int(2)]], true);
+        let b = rs(vec![vec![Value::Int(2)], vec![Value::Int(1)]], true);
+        assert!(!a.matches(&b));
+        let c = rs(vec![vec![Value::Int(1)], vec![Value::Int(2)]], true);
+        assert!(a.matches(&c));
+    }
+
+    #[test]
+    fn one_sided_ordering_falls_back_to_bags() {
+        let a = rs(vec![vec![Value::Int(1)], vec![Value::Int(2)]], true);
+        let b = rs(vec![vec![Value::Int(2)], vec![Value::Int(1)]], false);
+        assert!(a.matches(&b));
+    }
+
+    #[test]
+    fn column_names_ignored_but_width_checked() {
+        let mut a = rs(vec![vec![Value::Int(1)]], false);
+        a.columns = vec!["x".into()];
+        let mut b = rs(vec![vec![Value::Int(1)]], false);
+        b.columns = vec!["y".into()];
+        assert!(a.matches(&b));
+        let c = rs(vec![vec![Value::Int(1), Value::Int(2)]], false);
+        assert!(!a.matches(&c));
+    }
+
+    #[test]
+    fn numeric_tolerance_and_cross_type() {
+        let a = rs(vec![vec![Value::Float(0.3333333333333333)]], false);
+        let b = rs(vec![vec![Value::Float(0.33333333333333337)]], false);
+        assert!(a.matches(&b));
+        let c = rs(vec![vec![Value::Int(2)]], false);
+        let d = rs(vec![vec![Value::Float(2.0)]], false);
+        assert!(c.matches(&d));
+    }
+
+    #[test]
+    fn nulls_compare_equal_in_results() {
+        let a = rs(vec![vec![Value::Null]], false);
+        let b = rs(vec![vec![Value::Null]], false);
+        assert!(a.matches(&b));
+        let c = rs(vec![vec![Value::Int(0)]], false);
+        assert!(!a.matches(&c));
+    }
+
+    #[test]
+    fn row_count_mismatch_fails_fast() {
+        let a = rs(vec![vec![Value::Int(1)]], false);
+        let b = rs(vec![vec![Value::Int(1)], vec![Value::Int(1)]], false);
+        assert!(!a.matches(&b));
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let a = rs(vec![vec![Value::Int(1), Value::text("x")]], false);
+        let s = a.to_string();
+        assert!(s.contains("c0 | c1"));
+        assert!(s.contains("1 | x"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Runtime values and SQL comparison semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A runtime SQL value.
+///
+/// Dates are stored as ISO-8601 text (`YYYY-MM-DD`), which makes
+/// lexicographic and SQL comparison coincide — the same convention
+/// SQLite's text affinity uses and sufficient for the benchmark queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Text(String),
+}
+
+impl Value {
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view for arithmetic and cross-type comparison.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// SQL equality: `None` when either side is NULL (unknown).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Bool(a), Value::Bool(b)) => Some(a == b),
+            (Value::Text(a), Value::Text(b)) => Some(a == b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Some(x == y),
+                // Mixed incomparable types (e.g. Bool vs Text) are simply
+                // unequal, mirroring lenient engines rather than erroring.
+                _ => Some(false),
+            },
+        }
+    }
+
+    /// SQL ordering comparison: `None` when either side is NULL or the
+    /// types are not order-comparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y),
+                _ => None,
+            },
+        }
+    }
+
+    /// Total order used for ORDER BY, grouping keys, and result
+    /// canonicalization: NULL first, then booleans, numbers, text.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Text(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (a, b) if rank(a) == 2 && rank(b) == 2 => {
+                let x = a.as_f64().unwrap();
+                let y = b.as_f64().unwrap();
+                x.total_cmp(&y)
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Equality under the total order (used for grouping and DISTINCT,
+    /// where NULLs compare equal to each other).
+    pub fn group_eq(&self, other: &Value) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+
+    /// Truthiness in a WHERE/HAVING context (three-valued: NULL is not
+    /// true).
+    pub fn is_true(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{}", if *b { "True" } else { "False" }),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+/// SQL `LIKE` pattern matching (`%` = any run, `_` = any single char).
+/// Matching is case-sensitive, as in PostgreSQL.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some(('%', rest)) => {
+                (0..=t.len()).any(|k| rec(&t[k..], rest))
+            }
+            Some(('_', rest)) => match t.split_first() {
+                Some((_, t_rest)) => rec(t_rest, rest),
+                None => false,
+            },
+            Some((c, rest)) => match t.split_first() {
+                Some((tc, t_rest)) if tc == c => rec(t_rest, rest),
+                _ => false,
+            },
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&t, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_eq_null_is_unknown() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_eq_cross_numeric() {
+        assert_eq!(Value::Int(1).sql_eq(&Value::Float(1.0)), Some(true));
+        assert_eq!(Value::Int(1).sql_eq(&Value::Float(1.5)), Some(false));
+    }
+
+    #[test]
+    fn sql_eq_mismatched_types_unequal() {
+        assert_eq!(
+            Value::Bool(true).sql_eq(&Value::text("true")),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn sql_cmp_text_lexicographic() {
+        assert_eq!(
+            Value::text("2014-07-08").sql_cmp(&Value::text("2014-07-13")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn total_cmp_ranks_types() {
+        let mut vals = [
+            Value::text("a"),
+            Value::Int(3),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(1.5),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(matches!(vals[0], Value::Null));
+        assert!(matches!(vals[1], Value::Bool(true)));
+        assert!(matches!(vals[4], Value::Text(_)));
+    }
+
+    #[test]
+    fn total_cmp_mixes_int_float() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+    }
+
+    #[test]
+    fn group_eq_nulls_group_together() {
+        assert!(Value::Null.group_eq(&Value::Null));
+        assert!(!Value::Null.group_eq(&Value::Int(0)));
+    }
+
+    #[test]
+    fn like_basic() {
+        assert!(like_match("Brazil", "Bra%"));
+        assert!(like_match("Brazil", "%zil"));
+        assert!(like_match("Brazil", "%raz%"));
+        assert!(like_match("Brazil", "B_azil"));
+        assert!(!like_match("Brazil", "bra%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+    }
+
+    #[test]
+    fn like_multiple_percents() {
+        assert!(like_match("abcdef", "%b%e%"));
+        assert!(!like_match("abcdef", "%e%b%"));
+    }
+
+    #[test]
+    fn display_bools_match_dataset_convention() {
+        // The v3 schema stores booleans as 'True'/'False' text; Display
+        // keeps the same convention so values round-trip.
+        assert_eq!(Value::Bool(true).to_string(), "True");
+    }
+}

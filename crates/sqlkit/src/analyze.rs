@@ -1,0 +1,305 @@
+//! Query-characteristics analysis.
+//!
+//! Computes the per-query statistics the paper reports in Table 3 and uses
+//! for the Figure 8 breakdowns: number of joins, projections, filters,
+//! aggregations, set operations, and subqueries, plus query length in
+//! characters and tokens.
+
+use crate::ast::*;
+use crate::lexer::token_count;
+use crate::printer::to_sql;
+
+/// Characteristics of one SQL query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Join count: explicit `JOIN` clauses plus implicit comma joins,
+    /// summed over every `SELECT` in the query (set-operation arms and
+    /// subqueries included).
+    pub joins: usize,
+    /// Projection count of the output-defining (leftmost) `SELECT`.
+    pub projections: usize,
+    /// Atomic predicates in `WHERE` and `HAVING` clauses over all
+    /// `SELECT`s (leaves of the AND/OR tree).
+    pub filters: usize,
+    /// Aggregate function calls over all `SELECT`s and `ORDER BY`.
+    pub aggregations: usize,
+    /// Set-operation nodes (`UNION`/`INTERSECT`/`EXCEPT`), including those
+    /// inside subqueries.
+    pub set_ops: usize,
+    /// Nested subqueries: expression subqueries and derived tables.
+    pub subqueries: usize,
+    /// Query length in characters of the canonical rendering.
+    pub chars: usize,
+    /// Query length in SQL tokens.
+    pub tokens: usize,
+}
+
+/// Computes [`QueryStats`] for a parsed query.
+pub fn analyze(query: &Query) -> QueryStats {
+    let mut stats = QueryStats::default();
+
+    query.visit_selects(&mut |s| {
+        let tables = s.from.len() + s.joins.len();
+        stats.joins += s.joins.len() + s.from.len().saturating_sub(1);
+        // A single-table select contributes no joins even with commas.
+        let _ = tables;
+        if let Some(w) = &s.where_clause {
+            stats.filters += count_predicate_leaves(w);
+        }
+        if let Some(h) = &s.having {
+            stats.filters += count_predicate_leaves(h);
+        }
+        for item in &s.projections {
+            if let SelectItem::Expr { expr, .. } = item {
+                stats.aggregations += count_aggs(expr);
+            }
+        }
+        if let Some(h) = &s.having {
+            stats.aggregations += count_aggs(h);
+        }
+    });
+
+    // Set operations: count over the whole query tree, including nested
+    // queries.
+    stats.set_ops += query.body.set_op_count();
+    let mut sub = 0usize;
+    let mut set_in_subs = 0usize;
+    count_subqueries(query, &mut sub, &mut set_in_subs);
+    stats.subqueries = sub;
+    stats.set_ops += set_in_subs;
+
+    stats.projections = query.leftmost_select().projections.len();
+    for item in &query.order_by {
+        stats.aggregations += count_aggs(&item.expr);
+    }
+
+    let sql = to_sql(query);
+    stats.chars = sql.chars().count();
+    stats.tokens = token_count(&sql);
+    stats
+}
+
+/// Parses and analyzes SQL text; falls back to zeroed stats with raw
+/// lengths if the text cannot be parsed.
+pub fn analyze_sql(sql: &str) -> QueryStats {
+    match crate::parser::parse_query(sql) {
+        Ok(q) => analyze(&q),
+        Err(_) => QueryStats {
+            chars: sql.chars().count(),
+            tokens: token_count(sql),
+            ..QueryStats::default()
+        },
+    }
+}
+
+fn count_subqueries(query: &Query, subs: &mut usize, set_ops: &mut usize) {
+    query.visit_subqueries(&mut |q| {
+        *subs += 1;
+        *set_ops += q.body.set_op_count();
+    });
+}
+
+/// Counts atomic predicates: leaves of the AND/OR tree that are not
+/// themselves conjunctions/disjunctions.
+pub fn count_predicate_leaves(e: &Expr) -> usize {
+    match e {
+        Expr::Binary {
+            left,
+            op: BinOp::And | BinOp::Or,
+            right,
+        } => count_predicate_leaves(left) + count_predicate_leaves(right),
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => count_predicate_leaves(expr),
+        _ => 1,
+    }
+}
+
+/// Counts `OR` connectives in a boolean expression.
+pub fn count_or(e: &Expr) -> usize {
+    let mut n = 0;
+    e.visit(&mut |x| {
+        if matches!(
+            x,
+            Expr::Binary {
+                op: BinOp::Or,
+                ..
+            }
+        ) {
+            n += 1;
+        }
+    });
+    n
+}
+
+/// Counts `LIKE`/`NOT LIKE` predicates in a boolean expression.
+pub fn count_like(e: &Expr) -> usize {
+    let mut n = 0;
+    e.visit(&mut |x| {
+        if matches!(
+            x,
+            Expr::Binary {
+                op: BinOp::Like | BinOp::NotLike,
+                ..
+            }
+        ) {
+            n += 1;
+        }
+    });
+    n
+}
+
+/// Counts aggregate calls in an expression (not descending into
+/// subqueries).
+pub fn count_aggs(e: &Expr) -> usize {
+    let mut n = 0;
+    e.visit(&mut |x| {
+        if matches!(x, Expr::Agg { .. }) {
+            n += 1;
+        }
+    });
+    n
+}
+
+/// Aggregated means over a set of queries, mirroring Table 3's rows.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MeanStats {
+    pub joins: f64,
+    pub projections: f64,
+    pub filters: f64,
+    pub aggregations: f64,
+    pub set_ops: f64,
+    pub subqueries: f64,
+    pub chars: f64,
+    pub tokens: f64,
+}
+
+/// Computes mean characteristics over a slice of per-query stats.
+pub fn mean_stats(stats: &[QueryStats]) -> MeanStats {
+    if stats.is_empty() {
+        return MeanStats::default();
+    }
+    let n = stats.len() as f64;
+    MeanStats {
+        joins: stats.iter().map(|s| s.joins as f64).sum::<f64>() / n,
+        projections: stats.iter().map(|s| s.projections as f64).sum::<f64>() / n,
+        filters: stats.iter().map(|s| s.filters as f64).sum::<f64>() / n,
+        aggregations: stats.iter().map(|s| s.aggregations as f64).sum::<f64>() / n,
+        set_ops: stats.iter().map(|s| s.set_ops as f64).sum::<f64>() / n,
+        subqueries: stats.iter().map(|s| s.subqueries as f64).sum::<f64>() / n,
+        chars: stats.iter().map(|s| s.chars as f64).sum::<f64>() / n,
+        tokens: stats.iter().map(|s| s.tokens as f64).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn stats(sql: &str) -> QueryStats {
+        analyze(&parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn counts_simple_query() {
+        let s = stats("SELECT a FROM t WHERE x = 1");
+        assert_eq!(s.joins, 0);
+        assert_eq!(s.projections, 1);
+        assert_eq!(s.filters, 1);
+        assert_eq!(s.aggregations, 0);
+        assert_eq!(s.set_ops, 0);
+        assert_eq!(s.subqueries, 0);
+    }
+
+    #[test]
+    fn counts_joins_explicit_and_comma() {
+        let s = stats("SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y");
+        assert_eq!(s.joins, 2);
+        let s = stats("SELECT * FROM a, b WHERE a.x = b.x");
+        assert_eq!(s.joins, 1);
+        // The comma-join equality also counts as a filter predicate.
+        assert_eq!(s.filters, 1);
+    }
+
+    #[test]
+    fn counts_filters_through_and_or() {
+        let s = stats("SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3) AND d LIKE '%x%'");
+        assert_eq!(s.filters, 4);
+    }
+
+    #[test]
+    fn counts_having_as_filter() {
+        let s = stats("SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2");
+        assert_eq!(s.filters, 1);
+        // count(*) appears once in the projection and once in HAVING.
+        assert_eq!(s.aggregations, 2);
+    }
+
+    #[test]
+    fn counts_set_ops_per_node() {
+        let s = stats("SELECT a FROM t UNION SELECT a FROM u");
+        assert_eq!(s.set_ops, 1);
+        // Joins are summed over both arms.
+        let s = stats(
+            "SELECT a FROM t JOIN x ON t.i = x.i UNION SELECT a FROM u JOIN y ON u.i = y.i",
+        );
+        assert_eq!(s.joins, 2);
+    }
+
+    #[test]
+    fn counts_subqueries() {
+        let s = stats("SELECT * FROM t WHERE x IN (SELECT y FROM u)");
+        assert_eq!(s.subqueries, 1);
+        let s = stats("SELECT n FROM (SELECT count(*) AS n FROM t) AS d WHERE n > 1");
+        assert_eq!(s.subqueries, 1);
+        let s = stats("SELECT * FROM t WHERE g = (SELECT max(g) FROM t)");
+        assert_eq!(s.subqueries, 1);
+    }
+
+    #[test]
+    fn projections_use_leftmost_select() {
+        let s = stats("SELECT a, b FROM t UNION SELECT c, d FROM u");
+        assert_eq!(s.projections, 2);
+    }
+
+    #[test]
+    fn lengths_are_positive() {
+        let s = stats("SELECT a FROM t");
+        assert!(s.chars >= 15);
+        assert_eq!(s.tokens, 4);
+    }
+
+    #[test]
+    fn analyze_sql_tolerates_garbage() {
+        let s = analyze_sql("THIS IS NOT SQL !!!");
+        assert_eq!(s.joins, 0);
+        assert!(s.chars > 0);
+    }
+
+    #[test]
+    fn mean_stats_averages() {
+        let a = stats("SELECT a FROM t WHERE x = 1");
+        let b = stats("SELECT a, b FROM t JOIN u ON t.i = u.i WHERE x = 1 AND y = 2");
+        let m = mean_stats(&[a, b]);
+        assert!((m.joins - 0.5).abs() < 1e-9);
+        assert!((m.projections - 1.5).abs() < 1e-9);
+        assert!((m.filters - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_stats_empty_is_zero() {
+        let m = mean_stats(&[]);
+        assert_eq!(m.joins, 0.0);
+    }
+
+    #[test]
+    fn count_or_and_like_helpers() {
+        let q = parse_query("SELECT * FROM t WHERE a = 1 OR b LIKE 'x%' OR c NOT LIKE 'y%'")
+            .unwrap();
+        let w = q.leftmost_select().where_clause.as_ref().unwrap();
+        assert_eq!(count_or(w), 2);
+        assert_eq!(count_like(w), 2);
+    }
+}

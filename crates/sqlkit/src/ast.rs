@@ -1,0 +1,733 @@
+//! Abstract syntax tree for the SQL subset used by the FootballDB
+//! benchmark.
+//!
+//! The subset covers everything observed in the paper's gold queries:
+//! multi-table joins with aliases, WHERE/GROUP BY/HAVING/ORDER BY/LIMIT,
+//! aggregate functions, set operations (`UNION [ALL]`, `INTERSECT`,
+//! `EXCEPT`), `IN`/`EXISTS`/scalar subqueries, `BETWEEN`, `LIKE`, and `IS
+//! [NOT] NULL`.
+
+use std::fmt;
+
+/// A full query: a body (plain select or a set-operation tree) plus the
+/// trailing `ORDER BY` / `LIMIT` that apply to the whole body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub body: QueryBody,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// Wraps a bare `SELECT` into a query with no outer ordering/limit.
+    pub fn select(select: Select) -> Self {
+        Query {
+            body: QueryBody::Select(select),
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// The leftmost `SELECT` of the body (the one that determines output
+    /// column names).
+    pub fn leftmost_select(&self) -> &Select {
+        self.body.leftmost_select()
+    }
+
+    /// Visits every `SELECT` in this query, including set-operation arms
+    /// and subqueries nested in expressions and FROM clauses.
+    pub fn visit_selects<'a>(&'a self, f: &mut impl FnMut(&'a Select)) {
+        self.body.visit_selects(f);
+    }
+
+    /// Visits every sub-`Query` strictly nested inside this one (derived
+    /// tables and expression subqueries), not the query itself and not
+    /// set-operation arms.
+    pub fn visit_subqueries<'a>(&'a self, f: &mut impl FnMut(&'a Query)) {
+        self.body.visit_subqueries(f);
+    }
+}
+
+/// The body of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryBody {
+    Select(Select),
+    SetOp {
+        op: SetOp,
+        all: bool,
+        left: Box<QueryBody>,
+        right: Box<QueryBody>,
+    },
+}
+
+impl QueryBody {
+    pub fn leftmost_select(&self) -> &Select {
+        match self {
+            QueryBody::Select(s) => s,
+            QueryBody::SetOp { left, .. } => left.leftmost_select(),
+        }
+    }
+
+    pub fn visit_selects<'a>(&'a self, f: &mut impl FnMut(&'a Select)) {
+        match self {
+            QueryBody::Select(s) => {
+                f(s);
+                s.visit_nested_queries(&mut |q| q.body.visit_selects(f));
+            }
+            QueryBody::SetOp { left, right, .. } => {
+                left.visit_selects(f);
+                right.visit_selects(f);
+            }
+        }
+    }
+
+    pub fn visit_subqueries<'a>(&'a self, f: &mut impl FnMut(&'a Query)) {
+        match self {
+            QueryBody::Select(s) => s.visit_nested_queries(&mut |q| {
+                f(q);
+                q.visit_subqueries(f);
+            }),
+            QueryBody::SetOp { left, right, .. } => {
+                left.visit_subqueries(f);
+                right.visit_subqueries(f);
+            }
+        }
+    }
+
+    /// Number of set-operation nodes in the body tree (not counting
+    /// subqueries).
+    pub fn set_op_count(&self) -> usize {
+        match self {
+            QueryBody::Select(_) => 0,
+            QueryBody::SetOp { left, right, .. } => {
+                1 + left.set_op_count() + right.set_op_count()
+            }
+        }
+    }
+}
+
+/// Set operations between query arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetOp {
+    Union,
+    Intersect,
+    Except,
+}
+
+impl fmt::Display for SetOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SetOp::Union => "UNION",
+            SetOp::Intersect => "INTERSECT",
+            SetOp::Except => "EXCEPT",
+        })
+    }
+}
+
+/// A single `SELECT ... FROM ... [WHERE] [GROUP BY] [HAVING]` block.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Select {
+    pub distinct: bool,
+    pub projections: Vec<SelectItem>,
+    /// Comma-separated FROM items; the usual case is a single item followed
+    /// by explicit `JOIN`s.
+    pub from: Vec<TableRef>,
+    pub joins: Vec<Join>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+}
+
+impl Select {
+    /// All table references in FROM order: comma items then join targets.
+    pub fn table_refs(&self) -> impl Iterator<Item = &TableRef> {
+        self.from.iter().chain(self.joins.iter().map(|j| &j.table))
+    }
+
+    /// Visits queries nested directly inside this select (derived tables
+    /// and expression subqueries), without recursing into them.
+    pub fn visit_nested_queries<'a>(&'a self, f: &mut impl FnMut(&'a Query)) {
+        for t in self.table_refs() {
+            if let TableRef::Derived { query, .. } = t {
+                f(query);
+            }
+        }
+        let mut visit_expr = |e: &'a Expr| e.visit_queries(f);
+        for item in &self.projections {
+            if let SelectItem::Expr { expr, .. } = item {
+                visit_expr(expr);
+            }
+        }
+        for j in &self.joins {
+            if let Some(on) = &j.on {
+                visit_expr(on);
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            visit_expr(w);
+        }
+        for g in &self.group_by {
+            visit_expr(g);
+        }
+        if let Some(h) = &self.having {
+            visit_expr(h);
+        }
+    }
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `t.*`
+    QualifiedWildcard(String),
+    /// `expr [AS alias]`
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A table reference in FROM or JOIN.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// `name [AS alias]`
+    Named { name: String, alias: Option<String> },
+    /// `(subquery) AS alias`
+    Derived { query: Box<Query>, alias: String },
+}
+
+impl TableRef {
+    /// The name this reference is known by in the enclosing scope.
+    pub fn binding(&self) -> &str {
+        match self {
+            TableRef::Named { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Derived { alias, .. } => alias,
+        }
+    }
+
+    /// The underlying base-table name, if any.
+    pub fn base_table(&self) -> Option<&str> {
+        match self {
+            TableRef::Named { name, .. } => Some(name),
+            TableRef::Derived { .. } => None,
+        }
+    }
+}
+
+/// Join kinds. The benchmark queries use inner and left joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum JoinKind {
+    #[default]
+    Inner,
+    Left,
+}
+
+impl fmt::Display for JoinKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JoinKind::Inner => "JOIN",
+            JoinKind::Left => "LEFT JOIN",
+        })
+    }
+}
+
+/// An explicit `JOIN <table> ON <predicate>` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub kind: JoinKind,
+    pub table: TableRef,
+    pub on: Option<Expr>,
+}
+
+/// `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        })
+    }
+}
+
+impl AggFunc {
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+/// Binary operators in increasing precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Neq,
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+    Like,
+    NotLike,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinOp {
+    /// True for operators that produce booleans from comparisons.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq
+                | BinOp::Neq
+                | BinOp::Lt
+                | BinOp::Lte
+                | BinOp::Gt
+                | BinOp::Gte
+                | BinOp::Like
+                | BinOp::NotLike
+        )
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Or => "OR",
+            BinOp::And => "AND",
+            BinOp::Eq => "=",
+            BinOp::Neq => "!=",
+            BinOp::Lt => "<",
+            BinOp::Lte => "<=",
+            BinOp::Gt => ">",
+            BinOp::Gte => ">=",
+            BinOp::Like => "LIKE",
+            BinOp::NotLike => "NOT LIKE",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        })
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+/// A column reference, optionally qualified by table binding.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    pub table: Option<String>,
+    pub column: String,
+}
+
+impl ColumnRef {
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Column(ColumnRef),
+    Literal(Lit),
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        left: Box<Expr>,
+        op: BinOp,
+        right: Box<Expr>,
+    },
+    /// Aggregate call; `arg == None` means `COUNT(*)`.
+    Agg {
+        func: AggFunc,
+        distinct: bool,
+        arg: Option<Box<Expr>>,
+    },
+    /// Scalar function call (e.g. `lower(x)`).
+    Func {
+        name: String,
+        args: Vec<Expr>,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    InSubquery {
+        expr: Box<Expr>,
+        query: Box<Query>,
+        negated: bool,
+    },
+    Exists {
+        query: Box<Query>,
+        negated: bool,
+    },
+    ScalarSubquery(Box<Query>),
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience constructors used heavily by generators and tests.
+    pub fn col(table: &str, column: &str) -> Expr {
+        Expr::Column(ColumnRef::new(table, column))
+    }
+
+    pub fn bare_col(column: &str) -> Expr {
+        Expr::Column(ColumnRef::bare(column))
+    }
+
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Lit::Int(v))
+    }
+
+    pub fn text(v: impl Into<String>) -> Expr {
+        Expr::Literal(Lit::Str(v.into()))
+    }
+
+    pub fn boolean(v: bool) -> Expr {
+        Expr::Literal(Lit::Bool(v))
+    }
+
+    pub fn binary(left: Expr, op: BinOp, right: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    pub fn eq(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinOp::Eq, right)
+    }
+
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinOp::And, right)
+    }
+
+    pub fn or(left: Expr, right: Expr) -> Expr {
+        Expr::binary(left, BinOp::Or, right)
+    }
+
+    pub fn count_star() -> Expr {
+        Expr::Agg {
+            func: AggFunc::Count,
+            distinct: false,
+            arg: None,
+        }
+    }
+
+    pub fn agg(func: AggFunc, arg: Expr) -> Expr {
+        Expr::Agg {
+            func,
+            distinct: false,
+            arg: Some(Box::new(arg)),
+        }
+    }
+
+    /// Depth-first visit of every expression node in this subtree,
+    /// including arguments but not descending into subqueries.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Column(_) | Expr::Literal(_) => {}
+            Expr::Unary { expr, .. } => expr.visit(f),
+            Expr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.visit(f);
+                }
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.visit(f);
+                for e in list {
+                    e.visit(f);
+                }
+            }
+            Expr::InSubquery { expr, .. } => expr.visit(f),
+            Expr::Exists { .. } => {}
+            Expr::ScalarSubquery(_) => {}
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.visit(f);
+                low.visit(f);
+                high.visit(f);
+            }
+            Expr::IsNull { expr, .. } => expr.visit(f),
+        }
+    }
+
+    /// Visits every subquery directly referenced by this expression tree.
+    pub fn visit_queries<'a>(&'a self, f: &mut impl FnMut(&'a Query)) {
+        let mut stack = vec![self];
+        while let Some(e) = stack.pop() {
+            match e {
+                Expr::Column(_) | Expr::Literal(_) => {}
+                Expr::Unary { expr, .. } => stack.push(expr),
+                Expr::Binary { left, right, .. } => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+                Expr::Agg { arg, .. } => {
+                    if let Some(a) = arg {
+                        stack.push(a);
+                    }
+                }
+                Expr::Func { args, .. } => stack.extend(args.iter()),
+                Expr::InList { expr, list, .. } => {
+                    stack.push(expr);
+                    stack.extend(list.iter());
+                }
+                Expr::InSubquery { expr, query, .. } => {
+                    stack.push(expr);
+                    f(query);
+                }
+                Expr::Exists { query, .. } => f(query),
+                Expr::ScalarSubquery(query) => f(query),
+                Expr::Between {
+                    expr, low, high, ..
+                } => {
+                    stack.push(expr);
+                    stack.push(low);
+                    stack.push(high);
+                }
+                Expr::IsNull { expr, .. } => stack.push(expr),
+            }
+        }
+    }
+
+    /// True if this expression contains an aggregate call (not looking
+    /// inside subqueries).
+    pub fn contains_aggregate(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Agg { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Splits a conjunction into its AND-ed conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::Binary {
+                    left,
+                    op: BinOp::And,
+                    right,
+                } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_select() -> Select {
+        Select {
+            distinct: false,
+            projections: vec![SelectItem::Expr {
+                expr: Expr::count_star(),
+                alias: None,
+            }],
+            from: vec![TableRef::Named {
+                name: "match".into(),
+                alias: Some("T1".into()),
+            }],
+            joins: vec![Join {
+                kind: JoinKind::Inner,
+                table: TableRef::Named {
+                    name: "national_team".into(),
+                    alias: Some("T2".into()),
+                },
+                on: Some(Expr::eq(Expr::col("T1", "team_id"), Expr::col("T2", "team_id"))),
+            }],
+            where_clause: Some(Expr::eq(
+                Expr::col("T2", "teamname"),
+                Expr::text("England"),
+            )),
+            group_by: vec![],
+            having: None,
+        }
+    }
+
+    #[test]
+    fn table_refs_include_joins() {
+        let s = sample_select();
+        let names: Vec<&str> = s.table_refs().filter_map(|t| t.base_table()).collect();
+        assert_eq!(names, ["match", "national_team"]);
+    }
+
+    #[test]
+    fn binding_prefers_alias() {
+        let t = TableRef::Named {
+            name: "player".into(),
+            alias: Some("p".into()),
+        };
+        assert_eq!(t.binding(), "p");
+        let t2 = TableRef::Named {
+            name: "player".into(),
+            alias: None,
+        };
+        assert_eq!(t2.binding(), "player");
+    }
+
+    #[test]
+    fn conjuncts_split_ands_only() {
+        let e = Expr::and(
+            Expr::eq(Expr::bare_col("a"), Expr::int(1)),
+            Expr::or(
+                Expr::eq(Expr::bare_col("b"), Expr::int(2)),
+                Expr::eq(Expr::bare_col("c"), Expr::int(3)),
+            ),
+        );
+        assert_eq!(e.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn contains_aggregate_detects_nested() {
+        let e = Expr::binary(
+            Expr::agg(AggFunc::Sum, Expr::bare_col("goals")),
+            BinOp::Gt,
+            Expr::int(3),
+        );
+        assert!(e.contains_aggregate());
+        assert!(!Expr::bare_col("x").contains_aggregate());
+    }
+
+    #[test]
+    fn set_op_count_counts_tree() {
+        let s = sample_select();
+        let body = QueryBody::SetOp {
+            op: SetOp::Union,
+            all: false,
+            left: Box::new(QueryBody::Select(s.clone())),
+            right: Box::new(QueryBody::SetOp {
+                op: SetOp::Union,
+                all: false,
+                left: Box::new(QueryBody::Select(s.clone())),
+                right: Box::new(QueryBody::Select(s)),
+            }),
+        };
+        assert_eq!(body.set_op_count(), 2);
+    }
+
+    #[test]
+    fn visit_selects_descends_into_subqueries() {
+        let inner = Query::select(sample_select());
+        let mut outer = sample_select();
+        outer.where_clause = Some(Expr::InSubquery {
+            expr: Box::new(Expr::bare_col("team_id")),
+            query: Box::new(inner),
+            negated: false,
+        });
+        let q = Query::select(outer);
+        let mut n = 0;
+        q.visit_selects(&mut |_| n += 1);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn visit_subqueries_counts_nested_only() {
+        let inner = Query::select(sample_select());
+        let mut outer = sample_select();
+        outer.where_clause = Some(Expr::Exists {
+            query: Box::new(inner),
+            negated: false,
+        });
+        let q = Query::select(outer);
+        let mut n = 0;
+        q.visit_subqueries(&mut |_| n += 1);
+        assert_eq!(n, 1);
+    }
+}

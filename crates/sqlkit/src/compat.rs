@@ -1,0 +1,191 @@
+//! Spider-parser / SemQL compatibility checking.
+//!
+//! Many classic Text-to-SQL systems (IRNet, ValueNet, RAT-SQL) run their
+//! gold and predicted queries through the Spider SQL parser during
+//! pre-processing and through a SemQL-style intermediate representation
+//! during post-processing. Both stages reject query shapes that the
+//! FootballDB deployment hit in practice (Sections 5.1–5.2 of the paper):
+//!
+//! * the Spider parser does not support multiple instances of the same
+//!   table under different aliases within one `SELECT`;
+//! * SemQL has no representation for derived tables (`FROM (SELECT …)`);
+//! * the shortest-join-path algorithm only supports a *single* PK/FK
+//!   reference between any two tables (checked separately in the
+//!   `textosql` crate, where schema information is available).
+//!
+//! This module implements the schema-independent checks.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A reason why the Spider parser / SemQL pipeline rejects a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompatIssue {
+    /// One `SELECT` references the same base table more than once (e.g.
+    /// `national_team AS T2 … JOIN national_team AS T3`).
+    RepeatedTableInstance { table: String, count: usize },
+    /// A derived table (`FROM (SELECT …) AS x`) appears somewhere.
+    DerivedTable,
+    /// `SELECT` without a `FROM` clause (constant queries), which the
+    /// Spider grammar has no production for.
+    MissingFrom,
+}
+
+impl fmt::Display for CompatIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompatIssue::RepeatedTableInstance { table, count } => write!(
+                f,
+                "table {table:?} instantiated {count} times in one SELECT"
+            ),
+            CompatIssue::DerivedTable => f.write_str("derived table in FROM clause"),
+            CompatIssue::MissingFrom => f.write_str("SELECT without FROM clause"),
+        }
+    }
+}
+
+/// Collects every compatibility issue in the query (set-operation arms and
+/// subqueries included).
+pub fn issues(query: &Query) -> Vec<CompatIssue> {
+    let mut out = Vec::new();
+    query.visit_selects(&mut |s| {
+        if s.from.is_empty() {
+            out.push(CompatIssue::MissingFrom);
+        }
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for t in s.table_refs() {
+            match t {
+                TableRef::Named { name, .. } => {
+                    *counts.entry(name.as_str()).or_insert(0) += 1;
+                }
+                TableRef::Derived { .. } => out.push(CompatIssue::DerivedTable),
+            }
+        }
+        let mut repeated: Vec<(&str, usize)> =
+            counts.into_iter().filter(|(_, c)| *c > 1).collect();
+        repeated.sort_unstable();
+        for (table, count) in repeated {
+            out.push(CompatIssue::RepeatedTableInstance {
+                table: table.to_string(),
+                count,
+            });
+        }
+    });
+    out
+}
+
+/// Returns `Ok(())` when the Spider parser pipeline can process the query,
+/// or the first issue otherwise.
+pub fn check(query: &Query) -> Result<(), CompatIssue> {
+    match issues(query).into_iter().next() {
+        None => Ok(()),
+        Some(issue) => Err(issue),
+    }
+}
+
+/// Convenience wrapper over SQL text; parse failures count as
+/// incompatible.
+pub fn check_sql(sql: &str) -> Result<(), String> {
+    let q = crate::parser::parse_query(sql).map_err(|e| e.to_string())?;
+    check(&q).map_err(|i| i.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn issues_of(sql: &str) -> Vec<CompatIssue> {
+        issues(&parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn accepts_plain_join_query() {
+        assert!(check_sql(
+            "SELECT T2.teamname FROM match AS T1 \
+             JOIN national_team AS T2 ON T1.home_team_id = T2.team_id"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_repeated_table_instances() {
+        // The Figure 4 v2 failure: national_team joined twice.
+        let iss = issues_of(
+            "SELECT T1.score FROM match AS T1 \
+             JOIN national_team AS T2 ON T1.home_team_id = T2.team_id \
+             JOIN national_team AS T3 ON T1.away_team_id = T3.team_id",
+        );
+        assert_eq!(
+            iss,
+            vec![CompatIssue::RepeatedTableInstance {
+                table: "national_team".into(),
+                count: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn union_arms_checked_independently() {
+        // The v2 UNION workaround: each arm uses the table once, so the
+        // whole query passes.
+        assert!(check_sql(
+            "SELECT a FROM t AS x JOIN u AS y ON x.i = y.i \
+             UNION SELECT a FROM t AS x JOIN u AS y ON x.i = y.i"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_derived_tables() {
+        let iss = issues_of("SELECT n FROM (SELECT count(*) AS n FROM t) AS d");
+        assert!(iss.contains(&CompatIssue::DerivedTable));
+    }
+
+    #[test]
+    fn rejects_missing_from() {
+        let iss = issues_of("SELECT 1");
+        assert_eq!(iss, vec![CompatIssue::MissingFrom]);
+    }
+
+    #[test]
+    fn checks_subqueries_too() {
+        let iss = issues_of(
+            "SELECT * FROM t WHERE x IN \
+             (SELECT a FROM u AS p JOIN u AS q ON p.i = q.j)",
+        );
+        assert!(matches!(
+            iss.as_slice(),
+            [CompatIssue::RepeatedTableInstance { table, count: 2 }] if table == "u"
+        ));
+    }
+
+    #[test]
+    fn self_join_three_instances_reports_count() {
+        let iss = issues_of(
+            "SELECT * FROM t AS a JOIN t AS b ON a.i = b.i JOIN t AS c ON b.i = c.i",
+        );
+        assert_eq!(
+            iss,
+            vec![CompatIssue::RepeatedTableInstance {
+                table: "t".into(),
+                count: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn check_sql_propagates_parse_errors() {
+        assert!(check_sql("not sql").is_err());
+    }
+
+    #[test]
+    fn issue_display_is_informative() {
+        let i = CompatIssue::RepeatedTableInstance {
+            table: "national_team".into(),
+            count: 2,
+        };
+        assert!(i.to_string().contains("national_team"));
+    }
+}

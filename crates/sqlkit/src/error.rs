@@ -1,0 +1,68 @@
+//! Error type shared by the lexer and parser.
+
+use std::fmt;
+
+/// An error produced while lexing or parsing SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// Byte offset into the source where the problem was detected, when
+    /// known.
+    pub offset: Option<usize>,
+    /// Stage that failed.
+    pub stage: Stage,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Which stage of SQL processing produced the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    Lex,
+    Parse,
+}
+
+impl SqlError {
+    pub fn lex(offset: usize, message: impl Into<String>) -> Self {
+        SqlError {
+            offset: Some(offset),
+            stage: Stage::Lex,
+            message: message.into(),
+        }
+    }
+
+    pub fn parse(offset: Option<usize>, message: impl Into<String>) -> Self {
+        SqlError {
+            offset,
+            stage: Stage::Parse,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.stage {
+            Stage::Lex => "lex error",
+            Stage::Parse => "parse error",
+        };
+        match self.offset {
+            Some(o) => write!(f, "{stage} at byte {o}: {}", self.message),
+            None => write!(f, "{stage}: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_stage() {
+        let e = SqlError::lex(3, "bad char");
+        assert_eq!(e.to_string(), "lex error at byte 3: bad char");
+        let e = SqlError::parse(None, "unexpected end");
+        assert_eq!(e.to_string(), "parse error: unexpected end");
+    }
+}

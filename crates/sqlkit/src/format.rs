@@ -1,0 +1,236 @@
+//! Multi-line SQL pretty-printer.
+//!
+//! [`crate::to_sql`] renders canonical single-line SQL (what the systems
+//! exchange); this module renders human-oriented, indented SQL for the
+//! shell, reports, and error messages: one clause per line, joins
+//! aligned under FROM, and set-operation arms separated.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Pretty-prints a query with the given base indentation.
+pub fn format_query(query: &Query) -> String {
+    let mut out = String::with_capacity(256);
+    write_query(&mut out, query, 0);
+    out
+}
+
+/// Parses and pretty-prints SQL text (returns the parse error text on
+/// failure, so callers can always display *something*).
+pub fn format_sql(sql: &str) -> String {
+    match crate::parser::parse_query(sql) {
+        Ok(q) => format_query(&q),
+        Err(e) => format!("-- unparsable: {e}\n{sql}"),
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_query(out: &mut String, q: &Query, indent: usize) {
+    write_body(out, &q.body, indent);
+    if !q.order_by.is_empty() {
+        pad(out, indent);
+        out.push_str("ORDER BY ");
+        for (i, item) in q.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&crate::printer::expr_to_sql(&item.expr));
+            if item.desc {
+                out.push_str(" DESC");
+            }
+        }
+        out.push('\n');
+    }
+    if let Some(n) = q.limit {
+        pad(out, indent);
+        let _ = writeln!(out, "LIMIT {n}");
+    }
+}
+
+fn write_body(out: &mut String, body: &QueryBody, indent: usize) {
+    match body {
+        QueryBody::Select(s) => write_select(out, s, indent),
+        QueryBody::SetOp { op, all, left, right } => {
+            write_body(out, left, indent);
+            pad(out, indent);
+            let _ = write!(out, "{op}");
+            if *all {
+                out.push_str(" ALL");
+            }
+            out.push('\n');
+            write_body(out, right, indent);
+        }
+    }
+}
+
+fn write_select(out: &mut String, s: &Select, indent: usize) {
+    pad(out, indent);
+    out.push_str("SELECT ");
+    if s.distinct {
+        out.push_str("DISTINCT ");
+    }
+    for (i, item) in s.projections.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match item {
+            SelectItem::Wildcard => out.push('*'),
+            SelectItem::QualifiedWildcard(t) => {
+                let _ = write!(out, "{t}.*");
+            }
+            SelectItem::Expr { expr, alias } => {
+                out.push_str(&crate::printer::expr_to_sql(expr));
+                if let Some(a) = alias {
+                    let _ = write!(out, " AS {a}");
+                }
+            }
+        }
+    }
+    out.push('\n');
+    if !s.from.is_empty() {
+        pad(out, indent);
+        out.push_str("FROM ");
+        for (i, t) in s.from.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_table_ref(out, t, indent);
+        }
+        out.push('\n');
+        for j in &s.joins {
+            pad(out, indent);
+            let _ = write!(out, "{} ", j.kind);
+            write_table_ref(out, &j.table, indent);
+            if let Some(on) = &j.on {
+                let _ = write!(out, " ON {}", crate::printer::expr_to_sql(on));
+            }
+            out.push('\n');
+        }
+    }
+    if let Some(w) = &s.where_clause {
+        pad(out, indent);
+        out.push_str("WHERE ");
+        write_condition(out, w, indent);
+        out.push('\n');
+    }
+    if !s.group_by.is_empty() {
+        pad(out, indent);
+        out.push_str("GROUP BY ");
+        let items: Vec<String> = s
+            .group_by
+            .iter()
+            .map(crate::printer::expr_to_sql)
+            .collect();
+        out.push_str(&items.join(", "));
+        out.push('\n');
+    }
+    if let Some(h) = &s.having {
+        pad(out, indent);
+        let _ = writeln!(out, "HAVING {}", crate::printer::expr_to_sql(h));
+    }
+}
+
+/// WHERE conjunctions break across lines with aligned ANDs.
+fn write_condition(out: &mut String, e: &Expr, indent: usize) {
+    let conjuncts = e.conjuncts();
+    for (i, c) in conjuncts.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            pad(out, indent + 1);
+            out.push_str("AND ");
+        }
+        out.push_str(&crate::printer::expr_to_sql(c));
+    }
+}
+
+fn write_table_ref(out: &mut String, t: &TableRef, indent: usize) {
+    match t {
+        TableRef::Named { name, alias } => {
+            out.push_str(name);
+            if let Some(a) = alias {
+                let _ = write!(out, " AS {a}");
+            }
+        }
+        TableRef::Derived { query, alias } => {
+            out.push_str("(\n");
+            write_query(out, query, indent + 1);
+            pad(out, indent);
+            let _ = write!(out, ") AS {alias}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::printer::to_sql;
+
+    #[test]
+    fn formats_clauses_on_separate_lines() {
+        let f = format_sql(
+            "SELECT a, b FROM t AS x JOIN u AS y ON x.i = y.i \
+             WHERE x.c = 1 AND y.d = 2 GROUP BY a HAVING count(*) > 1 \
+             ORDER BY a DESC LIMIT 5",
+        );
+        let lines: Vec<&str> = f.lines().collect();
+        assert!(lines[0].starts_with("SELECT a, b"));
+        assert!(lines.iter().any(|l| l.starts_with("FROM t AS x")));
+        assert!(lines.iter().any(|l| l.starts_with("JOIN u AS y")));
+        assert!(lines.iter().any(|l| l.starts_with("WHERE x.c = 1")));
+        assert!(lines.iter().any(|l| l.trim_start().starts_with("AND y.d = 2")));
+        assert!(lines.iter().any(|l| l.starts_with("GROUP BY a")));
+        assert!(lines.iter().any(|l| l.starts_with("HAVING")));
+        assert!(lines.iter().any(|l| l.starts_with("ORDER BY a DESC")));
+        assert!(lines.iter().any(|l| l.starts_with("LIMIT 5")));
+    }
+
+    #[test]
+    fn formatted_sql_reparses_to_same_ast() {
+        let cases = [
+            "SELECT a FROM t",
+            "SELECT count(*) FROM t WHERE x = 1 AND y LIKE 'a%'",
+            "SELECT a FROM t UNION SELECT b FROM u ORDER BY a LIMIT 2",
+            "SELECT n FROM (SELECT count(*) AS n FROM t GROUP BY x) AS d WHERE n > 1",
+            "SELECT DISTINCT a, max(b) FROM t GROUP BY a HAVING max(b) < 9",
+        ];
+        for sql in cases {
+            let original = parse_query(sql).unwrap();
+            let pretty = format_query(&original);
+            let reparsed = parse_query(&pretty)
+                .unwrap_or_else(|e| panic!("{e}\n--- pretty ---\n{pretty}"));
+            assert_eq!(
+                to_sql(&original),
+                to_sql(&reparsed),
+                "formatting changed semantics of {sql}\n{pretty}"
+            );
+        }
+    }
+
+    #[test]
+    fn set_operation_arms_are_visible() {
+        let f = format_sql("SELECT a FROM t UNION ALL SELECT a FROM u");
+        assert!(f.contains("UNION ALL\n"));
+        assert_eq!(f.matches("SELECT a").count(), 2);
+    }
+
+    #[test]
+    fn derived_tables_indent() {
+        let f = format_sql("SELECT n FROM (SELECT 1 AS n) AS d");
+        assert!(f.contains("(\n"));
+        assert!(f.contains(") AS d"));
+        assert!(f.contains("  SELECT 1 AS n"));
+    }
+
+    #[test]
+    fn unparsable_input_degrades_gracefully() {
+        let f = format_sql("not sql at all");
+        assert!(f.starts_with("-- unparsable:"));
+        assert!(f.contains("not sql at all"));
+    }
+}

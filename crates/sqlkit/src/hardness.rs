@@ -1,0 +1,276 @@
+//! Spider query-hardness classification.
+//!
+//! Re-implements the rule-based hardness levels of the Spider benchmark
+//! (Yu et al., EMNLP 2018) as described in Section 6.1 of the paper: four
+//! levels — easy, medium, hard, extra hard — derived from counts of SQL
+//! components. The paper maps them to numeric values 1–4 to report the
+//! mean hardness per dataset (Table 3) and uses them for the Figure 7
+//! accuracy breakdown.
+
+use crate::analyze::{count_aggs, count_like, count_or, count_predicate_leaves};
+use crate::ast::*;
+
+/// Spider hardness level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Hardness {
+    Easy,
+    Medium,
+    Hard,
+    Extra,
+}
+
+impl Hardness {
+    /// Numeric value used for mean-hardness statistics (easy = 1 …
+    /// extra = 4).
+    pub fn numeric(self) -> u8 {
+        match self {
+            Hardness::Easy => 1,
+            Hardness::Medium => 2,
+            Hardness::Hard => 3,
+            Hardness::Extra => 4,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Hardness::Easy => "easy",
+            Hardness::Medium => "medium",
+            Hardness::Hard => "hard",
+            Hardness::Extra => "extra",
+        }
+    }
+
+    /// All levels in ascending order.
+    pub const ALL: [Hardness; 4] = [
+        Hardness::Easy,
+        Hardness::Medium,
+        Hardness::Hard,
+        Hardness::Extra,
+    ];
+}
+
+impl std::fmt::Display for Hardness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Component-1 count: WHERE, GROUP BY, ORDER BY, LIMIT presence, join
+/// count, OR connectives, and LIKE predicates.
+fn count_component1(query: &Query) -> usize {
+    let s = query.leftmost_select();
+    let mut count = 0;
+    if s.where_clause.is_some() {
+        count += 1;
+    }
+    if !s.group_by.is_empty() {
+        count += 1;
+    }
+    if !query.order_by.is_empty() {
+        count += 1;
+    }
+    if query.limit.is_some() {
+        count += 1;
+    }
+    let tables = s.from.len() + s.joins.len();
+    count += tables.saturating_sub(1);
+    if let Some(w) = &s.where_clause {
+        count += count_or(w);
+        count += count_like(w);
+    }
+    if let Some(h) = &s.having {
+        count += count_or(h);
+        count += count_like(h);
+    }
+    count
+}
+
+/// Component-2 count: set operations and nested subqueries.
+fn count_component2(query: &Query) -> usize {
+    let mut count = query.body.set_op_count();
+    query.visit_subqueries(&mut |_| count += 1);
+    count
+}
+
+/// "Others" count: number of the following conditions that hold —
+/// more than one aggregate, more than one projection, more than one WHERE
+/// predicate, more than one GROUP BY column.
+fn count_others(query: &Query) -> usize {
+    let s = query.leftmost_select();
+    let mut count = 0;
+
+    let mut aggs = 0;
+    for item in &s.projections {
+        if let SelectItem::Expr { expr, .. } = item {
+            aggs += count_aggs(expr);
+        }
+    }
+    if let Some(w) = &s.where_clause {
+        aggs += count_aggs(w);
+    }
+    if let Some(h) = &s.having {
+        aggs += count_aggs(h);
+    }
+    for o in &query.order_by {
+        aggs += count_aggs(&o.expr);
+    }
+    if aggs > 1 {
+        count += 1;
+    }
+
+    if s.projections.len() > 1 {
+        count += 1;
+    }
+    if let Some(w) = &s.where_clause {
+        if count_predicate_leaves(w) > 1 {
+            count += 1;
+        }
+    }
+    if s.group_by.len() > 1 {
+        count += 1;
+    }
+    count
+}
+
+/// Classifies a query into a Spider hardness level.
+pub fn classify(query: &Query) -> Hardness {
+    let comp1 = count_component1(query);
+    let comp2 = count_component2(query);
+    let others = count_others(query);
+    let s = query.leftmost_select();
+    let joins = (s.from.len() + s.joins.len()).saturating_sub(1);
+
+    // The paper (Section 6.1) specifies that easy queries have a single
+    // projection and *no joins*; the join exclusion is applied on top of
+    // the Spider component counts.
+    if comp1 <= 1 && others == 0 && comp2 == 0 && joins == 0 {
+        Hardness::Easy
+    } else if (others <= 2 && comp1 <= 1 && comp2 == 0)
+        || (comp1 <= 2 && others < 2 && comp2 == 0)
+    {
+        Hardness::Medium
+    } else if (others > 2 && comp1 <= 2 && comp2 == 0)
+        || (comp1 > 2 && comp1 <= 3 && others <= 2 && comp2 == 0)
+        || (comp1 <= 1 && others == 0 && comp2 <= 1)
+    {
+        Hardness::Hard
+    } else {
+        Hardness::Extra
+    }
+}
+
+/// Classifies SQL text; unparseable queries rate as `Extra` (they would
+/// defeat any rule-based parser, matching how the paper's pipeline treats
+/// them as maximally difficult).
+pub fn classify_sql(sql: &str) -> Hardness {
+    match crate::parser::parse_query(sql) {
+        Ok(q) => classify(&q),
+        Err(_) => Hardness::Extra,
+    }
+}
+
+/// Mean numeric hardness over a set of queries (Table 3's "Mean
+/// Hardness" row).
+pub fn mean_hardness(levels: &[Hardness]) -> f64 {
+    if levels.is_empty() {
+        return 0.0;
+    }
+    levels.iter().map(|h| h.numeric() as f64).sum::<f64>() / levels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn h(sql: &str) -> Hardness {
+        classify(&parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn single_projection_no_join_is_easy() {
+        assert_eq!(h("SELECT name FROM player"), Hardness::Easy);
+        assert_eq!(h("SELECT count(*) FROM player"), Hardness::Easy);
+        assert_eq!(h("SELECT name FROM player WHERE age = 30"), Hardness::Easy);
+    }
+
+    #[test]
+    fn multi_projection_or_join_is_medium() {
+        assert_eq!(h("SELECT name, age FROM player"), Hardness::Medium);
+        assert_eq!(
+            h("SELECT p.name FROM player AS p JOIN club AS c ON p.club_id = c.club_id"),
+            Hardness::Medium
+        );
+    }
+
+    #[test]
+    fn multiple_components_is_hard() {
+        assert_eq!(
+            h("SELECT name, age FROM player AS p JOIN club AS c ON p.club_id = c.club_id \
+               WHERE c.name = 'Ajax' AND p.age > 20 ORDER BY age"),
+            Hardness::Hard
+        );
+    }
+
+    #[test]
+    fn single_subquery_simple_outer_is_hard() {
+        assert_eq!(
+            h("SELECT name FROM player WHERE age = (SELECT max(age) FROM player)"),
+            Hardness::Hard
+        );
+    }
+
+    #[test]
+    fn set_op_with_joins_is_extra() {
+        assert_eq!(
+            h("SELECT a, b FROM t AS x JOIN u AS y ON x.i = y.i WHERE x.c = 1 AND y.d = 2 \
+               UNION \
+               SELECT a, b FROM t AS x JOIN u AS y ON x.i = y.i WHERE x.c = 2 AND y.d = 1"),
+            Hardness::Extra
+        );
+    }
+
+    #[test]
+    fn many_joins_and_filters_is_extra() {
+        assert_eq!(
+            h("SELECT a, b FROM t JOIN u ON t.i = u.i JOIN v ON u.j = v.j JOIN w ON v.k = w.k \
+               WHERE t.x = 1 AND u.y = 2 AND v.z = 3 ORDER BY a LIMIT 5"),
+            Hardness::Extra
+        );
+    }
+
+    #[test]
+    fn unparseable_is_extra() {
+        assert_eq!(classify_sql("SELEC broken !!"), Hardness::Extra);
+    }
+
+    #[test]
+    fn numeric_mapping() {
+        assert_eq!(Hardness::Easy.numeric(), 1);
+        assert_eq!(Hardness::Extra.numeric(), 4);
+        assert_eq!(
+            mean_hardness(&[Hardness::Easy, Hardness::Extra, Hardness::Hard]),
+            (1.0 + 4.0 + 3.0) / 3.0
+        );
+    }
+
+    #[test]
+    fn mean_hardness_empty() {
+        assert_eq!(mean_hardness(&[]), 0.0);
+    }
+
+    #[test]
+    fn ordering_reflects_difficulty() {
+        assert!(Hardness::Easy < Hardness::Medium);
+        assert!(Hardness::Hard < Hardness::Extra);
+    }
+
+    #[test]
+    fn like_and_or_raise_component1() {
+        // Two LIKEs and an OR push comp1 past the medium threshold.
+        assert_eq!(
+            h("SELECT name FROM p WHERE a LIKE 'x%' OR b LIKE 'y%' ORDER BY name"),
+            Hardness::Extra
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! The paper's headline experiment in miniature: how does the *data
+//! model* change Text-to-SQL accuracy, and how much of that robustness
+//! comes from PK/FK key information?
+//!
+//! Runs T5-Picard (no keys) and T5-Picard_Keys over all three data
+//! models at increasing train sizes, then shows the SemQL join-path
+//! representability that explains ValueNet's v1 behaviour.
+//!
+//! ```text
+//! cargo run --release --example data_model_robustness
+//! ```
+
+use evalkit::{ablation, run_config, EvalSetup};
+use footballdb::DataModel;
+use textosql::{Budget, SystemKind};
+
+fn main() {
+    let setup = EvalSetup::small(7);
+    println!(
+        "evaluating on {} test questions per data model\n",
+        setup.benchmark.test.len()
+    );
+
+    println!("execution accuracy (T5-Picard without vs with PK/FK keys):");
+    println!("{:<8}{:>8}{:>14}{:>14}{:>10}", "model", "train", "without", "with keys", "gain");
+    for model in DataModel::ALL {
+        for n in [100usize, 300] {
+            let pool: Vec<_> = setup.benchmark.train.iter().take(n).cloned().collect();
+            let without = run_config(
+                &setup,
+                SystemKind::T5Picard,
+                model,
+                Budget::FineTuned(n),
+                &pool,
+                "example",
+            )
+            .accuracy();
+            let with = run_config(
+                &setup,
+                SystemKind::T5PicardKeys,
+                model,
+                Budget::FineTuned(n),
+                &pool,
+                "example",
+            )
+            .accuracy();
+            println!(
+                "{:<8}{:>8}{:>13.1}%{:>13.1}%{:>+9.1}pp",
+                model.label(),
+                n,
+                without * 100.0,
+                with * 100.0,
+                (with - without) * 100.0
+            );
+        }
+    }
+
+    println!("\nwhy v1 is hostile to IR-based systems (SemQL join-path ceiling):");
+    for a in ablation::joinpath_ablation(&setup) {
+        println!(
+            "  {}: {:>5.1}% of gold test queries even *representable* by the SemQL pipeline",
+            a.model,
+            a.representable_fraction() * 100.0
+        );
+    }
+
+    println!("\nmulti-FK table pairs per data model (the join-path blockers):");
+    for model in DataModel::ALL {
+        let graph = textosql::JoinGraph::from_catalog(&model.catalog());
+        let pairs = graph.ambiguous_pairs();
+        if pairs.is_empty() {
+            println!("  {model}: none");
+        } else {
+            for (a, b, n) in pairs {
+                println!("  {model}: {a} \u{2194} {b} ({n} FK references)");
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Simulates the nine-month FootballDB deployment and prints the
+//! Table-1 statistics plus a sample of the noisy traffic the paper
+//! describes: non-English questions, out-of-scope requests, unanswerable
+//! questions, and misspelled entity names.
+//!
+//! ```text
+//! cargo run --release --example deployment_log
+//! ```
+
+use footballdb::generate;
+use nlq::log::{simulate_log, Category, Feedback, LogStats};
+use nlq::PAPER_LOG_SIZE;
+use xrng::Rng;
+
+fn main() {
+    let domain = generate(footballdb::DEFAULT_SEED);
+    let mut rng = Rng::new(2022);
+    let entries = simulate_log(&domain, &mut rng, PAPER_LOG_SIZE);
+    let stats = LogStats::from_entries(&entries);
+
+    println!("simulated deployment log (paper Table 1):");
+    println!("  #NL questions issued        {}", stats.questions);
+    println!("  #Times SQL generated        {}", stats.sql_generated);
+    println!("  #Times no SQL generated     {}", stats.no_sql_generated);
+    println!("  #Thumbs up                  {}", stats.thumbs_up);
+    println!("  #Thumbs down                {}", stats.thumbs_down);
+    println!("  #User corrected SQL queries {}", stats.corrected);
+
+    println!("\ncategory mix:");
+    for (cat, label) in [
+        (Category::Answerable, "answerable football questions"),
+        (Category::NonEnglish, "non-English"),
+        (Category::OutOfScope, "out of scope"),
+        (Category::Unanswerable, "unanswerable (semantic mismatch)"),
+    ] {
+        let n = entries.iter().filter(|e| e.category == cat).count();
+        println!("  {label:<36}{n:>6} ({:.1}%)", 100.0 * n as f64 / entries.len() as f64);
+    }
+
+    println!("\nsample interactions:");
+    let mut shown = std::collections::HashSet::new();
+    for e in &entries {
+        if shown.insert(std::mem::discriminant(&e.category)) {
+            let fb = match e.feedback {
+                Feedback::ThumbsUp => " [thumbs up]",
+                Feedback::ThumbsDown => " [thumbs down]",
+                Feedback::None => "",
+            };
+            let corr = if e.corrected { " [expert corrected]" } else { "" };
+            println!(
+                "  {:?}: \"{}\"{}{}{}",
+                e.category,
+                e.question,
+                if e.sql_generated { "" } else { " [no SQL produced]" },
+                fb,
+                corr
+            );
+        }
+        if shown.len() == 4 {
+            break;
+        }
+    }
+
+    // Show the misspelling phenomenon explicitly.
+    println!("\ntypo injection examples:");
+    let q = "Which club does Carlos Silva play for?";
+    for _ in 0..3 {
+        println!("  \"{}\"", nlq::log::add_typo(q, &mut rng));
+    }
+}

@@ -1,0 +1,75 @@
+//! Query clinic: analyze any SQL query the way the benchmark pipeline
+//! does — characteristics, Spider hardness, Spider-parser compatibility,
+//! SemQL representability per data model, and (when executable) results
+//! on the FootballDB instances.
+//!
+//! ```text
+//! cargo run --release --example query_clinic -- \
+//!   "SELECT count(*) FROM world_cup AS T1 \
+//!    JOIN national_team AS T2 ON T1.winner = T2.team_id \
+//!    WHERE T2.teamname = 'Brazil'"
+//! ```
+//!
+//! Without an argument it analyzes the paper's Figure 4 v1 query.
+
+use footballdb::{generate, load, DataModel};
+use sqlengine::execute;
+use textosql::{JoinGraph, SemQl};
+
+const DEFAULT_SQL: &str = "SELECT T1.home_team_goals, T1.away_team_goals FROM match AS T1 \
+     JOIN national_team AS T2 ON T1.home_team_id = T2.team_id \
+     JOIN national_team AS T3 ON T1.away_team_id = T3.team_id \
+     JOIN world_cup AS T4 ON T1.world_cup_id = T4.world_cup_id \
+     WHERE T2.teamname = 'Germany' AND T3.teamname = 'Brazil' AND T4.year = 2014";
+
+fn main() {
+    let sql = std::env::args().nth(1).unwrap_or_else(|| DEFAULT_SQL.to_string());
+    println!("SQL: {sql}\n");
+
+    let query = match sqlkit::parse_query(&sql) {
+        Ok(q) => q,
+        Err(e) => {
+            println!("parse error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let stats = sqlkit::analyze(&query);
+    println!("characteristics:");
+    println!("  joins={} projections={} filters={}", stats.joins, stats.projections, stats.filters);
+    println!(
+        "  aggregations={} set_ops={} subqueries={}",
+        stats.aggregations, stats.set_ops, stats.subqueries
+    );
+    println!("  length: {} chars / {} tokens", stats.chars, stats.tokens);
+    println!("Spider hardness: {}", sqlkit::classify(&query));
+
+    match sqlkit::spider_check(&query) {
+        Ok(()) => println!("Spider parser: compatible"),
+        Err(issue) => println!("Spider parser: INCOMPATIBLE — {issue}"),
+    }
+
+    println!("\nSemQL IR / join-path per data model:");
+    match SemQl::from_query(&query) {
+        Err(e) => println!("  no IR form: {e}"),
+        Ok(ir) => {
+            for model in DataModel::ALL {
+                let graph = JoinGraph::from_catalog(&model.catalog());
+                match ir.to_sql(&graph) {
+                    Ok(rec) => println!("  {model}: reconstructs to: {rec}"),
+                    Err(e) => println!("  {model}: join path fails — {e}"),
+                }
+            }
+        }
+    }
+
+    println!("\nexecution against the FootballDB instances:");
+    let domain = generate(footballdb::DEFAULT_SEED);
+    for model in DataModel::ALL {
+        let db = load(&domain, model);
+        match execute(&db, &query) {
+            Ok(rs) => println!("  {model}: {} row(s)", rs.len()),
+            Err(e) => println!("  {model}: {e}"),
+        }
+    }
+}

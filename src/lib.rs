@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the workspace libraries for examples and
+//! integration tests.
+pub use evalkit;
+pub use footballdb;
+pub use nlq;
+pub use sqlengine;
+pub use sqlkit;
+pub use textosql;

@@ -1,0 +1,145 @@
+//! Integration: the multi-schema property.
+//!
+//! FootballDB's unique feature (Table 8) is that the *same* questions
+//! carry gold SQL for three different data models over the same data.
+//! That only means anything if the three gold labels actually agree: for
+//! every selected example, executing the v1, v2, and v3 SQL on the
+//! corresponding database instances must produce identical results.
+
+use footballdb::{generate, load_all, DataModel};
+use nlq::gold::{build_benchmark, PipelineConfig};
+use sqlengine::execute_sql;
+use std::sync::OnceLock;
+
+struct Fixture {
+    dbs: [(DataModel, sqlengine::Database); 3],
+    bench: nlq::Benchmark,
+}
+
+fn fixture() -> &'static Fixture {
+    static F: OnceLock<Fixture> = OnceLock::new();
+    F.get_or_init(|| {
+        let domain = generate(footballdb::DEFAULT_SEED);
+        let dbs = load_all(&domain);
+        let cfg = PipelineConfig {
+            raw_questions: 1500,
+            pool_size: 500,
+            selected_size: 200,
+            test_size: 50,
+            clusters: 20,
+            ..PipelineConfig::default()
+        };
+        let bench = build_benchmark(&domain, 13, &cfg);
+        Fixture { dbs, bench }
+    })
+}
+
+fn db(f: &Fixture, m: DataModel) -> &sqlengine::Database {
+    &f.dbs.iter().find(|(x, _)| *x == m).unwrap().1
+}
+
+#[test]
+fn every_gold_example_executes_on_every_model() {
+    let f = fixture();
+    for e in &f.bench.selected {
+        for m in DataModel::ALL {
+            let sql = e.sql(m);
+            execute_sql(db(f, m), sql)
+                .unwrap_or_else(|err| panic!("{m} gold failed: {err}\nQ: {}\n{sql}", e.question));
+        }
+    }
+}
+
+#[test]
+fn gold_results_agree_across_all_three_models() {
+    let f = fixture();
+    for e in &f.bench.selected {
+        let r1 = execute_sql(db(f, DataModel::V1), e.sql(DataModel::V1)).unwrap();
+        let r2 = execute_sql(db(f, DataModel::V2), e.sql(DataModel::V2)).unwrap();
+        let r3 = execute_sql(db(f, DataModel::V3), e.sql(DataModel::V3)).unwrap();
+        assert!(
+            r1.matches(&r2),
+            "v1 vs v2 disagree on {:?}:\n{}\nvs\n{}",
+            e.question,
+            r1,
+            r2
+        );
+        assert!(
+            r1.matches(&r3),
+            "v1 vs v3 disagree on {:?}:\n{}\nvs\n{}",
+            e.question,
+            r1,
+            r3
+        );
+    }
+}
+
+#[test]
+fn v3_gold_needs_no_set_operations_v1_v2_sometimes_do() {
+    let f = fixture();
+    let count_sets = |m: DataModel| -> usize {
+        f.bench
+            .selected
+            .iter()
+            .map(|e| sqlkit::analyze_sql(e.sql(m)).set_ops)
+            .sum()
+    };
+    assert_eq!(count_sets(DataModel::V3), 0, "v3 gold must avoid set ops");
+    assert!(
+        count_sets(DataModel::V1) > 0,
+        "some v1 gold should need set ops"
+    );
+    assert!(count_sets(DataModel::V2) > 0);
+}
+
+#[test]
+fn v2_needs_most_joins_v3_fewest() {
+    // Table 3's ordering: #Joins v2 > v1 > v3.
+    let f = fixture();
+    let mean_joins = |m: DataModel| -> f64 {
+        let total: usize = f
+            .bench
+            .selected
+            .iter()
+            .map(|e| sqlkit::analyze_sql(e.sql(m)).joins)
+            .sum();
+        total as f64 / f.bench.selected.len() as f64
+    };
+    let (v1, v2, v3) = (
+        mean_joins(DataModel::V1),
+        mean_joins(DataModel::V2),
+        mean_joins(DataModel::V3),
+    );
+    assert!(v2 > v1, "v2 joins {v2} should exceed v1 {v1}");
+    assert!(v1 > v3, "v1 joins {v1} should exceed v3 {v3}");
+}
+
+#[test]
+fn v3_queries_are_shortest_v2_longest() {
+    // Table 3's "Mean Query Length" ordering: v2 > v1 > v3.
+    let f = fixture();
+    let mean_chars = |m: DataModel| -> f64 {
+        let total: usize = f
+            .bench
+            .selected
+            .iter()
+            .map(|e| e.sql(m).chars().count())
+            .sum();
+        total as f64 / f.bench.selected.len() as f64
+    };
+    let (v1, v2, v3) = (
+        mean_chars(DataModel::V1),
+        mean_chars(DataModel::V2),
+        mean_chars(DataModel::V3),
+    );
+    assert!(v2 > v1 && v1 > v3, "lengths v1={v1:.0} v2={v2:.0} v3={v3:.0}");
+}
+
+#[test]
+fn referential_integrity_holds_in_all_instances() {
+    let f = fixture();
+    for (m, db) in &f.dbs {
+        let violations = db.check_foreign_keys();
+        assert!(violations.is_empty(), "{m}: {violations:?}");
+    }
+}

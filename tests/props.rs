@@ -1,0 +1,271 @@
+//! Property-based tests over the core data structures and invariants.
+
+use footballdb::{generate, load, DataModel};
+use nlq::gold::build_raw_corpus;
+use proptest::prelude::*;
+use sqlengine::{execute_sql, Value};
+use std::sync::OnceLock;
+use xrng::Rng;
+
+struct Fixture {
+    db: sqlengine::Database,
+    examples: Vec<nlq::GoldExample>,
+}
+
+fn fixture() -> &'static Fixture {
+    static F: OnceLock<Fixture> = OnceLock::new();
+    F.get_or_init(|| {
+        let domain = generate(footballdb::DEFAULT_SEED);
+        let db = load(&domain, DataModel::V3);
+        let mut rng = Rng::new(31);
+        let examples = build_raw_corpus(&domain, &mut rng, 300);
+        Fixture { db, examples }
+    })
+}
+
+proptest! {
+    /// The raw-text normalizer is idempotent on arbitrary input.
+    #[test]
+    fn normalize_is_idempotent(s in ".{0,200}") {
+        let once = sqlkit::normalize(&s);
+        prop_assert_eq!(sqlkit::normalize(&once), once);
+    }
+
+    /// The lexer never panics, whatever the input.
+    #[test]
+    fn tokenize_never_panics(s in ".{0,200}") {
+        let _ = sqlkit::tokenize(&s);
+    }
+
+    /// The parser never panics either (it may error).
+    #[test]
+    fn parse_never_panics(s in ".{0,200}") {
+        let _ = sqlkit::parse_query(&s);
+    }
+
+    /// Printer∘parser is a fixed point: canonical SQL re-parses to an
+    /// identical AST, for every gold query in the corpus.
+    #[test]
+    fn print_parse_roundtrip_on_gold(idx in 0usize..300, model_i in 0usize..3) {
+        let f = fixture();
+        let e = &f.examples[idx % f.examples.len()];
+        let model = DataModel::ALL[model_i];
+        let q1 = sqlkit::parse_query(e.sql(model)).unwrap();
+        let printed = sqlkit::to_sql(&q1);
+        let q2 = sqlkit::parse_query(&printed)
+            .unwrap_or_else(|err| panic!("reprint failed: {err}\n{printed}"));
+        prop_assert_eq!(q1, q2);
+    }
+
+    /// Execution accuracy is reflexive: every gold query matches itself.
+    #[test]
+    fn execution_match_is_reflexive(idx in 0usize..300) {
+        let f = fixture();
+        let e = &f.examples[idx % f.examples.len()];
+        let sql = e.sql(DataModel::V3);
+        let out = evalkit::execution_match(&f.db, sql, Some(sql));
+        prop_assert_eq!(out, evalkit::ExOutcome::Correct);
+    }
+
+    /// Executing the canonical reprint yields the same results as the
+    /// original text (printer preserves semantics).
+    #[test]
+    fn printer_preserves_semantics(idx in 0usize..300) {
+        let f = fixture();
+        let e = &f.examples[idx % f.examples.len()];
+        let sql = e.sql(DataModel::V3);
+        let printed = sqlkit::to_sql(&sqlkit::parse_query(sql).unwrap());
+        let a = execute_sql(&f.db, sql).unwrap();
+        let b = execute_sql(&f.db, &printed).unwrap();
+        prop_assert!(a.matches(&b), "reprint changed results:\n{}\nvs\n{}", sql, printed);
+    }
+
+    /// The deterministic RNG respects bounds.
+    #[test]
+    fn rng_below_respects_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(r.below(bound) < bound);
+        }
+    }
+
+    /// Value total order is antisymmetric and consistent with equality.
+    #[test]
+    fn value_total_order_is_consistent(a in value_strategy(), b in value_strategy()) {
+        use std::cmp::Ordering;
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == Ordering::Equal {
+            prop_assert!(a.group_eq(&b));
+        }
+    }
+
+    /// Value total order is transitive.
+    #[test]
+    fn value_total_order_is_transitive(
+        a in value_strategy(),
+        b in value_strategy(),
+        c in value_strategy(),
+    ) {
+        use std::cmp::Ordering::*;
+        let (ab, bc, ac) = (a.total_cmp(&b), b.total_cmp(&c), a.total_cmp(&c));
+        if ab != Greater && bc != Greater {
+            prop_assert_ne!(ac, Greater);
+        }
+    }
+
+    /// SQL LIKE agrees with direct equality for patterns without
+    /// wildcards.
+    #[test]
+    fn like_without_wildcards_is_equality(s in "[a-zA-Z ]{0,20}", t in "[a-zA-Z ]{0,20}") {
+        prop_assert_eq!(sqlengine::like_match(&s, &t), s == t);
+    }
+
+    /// `%pattern%` matches exactly the containment relation.
+    #[test]
+    fn like_percent_wrapping_is_contains(s in "[a-z]{0,15}", inner in "[a-z]{1,5}") {
+        let pattern = format!("%{inner}%");
+        prop_assert_eq!(sqlengine::like_match(&s, &pattern), s.contains(&inner));
+    }
+
+    /// Embedding cosine similarity is symmetric and bounded.
+    #[test]
+    fn cosine_is_symmetric_and_bounded(a in ".{1,60}", b in ".{1,60}") {
+        let (ea, eb) = (nlq::embed::embed(&a), nlq::embed::embed(&b));
+        let ab = nlq::embed::cosine(&ea, &eb);
+        let ba = nlq::embed::cosine(&eb, &ea);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((-1.01..=1.01).contains(&ab));
+    }
+
+    /// Query analysis never panics on arbitrary text and reports
+    /// non-trivial lengths for non-empty input.
+    #[test]
+    fn analyze_sql_total(s in ".{1,120}") {
+        let stats = sqlkit::analyze_sql(&s);
+        prop_assert!(stats.chars > 0);
+    }
+}
+
+proptest! {
+    /// count(*) under a filter equals the cardinality of the projected
+    /// rows under the same filter.
+    #[test]
+    fn count_star_equals_row_cardinality(team_idx in 0usize..86) {
+        let f = fixture();
+        let team = &footballdb::names::NATIONAL_TEAMS[team_idx].0;
+        let c = execute_sql(
+            &f.db,
+            &format!("SELECT count(*) FROM plays_match WHERE teamname = '{team}'"),
+        ).unwrap();
+        let rows = execute_sql(
+            &f.db,
+            &format!("SELECT match_id FROM plays_match WHERE teamname = '{team}'"),
+        ).unwrap();
+        prop_assert_eq!(c.rows[0][0].clone(), Value::Int(rows.len() as i64));
+    }
+
+    /// DISTINCT never returns more rows than ALL.
+    #[test]
+    fn distinct_is_a_contraction(col in prop_oneof![
+        Just("team_role"), Just("teamname"), Just("goals"), Just("result")
+    ]) {
+        let f = fixture();
+        let all = execute_sql(&f.db, &format!("SELECT {col} FROM plays_match")).unwrap();
+        let distinct = execute_sql(
+            &f.db,
+            &format!("SELECT DISTINCT {col} FROM plays_match"),
+        ).unwrap();
+        prop_assert!(distinct.len() <= all.len());
+        prop_assert!(!distinct.is_empty());
+    }
+
+    /// LIMIT k returns at most k rows, and a prefix of the unlimited
+    /// ordered result.
+    #[test]
+    fn limit_truncates_ordered_results(k in 1u64..40) {
+        let f = fixture();
+        let full = execute_sql(
+            &f.db,
+            "SELECT match_id FROM plays_match ORDER BY match_id, team_id",
+        ).unwrap();
+        let lim = execute_sql(
+            &f.db,
+            &format!("SELECT match_id FROM plays_match ORDER BY match_id, team_id LIMIT {k}"),
+        ).unwrap();
+        prop_assert!(lim.len() as u64 <= k);
+        prop_assert_eq!(&full.rows[..lim.len()], &lim.rows[..]);
+    }
+
+    /// Adding a conjunct never increases the result cardinality.
+    #[test]
+    fn conjunction_is_monotone(year_idx in 0usize..22) {
+        let f = fixture();
+        let year = footballdb::names::WORLD_CUPS[year_idx].0;
+        let base = execute_sql(
+            &f.db,
+            &format!("SELECT match_id FROM match WHERE year = {year}"),
+        ).unwrap();
+        let narrowed = execute_sql(
+            &f.db,
+            &format!("SELECT match_id FROM match WHERE year = {year} AND round = 'Final'"),
+        ).unwrap();
+        prop_assert!(narrowed.len() <= base.len());
+        prop_assert_eq!(narrowed.len(), 1, "every cup has exactly one final");
+    }
+
+    /// UNION ALL cardinality is the sum of its arms; UNION's is at most
+    /// that sum.
+    #[test]
+    fn union_cardinalities(year_idx in 0usize..22) {
+        let f = fixture();
+        let year = footballdb::names::WORLD_CUPS[year_idx].0;
+        let a = execute_sql(
+            &f.db,
+            &format!("SELECT teamname FROM plays_match AS p JOIN match AS m \
+                      ON p.match_id = m.match_id WHERE m.year = {year}"),
+        ).unwrap();
+        let both = execute_sql(
+            &f.db,
+            &format!("SELECT teamname FROM plays_match AS p JOIN match AS m \
+                      ON p.match_id = m.match_id WHERE m.year = {year} \
+                      UNION ALL \
+                      SELECT teamname FROM plays_match AS p JOIN match AS m \
+                      ON p.match_id = m.match_id WHERE m.year = {year}"),
+        ).unwrap();
+        prop_assert_eq!(both.len(), 2 * a.len());
+        let dedup = execute_sql(
+            &f.db,
+            &format!("SELECT teamname FROM plays_match AS p JOIN match AS m \
+                      ON p.match_id = m.match_id WHERE m.year = {year} \
+                      UNION \
+                      SELECT teamname FROM plays_match AS p JOIN match AS m \
+                      ON p.match_id = m.match_id WHERE m.year = {year}"),
+        ).unwrap();
+        prop_assert!(dedup.len() <= a.len());
+    }
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(|v| Value::Int(v as i64)),
+        (-1.0e6f64..1.0e6).prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::text),
+    ]
+}
+
+#[test]
+fn hardness_uniform_sampling_never_exceeds_pool() {
+    let f = fixture();
+    let pool: Vec<usize> = (0..f.examples.len()).collect();
+    let mut rng = Rng::new(5);
+    let sel = nlq::gold::hardness_uniform_sample(&f.examples, &pool, 10_000, &mut rng);
+    assert!(sel.len() <= f.examples.len());
+    let mut sorted = sel.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), sel.len(), "sampling produced duplicates");
+}
