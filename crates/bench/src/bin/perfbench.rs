@@ -1,0 +1,127 @@
+//! End-to-end performance benchmark for the evaluation pipeline.
+//!
+//! Runs the core experiment workload (Tables 5–7: the fine-tuned grid,
+//! the few-shot grid, and the latency pass) twice over one shared
+//! [`EvalSetup`]:
+//!
+//! 1. **baseline** — one thread, query-result memoization disabled
+//!    (the pre-optimization serial execution model);
+//! 2. **optimized** — the configured worker pool with warm-start-free
+//!    (cleared) caches enabled.
+//!
+//! Both runs must produce identical accuracies — the optimizations are
+//! required to be semantically invisible — and the harness checks that
+//! before reporting. Results land in `BENCH_repro.json`:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perfbench -- [--small] [--seed N] [--out PATH]
+//! ```
+
+use std::time::Instant;
+
+use evalkit::{
+    configured_threads, run_fewshot_grid, run_finetuned_grid, run_latency, set_thread_override,
+    EvalSetup,
+};
+
+fn usage() -> ! {
+    eprintln!("usage: perfbench [--small] [--seed N] [--out PATH]");
+    std::process::exit(2);
+}
+
+/// Accuracy fingerprint of one full workload pass, used to verify the
+/// optimized run reproduces the baseline exactly.
+fn run_workload(setup: &EvalSetup) -> Vec<f64> {
+    let mut acc = Vec::new();
+    for run in run_finetuned_grid(setup, &[0, 100, 200, 300]) {
+        acc.push(run.accuracy());
+    }
+    for folded in run_fewshot_grid(setup) {
+        acc.extend(folded.fold_accuracies.iter().copied());
+    }
+    for (_, mean, sd) in run_latency(setup) {
+        acc.push(mean);
+        acc.push(sd);
+    }
+    acc
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut small = false;
+    let mut seed = 7u64;
+    let mut out_path = "BENCH_repro.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--small" => small = true,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => out_path = it.next().cloned().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+
+    eprintln!(
+        "perfbench: building setup ({}, seed {seed})...",
+        if small { "small" } else { "paper scale" }
+    );
+    let t = Instant::now();
+    let setup = if small {
+        EvalSetup::small(seed)
+    } else {
+        EvalSetup::paper_scale(seed)
+    };
+    let setup_s = t.elapsed().as_secs_f64();
+
+    // Baseline: serial, no memoization.
+    eprintln!("perfbench: baseline pass (1 thread, cache disabled)...");
+    set_thread_override(Some(1));
+    setup.set_query_caches_enabled(false);
+    setup.clear_query_caches();
+    let t = Instant::now();
+    let baseline_acc = run_workload(&setup);
+    let serial_s = t.elapsed().as_secs_f64();
+
+    // Optimized: worker pool + cold cache.
+    setup.set_query_caches_enabled(true);
+    setup.clear_query_caches();
+    set_thread_override(None);
+    let threads = configured_threads();
+    eprintln!("perfbench: optimized pass ({threads} threads, cache enabled)...");
+    let t = Instant::now();
+    let optimized_acc = run_workload(&setup);
+    let wall_s = t.elapsed().as_secs_f64();
+
+    let stats = setup.cache_stats();
+    let identical = baseline_acc == optimized_acc;
+    assert!(
+        identical,
+        "optimized run diverged from the serial uncached baseline"
+    );
+
+    let speedup = if wall_s > 0.0 { serial_s / wall_s } else { 0.0 };
+    let json = format!(
+        "{{\n  \"wall_s\": {wall_s:.3},\n  \"serial_s\": {serial_s:.3},\n  \
+         \"setup_s\": {setup_s:.3},\n  \"speedup\": {speedup:.3},\n  \
+         \"threads\": {threads},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+         \"cache_entries\": {},\n  \"cache_hit_rate\": {:.4},\n  \
+         \"identical_to_serial\": {identical},\n  \"scale\": \"{}\",\n  \"seed\": {seed}\n}}\n",
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        stats.hit_rate(),
+        if small { "small" } else { "paper" },
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!(
+        "perfbench: serial {serial_s:.2}s -> optimized {wall_s:.2}s \
+         ({speedup:.2}x, {threads} threads, {:.1}% cache hits)",
+        stats.hit_rate() * 100.0
+    );
+    print!("{json}");
+}

@@ -106,9 +106,27 @@ fn grid(kind: SystemKind, model: DataModel) -> &'static [(usize, f64)] {
     use DataModel::*;
     use SystemKind::*;
     match (kind, model) {
-        (ValueNet, V1) => &[(0, 0.02), (100, 0.16), (200, 0.18), (300, 0.20), (895, 0.24)],
-        (ValueNet, V2) => &[(0, 0.03), (100, 0.14), (200, 0.18), (300, 0.20), (895, 0.24)],
-        (ValueNet, V3) => &[(0, 0.03), (100, 0.21), (200, 0.23), (300, 0.25), (895, 0.29)],
+        (ValueNet, V1) => &[
+            (0, 0.02),
+            (100, 0.16),
+            (200, 0.18),
+            (300, 0.20),
+            (895, 0.24),
+        ],
+        (ValueNet, V2) => &[
+            (0, 0.03),
+            (100, 0.14),
+            (200, 0.18),
+            (300, 0.20),
+            (895, 0.24),
+        ],
+        (ValueNet, V3) => &[
+            (0, 0.03),
+            (100, 0.21),
+            (200, 0.23),
+            (300, 0.25),
+            (895, 0.29),
+        ],
         (T5Picard, V1) => &[(0, 0.08), (100, 0.22), (200, 0.29), (300, 0.29)],
         (T5Picard, V2) => &[(0, 0.07), (100, 0.16), (200, 0.29), (300, 0.32)],
         (T5Picard, V3) => &[(0, 0.06), (100, 0.06), (200, 0.27), (300, 0.29)],
@@ -413,12 +431,8 @@ mod tests {
 
     #[test]
     fn empty_profile_set_is_safe() {
-        let probs = success_probabilities(
-            SystemKind::Gpt35,
-            DataModel::V1,
-            Budget::FewShot(10),
-            &[],
-        );
+        let probs =
+            success_probabilities(SystemKind::Gpt35, DataModel::V1, Budget::FewShot(10), &[]);
         assert!(probs.is_empty());
     }
 }

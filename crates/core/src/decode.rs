@@ -21,7 +21,10 @@ pub enum DecodeOutcome {
     },
     /// The candidate was rejected (with the failing reason). A real
     /// decoder would backtrack and try another beam.
-    Rejected { reason: String, prefix_checks: usize },
+    Rejected {
+        reason: String,
+        prefix_checks: usize,
+    },
 }
 
 impl DecodeOutcome {
@@ -70,18 +73,54 @@ fn classify(t: &sqlkit::Token) -> TokClass {
         T::RParen => TokClass::RParen,
         T::Star => TokClass::Star,
         T::Semicolon => TokClass::Semicolon,
-        T::Plus | T::Minus | T::Slash | T::Percent | T::Eq | T::Neq | T::Lt | T::Lte
-        | T::Gt | T::Gte => TokClass::Operator,
+        T::Plus
+        | T::Minus
+        | T::Slash
+        | T::Percent
+        | T::Eq
+        | T::Neq
+        | T::Lt
+        | T::Lte
+        | T::Gt
+        | T::Gte => TokClass::Operator,
     }
 }
 
 fn is_sql_keyword(w: &str) -> bool {
     matches!(
         w.to_ascii_uppercase().as_str(),
-        "SELECT" | "DISTINCT" | "FROM" | "WHERE" | "GROUP" | "BY" | "HAVING" | "ORDER"
-            | "LIMIT" | "JOIN" | "LEFT" | "INNER" | "OUTER" | "ON" | "AS" | "AND" | "OR"
-            | "NOT" | "IN" | "EXISTS" | "BETWEEN" | "LIKE" | "IS" | "NULL" | "UNION"
-            | "ALL" | "INTERSECT" | "EXCEPT" | "ASC" | "DESC" | "TRUE" | "FALSE"
+        "SELECT"
+            | "DISTINCT"
+            | "FROM"
+            | "WHERE"
+            | "GROUP"
+            | "BY"
+            | "HAVING"
+            | "ORDER"
+            | "LIMIT"
+            | "JOIN"
+            | "LEFT"
+            | "INNER"
+            | "OUTER"
+            | "ON"
+            | "AS"
+            | "AND"
+            | "OR"
+            | "NOT"
+            | "IN"
+            | "EXISTS"
+            | "BETWEEN"
+            | "LIKE"
+            | "IS"
+            | "NULL"
+            | "UNION"
+            | "ALL"
+            | "INTERSECT"
+            | "EXCEPT"
+            | "ASC"
+            | "DESC"
+            | "TRUE"
+            | "FALSE"
     )
 }
 

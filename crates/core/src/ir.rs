@@ -218,9 +218,7 @@ impl SemQl {
         for g in &select.group_by {
             match g {
                 Expr::Column(c) => ir.group_by.push(resolve(c)?),
-                other => {
-                    return Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(other)))
-                }
+                other => return Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(other))),
             }
         }
         if let Some(h) = &select.having {
@@ -277,7 +275,9 @@ impl SemQl {
                 (None, Some(c)) => col(c),
                 (None, None) => Expr::int(1),
             };
-            select.projections.push(SelectItem::Expr { expr, alias: None });
+            select
+                .projections
+                .push(SelectItem::Expr { expr, alias: None });
         }
 
         // FROM + joins: first table, then each edge joins in the table
@@ -376,7 +376,11 @@ fn projection_of(
             distinct: false,
             column: Some(resolve(c)?),
         }),
-        Expr::Agg { func, distinct, arg } => {
+        Expr::Agg {
+            func,
+            distinct,
+            arg,
+        } => {
             let column = match arg.as_deref() {
                 None => None,
                 Some(Expr::Column(c)) => Some(resolve(c)?),
@@ -399,7 +403,11 @@ fn filter_of(
     resolve: &impl Fn(&ColumnRef) -> Result<IrColumn, IrError>,
 ) -> Result<IrFilter, IrError> {
     match expr {
-        Expr::Binary { left, op: BinOp::And, right } => {
+        Expr::Binary {
+            left,
+            op: BinOp::And,
+            right,
+        } => {
             let mut parts = Vec::new();
             flatten(left, BinOp::And, &mut parts);
             flatten(right, BinOp::And, &mut parts);
@@ -410,7 +418,11 @@ fn filter_of(
                     .collect::<Result<_, _>>()?,
             ))
         }
-        Expr::Binary { left, op: BinOp::Or, right } => {
+        Expr::Binary {
+            left,
+            op: BinOp::Or,
+            right,
+        } => {
             let mut parts = Vec::new();
             flatten(left, BinOp::Or, &mut parts);
             flatten(right, BinOp::Or, &mut parts);
@@ -432,9 +444,7 @@ fn filter_of(
                 Expr::Literal(l) => IrValue::Lit(l.clone()),
                 Expr::Column(rc) => IrValue::Column(resolve(rc)?),
                 Expr::ScalarSubquery(_) => return Err(IrError::Subquery),
-                other => {
-                    return Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(other)))
-                }
+                other => return Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(other))),
             };
             Ok(IrFilter::Pred(IrPred::Cmp {
                 column: resolve(lc)?,
@@ -442,7 +452,12 @@ fn filter_of(
                 value,
             }))
         }
-        Expr::Between { expr, low, high, negated: false } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => {
             let Expr::Column(c) = expr.as_ref() else {
                 return Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(expr)));
             };
@@ -477,8 +492,7 @@ fn having_of(
     resolve: &impl Fn(&ColumnRef) -> Result<IrColumn, IrError>,
 ) -> Result<(AggFunc, Option<IrColumn>, IrOp, Lit), IrError> {
     if let Expr::Binary { left, op, right } = expr {
-        if let (Expr::Agg { func, arg, .. }, Expr::Literal(lit)) = (left.as_ref(), right.as_ref())
-        {
+        if let (Expr::Agg { func, arg, .. }, Expr::Literal(lit)) = (left.as_ref(), right.as_ref()) {
             let Some(ir_op) = IrOp::from_binop(*op) else {
                 return Err(IrError::UnsupportedExpression(sqlkit::expr_to_sql(expr)));
             };
@@ -674,10 +688,8 @@ mod tests {
 
     #[test]
     fn having_roundtrips() {
-        let ir = ir_of(
-            "SELECT teamname FROM plays_match GROUP BY teamname HAVING count(*) > 10",
-        )
-        .unwrap();
+        let ir = ir_of("SELECT teamname FROM plays_match GROUP BY teamname HAVING count(*) > 10")
+            .unwrap();
         assert!(ir.having.is_some());
         let graph = JoinGraph::from_catalog(&DataModel::V3.catalog());
         let sql = ir.to_sql(&graph).unwrap();

@@ -40,7 +40,11 @@ pub enum JoinPathError {
 impl std::fmt::Display for JoinPathError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            JoinPathError::AmbiguousEdge { from, to, references } => write!(
+            JoinPathError::AmbiguousEdge {
+                from,
+                to,
+                references,
+            } => write!(
                 f,
                 "tables {from:?} and {to:?} are linked by {references} FK references; \
                  the join-path subgraph supports only one"
@@ -84,7 +88,10 @@ impl JoinGraph {
                     to_table: fk.ref_table.clone(),
                     to_column: fk.ref_columns[0].clone(),
                 };
-                count.entry(pair(&t.name, &fk.ref_table)).or_default().push(e);
+                count
+                    .entry(pair(&t.name, &fk.ref_table))
+                    .or_default()
+                    .push(e);
             }
         }
         let mut edges = HashMap::new();
@@ -169,8 +176,7 @@ impl JoinGraph {
                 path.reverse();
                 return Ok(path);
             }
-            let neighbors: Vec<String> =
-                self.neighbors(&cur).map(|s| s.to_string()).collect();
+            let neighbors: Vec<String> = self.neighbors(&cur).map(|s| s.to_string()).collect();
             for n in neighbors {
                 if !prev.contains_key(&n) {
                     prev.insert(n.clone(), cur.clone());
@@ -219,10 +225,7 @@ impl JoinGraph {
                 None => return Err(first_err.unwrap()),
             };
             for w in path.windows(2) {
-                let e = self
-                    .edge(&w[0], &w[1])
-                    .expect("path edges exist")
-                    .clone();
+                let e = self.edge(&w[0], &w[1]).expect("path edges exist").clone();
                 out.push(e);
                 if !connected.contains(&w[1]) {
                     connected.push(w[1].clone());
@@ -296,7 +299,14 @@ mod tests {
         let g = JoinGraph::from_catalog(&DataModel::V1.catalog());
         // goal → match → world_cup.
         let p = g.shortest_path("goal", "world_cup").unwrap();
-        assert_eq!(p, vec!["goal".to_string(), "match".to_string(), "world_cup".to_string()]);
+        assert_eq!(
+            p,
+            vec![
+                "goal".to_string(),
+                "match".to_string(),
+                "world_cup".to_string()
+            ]
+        );
     }
 
     #[test]

@@ -86,7 +86,9 @@ pub fn schema_links(question: &str, db: &Database) -> Vec<SchemaLink> {
         if q.contains(phrase) {
             for t in &db.catalog().tables {
                 if t.name == *concept {
-                    out.push(SchemaLink::Table { name: t.name.clone() });
+                    out.push(SchemaLink::Table {
+                        name: t.name.clone(),
+                    });
                 }
                 for c in &t.columns {
                     if c.name == *concept {
@@ -185,7 +187,10 @@ mod tests {
     #[test]
     fn finds_team_names_in_content() {
         let db = v1_db();
-        let values = find_values("What was the score between Germany and Brazil in 2014?", &db);
+        let values = find_values(
+            "What was the score between Germany and Brazil in 2014?",
+            &db,
+        );
         let teams: Vec<&Value> = values
             .iter()
             .filter(|v| v.table == "national_team")
@@ -224,7 +229,9 @@ mod tests {
     fn schema_links_find_tables_and_columns() {
         let db = v1_db();
         let links = schema_links("Which stadium had the highest attendance?", &db);
-        assert!(links.contains(&SchemaLink::Table { name: "stadium".into() }));
+        assert!(links.contains(&SchemaLink::Table {
+            name: "stadium".into()
+        }));
         assert!(links
             .iter()
             .any(|l| matches!(l, SchemaLink::Column { column, .. } if column == "attendance")));

@@ -37,9 +37,7 @@ pub fn instruction(kind: SystemKind) -> &'static str {
 /// Renders a single exemplar in the system's shot format.
 pub fn render_shot(kind: SystemKind, question: &str, sql: &str) -> String {
     match kind {
-        SystemKind::Llama2 => format!(
-            "[INST] Translate to SQL: {question} [/INST]\n{sql}\n"
-        ),
+        SystemKind::Llama2 => format!("[INST] Translate to SQL: {question} [/INST]\n{sql}\n"),
         _ => format!("-- Question: {question}\nSQL: {sql}\n"),
     }
 }
@@ -63,7 +61,7 @@ pub fn build_prompt(
     }
     match kind {
         SystemKind::Llama2 => {
-            let _ = write!(out, "[INST] Translate to SQL: {question} [/INST]\n");
+            let _ = writeln!(out, "[INST] Translate to SQL: {question} [/INST]");
         }
         _ => {
             let _ = write!(out, "-- Question: {question}\nSQL:");

@@ -6,9 +6,9 @@
 //! Table 6 versus GPT-3.5's 10/20/30.
 
 use crate::schema_encode::approx_tokens;
+use footballdb::DataModel;
 use nlq::embed::{cosine, embed, Embedding};
 use nlq::GoldExample;
-use footballdb::DataModel;
 
 /// A retrieval index over training examples.
 pub struct RetrievalIndex<'a> {
@@ -139,8 +139,7 @@ mod tests {
         let (all, _) = idx.shots_within_budget("Who won in 2014?", DataModel::V1, 5, 100, 4096);
         assert_eq!(all.len(), 5);
         // Tight budget: schema eats almost everything.
-        let (few, used) =
-            idx.shots_within_budget("Who won in 2014?", DataModel::V1, 5, 4000, 4096);
+        let (few, used) = idx.shots_within_budget("Who won in 2014?", DataModel::V1, 5, 4000, 4096);
         assert!(few.len() < 5);
         assert!(used <= 4096);
     }

@@ -71,8 +71,7 @@ pub fn encode_schema(catalog: &Catalog, db: Option<&Database>, opts: EncodeOptio
             if let Some(db) = db {
                 if let Some(rows) = db.rows(&t.name) {
                     for row in rows.iter().take(opts.content_samples) {
-                        let cells: Vec<String> =
-                            row.iter().map(|v| v.to_string()).collect();
+                        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
                         let _ = writeln!(out, "  row: {}", cells.join(", "));
                     }
                 }
@@ -119,7 +118,11 @@ mod tests {
             let cat = m.catalog();
             let enc = encode_schema(&cat, None, EncodeOptions::WITH_KEYS);
             for t in &cat.tables {
-                assert!(enc.contains(&format!("table {} ", t.name)), "{m}: {}", t.name);
+                assert!(
+                    enc.contains(&format!("table {} ", t.name)),
+                    "{m}: {}",
+                    t.name
+                );
             }
         }
     }

@@ -347,7 +347,9 @@ fn mutate_nth_literal(
             mutate_nth_literal(left, target, seen, teams, rng)
                 || mutate_nth_literal(right, target, seen, teams, rng)
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             mutate_nth_literal(expr, target, seen, teams, rng)
                 || mutate_nth_literal(low, target, seen, teams, rng)
                 || mutate_nth_literal(high, target, seen, teams, rng)
@@ -624,9 +626,13 @@ mod tests {
         let sql = p.sql.expect("ValueNet emits SQL on success");
         // The reconstruction is alias-normalized, not byte-identical.
         let gold_rs = execute_sql(&f.db, item.sql(model)).unwrap();
-        let pred_rs = execute_sql(&f.db, &sql)
-            .unwrap_or_else(|e| panic!("{e}\n{sql}"));
-        assert!(pred_rs.matches(&gold_rs), "gold {} vs {}", item.sql(model), sql);
+        let pred_rs = execute_sql(&f.db, &sql).unwrap_or_else(|e| panic!("{e}\n{sql}"));
+        assert!(
+            pred_rs.matches(&gold_rs),
+            "gold {} vs {}",
+            item.sql(model),
+            sql
+        );
     }
 
     #[test]

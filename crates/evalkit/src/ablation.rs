@@ -213,7 +213,10 @@ pub fn ablation_report(setup: &EvalSetup) -> String {
         n,
         acc * 100.0
     );
-    let _ = writeln!(out, "\nAblation A4: lexical gap (\"second place\" vs prize values)");
+    let _ = writeln!(
+        out,
+        "\nAblation A4: lexical gap (\"second place\" vs prize values)"
+    );
     for a in lexical_ablation(setup) {
         let _ = writeln!(
             out,
@@ -269,8 +272,7 @@ mod tests {
     }
 
     #[test]
-    fn extended_training_beats_300(
-    ) {
+    fn extended_training_beats_300() {
         let s = setup();
         let (n, acc) = extended_training(s);
         assert!(n > 0);

@@ -25,7 +25,13 @@ fn bucketize<'a>(
     key: impl Fn(&ItemResult) -> usize,
     n_buckets: usize,
 ) -> Vec<Bucket> {
-    let mut out = vec![Bucket { count: 0, correct: 0 }; n_buckets];
+    let mut out = vec![
+        Bucket {
+            count: 0,
+            correct: 0
+        };
+        n_buckets
+    ];
     for item in items {
         let b = key(item).min(n_buckets - 1);
         out[b].count += 1;
@@ -38,11 +44,7 @@ fn bucketize<'a>(
 
 /// Figure 7: accuracy per Spider hardness level (easy…extra).
 pub fn by_hardness(run: &RunResult) -> Vec<(Hardness, Bucket)> {
-    let buckets = bucketize(
-        run.items.iter(),
-        |i| (i.hardness.numeric() - 1) as usize,
-        4,
-    );
+    let buckets = bucketize(run.items.iter(), |i| (i.hardness.numeric() - 1) as usize, 4);
     Hardness::ALL.into_iter().zip(buckets).collect()
 }
 
@@ -164,7 +166,14 @@ mod tests {
 
     #[test]
     fn empty_bucket_accuracy_zero() {
-        assert_eq!(Bucket { count: 0, correct: 0 }.accuracy(), 0.0);
+        assert_eq!(
+            Bucket {
+                count: 0,
+                correct: 0
+            }
+            .accuracy(),
+            0.0
+        );
     }
 
     #[test]

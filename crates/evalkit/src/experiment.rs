@@ -5,11 +5,12 @@
 //! fine-tuned systems over train-set sizes (Table 5), LLMs over few-shot
 //! folds (Table 6), and the latency measurements (Table 7).
 
-use crate::metric::{accuracy, execution_match, ExOutcome};
+use crate::metric::{accuracy, execution_match_cached, ExOutcome};
+use crate::parallel::par_map;
 use footballdb::{generate, load, DataModel, Domain};
 use nlq::gold::{build_benchmark, PipelineConfig};
 use nlq::{Benchmark, GoldExample};
-use sqlengine::Database;
+use sqlengine::{CacheStats, Database, QueryCache};
 use sqlkit::{Hardness, QueryStats};
 use textosql::{
     predict, profile_items_with_db, success_probabilities, Budget, ItemProfile, JoinGraph,
@@ -27,6 +28,10 @@ pub struct EvalSetup {
     /// Memoized test-set difficulty profiles per data model (profiling
     /// executes the gold queries, so it is computed once).
     profiles: Vec<(DataModel, Vec<ItemProfile>)>,
+    /// Query-result memo tables, one per data model database. Gold SQL
+    /// is shared by every configuration of a model and repeated
+    /// predictions are common, so each distinct query executes once.
+    caches: Vec<(DataModel, QueryCache)>,
 }
 
 impl EvalSetup {
@@ -52,10 +57,9 @@ impl EvalSetup {
 
     pub fn with_config(seed: u64, cfg: &PipelineConfig) -> EvalSetup {
         let domain = generate(footballdb::DEFAULT_SEED);
-        let databases: Vec<(DataModel, Database)> = DataModel::ALL
-            .iter()
-            .map(|m| (*m, load(&domain, *m)))
-            .collect();
+        // The three database loads are independent; fan them out.
+        let databases: Vec<(DataModel, Database)> =
+            par_map(&DataModel::ALL, |&m| (m, load(&domain, m)));
         let graphs = DataModel::ALL
             .iter()
             .map(|m| (*m, JoinGraph::from_catalog(&m.catalog())))
@@ -68,21 +72,19 @@ impl EvalSetup {
             benchmark,
             seed,
             profiles: Vec::new(),
+            caches: DataModel::ALL
+                .iter()
+                .map(|&m| (m, QueryCache::new()))
+                .collect(),
         };
-        setup.profiles = DataModel::ALL
-            .iter()
-            .map(|&m| {
-                (
-                    m,
-                    profile_items_with_db(
-                        &setup.benchmark.test,
-                        m,
-                        setup.graph(m),
-                        Some(setup.db(m)),
-                    ),
-                )
-            })
-            .collect();
+        // Profiling executes every gold test query against each model's
+        // database — the expensive part of setup, also independent.
+        setup.profiles = par_map(&DataModel::ALL, |&m| {
+            (
+                m,
+                profile_items_with_db(&setup.benchmark.test, m, setup.graph(m), Some(setup.db(m))),
+            )
+        });
         setup
     }
 
@@ -97,6 +99,44 @@ impl EvalSetup {
     /// Memoized test-set profiles for one data model.
     pub fn profiles(&self, model: DataModel) -> &[ItemProfile] {
         &self.profiles.iter().find(|(m, _)| *m == model).unwrap().1
+    }
+
+    /// The query-result memo table for one data model's database.
+    pub fn query_cache(&self, model: DataModel) -> &QueryCache {
+        &self.caches.iter().find(|(m, _)| *m == model).unwrap().1
+    }
+
+    /// Aggregated hit/miss counters over all three model caches.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats {
+            hits: 0,
+            misses: 0,
+            entries: 0,
+            oversize: 0,
+        };
+        for (_, cache) in &self.caches {
+            let s = cache.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.entries += s.entries;
+            total.oversize += s.oversize;
+        }
+        total
+    }
+
+    /// Drops every memoized result and zeroes the counters (used by the
+    /// benchmark harness to measure cold-cache baselines).
+    pub fn clear_query_caches(&self) {
+        for (_, cache) in &self.caches {
+            cache.clear();
+        }
+    }
+
+    /// Enables or disables memoization on all three caches.
+    pub fn set_query_caches_enabled(&self, enabled: bool) {
+        for (_, cache) in &self.caches {
+            cache.set_enabled(enabled);
+        }
     }
 }
 
@@ -174,26 +214,27 @@ pub fn run_config(
     let count = ((expected + jitter).round().max(0.0) as usize).min(probs.len());
     let successes = weighted_success_set(&probs, count, &mut draw_rng);
 
-    let items = setup
-        .benchmark
-        .test
-        .iter()
-        .enumerate()
-        .map(|(i, item)| {
-            let mut rng = root.fork(&format!("{system}/{model}/{}/{i}", budget.size()));
-            let p = if successes[i] { 1.0 } else { 0.0 };
-            let pred = predict(system, item, &ctx, p, &mut rng);
-            let outcome = execution_match(db, item.sql(model), pred.sql.as_deref());
-            ItemResult {
-                item_id: item.id,
-                outcome,
-                latency: pred.latency,
-                shots_used: pred.shots_used,
-                hardness: profiles[i].hardness,
-                stats: profiles[i].stats,
-            }
-        })
-        .collect();
+    // Each item is an independent unit: its RNG is forked from `root` by
+    // label (not drawn from a shared stream), so the fan-out below is
+    // order-insensitive and `par_map`'s by-index collection reproduces
+    // the serial output exactly.
+    let cache = setup.query_cache(model);
+    let indices: Vec<usize> = (0..setup.benchmark.test.len()).collect();
+    let items = par_map(&indices, |&i| {
+        let item = &setup.benchmark.test[i];
+        let mut rng = root.fork(&format!("{system}/{model}/{}/{i}", budget.size()));
+        let p = if successes[i] { 1.0 } else { 0.0 };
+        let pred = predict(system, item, &ctx, p, &mut rng);
+        let outcome = execution_match_cached(db, cache, item.sql(model), pred.sql.as_deref());
+        ItemResult {
+            item_id: item.id,
+            outcome,
+            latency: pred.latency,
+            shots_used: pred.shots_used,
+            hardness: profiles[i].hardness,
+            stats: profiles[i].stats,
+        }
+    });
 
     RunResult {
         system,
@@ -208,48 +249,40 @@ pub fn run_config(
 fn weighted_success_set(probs: &[f64], count: usize, rng: &mut Rng) -> Vec<bool> {
     let mut flags = vec![false; probs.len()];
     let mut remaining: Vec<usize> = (0..probs.len()).filter(|&i| probs[i] > 0.0).collect();
+    // The weight list shadows `remaining` and is updated with the same
+    // swap_remove, avoiding an O(n) rebuild (and allocation) per draw.
+    let mut weights: Vec<f64> = remaining.iter().map(|&i| probs[i]).collect();
     for _ in 0..count.min(remaining.len()) {
-        let weights: Vec<f64> = remaining.iter().map(|&i| probs[i]).collect();
         let pick = rng.choose_weighted(&weights);
         flags[remaining[pick]] = true;
         remaining.swap_remove(pick);
+        weights.swap_remove(pick);
     }
     flags
 }
 
 /// Table 5: fine-tuned systems × data models × train sizes.
-pub fn run_finetuned_grid(
-    setup: &EvalSetup,
-    train_sizes: &[usize],
-) -> Vec<RunResult> {
+///
+/// The grid cells are independent configurations; they fan out on the
+/// worker pool and come back in grid order.
+pub fn run_finetuned_grid(setup: &EvalSetup, train_sizes: &[usize]) -> Vec<RunResult> {
     let systems = [
         SystemKind::ValueNet,
         SystemKind::T5Picard,
         SystemKind::T5PicardKeys,
     ];
-    let mut out = Vec::new();
+    let mut cells = Vec::new();
     for model in DataModel::ALL {
         for &n in train_sizes {
-            let pool: Vec<GoldExample> = setup
-                .benchmark
-                .train
-                .iter()
-                .take(n)
-                .cloned()
-                .collect();
             for system in systems {
-                out.push(run_config(
-                    setup,
-                    system,
-                    model,
-                    Budget::FineTuned(n),
-                    &pool,
-                    "table5",
-                ));
+                cells.push((model, n, system));
             }
         }
     }
-    out
+    par_map(&cells, |&(model, n, system)| {
+        let pool: Vec<GoldExample> = setup.benchmark.train.iter().take(n).cloned().collect();
+        run_config(setup, system, model, Budget::FineTuned(n), &pool, "table5")
+    })
 }
 
 /// A few-shot experiment's per-fold accuracies.
@@ -285,50 +318,54 @@ impl FoldedResult {
 /// (the paper draws 3 folds for GPT-3.5 and "multiple folds" for
 /// LLaMA2; we use 3 and 4).
 pub fn run_fewshot_grid(setup: &EvalSetup) -> Vec<FoldedResult> {
-    let mut out = Vec::new();
     let specs: [(SystemKind, &[usize], usize); 2] = [
         (SystemKind::Gpt35, &[0, 10, 20, 30], 3),
         (SystemKind::Llama2, &[0, 2, 4, 8], 4),
     ];
+    // One fan-out unit per (model, system, shots) cell; the folds inside
+    // a cell stay serial since each is already seeded by fold label.
+    let mut cells = Vec::new();
     for model in DataModel::ALL {
         for (system, shot_list, folds) in specs {
             for &shots in shot_list {
-                let mut fold_accuracies = Vec::new();
-                let mut last_run = None;
-                for fold in 0..folds {
-                    // Random shot sample per fold, as in the paper.
-                    let mut rng =
-                        Rng::new(setup.seed).fork(&format!("fold/{system}/{model}/{shots}/{fold}"));
-                    let idx = rng.sample_indices(setup.benchmark.train.len(), shots.max(1));
-                    let pool: Vec<GoldExample> = if shots == 0 {
-                        Vec::new()
-                    } else {
-                        idx.iter()
-                            .map(|&i| setup.benchmark.train[i].clone())
-                            .collect()
-                    };
-                    let run = run_config(
-                        setup,
-                        system,
-                        model,
-                        Budget::FewShot(shots),
-                        &pool,
-                        &format!("table6/f{fold}"),
-                    );
-                    fold_accuracies.push(run.accuracy());
-                    last_run = Some(run);
-                }
-                out.push(FoldedResult {
-                    system,
-                    model,
-                    shots,
-                    fold_accuracies,
-                    last_run: last_run.unwrap(),
-                });
+                cells.push((model, system, shots, folds));
             }
         }
     }
-    out
+    par_map(&cells, |&(model, system, shots, folds)| {
+        let mut fold_accuracies = Vec::new();
+        let mut last_run = None;
+        for fold in 0..folds {
+            // Random shot sample per fold, as in the paper.
+            let mut rng =
+                Rng::new(setup.seed).fork(&format!("fold/{system}/{model}/{shots}/{fold}"));
+            let idx = rng.sample_indices(setup.benchmark.train.len(), shots.max(1));
+            let pool: Vec<GoldExample> = if shots == 0 {
+                Vec::new()
+            } else {
+                idx.iter()
+                    .map(|&i| setup.benchmark.train[i].clone())
+                    .collect()
+            };
+            let run = run_config(
+                setup,
+                system,
+                model,
+                Budget::FewShot(shots),
+                &pool,
+                &format!("table6/f{fold}"),
+            );
+            fold_accuracies.push(run.accuracy());
+            last_run = Some(run);
+        }
+        FoldedResult {
+            system,
+            model,
+            shots,
+            fold_accuracies,
+            last_run: last_run.unwrap(),
+        }
+    })
 }
 
 /// Table 7: latency statistics per system at its maximum budget.
@@ -338,8 +375,7 @@ pub fn run_fewshot_grid(setup: &EvalSetup) -> Vec<FoldedResult> {
 /// cost).
 pub fn run_latency(setup: &EvalSetup) -> Vec<(SystemKind, f64, f64)> {
     let model = DataModel::V1;
-    let mut out = Vec::new();
-    for system in SystemKind::ALL {
+    par_map(&SystemKind::ALL, |&system| {
         let budget = if system.fine_tuned() {
             Budget::FineTuned(300)
         } else if system == SystemKind::Llama2 {
@@ -356,9 +392,8 @@ pub fn run_latency(setup: &EvalSetup) -> Vec<(SystemKind, f64, f64)> {
             "table7",
         );
         let (m, sd) = textosql::mean_sd(&run.latencies());
-        out.push((system, m, sd));
-    }
-    out
+        (system, m, sd)
+    })
 }
 
 #[cfg(test)]
@@ -391,8 +426,22 @@ mod tests {
     fn run_config_is_deterministic() {
         let s = setup();
         let pool = &s.benchmark.train[..10];
-        let a = run_config(s, SystemKind::T5PicardKeys, DataModel::V1, Budget::FineTuned(100), pool, "d");
-        let b = run_config(s, SystemKind::T5PicardKeys, DataModel::V1, Budget::FineTuned(100), pool, "d");
+        let a = run_config(
+            s,
+            SystemKind::T5PicardKeys,
+            DataModel::V1,
+            Budget::FineTuned(100),
+            pool,
+            "d",
+        );
+        let b = run_config(
+            s,
+            SystemKind::T5PicardKeys,
+            DataModel::V1,
+            Budget::FineTuned(100),
+            pool,
+            "d",
+        );
         assert_eq!(a.accuracy(), b.accuracy());
         for (x, y) in a.items.iter().zip(&b.items) {
             assert_eq!(x.outcome, y.outcome);

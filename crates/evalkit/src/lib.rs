@@ -5,6 +5,8 @@
 //! evaluation (Section 6), and renders each table and figure:
 //!
 //! * [`metric`] — execution accuracy (EX / result matching);
+//! * [`parallel`] — deterministic scoped-thread fan-out for the grid
+//!   (`REPRO_THREADS=1` is the serial reference path);
 //! * [`experiment`] — the experiment grid (Tables 5–7);
 //! * [`breakdown`] — hardness and characteristic breakdowns (Figures
 //!   7–8);
@@ -25,6 +27,7 @@ pub mod ablation;
 pub mod breakdown;
 pub mod experiment;
 pub mod metric;
+pub mod parallel;
 pub mod report;
 pub mod tradeoff;
 
@@ -32,4 +35,7 @@ pub use experiment::{
     run_config, run_fewshot_grid, run_finetuned_grid, run_latency, EvalSetup, FoldedResult,
     ItemResult, RunResult,
 };
-pub use metric::{accuracy, component_match, execution_match, ComponentMatch, ExOutcome};
+pub use metric::{
+    accuracy, component_match, execution_match, execution_match_cached, ComponentMatch, ExOutcome,
+};
+pub use parallel::{configured_threads, par_map, set_thread_override};

@@ -6,7 +6,7 @@
 //! test suites could not even parse parts of the corpus, which is why EX
 //! is the metric of record.
 
-use sqlengine::{execute_sql, Database};
+use sqlengine::{execute_sql, Database, QueryCache};
 
 /// Outcome of evaluating one prediction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,6 +37,37 @@ pub fn execution_match(db: &Database, gold_sql: &str, predicted: Option<&str>) -
     match predicted {
         None => ExOutcome::NoSql,
         Some(sql) => match execute_sql(db, sql) {
+            Ok(rs) => {
+                if rs.matches(&gold) {
+                    ExOutcome::Correct
+                } else {
+                    ExOutcome::WrongResult
+                }
+            }
+            Err(_) => ExOutcome::ExecError,
+        },
+    }
+}
+
+/// [`execution_match`] with result memoization.
+///
+/// Both the gold and the predicted query are executed through `cache`,
+/// so a gold query shared by every configuration of one data model — or
+/// a predicted query repeated across configurations — runs once.
+/// `execute_sql` is a pure function of `(db, sql)`, making the cached
+/// outcome identical to the uncached one.
+pub fn execution_match_cached(
+    db: &Database,
+    cache: &QueryCache,
+    gold_sql: &str,
+    predicted: Option<&str>,
+) -> ExOutcome {
+    let gold = cache
+        .execute_cached(db, gold_sql)
+        .unwrap_or_else(|e| panic!("gold SQL failed to execute: {e}\n{gold_sql}"));
+    match predicted {
+        None => ExOutcome::NoSql,
+        Some(sql) => match cache.execute_cached(db, sql) {
             Ok(rs) => {
                 if rs.matches(&gold) {
                     ExOutcome::Correct
@@ -214,8 +245,10 @@ mod tests {
             .column("a", DataType::Int)
             .column("b", DataType::Text)
             .pk(&["a"])]));
-        db.insert("t", vec![Value::Int(1), Value::text("x")]).unwrap();
-        db.insert("t", vec![Value::Int(2), Value::text("y")]).unwrap();
+        db.insert("t", vec![Value::Int(1), Value::text("x")])
+            .unwrap();
+        db.insert("t", vec![Value::Int(2), Value::text("y")])
+            .unwrap();
         db
     }
 
@@ -253,7 +286,10 @@ mod tests {
     #[test]
     fn missing_sql_is_no_sql() {
         let db = db();
-        assert_eq!(execution_match(&db, "SELECT a FROM t", None), ExOutcome::NoSql);
+        assert_eq!(
+            execution_match(&db, "SELECT a FROM t", None),
+            ExOutcome::NoSql
+        );
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Deterministic scoped-thread fan-out for the experiment grid.
+//!
+//! The evaluation workload is embarrassingly parallel at two levels:
+//! whole `(system × data model × budget)` configurations, and the
+//! per-item loop inside one configuration. Every unit is
+//! order-independent by construction — the seeded [`xrng::Rng`] is
+//! forked per unit from a *label* (`system/model/budget/item`), never
+//! from a shared mutable stream — so running units on worker threads and
+//! collecting results **by index** reproduces the serial output
+//! bit-for-bit.
+//!
+//! Thread count resolution, in priority order:
+//! 1. [`set_thread_override`] (used by the benchmark harness and tests);
+//! 2. the `REPRO_THREADS` environment variable (`REPRO_THREADS=1` is
+//!    the serial reference path);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Nested calls never oversubscribe: a worker thread that reaches
+//! another [`par_map`] runs it inline, so the grid level fans out and
+//! the item level reuses the same workers.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// 0 = no override; otherwise the forced thread count.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set inside worker threads so nested `par_map` calls run inline.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Forces the pool width, bypassing `REPRO_THREADS` and the hardware
+/// default. `None` restores normal resolution. Affects the whole
+/// process; intended for benchmark baselines and determinism tests.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The worker count `par_map` would use right now.
+pub fn configured_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(var) = std::env::var("REPRO_THREADS") {
+        if let Ok(n) = var.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `items` on a scoped worker pool, returning results in
+/// input order.
+///
+/// Determinism does not depend on scheduling: workers pull indices from
+/// an atomic counter, and each result lands in its input slot. With one
+/// configured thread (or when already inside a pool) this is exactly
+/// `items.iter().map(f).collect()`. A panic in any unit propagates, as
+/// in the serial path.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = configured_threads().min(items.len());
+    if threads <= 1 || IN_POOL.with(Cell::get) {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, U)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || {
+                IN_POOL.with(|flag| flag.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    // A send only fails when the receiver is gone, which
+                    // cannot happen while the scope holds it alive.
+                    let _ = tx.send((i, f(item)));
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    for (i, value) in rx {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was dispatched exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_input_order() {
+        set_thread_override(Some(4));
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(&items, |&i| i * 2);
+        set_thread_override(None);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        set_thread_override(Some(1));
+        let items: Vec<u64> = (0..64).collect();
+        let serial = par_map(&items, |&i| i.wrapping_mul(0x9E3779B9).rotate_left(7));
+        set_thread_override(Some(8));
+        let parallel = par_map(&items, |&i| i.wrapping_mul(0x9E3779B9).rotate_left(7));
+        set_thread_override(None);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        set_thread_override(Some(4));
+        let outer: Vec<usize> = (0..8).collect();
+        let out = par_map(&outer, |&i| {
+            let inner: Vec<usize> = (0..8).collect();
+            par_map(&inner, |&j| i * 10 + j).iter().sum::<usize>()
+        });
+        set_thread_override(None);
+        let expect: Vec<usize> = (0..8).map(|i| (0..8).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(par_map(&empty, |x| *x).is_empty());
+        assert_eq!(par_map(&[41], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn override_beats_env() {
+        set_thread_override(Some(3));
+        assert_eq!(configured_threads(), 3);
+        set_thread_override(None);
+        assert!(configured_threads() >= 1);
+    }
+}

@@ -25,21 +25,35 @@ pub fn table1(setup: &EvalSetup) -> String {
     let entries = simulate_log(&setup.domain, &mut rng, PAPER_LOG_SIZE);
     let s = LogStats::from_entries(&entries);
     let mut out = String::new();
-    let _ = writeln!(out, "Table 1: Statistics of live user logs (simulated deployment)");
+    let _ = writeln!(
+        out,
+        "Table 1: Statistics of live user logs (simulated deployment)"
+    );
     let _ = writeln!(out, "{:<32}{:>8}", "Type of User Log", "Amount");
     let _ = writeln!(out, "{:<32}{:>8}", "#NL questions issued", s.questions);
     let _ = writeln!(out, "{:<32}{:>8}", "#Times SQL generated", s.sql_generated);
-    let _ = writeln!(out, "{:<32}{:>8}", "#Times no SQL generated", s.no_sql_generated);
+    let _ = writeln!(
+        out,
+        "{:<32}{:>8}",
+        "#Times no SQL generated", s.no_sql_generated
+    );
     let _ = writeln!(out, "{:<32}{:>8}", "#Thumbs up", s.thumbs_up);
     let _ = writeln!(out, "{:<32}{:>8}", "#Thumbs down", s.thumbs_down);
-    let _ = writeln!(out, "{:<32}{:>8}", "#User corrected SQL queries", s.corrected);
+    let _ = writeln!(
+        out,
+        "{:<32}{:>8}",
+        "#User corrected SQL queries", s.corrected
+    );
     out
 }
 
 /// Table 2: characteristics of FootballDB across the three data models.
 pub fn table2(setup: &EvalSetup) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 2: Characteristics of FootballDB across data models");
+    let _ = writeln!(
+        out,
+        "Table 2: Characteristics of FootballDB across data models"
+    );
     let _ = writeln!(
         out,
         "{:<26}{:>10}{:>10}{:>10}",
@@ -71,7 +85,10 @@ pub fn table2(setup: &EvalSetup) -> String {
     let _ = writeln!(
         out,
         "{}",
-        row("Mean #Rows per Table", &|s| format!("{:.0}", s.mean_rows_per_table))
+        row("Mean #Rows per Table", &|s| format!(
+            "{:.0}",
+            s.mean_rows_per_table
+        ))
     );
     out
 }
@@ -213,7 +230,11 @@ pub fn table5(runs: &[RunResult]) -> String {
                     .map(|r| pct(r.accuracy()))
                     .unwrap_or_else(|| "-".into())
             };
-            let label = if n == 0 { "zero".to_string() } else { n.to_string() };
+            let label = if n == 0 {
+                "zero".to_string()
+            } else {
+                n.to_string()
+            };
             let _ = writeln!(
                 out,
                 "{:<8}{:<10}{:>12}{:>12}{:>16}",
@@ -302,24 +323,36 @@ pub fn table7(latencies: &[(SystemKind, f64, f64)]) -> String {
 /// reproduction.
 pub fn table8(setup: &EvalSetup) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 8: Comparison with existing Text-to-SQL datasets");
+    let _ = writeln!(
+        out,
+        "Table 8: Comparison with existing Text-to-SQL datasets"
+    );
     let _ = writeln!(
         out,
         "{:<16}{:>18}{:>20}{:>15}{:>14}{:>12}",
-        "Dataset", "#Examples(#DBs)", "#Tables(#Rows)/DB", "#Tokens/Query", "Multi-Schema", "Live Users"
+        "Dataset",
+        "#Examples(#DBs)",
+        "#Tables(#Rows)/DB",
+        "#Tokens/Query",
+        "Multi-Schema",
+        "Live Users"
     );
     let fixed = [
         ("WikiSQL", "80,654 (26,521)", "1 (17)", "12.2", "no", "no"),
         ("SPIDER", "10,181 (200)", "5.1 (2K)", "18.5", "no", "no"),
         ("KaggleDBQA", "272 (8)", "2.3 (280K)", "13.8", "no", "no"),
-        ("ScienceBench.", "5,332 (3)", "16.7 (51M)", "15.6", "no", "(yes)"),
+        (
+            "ScienceBench.",
+            "5,332 (3)",
+            "16.7 (51M)",
+            "15.6",
+            "no",
+            "(yes)",
+        ),
         ("BIRD", "12,751 (95)", "7.3 (549K)", "30.9", "no", "no"),
     ];
     for (name, ex, tr, tok, ms, lu) in fixed {
-        let _ = writeln!(
-            out,
-            "{name:<16}{ex:>18}{tr:>20}{tok:>15}{ms:>14}{lu:>12}"
-        );
+        let _ = writeln!(out, "{name:<16}{ex:>18}{tr:>20}{tok:>15}{ms:>14}{lu:>12}");
     }
     // Computed FootballDB row.
     let n_examples = setup.benchmark.selected.len() * 3;
@@ -466,10 +499,7 @@ pub fn full_report(setup: &EvalSetup) -> String {
     out.push_str(&table8(setup));
     out.push('\n');
     // Figures use the max-budget runs (300 train / 30 and 8 shots).
-    let mut fig_runs: Vec<RunResult> = t5
-        .into_iter()
-        .filter(|r| r.budget.size() == 300)
-        .collect();
+    let mut fig_runs: Vec<RunResult> = t5.into_iter().filter(|r| r.budget.size() == 300).collect();
     for f in t6 {
         if (f.system == SystemKind::Gpt35 && f.shots == 30)
             || (f.system == SystemKind::Llama2 && f.shots == 8)

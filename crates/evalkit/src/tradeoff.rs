@@ -58,8 +58,7 @@ pub fn token_budget_sweep(
     budgets: &[usize],
 ) -> Vec<TradeoffPoint> {
     let profiles = setup.profiles(model);
-    let full_probs =
-        success_probabilities(system, model, Budget::FineTuned(300), profiles);
+    let full_probs = success_probabilities(system, model, Budget::FineTuned(300), profiles);
     let mut rng = Rng::new(setup.seed).fork("tradeoff");
 
     budgets
@@ -173,13 +172,14 @@ mod tests {
             DataModel::V3,
             &[128, 512, 1024],
         );
-        assert!(points.windows(2).all(|w| w[0].accuracy <= w[1].accuracy + 1e-9));
-        assert!(points.windows(2).all(|w| w[0].latency <= w[1].latency * 1.1));
+        assert!(points
+            .windows(2)
+            .all(|w| w[0].accuracy <= w[1].accuracy + 1e-9));
+        assert!(points
+            .windows(2)
+            .all(|w| w[0].latency <= w[1].latency * 1.1));
         // Severe truncation must cost accuracy.
-        assert!(
-            points[0].accuracy < points[2].accuracy,
-            "{points:?}"
-        );
+        assert!(points[0].accuracy < points[2].accuracy, "{points:?}");
     }
 
     #[test]

@@ -359,7 +359,17 @@ fn gen_matches(d: &mut Domain, rng: &mut Rng) {
             let (hg, ag) = decisive_score(rng);
             let md = date(&mut day, rng);
             d.matches.push(make_match(
-                match_id, cup, venue(rng), home, away, md, "Semi-final", hg, ag, true, rng,
+                match_id,
+                cup,
+                venue(rng),
+                home,
+                away,
+                md,
+                "Semi-final",
+                hg,
+                ag,
+                true,
+                rng,
             ));
         }
         // Third-place play-off: third beats fourth.
@@ -384,7 +394,17 @@ fn gen_matches(d: &mut Domain, rng: &mut Rng) {
         let (hg, ag) = decisive_score(rng);
         let md = format!("{}-07-15", cup.year);
         d.matches.push(make_match(
-            match_id, cup, venue(rng), cup.winner, cup.runner_up, md, "Final", hg, ag, true, rng,
+            match_id,
+            cup,
+            venue(rng),
+            cup.winner,
+            cup.runner_up,
+            md,
+            "Final",
+            hg,
+            ag,
+            true,
+            rng,
         ));
     }
 }
@@ -460,8 +480,10 @@ fn gen_appearances_and_events(d: &mut Domain, rng: &mut Rng) {
     let matches = d.matches.clone();
     for m in &matches {
         let mut scorers: Vec<(i64, Vec<i64>)> = Vec::with_capacity(2);
-        for (team_id, goals) in [(m.home_team_id, m.home_goals), (m.away_team_id, m.away_goals)]
-        {
+        for (team_id, goals) in [
+            (m.home_team_id, m.home_goals),
+            (m.away_team_id, m.away_goals),
+        ] {
             let squad = squad_index
                 .get(&(m.world_cup_id, team_id))
                 .cloned()
@@ -609,12 +631,7 @@ fn finalize_stats(d: &mut Domain) {
         }
     }
     let mut order: Vec<i64> = d.teams.iter().map(|t| t.team_id).collect();
-    order.sort_by_key(|id| {
-        (
-            std::cmp::Reverse(participation[*id as usize]),
-            *id,
-        )
-    });
+    order.sort_by_key(|id| (std::cmp::Reverse(participation[*id as usize]), *id));
     for (rank, id) in order.iter().enumerate() {
         d.teams[(*id - 1) as usize].fifa_ranking = (rank + 1) as i64;
     }
@@ -626,7 +643,10 @@ fn finalize_stats(d: &mut Domain) {
             .filter(|m| m.world_cup_id == cup.world_cup_id)
             .collect();
         cup.total_attendance = cup_matches.iter().map(|m| m.attendance).sum();
-        cup.goals_scored = cup_matches.iter().map(|m| m.home_goals + m.away_goals).sum();
+        cup.goals_scored = cup_matches
+            .iter()
+            .map(|m| m.home_goals + m.away_goals)
+            .sum();
         cup.matches_played = cup_matches.len() as i64;
     }
 }
@@ -713,7 +733,9 @@ mod tests {
                 && d.team(m.away_team_id).teamname == "Brazil"
         });
         let semi = semi.expect("Germany vs Brazil 2014 semi-final missing");
-        assert!(semi.home_goals > semi.away_goals || semi.home_penalty_goals > semi.away_penalty_goals);
+        assert!(
+            semi.home_goals > semi.away_goals || semi.home_penalty_goals > semi.away_penalty_goals
+        );
     }
 
     #[test]
@@ -756,8 +778,14 @@ mod tests {
             *by_match.entry((g.match_id, g.team_id)).or_default() += 1;
         }
         for m in d.matches.iter().take(200) {
-            let hg = by_match.get(&(m.match_id, m.home_team_id)).copied().unwrap_or(0);
-            let ag = by_match.get(&(m.match_id, m.away_team_id)).copied().unwrap_or(0);
+            let hg = by_match
+                .get(&(m.match_id, m.home_team_id))
+                .copied()
+                .unwrap_or(0);
+            let ag = by_match
+                .get(&(m.match_id, m.away_team_id))
+                .copied()
+                .unwrap_or(0);
             assert_eq!(hg, m.home_goals, "home goals of match {}", m.match_id);
             assert_eq!(ag, m.away_goals, "away goals of match {}", m.match_id);
         }

@@ -90,8 +90,12 @@ impl Match {
     /// shoot-outs.
     pub fn home_result(&self) -> &'static str {
         use std::cmp::Ordering::*;
-        match (self.home_goals, self.away_goals, self.home_penalty_goals, self.away_penalty_goals)
-        {
+        match (
+            self.home_goals,
+            self.away_goals,
+            self.home_penalty_goals,
+            self.away_penalty_goals,
+        ) {
             (h, a, _, _) if h > a => "W",
             (h, a, _, _) if h < a => "L",
             (_, _, hp, ap) => match hp.cmp(&ap) {

@@ -125,21 +125,62 @@ pub const WORLD_CUPS: [(i64, &str, i64, i64); 22] = [
 ];
 
 const FIRST_NAMES: [&str; 48] = [
-    "Carlos", "Diego", "Luis", "Miguel", "Javier", "Sergio", "Pablo", "Andres",
-    "Hans", "Karl", "Jurgen", "Thomas", "Stefan", "Lukas", "Manuel", "Felix",
-    "John", "James", "Harry", "Gary", "Steven", "Paul", "David", "Michael",
-    "Pierre", "Jean", "Antoine", "Michel", "Olivier", "Didier", "Hugo", "Louis",
-    "Hiroshi", "Kenji", "Takashi", "Shinji", "Ahmed", "Mohamed", "Youssef", "Karim",
-    "Ivan", "Dmitri", "Sergei", "Andrei", "Marco", "Paolo", "Luca", "Giovanni",
+    "Carlos", "Diego", "Luis", "Miguel", "Javier", "Sergio", "Pablo", "Andres", "Hans", "Karl",
+    "Jurgen", "Thomas", "Stefan", "Lukas", "Manuel", "Felix", "John", "James", "Harry", "Gary",
+    "Steven", "Paul", "David", "Michael", "Pierre", "Jean", "Antoine", "Michel", "Olivier",
+    "Didier", "Hugo", "Louis", "Hiroshi", "Kenji", "Takashi", "Shinji", "Ahmed", "Mohamed",
+    "Youssef", "Karim", "Ivan", "Dmitri", "Sergei", "Andrei", "Marco", "Paolo", "Luca", "Giovanni",
 ];
 
 const LAST_NAMES: [&str; 48] = [
-    "Silva", "Santos", "Fernandez", "Gonzalez", "Rodriguez", "Martinez", "Lopez", "Perez",
-    "Muller", "Schmidt", "Schneider", "Fischer", "Weber", "Wagner", "Becker", "Hoffmann",
-    "Smith", "Jones", "Taylor", "Brown", "Wilson", "Evans", "Thomas", "Roberts",
-    "Dubois", "Bernard", "Moreau", "Laurent", "Girard", "Rousseau", "Lefevre", "Mercier",
-    "Tanaka", "Suzuki", "Takahashi", "Watanabe", "Hassan", "Ali", "Ibrahim", "Salah",
-    "Petrov", "Ivanov", "Volkov", "Smirnov", "Rossi", "Bianchi", "Ferrari", "Romano",
+    "Silva",
+    "Santos",
+    "Fernandez",
+    "Gonzalez",
+    "Rodriguez",
+    "Martinez",
+    "Lopez",
+    "Perez",
+    "Muller",
+    "Schmidt",
+    "Schneider",
+    "Fischer",
+    "Weber",
+    "Wagner",
+    "Becker",
+    "Hoffmann",
+    "Smith",
+    "Jones",
+    "Taylor",
+    "Brown",
+    "Wilson",
+    "Evans",
+    "Thomas",
+    "Roberts",
+    "Dubois",
+    "Bernard",
+    "Moreau",
+    "Laurent",
+    "Girard",
+    "Rousseau",
+    "Lefevre",
+    "Mercier",
+    "Tanaka",
+    "Suzuki",
+    "Takahashi",
+    "Watanabe",
+    "Hassan",
+    "Ali",
+    "Ibrahim",
+    "Salah",
+    "Petrov",
+    "Ivanov",
+    "Volkov",
+    "Smirnov",
+    "Rossi",
+    "Bianchi",
+    "Ferrari",
+    "Romano",
 ];
 
 const NICKNAME_PREFIXES: [&str; 12] = [
@@ -147,18 +188,59 @@ const NICKNAME_PREFIXES: [&str; 12] = [
 ];
 
 const CITY_NAMES: [&str; 40] = [
-    "Riverton", "Lakefield", "Northport", "Eastvale", "Westbrook", "Southgate",
-    "Hillcrest", "Stonebridge", "Oakdale", "Maplewood", "Clearwater", "Fairview",
-    "Greenfield", "Harborview", "Ironside", "Kingsmere", "Larkspur", "Meadowvale",
-    "Newhaven", "Oldtown", "Pinehurst", "Quarrybank", "Redcliff", "Silverlake",
-    "Thornfield", "Umberton", "Valleyford", "Whitewater", "Ashgrove", "Birchwood",
-    "Cedarholm", "Dunmore", "Elmsworth", "Foxglove", "Glenrock", "Hawthorne",
-    "Inverpool", "Juniper", "Kestrel", "Lynwood",
+    "Riverton",
+    "Lakefield",
+    "Northport",
+    "Eastvale",
+    "Westbrook",
+    "Southgate",
+    "Hillcrest",
+    "Stonebridge",
+    "Oakdale",
+    "Maplewood",
+    "Clearwater",
+    "Fairview",
+    "Greenfield",
+    "Harborview",
+    "Ironside",
+    "Kingsmere",
+    "Larkspur",
+    "Meadowvale",
+    "Newhaven",
+    "Oldtown",
+    "Pinehurst",
+    "Quarrybank",
+    "Redcliff",
+    "Silverlake",
+    "Thornfield",
+    "Umberton",
+    "Valleyford",
+    "Whitewater",
+    "Ashgrove",
+    "Birchwood",
+    "Cedarholm",
+    "Dunmore",
+    "Elmsworth",
+    "Foxglove",
+    "Glenrock",
+    "Hawthorne",
+    "Inverpool",
+    "Juniper",
+    "Kestrel",
+    "Lynwood",
 ];
 
 const CLUB_SUFFIXES: [&str; 10] = [
-    "FC", "United", "City", "Athletic", "Rovers", "Wanderers", "Sporting", "Real",
-    "Dynamo", "Olympic",
+    "FC",
+    "United",
+    "City",
+    "Athletic",
+    "Rovers",
+    "Wanderers",
+    "Sporting",
+    "Real",
+    "Dynamo",
+    "Olympic",
 ];
 
 const STADIUM_SUFFIXES: [&str; 8] = [

@@ -476,7 +476,9 @@ mod tests {
         for m in [DataModel::V2, DataModel::V3] {
             let pairs = m.catalog().multi_fk_pairs();
             assert!(
-                !pairs.iter().any(|(a, b, _)| a == "match" && b == "national_team"),
+                !pairs
+                    .iter()
+                    .any(|(a, b, _)| a == "match" && b == "national_team"),
                 "{m} still has the match multi-edge: {pairs:?}"
             );
             assert!(

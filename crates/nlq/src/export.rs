@@ -140,10 +140,8 @@ mod tests {
 
     #[test]
     fn write_release_creates_files() {
-        let dir = std::env::temp_dir().join(format!(
-            "footballdb-export-test-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("footballdb-export-test-{}", std::process::id()));
         let b = Benchmark {
             gold_pool: vec![example()],
             selected: vec![example()],
@@ -151,7 +149,12 @@ mod tests {
             test: vec![example()],
         };
         write_release(&b, &dir).unwrap();
-        for f in ["gold_pool.jsonl", "selected.jsonl", "train.jsonl", "test.jsonl"] {
+        for f in [
+            "gold_pool.jsonl",
+            "selected.jsonl",
+            "train.jsonl",
+            "test.jsonl",
+        ] {
             let content = std::fs::read_to_string(dir.join(f)).unwrap();
             assert!(content.contains("\"question\""), "{f} is missing content");
         }

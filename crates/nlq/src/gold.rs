@@ -197,11 +197,7 @@ pub fn build_benchmark(d: &Domain, seed: u64, cfg: &PipelineConfig) -> Benchmark
         .take(cfg.test_size.min(selected.len()))
         .cloned()
         .collect();
-    let train: Vec<GoldExample> = selected
-        .iter()
-        .skip(test.len())
-        .cloned()
-        .collect();
+    let train: Vec<GoldExample> = selected.iter().skip(test.len()).cloned().collect();
 
     Benchmark {
         gold_pool,
@@ -260,8 +256,7 @@ mod tests {
         let mut rng = Rng::new(3);
         let raw = build_raw_corpus(&d, &mut rng, cfg.raw_questions);
         let pool = diversity_sample(&raw, &cfg, &mut rng);
-        let topics: std::collections::HashSet<&str> =
-            pool.iter().map(|&i| raw[i].topic).collect();
+        let topics: std::collections::HashSet<&str> = pool.iter().map(|&i| raw[i].topic).collect();
         assert!(topics.len() >= 10, "only {} topics", topics.len());
     }
 
@@ -291,7 +286,10 @@ mod tests {
         assert_eq!(b.train.len() + b.test.len(), b.selected.len());
         let test_qs: std::collections::HashSet<&str> =
             b.test.iter().map(|e| e.question.as_str()).collect();
-        assert!(b.train.iter().all(|e| !test_qs.contains(e.question.as_str())));
+        assert!(b
+            .train
+            .iter()
+            .all(|e| !test_qs.contains(e.question.as_str())));
     }
 
     #[test]

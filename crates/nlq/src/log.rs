@@ -209,8 +209,16 @@ mod tests {
         assert!((0.85..0.93).contains(&rate), "rate = {rate}");
         // Paper: 174 up, 949 down, 1,287 corrections.
         assert!((100..260).contains(&s.thumbs_up), "up = {}", s.thumbs_up);
-        assert!((800..1100).contains(&s.thumbs_down), "down = {}", s.thumbs_down);
-        assert!((1100..1500).contains(&s.corrected), "corr = {}", s.corrected);
+        assert!(
+            (800..1100).contains(&s.thumbs_down),
+            "down = {}",
+            s.thumbs_down
+        );
+        assert!(
+            (1100..1500).contains(&s.corrected),
+            "corr = {}",
+            s.corrected
+        );
         assert_eq!(s.sql_generated + s.no_sql_generated, s.questions);
     }
 
@@ -266,10 +274,7 @@ mod tests {
         let d = generate(7);
         let a = simulate_log(&d, &mut Rng::new(26), 500);
         let b = simulate_log(&d, &mut Rng::new(26), 500);
-        assert_eq!(
-            LogStats::from_entries(&a),
-            LogStats::from_entries(&b)
-        );
+        assert_eq!(LogStats::from_entries(&a), LogStats::from_entries(&b));
         assert_eq!(a[17].question, b[17].question);
     }
 }

@@ -70,10 +70,7 @@ pub fn kmeans(embeddings: &[Embedding], k: usize, rng: &mut Rng, iters: usize) -
         let weights: Vec<f64> = embeddings
             .iter()
             .map(|e| {
-                let best = centroids
-                    .iter()
-                    .map(|c| dot(c, e))
-                    .fold(f32::MIN, f32::max);
+                let best = centroids.iter().map(|c| dot(c, e)).fold(f32::MIN, f32::max);
                 f64::from((1.0 - best).max(0.0)).powi(2) + 1e-9
             })
             .collect();

@@ -1,0 +1,281 @@
+//! Concurrency-safe query-result memoization.
+//!
+//! The evaluation harness executes the *same* gold SQL for every
+//! (system × budget) configuration that shares a data model, and many
+//! predicted queries repeat verbatim across configurations (a correct
+//! prediction is frequently the gold text itself). A [`QueryCache`]
+//! deduplicates those executions: results are keyed by the query text
+//! per database instance, so each distinct query runs once and every
+//! later evaluation shares the materialized [`ResultSet`] behind an
+//! `Arc`.
+//!
+//! The cache is safe to share across threads (`RwLock` map, atomic
+//! counters) and is semantically transparent: [`execute_sql`] is a pure
+//! function of `(db, sql)`, so a cached result is bit-identical to a
+//! fresh execution. Hit/miss counters make the saved work observable in
+//! the benchmark harness.
+
+use crate::db::Database;
+use crate::error::EngineError;
+use crate::exec::execute_sql;
+use crate::result::ResultSet;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Snapshot of a cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+    /// Results executed but not stored because they exceeded the size cap.
+    pub oversize: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrency-safe memo table for query execution against one
+/// database instance.
+///
+/// Both successful results and execution errors are cached: predicted
+/// SQL that fails to execute fails identically on every configuration,
+/// so re-running it buys nothing.
+#[derive(Debug)]
+pub struct QueryCache {
+    map: RwLock<HashMap<String, Result<Arc<ResultSet>, EngineError>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    oversize: AtomicU64,
+    disabled: AtomicBool,
+    /// Maximum result size (rows × columns) eligible for storage.
+    ///
+    /// The repeated queries worth memoizing — gold SQL and correct
+    /// predictions — produce small, selective results. Wrong predictions
+    /// can materialize enormous unconstrained joins; those are almost
+    /// always unique, so storing them would pin hundreds of megabytes
+    /// for zero future hits and slow the whole pipeline down through
+    /// allocator pressure. Oversize results are still returned, just not
+    /// retained.
+    max_cells: usize,
+}
+
+impl Default for QueryCache {
+    fn default() -> QueryCache {
+        QueryCache::with_max_cells(4096)
+    }
+}
+
+impl QueryCache {
+    pub fn new() -> QueryCache {
+        QueryCache::default()
+    }
+
+    /// A cache that stores only results with at most `max_cells`
+    /// (rows × columns) cells.
+    pub fn with_max_cells(max_cells: usize) -> QueryCache {
+        QueryCache {
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            oversize: AtomicU64::new(0),
+            disabled: AtomicBool::new(false),
+            max_cells,
+        }
+    }
+
+    /// Executes `sql` against `db`, serving repeats from the memo table.
+    ///
+    /// The key is the trimmed query text: conservative (two spellings of
+    /// one query occupy two slots) but guaranteed never to conflate
+    /// distinct queries.
+    pub fn execute_cached(&self, db: &Database, sql: &str) -> Result<Arc<ResultSet>, EngineError> {
+        if self.disabled.load(Ordering::Relaxed) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return execute_sql(db, sql).map(Arc::new);
+        }
+        let key = sql.trim();
+        if let Some(cached) = self.map.read().unwrap().get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = execute_sql(db, sql).map(Arc::new);
+        if let Ok(rs) = &result {
+            if rs.rows.len().saturating_mul(rs.columns.len().max(1)) > self.max_cells {
+                self.oversize.fetch_add(1, Ordering::Relaxed);
+                return result;
+            }
+        }
+        // Two threads may race to fill the same key; both computed the
+        // same pure result, so first-write-wins keeps determinism.
+        self.map
+            .write()
+            .unwrap()
+            .entry(key.to_string())
+            .or_insert_with(|| result.clone());
+        result
+    }
+
+    /// Turns memoization off (every call executes) or back on. The memo
+    /// table itself is left intact; use [`QueryCache::clear`] to drop it.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.disabled.store(!enabled, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        !self.disabled.load(Ordering::Relaxed)
+    }
+
+    /// Drops all entries and zeroes the counters.
+    pub fn clear(&self) {
+        self.map.write().unwrap().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.oversize.store(0, Ordering::Relaxed);
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.read().unwrap().len(),
+            oversize: self.oversize.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, DataType, TableSchema};
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new(Catalog::new(vec![TableSchema::new("t")
+            .column("a", DataType::Int)
+            .pk(&["a"])]));
+        for i in 0..5 {
+            db.insert("t", vec![Value::Int(i)]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn cached_result_equals_direct_execution() {
+        let db = db();
+        let cache = QueryCache::new();
+        let sql = "SELECT a FROM t WHERE a > 2";
+        let direct = execute_sql(&db, sql).unwrap();
+        let cached = cache.execute_cached(&db, sql).unwrap();
+        assert_eq!(*cached, direct);
+        let again = cache.execute_cached(&db, sql).unwrap();
+        assert_eq!(*again, direct);
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let db = db();
+        let cache = QueryCache::new();
+        cache.execute_cached(&db, "SELECT a FROM t").unwrap();
+        cache.execute_cached(&db, "SELECT a FROM t").unwrap();
+        cache
+            .execute_cached(&db, "SELECT a FROM t WHERE a = 1")
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 2));
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn whitespace_trimmed_key_shares_entry() {
+        let db = db();
+        let cache = QueryCache::new();
+        cache.execute_cached(&db, "SELECT a FROM t").unwrap();
+        cache.execute_cached(&db, "  SELECT a FROM t  ").unwrap();
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn errors_are_cached_too() {
+        let db = db();
+        let cache = QueryCache::new();
+        let e1 = cache.execute_cached(&db, "SELECT nope FROM t").unwrap_err();
+        let e2 = cache.execute_cached(&db, "SELECT nope FROM t").unwrap_err();
+        assert_eq!(e1, e2);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn disabled_cache_always_executes() {
+        let db = db();
+        let cache = QueryCache::new();
+        cache.set_enabled(false);
+        cache.execute_cached(&db, "SELECT a FROM t").unwrap();
+        cache.execute_cached(&db, "SELECT a FROM t").unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 0));
+        cache.set_enabled(true);
+        cache.execute_cached(&db, "SELECT a FROM t").unwrap();
+        cache.execute_cached(&db, "SELECT a FROM t").unwrap();
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn oversize_results_are_returned_but_not_stored() {
+        let db = db();
+        let cache = QueryCache::with_max_cells(3);
+        let sql = "SELECT a FROM t"; // 5 rows x 1 col > 3 cells
+        let rs = cache.execute_cached(&db, sql).unwrap();
+        assert_eq!(rs.rows.len(), 5);
+        cache.execute_cached(&db, sql).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.oversize), (0, 2, 0, 2));
+        // Small results still land in the map.
+        cache
+            .execute_cached(&db, "SELECT a FROM t WHERE a = 1")
+            .unwrap();
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let db = db();
+        let cache = QueryCache::new();
+        cache.execute_cached(&db, "SELECT a FROM t").unwrap();
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_fill_is_consistent() {
+        let db = db();
+        let cache = QueryCache::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..20 {
+                        let sql = format!("SELECT a FROM t WHERE a > {}", i % 5);
+                        let rs = cache.execute_cached(&db, &sql).unwrap();
+                        let direct = execute_sql(&db, &sql).unwrap();
+                        assert_eq!(*rs, direct);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats().entries, 5);
+    }
+}

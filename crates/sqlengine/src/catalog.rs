@@ -244,7 +244,10 @@ mod tests {
     fn lookup_is_case_insensitive() {
         let c = small_catalog();
         assert!(c.table("MATCH").is_some());
-        assert_eq!(c.table("match").unwrap().column_index("HOME_TEAM_ID"), Some(1));
+        assert_eq!(
+            c.table("match").unwrap().column_index("HOME_TEAM_ID"),
+            Some(1)
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ impl Database {
     pub fn new(catalog: Catalog) -> Self {
         let errors = catalog.validate();
         assert!(errors.is_empty(), "invalid catalog: {errors:?}");
-        let data = catalog.tables.iter().map(|_| TableData::default()).collect();
+        let data = catalog
+            .tables
+            .iter()
+            .map(|_| TableData::default())
+            .collect();
         Database { catalog, data }
     }
 
@@ -133,8 +137,7 @@ impl Database {
                     .map(|r| ref_cols.iter().map(|c| r[*c].to_string()).collect())
                     .collect();
                 for (ri, row) in self.data[ti].rows.iter().enumerate() {
-                    let key: Vec<String> =
-                        own_cols.iter().map(|c| row[*c].to_string()).collect();
+                    let key: Vec<String> = own_cols.iter().map(|c| row[*c].to_string()).collect();
                     if own_cols.iter().any(|c| row[*c].is_null()) {
                         continue; // NULL FKs are permitted.
                     }
@@ -203,7 +206,14 @@ mod tests {
     fn insert_rejects_wrong_arity() {
         let mut d = db();
         let err = d.insert("team", vec![Value::Int(1)]).unwrap_err();
-        assert!(matches!(err, EngineError::Arity { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            EngineError::Arity {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -235,11 +245,8 @@ mod tests {
         let mut d = db();
         d.insert("team", vec![Value::Int(1), Value::text("Brazil")])
             .unwrap();
-        d.insert(
-            "player",
-            vec![Value::Int(10), Value::Int(1), Value::Int(3)],
-        )
-        .unwrap();
+        d.insert("player", vec![Value::Int(10), Value::Int(1), Value::Int(3)])
+            .unwrap();
         assert!(d.check_foreign_keys().is_empty());
         d.insert(
             "player",
@@ -262,8 +269,10 @@ mod tests {
     #[test]
     fn row_statistics() {
         let mut d = db();
-        d.insert("team", vec![Value::Int(1), Value::text("A")]).unwrap();
-        d.insert("team", vec![Value::Int(2), Value::text("B")]).unwrap();
+        d.insert("team", vec![Value::Int(1), Value::text("A")])
+            .unwrap();
+        d.insert("team", vec![Value::Int(2), Value::text("B")])
+            .unwrap();
         assert_eq!(d.total_rows(), 2);
         assert!((d.mean_rows_per_table() - 1.0).abs() < 1e-9);
     }

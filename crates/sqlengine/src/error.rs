@@ -21,7 +21,10 @@ pub enum EngineError {
         got: String,
     },
     /// Set-operation arms with differing column counts.
-    SetOpArity { left: usize, right: usize },
+    SetOpArity {
+        left: usize,
+        right: usize,
+    },
     /// Scalar subquery returned more than one row.
     ScalarSubqueryCardinality(usize),
     /// Feature present in the AST but unsupported by the executor.
@@ -52,10 +55,9 @@ impl fmt::Display for EngineError {
                 f,
                 "type mismatch in {table}.{column}: expected {expected}, got {got}"
             ),
-            EngineError::SetOpArity { left, right } => write!(
-                f,
-                "set operation arms have {left} and {right} columns"
-            ),
+            EngineError::SetOpArity { left, right } => {
+                write!(f, "set operation arms have {left} and {right} columns")
+            }
             EngineError::ScalarSubqueryCardinality(n) => {
                 write!(f, "scalar subquery returned {n} rows")
             }

@@ -40,10 +40,26 @@ struct Env<'a> {
     cols: &'a [(String, String)],
     row: &'a [Value],
     parent: Option<&'a Env<'a>>,
+    /// Pre-resolved column positions for the expressions a row loop is
+    /// about to evaluate. Purely an accelerator: any reference not in
+    /// the plan falls back to the linear name scan.
+    plan: Option<&'a ColumnPlan>,
 }
 
 impl<'a> Env<'a> {
     fn lookup(&self, c: &ColumnRef) -> Result<&Value, EngineError> {
+        if let Some(plan) = self.plan {
+            if let Some(slot) = plan.get(c) {
+                return match slot {
+                    Slot::Local(i) => Ok(&self.row[i]),
+                    Slot::Deferred => match self.parent {
+                        Some(p) => p.lookup(c),
+                        None => Err(EngineError::UnknownColumn(c.to_string())),
+                    },
+                    Slot::Ambiguous => Err(EngineError::AmbiguousColumn(c.column.clone())),
+                };
+            }
+        }
         match self.find_local(c)? {
             Some(i) => Ok(&self.row[i]),
             None => match self.parent {
@@ -54,24 +70,86 @@ impl<'a> Env<'a> {
     }
 
     fn find_local(&self, c: &ColumnRef) -> Result<Option<usize>, EngineError> {
-        match &c.table {
-            Some(t) => Ok(self
-                .cols
-                .iter()
-                .position(|(b, n)| b.eq_ignore_ascii_case(t) && n.eq_ignore_ascii_case(&c.column))),
-            None => {
-                let mut found = None;
-                for (i, (_, n)) in self.cols.iter().enumerate() {
-                    if n.eq_ignore_ascii_case(&c.column) {
-                        if found.is_some() {
-                            return Err(EngineError::AmbiguousColumn(c.column.clone()));
-                        }
-                        found = Some(i);
+        resolve_column(self.cols, c)
+    }
+}
+
+/// Resolves a column reference against one relation's bindings by
+/// case-insensitive name scan. `Ok(None)` means "not in this relation"
+/// (the caller may continue up the environment chain).
+fn resolve_column(cols: &[(String, String)], c: &ColumnRef) -> Result<Option<usize>, EngineError> {
+    match &c.table {
+        Some(t) => Ok(cols
+            .iter()
+            .position(|(b, n)| b.eq_ignore_ascii_case(t) && n.eq_ignore_ascii_case(&c.column))),
+        None => {
+            let mut found = None;
+            for (i, (_, n)) in cols.iter().enumerate() {
+                if n.eq_ignore_ascii_case(&c.column) {
+                    if found.is_some() {
+                        return Err(EngineError::AmbiguousColumn(c.column.clone()));
                     }
+                    found = Some(i);
                 }
-                Ok(found)
             }
+            Ok(found)
         }
+    }
+}
+
+/// Resolution outcome for one column occurrence.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// Position in the local relation's row.
+    Local(usize),
+    /// Not in the local relation; resolve through the parent chain.
+    Deferred,
+    /// The unqualified name matches several local columns.
+    Ambiguous,
+}
+
+/// Compiled column resolution for a set of expressions over one relation
+/// layout.
+///
+/// Before a row loop, every `ColumnRef` occurrence in the loop's
+/// expressions is resolved once against the relation's bindings; the
+/// per-row `eval` then reads row positions directly instead of
+/// re-scanning the binding list by name for every row × column.
+///
+/// Entries are keyed by the *address* of each `ColumnRef` node, so the
+/// expressions handed to [`ColumnPlan::compile`] must stay alive (and
+/// unmoved) for as long as the plan is consulted. [`Expr::visit`] does
+/// not descend into subqueries, so a correlated subquery's references
+/// are never keyed here — they take the fallback scan against their own
+/// (different) scope.
+#[derive(Debug, Default)]
+struct ColumnPlan {
+    slots: HashMap<usize, Slot>,
+}
+
+impl ColumnPlan {
+    fn compile<'e, I>(exprs: I, cols: &[(String, String)]) -> ColumnPlan
+    where
+        I: IntoIterator<Item = &'e Expr>,
+    {
+        let mut slots = HashMap::new();
+        for e in exprs {
+            e.visit(&mut |x| {
+                if let Expr::Column(c) = x {
+                    let slot = match resolve_column(cols, c) {
+                        Ok(Some(i)) => Slot::Local(i),
+                        Ok(None) => Slot::Deferred,
+                        Err(_) => Slot::Ambiguous,
+                    };
+                    slots.insert(c as *const ColumnRef as usize, slot);
+                }
+            });
+        }
+        ColumnPlan { slots }
+    }
+
+    fn get(&self, c: &ColumnRef) -> Option<Slot> {
+        self.slots.get(&(c as *const ColumnRef as usize)).copied()
     }
 }
 
@@ -136,7 +214,12 @@ fn exec_body(
 ) -> Result<ResultSet, EngineError> {
     match body {
         QueryBody::Select(s) => exec_select(db, s, &[], None, outer),
-        QueryBody::SetOp { op, all, left, right } => {
+        QueryBody::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
             let l = exec_body(db, left, outer)?;
             let r = exec_body(db, right, outer)?;
             if l.columns.len() != r.columns.len() {
@@ -166,9 +249,7 @@ fn exec_body(
                         .collect();
                     out.rows = lrows
                         .into_iter()
-                        .filter(|row| {
-                            rkeys.contains(&row.iter().map(key_of).collect::<Vec<_>>())
-                        })
+                        .filter(|row| rkeys.contains(&row.iter().map(key_of).collect::<Vec<_>>()))
                         .collect();
                 }
                 (SetOp::Except, _) => {
@@ -181,9 +262,7 @@ fn exec_body(
                         .collect();
                     out.rows = lrows
                         .into_iter()
-                        .filter(|row| {
-                            !rkeys.contains(&row.iter().map(key_of).collect::<Vec<_>>())
-                        })
+                        .filter(|row| !rkeys.contains(&row.iter().map(key_of).collect::<Vec<_>>()))
                         .collect();
                 }
             }
@@ -209,10 +288,7 @@ fn exec_select(
     // 0. Plan the WHERE clause: fold uncorrelated subqueries to literals
     // (so they run once, not per row) and split the conjunction into
     // predicates pushable to individual scans versus residual ones.
-    let folded_where = s
-        .where_clause
-        .as_ref()
-        .map(|w| fold_uncorrelated(db, w));
+    let folded_where = s.where_clause.as_ref().map(|w| fold_uncorrelated(db, w));
     let (pushed, residual) = plan_pushdown(s, folded_where.as_ref());
 
     // 1. FROM: build the source relation, filtering each scan with its
@@ -238,11 +314,19 @@ fn exec_select(
     }
 
     // 2. Residual WHERE predicates (multi-table or non-pushable).
-    if let Some(w) = residual {
+    // `residual` is borrowed, not moved: the compiled plan keys column
+    // occurrences by node address, so the expression must stay put.
+    if let Some(w) = &residual {
+        let plan = ColumnPlan::compile([w], &rel.cols);
         let mut kept = Vec::with_capacity(rel.rows.len());
-        for row in rel.rows {
-            let env = Env { cols: &rel.cols, row: &row, parent: outer };
-            if eval(db, &w, &env)?.is_true() {
+        for row in std::mem::take(&mut rel.rows) {
+            let env = Env {
+                cols: &rel.cols,
+                row: &row,
+                parent: outer,
+                plan: Some(&plan),
+            };
+            if eval(db, w, &env)?.is_true() {
                 kept.push(row);
             }
         }
@@ -264,10 +348,24 @@ fn exec_select(
         exec_aggregate(db, s, order_by, &rel, &items, outer, &mut out)?;
     } else {
         // Plain projection. Keep the source row alongside the output row
-        // so ORDER BY can reference non-projected columns.
+        // so ORDER BY can reference non-projected columns. One plan
+        // covers the projection and ORDER BY expressions, both evaluated
+        // in the source scope.
+        let plan = ColumnPlan::compile(
+            items
+                .iter()
+                .map(|(_, e)| e)
+                .chain(order_by.iter().map(|o| &o.expr)),
+            &rel.cols,
+        );
         let mut pairs: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rel.rows.len());
         for row in &rel.rows {
-            let env = Env { cols: &rel.cols, row, parent: outer };
+            let env = Env {
+                cols: &rel.cols,
+                row,
+                parent: outer,
+                plan: Some(&plan),
+            };
             let mut out_row = Vec::with_capacity(items.len());
             for (_, e) in &items {
                 out_row.push(eval(db, e, &env)?);
@@ -282,7 +380,17 @@ fn exec_select(
             let keys = pairs
                 .iter()
                 .map(|(src, outr)| {
-                    order_key_row(db, order_by, &rel, src, outr, &items, outer, &out.columns)
+                    order_key_row(
+                        db,
+                        order_by,
+                        &rel,
+                        src,
+                        outr,
+                        &items,
+                        outer,
+                        &out.columns,
+                        Some(&plan),
+                    )
                 })
                 .collect::<Result<Vec<_>, _>>()?;
             let mut idx: Vec<usize> = (0..pairs.len()).collect();
@@ -321,8 +429,14 @@ fn order_key_row(
     items: &[(String, Expr)],
     outer: Option<&Env<'_>>,
     out_columns: &[String],
+    plan: Option<&ColumnPlan>,
 ) -> Result<Vec<Value>, EngineError> {
-    let env = Env { cols: &rel.cols, row: src, parent: outer };
+    let env = Env {
+        cols: &rel.cols,
+        row: src,
+        parent: outer,
+        plan,
+    };
     let mut keys = Vec::with_capacity(order_by.len());
     for o in order_by {
         // Positional ordering: ORDER BY 1.
@@ -457,7 +571,10 @@ fn load_table_ref(
                 .iter()
                 .map(|c| (alias.clone(), c.clone()))
                 .collect();
-            Ok(Relation { cols, rows: rs.rows })
+            Ok(Relation {
+                cols,
+                rows: rs.rows,
+            })
         }
     }
 }
@@ -493,7 +610,12 @@ fn join_relations(
     let mut residual: Vec<&Expr> = Vec::new();
     if let Some(on) = &join.on {
         for conj in on.conjuncts() {
-            if let Expr::Binary { left: a, op: BinOp::Eq, right: b } = conj {
+            if let Expr::Binary {
+                left: a,
+                op: BinOp::Eq,
+                right: b,
+            } = conj
+            {
                 if let (Expr::Column(ca), Expr::Column(cb)) = (a.as_ref(), b.as_ref()) {
                     let la = find_col(&left.cols, ca);
                     let rb = find_col(&right.cols, cb);
@@ -519,7 +641,9 @@ fn join_relations(
     let null_right = vec![Value::Null; right.cols.len()];
 
     if !left_keys.is_empty() {
-        // Hash join.
+        // Hash join. Residual ON conjuncts are evaluated per candidate
+        // pair; resolve their columns against the joined layout once.
+        let plan = ColumnPlan::compile(residual.iter().copied(), &cols);
         let mut table: HashMap<Vec<Key>, Vec<usize>> = HashMap::with_capacity(right.rows.len());
         for (i, r) in right.rows.iter().enumerate() {
             if right_keys.iter().any(|k| r[*k].is_null()) {
@@ -534,7 +658,7 @@ fn join_relations(
                     for &ri in candidates {
                         let mut row = l.clone();
                         row.extend(right.rows[ri].iter().cloned());
-                        if residual_ok(db, &residual, &cols, &row, outer)? {
+                        if residual_ok(db, &residual, &cols, &row, outer, &plan)? {
                             rows.push(row);
                             matched = true;
                         }
@@ -549,6 +673,7 @@ fn join_relations(
         }
     } else {
         // Nested loop.
+        let plan = join.on.as_ref().map(|on| ColumnPlan::compile([on], &cols));
         for l in &left.rows {
             let mut matched = false;
             for r in &right.rows {
@@ -556,7 +681,12 @@ fn join_relations(
                 row.extend(r.iter().cloned());
                 let ok = match &join.on {
                     Some(on) => {
-                        let env = Env { cols: &cols, row: &row, parent: outer };
+                        let env = Env {
+                            cols: &cols,
+                            row: &row,
+                            parent: outer,
+                            plan: plan.as_ref(),
+                        };
                         eval(db, on, &env)?.is_true()
                     }
                     None => true,
@@ -583,9 +713,15 @@ fn residual_ok(
     cols: &[(String, String)],
     row: &[Value],
     outer: Option<&Env<'_>>,
+    plan: &ColumnPlan,
 ) -> Result<bool, EngineError> {
     for e in residual {
-        let env = Env { cols, row, parent: outer };
+        let env = Env {
+            cols,
+            row,
+            parent: outer,
+            plan: Some(plan),
+        };
         if !eval(db, e, &env)?.is_true() {
             return Ok(false);
         }
@@ -625,7 +761,10 @@ fn expand_projections(
         match item {
             SelectItem::Wildcard => {
                 for (b, n) in &rel.cols {
-                    out.push((n.clone(), Expr::Column(ColumnRef::new(b.clone(), n.clone()))));
+                    out.push((
+                        n.clone(),
+                        Expr::Column(ColumnRef::new(b.clone(), n.clone())),
+                    ));
                 }
             }
             SelectItem::QualifiedWildcard(t) => {
@@ -671,9 +810,15 @@ fn exec_aggregate(
     if s.group_by.is_empty() {
         groups.push((0..rel.rows.len()).collect());
     } else {
+        let plan = ColumnPlan::compile(s.group_by.iter(), &rel.cols);
         let mut index: HashMap<Vec<Key>, usize> = HashMap::new();
         for (ri, row) in rel.rows.iter().enumerate() {
-            let env = Env { cols: &rel.cols, row, parent: outer };
+            let env = Env {
+                cols: &rel.cols,
+                row,
+                parent: outer,
+                plan: Some(&plan),
+            };
             let mut key = Vec::with_capacity(s.group_by.len());
             for g in &s.group_by {
                 key.push(key_of(&eval(db, g, &env)?));
@@ -726,7 +871,10 @@ fn exec_aggregate(
         let keys: Vec<Vec<Value>> = group_outputs.iter().map(|(k, _)| k.clone()).collect();
         let mut idx: Vec<usize> = (0..group_outputs.len()).collect();
         sort_indices(&mut idx, &keys, order_by);
-        out.rows = idx.into_iter().map(|i| group_outputs[i].1.clone()).collect();
+        out.rows = idx
+            .into_iter()
+            .map(|i| group_outputs[i].1.clone())
+            .collect();
         out.ordered = true;
     } else {
         out.rows = group_outputs.into_iter().map(|(_, o)| o).collect();
@@ -742,7 +890,10 @@ fn alias_value(
 ) -> Option<Value> {
     if let Expr::Column(c) = expr {
         if c.table.is_none() {
-            if let Some(i) = columns.iter().position(|n| n.eq_ignore_ascii_case(&c.column)) {
+            if let Some(i) = columns
+                .iter()
+                .position(|n| n.eq_ignore_ascii_case(&c.column))
+            {
                 return Some(out_row[i].clone());
             }
         }
@@ -764,9 +915,11 @@ fn eval_agg(
     outer: Option<&Env<'_>>,
 ) -> Result<Value, EngineError> {
     match expr {
-        Expr::Agg { func, distinct, arg } => {
-            compute_aggregate(db, *func, *distinct, arg.as_deref(), rel, group, outer)
-        }
+        Expr::Agg {
+            func,
+            distinct,
+            arg,
+        } => compute_aggregate(db, *func, *distinct, arg.as_deref(), rel, group, outer),
         Expr::Binary { left, op, right } => {
             let l = eval_agg(db, left, rel, group, outer)?;
             let r = eval_agg(db, right, rel, group, outer)?;
@@ -778,12 +931,22 @@ fn eval_agg(
         }
         Expr::Column(_) | Expr::Literal(_) | Expr::Func { .. } => match group.first() {
             Some(&ri) => {
-                let env = Env { cols: &rel.cols, row: &rel.rows[ri], parent: outer };
+                let env = Env {
+                    cols: &rel.cols,
+                    row: &rel.rows[ri],
+                    parent: outer,
+                    plan: None,
+                };
                 eval(db, expr, &env)
             }
             None => match expr {
                 Expr::Literal(_) => {
-                    let env = Env { cols: &rel.cols, row: &[], parent: outer };
+                    let env = Env {
+                        cols: &rel.cols,
+                        row: &[],
+                        parent: outer,
+                        plan: None,
+                    };
                     eval(db, expr, &env)
                 }
                 _ => Ok(Value::Null),
@@ -791,7 +954,12 @@ fn eval_agg(
         },
         other => match group.first() {
             Some(&ri) => {
-                let env = Env { cols: &rel.cols, row: &rel.rows[ri], parent: outer };
+                let env = Env {
+                    cols: &rel.cols,
+                    row: &rel.rows[ri],
+                    parent: outer,
+                    plan: None,
+                };
                 eval(db, other, &env)
             }
             None => Ok(Value::Null),
@@ -812,9 +980,15 @@ fn compute_aggregate(
     let Some(arg) = arg else {
         return Ok(Value::Int(group.len() as i64));
     };
+    let plan = ColumnPlan::compile([arg], &rel.cols);
     let mut values = Vec::with_capacity(group.len());
     for &ri in group {
-        let env = Env { cols: &rel.cols, row: &rel.rows[ri], parent: outer };
+        let env = Env {
+            cols: &rel.cols,
+            row: &rel.rows[ri],
+            parent: outer,
+            plan: Some(&plan),
+        };
         let v = eval(db, arg, &env)?;
         if !v.is_null() {
             values.push(v);
@@ -869,8 +1043,7 @@ fn compute_aggregate(
                         let take_new = match v.sql_cmp(&b) {
                             Some(ord) => {
                                 (func == AggFunc::Min && ord == std::cmp::Ordering::Less)
-                                    || (func == AggFunc::Max
-                                        && ord == std::cmp::Ordering::Greater)
+                                    || (func == AggFunc::Max && ord == std::cmp::Ordering::Greater)
                             }
                             None => false,
                         };
@@ -988,10 +1161,16 @@ fn apply_scan_filters(
         return Ok(());
     }
     let cols = rel.cols.clone();
+    let plan = ColumnPlan::compile(mine.iter().copied(), &cols);
     let mut kept = Vec::with_capacity(rel.rows.len());
     'rows: for row in rel.rows.drain(..) {
         for e in &mine {
-            let env = Env { cols: &cols, row: &row, parent: outer };
+            let env = Env {
+                cols: &cols,
+                row: &row,
+                parent: outer,
+                plan: Some(&plan),
+            };
             if !eval(db, e, &env)?.is_true() {
                 continue 'rows;
             }
@@ -1031,7 +1210,11 @@ pub(crate) fn fold_uncorrelated(db: &Database, e: &Expr) -> Expr {
             }
             _ => e.clone(),
         },
-        Expr::InSubquery { expr, query, negated } => match exec_query(db, query, None) {
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => match exec_query(db, query, None) {
             Ok(rs) => Expr::InList {
                 expr: Box::new(fold_uncorrelated(db, expr)),
                 list: rs
@@ -1056,7 +1239,12 @@ pub(crate) fn fold_uncorrelated(db: &Database, e: &Expr) -> Expr {
             op: *op,
             expr: Box::new(fold_uncorrelated(db, expr)),
         },
-        Expr::Between { expr, low, high, negated } => Expr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
             expr: Box::new(fold_uncorrelated(db, expr)),
             low: Box::new(fold_uncorrelated(db, low)),
             high: Box::new(fold_uncorrelated(db, high)),
@@ -1127,7 +1315,11 @@ fn eval(db: &Database, expr: &Expr, env: &Env<'_>) -> Result<Value, EngineError>
             }
             apply_function(name, &vals)
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(db, expr, env)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -1147,7 +1339,11 @@ fn eval(db: &Database, expr: &Expr, env: &Env<'_>) -> Result<Value, EngineError>
                 Ok(Value::Bool(*negated))
             }
         }
-        Expr::InSubquery { expr, query, negated } => {
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => {
             let v = eval(db, expr, env)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -1180,7 +1376,12 @@ fn eval(db: &Database, expr: &Expr, env: &Env<'_>) -> Result<Value, EngineError>
                 n => Err(EngineError::ScalarSubqueryCardinality(n)),
             }
         }
-        Expr::Between { expr, low, high, negated } => {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let v = eval(db, expr, env)?;
             let lo = eval(db, low, env)?;
             let hi = eval(db, high, env)?;
@@ -1232,9 +1433,7 @@ fn apply_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, EngineError> {
             // Handled with short-circuiting in `eval`; direct calls (e.g.
             // from eval_agg) get the non-short-circuit version.
             let res = match (truth(l), truth(r)) {
-                (Some(a), Some(b)) => {
-                    Some(if op == And { a && b } else { a || b })
-                }
+                (Some(a), Some(b)) => Some(if op == And { a && b } else { a || b }),
                 (Some(false), None) | (None, Some(false)) if op == And => Some(false),
                 (Some(true), None) | (None, Some(true)) if op == Or => Some(true),
                 _ => None,
@@ -1451,7 +1650,10 @@ mod tests {
     #[test]
     fn aggregate_on_empty_input() {
         let db = test_db();
-        let rs = run(&db, "SELECT count(*), sum(home_goals) FROM game WHERE year = 1900");
+        let rs = run(
+            &db,
+            "SELECT count(*), sum(home_goals) FROM game WHERE year = 1900",
+        );
         assert_eq!(rs.rows.len(), 1);
         assert_eq!(rs.rows[0][0], Value::Int(0));
         assert!(rs.rows[0][1].is_null());
@@ -1561,8 +1763,11 @@ mod tests {
     #[test]
     fn set_op_arity_mismatch_errors() {
         let db = test_db();
-        let err = execute_sql(&db, "SELECT year FROM game UNION SELECT year, game_id FROM game")
-            .unwrap_err();
+        let err = execute_sql(
+            &db,
+            "SELECT year FROM game UNION SELECT year, game_id FROM game",
+        )
+        .unwrap_err();
         assert!(matches!(err, EngineError::SetOpArity { .. }));
     }
 
@@ -1635,7 +1840,10 @@ mod tests {
     #[test]
     fn between_and_like() {
         let db = test_db();
-        let rs = run(&db, "SELECT game_id FROM game WHERE year BETWEEN 2015 AND 2020");
+        let rs = run(
+            &db,
+            "SELECT game_id FROM game WHERE year BETWEEN 2015 AND 2020",
+        );
         assert_eq!(rs.len(), 2);
         let rs = run(&db, "SELECT name FROM team WHERE name LIKE '%an%'");
         // Germany, France, Japan.
@@ -1662,7 +1870,10 @@ mod tests {
     #[test]
     fn arithmetic_and_division() {
         let db = test_db();
-        let rs = run(&db, "SELECT home_goals + away_goals FROM game WHERE game_id = 1");
+        let rs = run(
+            &db,
+            "SELECT home_goals + away_goals FROM game WHERE game_id = 1",
+        );
         assert_eq!(rs.rows[0][0], Value::Int(8));
         let rs = run(&db, "SELECT 7 / 2");
         assert_eq!(rs.rows[0][0], Value::Float(3.5));
@@ -1673,7 +1884,10 @@ mod tests {
     #[test]
     fn scalar_functions() {
         let db = test_db();
-        let rs = run(&db, "SELECT lower(name), upper(name), length(name) FROM team WHERE team_id = 1");
+        let rs = run(
+            &db,
+            "SELECT lower(name), upper(name), length(name) FROM team WHERE team_id = 1",
+        );
         assert_eq!(rs.rows[0][0], Value::text("brazil"));
         assert_eq!(rs.rows[0][1], Value::text("BRAZIL"));
         assert_eq!(rs.rows[0][2], Value::Int(6));
@@ -1727,7 +1941,10 @@ mod tests {
     #[test]
     fn order_by_position() {
         let db = test_db();
-        let rs = run(&db, "SELECT name, team_id FROM team ORDER BY 2 DESC LIMIT 1");
+        let rs = run(
+            &db,
+            "SELECT name, team_id FROM team ORDER BY 2 DESC LIMIT 1",
+        );
         assert_eq!(rs.rows[0][0], Value::text("Japan"));
     }
 
@@ -1892,9 +2109,15 @@ mod tests {
     #[test]
     fn between_boundaries_are_inclusive() {
         let db = test_db();
-        let rs = run(&db, "SELECT count(*) FROM game WHERE year BETWEEN 2014 AND 2018");
+        let rs = run(
+            &db,
+            "SELECT count(*) FROM game WHERE year BETWEEN 2014 AND 2018",
+        );
         assert_eq!(rs.rows[0][0], Value::Int(4));
-        let rs = run(&db, "SELECT count(*) FROM game WHERE year NOT BETWEEN 2014 AND 2018");
+        let rs = run(
+            &db,
+            "SELECT count(*) FROM game WHERE year NOT BETWEEN 2014 AND 2018",
+        );
         assert_eq!(rs.rows[0][0], Value::Int(1));
     }
 

@@ -58,13 +58,22 @@ fn explain_query(db: &Database, q: &Query, indent: usize, out: &mut String) {
 fn explain_body(db: &Database, body: &QueryBody, indent: usize, out: &mut String) {
     match body {
         QueryBody::Select(s) => explain_select(db, s, indent, out),
-        QueryBody::SetOp { op, all, left, right } => {
+        QueryBody::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
             pad(out, indent);
             let _ = writeln!(
                 out,
                 "{}{}",
                 op,
-                if *all { " ALL (concatenate)" } else { " (deduplicate)" }
+                if *all {
+                    " ALL (concatenate)"
+                } else {
+                    " (deduplicate)"
+                }
             );
             explain_body(db, left, indent + 1, out);
             explain_body(db, right, indent + 1, out);
@@ -114,10 +123,7 @@ fn explain_select(db: &Database, s: &Select, indent: usize, out: &mut String) {
 
     for t in &s.from {
         pad(out, indent + 1);
-        let rows = t
-            .base_table()
-            .map(|b| db.row_count(b))
-            .unwrap_or_default();
+        let rows = t.base_table().map(|b| db.row_count(b)).unwrap_or_default();
         let filters = pushed_for(t.binding());
         let _ = write!(out, "scan {} [{rows} row(s)]", table_label(t));
         if !filters.is_empty() {
@@ -144,7 +150,11 @@ fn explain_select(db: &Database, s: &Select, indent: usize, out: &mut String) {
             .base_table()
             .map(|b| db.row_count(b))
             .unwrap_or_default();
-        let _ = write!(out, "{algo}{kind} {} [{rows} row(s)]", table_label(&j.table));
+        let _ = write!(
+            out,
+            "{algo}{kind} {} [{rows} row(s)]",
+            table_label(&j.table)
+        );
         let filters = pushed_for(j.table.binding());
         if !filters.is_empty() && j.kind == JoinKind::Inner {
             let _ = write!(out, " filter: {}", filters.join(" AND "));
@@ -162,9 +172,9 @@ fn explain_select(db: &Database, s: &Select, indent: usize, out: &mut String) {
         let _ = writeln!(out, "residual filter: {}", expr_to_sql(&r));
     }
     let aggregated = !s.group_by.is_empty()
-        || s.projections.iter().any(|p| {
-            matches!(p, SelectItem::Expr { expr, .. } if expr.contains_aggregate())
-        });
+        || s.projections
+            .iter()
+            .any(|p| matches!(p, SelectItem::Expr { expr, .. } if expr.contains_aggregate()));
     if aggregated {
         pad(out, indent + 1);
         if s.group_by.is_empty() {
@@ -202,8 +212,10 @@ mod tests {
                 .pk(&["id"]),
         ]));
         for i in 0..5 {
-            db.insert("t", vec![Value::Int(i), Value::Int(i * 10)]).unwrap();
-            db.insert("u", vec![Value::Int(i), Value::Int(i + 100)]).unwrap();
+            db.insert("t", vec![Value::Int(i), Value::Int(i * 10)])
+                .unwrap();
+            db.insert("u", vec![Value::Int(i), Value::Int(i + 100)])
+                .unwrap();
         }
         db
     }
@@ -216,7 +228,10 @@ mod tests {
             "SELECT a.x FROM t AS a JOIN u AS b ON a.id = b.id WHERE a.x > 1 AND b.y = 103",
         )
         .unwrap();
-        assert!(plan.contains("scan t AS a [5 row(s)] filter: a.x > 1"), "{plan}");
+        assert!(
+            plan.contains("scan t AS a [5 row(s)] filter: a.x > 1"),
+            "{plan}"
+        );
         assert!(plan.contains("hash join"), "{plan}");
         assert!(plan.contains("filter: b.y = 103"), "{plan}");
         assert!(!plan.contains("residual"), "{plan}");
@@ -236,11 +251,7 @@ mod tests {
     #[test]
     fn non_equi_join_uses_nested_loop() {
         let db = db();
-        let plan = explain_sql(
-            &db,
-            "SELECT a.x FROM t AS a JOIN u AS b ON a.id < b.id",
-        )
-        .unwrap();
+        let plan = explain_sql(&db, "SELECT a.x FROM t AS a JOIN u AS b ON a.id < b.id").unwrap();
         assert!(plan.contains("nested-loop join"), "{plan}");
     }
 
@@ -273,11 +284,7 @@ mod tests {
     #[test]
     fn set_ops_render_as_tree() {
         let db = db();
-        let plan = explain_sql(
-            &db,
-            "SELECT id FROM t UNION SELECT id FROM u",
-        )
-        .unwrap();
+        let plan = explain_sql(&db, "SELECT id FROM t UNION SELECT id FROM u").unwrap();
         assert!(plan.contains("UNION (deduplicate)"), "{plan}");
         assert_eq!(plan.matches("select (").count(), 2, "{plan}");
     }

@@ -5,6 +5,8 @@
 //! gold and predicted SQL so that execution accuracy (EX) can be computed
 //! by result comparison.
 //!
+//! * [`cache`] — concurrency-safe query-result memoization keyed by
+//!   query text, used to execute each gold query once per data model;
 //! * [`catalog`] — schema metadata with PK/FK constraints;
 //! * [`db`] — row storage with type checking and referential-integrity
 //!   auditing;
@@ -29,6 +31,7 @@
 //! assert_eq!(rs.rows[0][0], Value::text("Brazil"));
 //! ```
 
+pub mod cache;
 pub mod catalog;
 pub mod db;
 pub mod error;
@@ -37,6 +40,7 @@ pub mod explain;
 pub mod result;
 pub mod value;
 
+pub use cache::{CacheStats, QueryCache};
 pub use catalog::{Catalog, ColumnDef, DataType, ForeignKey, TableSchema};
 pub use db::Database;
 pub use error::EngineError;

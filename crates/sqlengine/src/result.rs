@@ -128,11 +128,19 @@ mod tests {
     #[test]
     fn bag_equality_respects_multiplicity() {
         let a = rs(
-            vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+            ],
             false,
         );
         let b = rs(
-            vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(2)]],
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(2)],
+            ],
             false,
         );
         assert!(!a.matches(&b));

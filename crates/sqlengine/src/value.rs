@@ -119,9 +119,7 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
     fn rec(t: &[char], p: &[char]) -> bool {
         match p.split_first() {
             None => t.is_empty(),
-            Some(('%', rest)) => {
-                (0..=t.len()).any(|k| rec(&t[k..], rest))
-            }
+            Some(('%', rest)) => (0..=t.len()).any(|k| rec(&t[k..], rest)),
             Some(('_', rest)) => match t.split_first() {
                 Some((_, t_rest)) => rec(t_rest, rest),
                 None => false,
@@ -155,10 +153,7 @@ mod tests {
 
     #[test]
     fn sql_eq_mismatched_types_unequal() {
-        assert_eq!(
-            Value::Bool(true).sql_eq(&Value::text("true")),
-            Some(false)
-        );
+        assert_eq!(Value::Bool(true).sql_eq(&Value::text("true")), Some(false));
     }
 
     #[test]

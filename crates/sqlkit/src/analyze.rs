@@ -120,13 +120,7 @@ pub fn count_predicate_leaves(e: &Expr) -> usize {
 pub fn count_or(e: &Expr) -> usize {
     let mut n = 0;
     e.visit(&mut |x| {
-        if matches!(
-            x,
-            Expr::Binary {
-                op: BinOp::Or,
-                ..
-            }
-        ) {
+        if matches!(x, Expr::Binary { op: BinOp::Or, .. }) {
             n += 1;
         }
     });
@@ -242,9 +236,8 @@ mod tests {
         let s = stats("SELECT a FROM t UNION SELECT a FROM u");
         assert_eq!(s.set_ops, 1);
         // Joins are summed over both arms.
-        let s = stats(
-            "SELECT a FROM t JOIN x ON t.i = x.i UNION SELECT a FROM u JOIN y ON u.i = y.i",
-        );
+        let s =
+            stats("SELECT a FROM t JOIN x ON t.i = x.i UNION SELECT a FROM u JOIN y ON u.i = y.i");
         assert_eq!(s.joins, 2);
     }
 
@@ -296,8 +289,8 @@ mod tests {
 
     #[test]
     fn count_or_and_like_helpers() {
-        let q = parse_query("SELECT * FROM t WHERE a = 1 OR b LIKE 'x%' OR c NOT LIKE 'y%'")
-            .unwrap();
+        let q =
+            parse_query("SELECT * FROM t WHERE a = 1 OR b LIKE 'x%' OR c NOT LIKE 'y%'").unwrap();
         let w = q.leftmost_select().where_clause.as_ref().unwrap();
         assert_eq!(count_or(w), 2);
         assert_eq!(count_like(w), 2);

@@ -99,9 +99,7 @@ impl QueryBody {
     pub fn set_op_count(&self) -> usize {
         match self {
             QueryBody::Select(_) => 0,
-            QueryBody::SetOp { left, right, .. } => {
-                1 + left.set_op_count() + right.set_op_count()
-            }
+            QueryBody::SetOp { left, right, .. } => 1 + left.set_op_count() + right.set_op_count(),
         }
     }
 }
@@ -630,12 +628,12 @@ mod tests {
                     name: "national_team".into(),
                     alias: Some("T2".into()),
                 },
-                on: Some(Expr::eq(Expr::col("T1", "team_id"), Expr::col("T2", "team_id"))),
+                on: Some(Expr::eq(
+                    Expr::col("T1", "team_id"),
+                    Expr::col("T2", "team_id"),
+                )),
             }],
-            where_clause: Some(Expr::eq(
-                Expr::col("T2", "teamname"),
-                Expr::text("England"),
-            )),
+            where_clause: Some(Expr::eq(Expr::col("T2", "teamname"), Expr::text("England"))),
             group_by: vec![],
             having: None,
         }

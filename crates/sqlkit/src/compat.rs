@@ -62,8 +62,7 @@ pub fn issues(query: &Query) -> Vec<CompatIssue> {
                 TableRef::Derived { .. } => out.push(CompatIssue::DerivedTable),
             }
         }
-        let mut repeated: Vec<(&str, usize)> =
-            counts.into_iter().filter(|(_, c)| *c > 1).collect();
+        let mut repeated: Vec<(&str, usize)> = counts.into_iter().filter(|(_, c)| *c > 1).collect();
         repeated.sort_unstable();
         for (table, count) in repeated {
             out.push(CompatIssue::RepeatedTableInstance {
@@ -163,9 +162,8 @@ mod tests {
 
     #[test]
     fn self_join_three_instances_reports_count() {
-        let iss = issues_of(
-            "SELECT * FROM t AS a JOIN t AS b ON a.i = b.i JOIN t AS c ON b.i = c.i",
-        );
+        let iss =
+            issues_of("SELECT * FROM t AS a JOIN t AS b ON a.i = b.i JOIN t AS c ON b.i = c.i");
         assert_eq!(
             iss,
             vec![CompatIssue::RepeatedTableInstance {

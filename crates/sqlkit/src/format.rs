@@ -55,7 +55,12 @@ fn write_query(out: &mut String, q: &Query, indent: usize) {
 fn write_body(out: &mut String, body: &QueryBody, indent: usize) {
     match body {
         QueryBody::Select(s) => write_select(out, s, indent),
-        QueryBody::SetOp { op, all, left, right } => {
+        QueryBody::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
             write_body(out, left, indent);
             pad(out, indent);
             let _ = write!(out, "{op}");
@@ -121,11 +126,7 @@ fn write_select(out: &mut String, s: &Select, indent: usize) {
     if !s.group_by.is_empty() {
         pad(out, indent);
         out.push_str("GROUP BY ");
-        let items: Vec<String> = s
-            .group_by
-            .iter()
-            .map(crate::printer::expr_to_sql)
-            .collect();
+        let items: Vec<String> = s.group_by.iter().map(crate::printer::expr_to_sql).collect();
         out.push_str(&items.join(", "));
         out.push('\n');
     }
@@ -183,7 +184,9 @@ mod tests {
         assert!(lines.iter().any(|l| l.starts_with("FROM t AS x")));
         assert!(lines.iter().any(|l| l.starts_with("JOIN u AS y")));
         assert!(lines.iter().any(|l| l.starts_with("WHERE x.c = 1")));
-        assert!(lines.iter().any(|l| l.trim_start().starts_with("AND y.d = 2")));
+        assert!(lines
+            .iter()
+            .any(|l| l.trim_start().starts_with("AND y.d = 2")));
         assert!(lines.iter().any(|l| l.starts_with("GROUP BY a")));
         assert!(lines.iter().any(|l| l.starts_with("HAVING")));
         assert!(lines.iter().any(|l| l.starts_with("ORDER BY a DESC")));
@@ -202,8 +205,8 @@ mod tests {
         for sql in cases {
             let original = parse_query(sql).unwrap();
             let pretty = format_query(&original);
-            let reparsed = parse_query(&pretty)
-                .unwrap_or_else(|e| panic!("{e}\n--- pretty ---\n{pretty}"));
+            let reparsed =
+                parse_query(&pretty).unwrap_or_else(|e| panic!("{e}\n--- pretty ---\n{pretty}"));
             assert_eq!(
                 to_sql(&original),
                 to_sql(&reparsed),

@@ -145,8 +145,7 @@ pub fn classify(query: &Query) -> Hardness {
     // the Spider component counts.
     if comp1 <= 1 && others == 0 && comp2 == 0 && joins == 0 {
         Hardness::Easy
-    } else if (others <= 2 && comp1 <= 1 && comp2 == 0)
-        || (comp1 <= 2 && others < 2 && comp2 == 0)
+    } else if (others <= 2 && comp1 <= 1 && comp2 == 0) || (comp1 <= 2 && others < 2 && comp2 == 0)
     {
         Hardness::Medium
     } else if (others > 2 && comp1 <= 2 && comp2 == 0)
@@ -206,8 +205,10 @@ mod tests {
     #[test]
     fn multiple_components_is_hard() {
         assert_eq!(
-            h("SELECT name, age FROM player AS p JOIN club AS c ON p.club_id = c.club_id \
-               WHERE c.name = 'Ajax' AND p.age > 20 ORDER BY age"),
+            h(
+                "SELECT name, age FROM player AS p JOIN club AS c ON p.club_id = c.club_id \
+               WHERE c.name = 'Ajax' AND p.age > 20 ORDER BY age"
+            ),
             Hardness::Hard
         );
     }
@@ -223,9 +224,11 @@ mod tests {
     #[test]
     fn set_op_with_joins_is_extra() {
         assert_eq!(
-            h("SELECT a, b FROM t AS x JOIN u AS y ON x.i = y.i WHERE x.c = 1 AND y.d = 2 \
+            h(
+                "SELECT a, b FROM t AS x JOIN u AS y ON x.i = y.i WHERE x.c = 1 AND y.d = 2 \
                UNION \
-               SELECT a, b FROM t AS x JOIN u AS y ON x.i = y.i WHERE x.c = 2 AND y.d = 1"),
+               SELECT a, b FROM t AS x JOIN u AS y ON x.i = y.i WHERE x.c = 2 AND y.d = 1"
+            ),
             Hardness::Extra
         );
     }
@@ -233,8 +236,10 @@ mod tests {
     #[test]
     fn many_joins_and_filters_is_extra() {
         assert_eq!(
-            h("SELECT a, b FROM t JOIN u ON t.i = u.i JOIN v ON u.j = v.j JOIN w ON v.k = w.k \
-               WHERE t.x = 1 AND u.y = 2 AND v.z = 3 ORDER BY a LIMIT 5"),
+            h(
+                "SELECT a, b FROM t JOIN u ON t.i = u.i JOIN v ON u.j = v.j JOIN w ON v.k = w.k \
+               WHERE t.x = 1 AND u.y = 2 AND v.z = 3 ORDER BY a LIMIT 5"
+            ),
             Hardness::Extra
         );
     }

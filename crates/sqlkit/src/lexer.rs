@@ -92,43 +92,73 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
                 }
             }
             b',' => {
-                out.push(Spanned { token: Token::Comma, offset: start });
+                out.push(Spanned {
+                    token: Token::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             b'.' => {
-                out.push(Spanned { token: Token::Dot, offset: start });
+                out.push(Spanned {
+                    token: Token::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             b'(' => {
-                out.push(Spanned { token: Token::LParen, offset: start });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             b')' => {
-                out.push(Spanned { token: Token::RParen, offset: start });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             b'*' => {
-                out.push(Spanned { token: Token::Star, offset: start });
+                out.push(Spanned {
+                    token: Token::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             b'+' => {
-                out.push(Spanned { token: Token::Plus, offset: start });
+                out.push(Spanned {
+                    token: Token::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             b'-' => {
-                out.push(Spanned { token: Token::Minus, offset: start });
+                out.push(Spanned {
+                    token: Token::Minus,
+                    offset: start,
+                });
                 i += 1;
             }
             b'/' => {
-                out.push(Spanned { token: Token::Slash, offset: start });
+                out.push(Spanned {
+                    token: Token::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             b'%' => {
-                out.push(Spanned { token: Token::Percent, offset: start });
+                out.push(Spanned {
+                    token: Token::Percent,
+                    offset: start,
+                });
                 i += 1;
             }
             b';' => {
-                out.push(Spanned { token: Token::Semicolon, offset: start });
+                out.push(Spanned {
+                    token: Token::Semicolon,
+                    offset: start,
+                });
                 i += 1;
             }
             b'=' => {
@@ -137,13 +167,19 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
                 if i < bytes.len() && bytes[i] == b'=' {
                     i += 1;
                 }
-                out.push(Spanned { token: Token::Eq, offset: start });
+                out.push(Spanned {
+                    token: Token::Eq,
+                    offset: start,
+                });
             }
             b'!' => {
                 i += 1;
                 if i < bytes.len() && bytes[i] == b'=' {
                     i += 1;
-                    out.push(Spanned { token: Token::Neq, offset: start });
+                    out.push(Spanned {
+                        token: Token::Neq,
+                        offset: start,
+                    });
                 } else {
                     return Err(SqlError::lex(start, "unexpected '!'"));
                 }
@@ -152,21 +188,36 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
                 i += 1;
                 if i < bytes.len() && bytes[i] == b'=' {
                     i += 1;
-                    out.push(Spanned { token: Token::Lte, offset: start });
+                    out.push(Spanned {
+                        token: Token::Lte,
+                        offset: start,
+                    });
                 } else if i < bytes.len() && bytes[i] == b'>' {
                     i += 1;
-                    out.push(Spanned { token: Token::Neq, offset: start });
+                    out.push(Spanned {
+                        token: Token::Neq,
+                        offset: start,
+                    });
                 } else {
-                    out.push(Spanned { token: Token::Lt, offset: start });
+                    out.push(Spanned {
+                        token: Token::Lt,
+                        offset: start,
+                    });
                 }
             }
             b'>' => {
                 i += 1;
                 if i < bytes.len() && bytes[i] == b'=' {
                     i += 1;
-                    out.push(Spanned { token: Token::Gte, offset: start });
+                    out.push(Spanned {
+                        token: Token::Gte,
+                        offset: start,
+                    });
                 } else {
-                    out.push(Spanned { token: Token::Gt, offset: start });
+                    out.push(Spanned {
+                        token: Token::Gt,
+                        offset: start,
+                    });
                 }
             }
             b'\'' => {
@@ -193,7 +244,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
                         i += ch.len_utf8();
                     }
                 }
-                out.push(Spanned { token: Token::Str(s), offset: start });
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    offset: start,
+                });
             }
             b'"' | b'`' => {
                 let quote = b;
@@ -211,7 +265,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
                     s.push(ch);
                     i += ch.len_utf8();
                 }
-                out.push(Spanned { token: Token::QuotedIdent(s), offset: start });
+                out.push(Spanned {
+                    token: Token::QuotedIdent(s),
+                    offset: start,
+                });
             }
             b'0'..=b'9' => {
                 let mut end = i;
@@ -240,7 +297,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
                         SqlError::lex(start, format!("invalid integer literal {text:?}"))
                     })?)
                 };
-                out.push(Spanned { token, offset: start });
+                out.push(Spanned {
+                    token,
+                    offset: start,
+                });
                 i = end;
             }
             b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
@@ -280,7 +340,11 @@ mod tests {
     use super::*;
 
     fn toks(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub mod printer;
 
 pub use analyze::{analyze, analyze_sql, mean_stats, MeanStats, QueryStats};
 pub use ast::*;
-pub use compat::{check as spider_check, check_sql as spider_check_sql, issues as spider_issues, CompatIssue};
+pub use compat::{
+    check as spider_check, check_sql as spider_check_sql, issues as spider_issues, CompatIssue,
+};
 pub use error::SqlError;
 pub use format::{format_query, format_sql};
 pub use hardness::{classify, classify_sql, mean_hardness, Hardness};

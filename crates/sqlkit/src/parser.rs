@@ -122,7 +122,11 @@ impl Parser {
 
     /// Consumes a keyword (case-insensitive) if it is next.
     fn accept_kw(&mut self, kw: &str) -> bool {
-        if let Some(Spanned { token: Token::Word(w), .. }) = self.peek() {
+        if let Some(Spanned {
+            token: Token::Word(w),
+            ..
+        }) = self.peek()
+        {
             if w.eq_ignore_ascii_case(kw) {
                 self.pos += 1;
                 return true;
@@ -147,17 +151,26 @@ impl Parser {
     /// identifier).
     fn identifier(&mut self) -> Result<String, SqlError> {
         match self.peek() {
-            Some(Spanned { token: Token::Word(w), .. }) if !is_keyword(w) => {
+            Some(Spanned {
+                token: Token::Word(w),
+                ..
+            }) if !is_keyword(w) => {
                 let w = w.clone();
                 self.pos += 1;
                 Ok(w)
             }
-            Some(Spanned { token: Token::QuotedIdent(w), .. }) => {
+            Some(Spanned {
+                token: Token::QuotedIdent(w),
+                ..
+            }) => {
                 let w = w.clone();
                 self.pos += 1;
                 Ok(w)
             }
-            _ => Err(self.err(format!("expected identifier, found {}", self.describe_next()))),
+            _ => Err(self.err(format!(
+                "expected identifier, found {}",
+                self.describe_next()
+            ))),
         }
     }
 
@@ -185,7 +198,10 @@ impl Parser {
         let mut limit = None;
         if self.accept_kw("LIMIT") {
             match self.next() {
-                Some(Spanned { token: Token::Int(v), .. }) if v >= 0 => limit = Some(v as u64),
+                Some(Spanned {
+                    token: Token::Int(v),
+                    ..
+                }) if v >= 0 => limit = Some(v as u64),
                 other => {
                     return Err(SqlError::parse(
                         other.map(|s| s.offset),
@@ -194,7 +210,11 @@ impl Parser {
                 }
             }
         }
-        Ok(Query { body, order_by, limit })
+        Ok(Query {
+            body,
+            order_by,
+            limit,
+        })
     }
 
     fn parse_body(&mut self) -> Result<QueryBody, SqlError> {
@@ -239,10 +259,7 @@ impl Parser {
             loop {
                 if self.accept(&Token::Comma) {
                     select.from.push(self.parse_table_ref()?);
-                } else if self.peek_kw("JOIN")
-                    || self.peek_kw("LEFT")
-                    || self.peek_kw("INNER")
-                {
+                } else if self.peek_kw("JOIN") || self.peek_kw("LEFT") || self.peek_kw("INNER") {
                     select.joins.push(self.parse_join()?);
                 } else {
                     break;
@@ -272,11 +289,19 @@ impl Parser {
             return Ok(SelectItem::Wildcard);
         }
         // `t.*`
-        if let (Some(Spanned { token: Token::Word(w), .. }), Some(p2)) =
-            (self.peek(), self.peek2())
+        if let (
+            Some(Spanned {
+                token: Token::Word(w),
+                ..
+            }),
+            Some(p2),
+        ) = (self.peek(), self.peek2())
         {
             if !is_keyword(w) && p2.token == Token::Dot {
-                if let Some(Spanned { token: Token::Star, .. }) = self.tokens.get(self.pos + 2) {
+                if let Some(Spanned {
+                    token: Token::Star, ..
+                }) = self.tokens.get(self.pos + 2)
+                {
                     let table = w.clone();
                     self.pos += 3;
                     return Ok(SelectItem::QualifiedWildcard(table));
@@ -293,7 +318,11 @@ impl Parser {
             return Ok(Some(self.identifier()?));
         }
         // Implicit alias: a following non-keyword word.
-        if let Some(Spanned { token: Token::Word(w), .. }) = self.peek() {
+        if let Some(Spanned {
+            token: Token::Word(w),
+            ..
+        }) = self.peek()
+        {
             if !is_keyword(w) {
                 let w = w.clone();
                 self.pos += 1;
@@ -491,19 +520,31 @@ impl Parser {
 
     fn parse_primary(&mut self) -> Result<Expr, SqlError> {
         match self.peek().cloned() {
-            Some(Spanned { token: Token::Int(v), .. }) => {
+            Some(Spanned {
+                token: Token::Int(v),
+                ..
+            }) => {
                 self.pos += 1;
                 Ok(Expr::Literal(Lit::Int(v)))
             }
-            Some(Spanned { token: Token::Float(v), .. }) => {
+            Some(Spanned {
+                token: Token::Float(v),
+                ..
+            }) => {
                 self.pos += 1;
                 Ok(Expr::Literal(Lit::Float(v)))
             }
-            Some(Spanned { token: Token::Str(s), .. }) => {
+            Some(Spanned {
+                token: Token::Str(s),
+                ..
+            }) => {
                 self.pos += 1;
                 Ok(Expr::Literal(Lit::Str(s)))
             }
-            Some(Spanned { token: Token::LParen, .. }) => {
+            Some(Spanned {
+                token: Token::LParen,
+                ..
+            }) => {
                 self.pos += 1;
                 if self.peek_kw("SELECT") {
                     let query = self.parse_query()?;
@@ -514,8 +555,14 @@ impl Parser {
                 self.expect(&Token::RParen)?;
                 Ok(e)
             }
-            Some(Spanned { token: Token::Word(w), offset }) => self.parse_word_expr(w, offset),
-            Some(Spanned { token: Token::QuotedIdent(w), .. }) => {
+            Some(Spanned {
+                token: Token::Word(w),
+                offset,
+            }) => self.parse_word_expr(w, offset),
+            Some(Spanned {
+                token: Token::QuotedIdent(w),
+                ..
+            }) => {
                 self.pos += 1;
                 self.parse_column_tail(w)
             }
@@ -687,8 +734,8 @@ mod tests {
 
     #[test]
     fn parses_union_chain() {
-        let q = parse_query("SELECT a FROM t UNION SELECT b FROM u UNION ALL SELECT c FROM v")
-            .unwrap();
+        let q =
+            parse_query("SELECT a FROM t UNION SELECT b FROM u UNION ALL SELECT c FROM v").unwrap();
         assert_eq!(q.body.set_op_count(), 2);
     }
 
@@ -697,10 +744,19 @@ mod tests {
         let q = parse_query("SELECT a FROM t INTERSECT SELECT a FROM u").unwrap();
         assert!(matches!(
             q.body,
-            QueryBody::SetOp { op: SetOp::Intersect, .. }
+            QueryBody::SetOp {
+                op: SetOp::Intersect,
+                ..
+            }
         ));
         let q = parse_query("SELECT a FROM t EXCEPT SELECT a FROM u").unwrap();
-        assert!(matches!(q.body, QueryBody::SetOp { op: SetOp::Except, .. }));
+        assert!(matches!(
+            q.body,
+            QueryBody::SetOp {
+                op: SetOp::Except,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -741,7 +797,13 @@ mod tests {
     fn parses_not_like() {
         let q = parse_query("SELECT * FROM t WHERE name NOT LIKE '%x%'").unwrap();
         let w = q.leftmost_select().where_clause.as_ref().unwrap();
-        assert!(matches!(w, Expr::Binary { op: BinOp::NotLike, .. }));
+        assert!(matches!(
+            w,
+            Expr::Binary {
+                op: BinOp::NotLike,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -757,7 +819,9 @@ mod tests {
     fn parses_scalar_subquery() {
         let q = parse_query("SELECT * FROM t WHERE goals = (SELECT max(goals) FROM t)").unwrap();
         let w = q.leftmost_select().where_clause.as_ref().unwrap();
-        assert!(matches!(w, Expr::Binary { right, .. } if matches!(**right, Expr::ScalarSubquery(_))));
+        assert!(
+            matches!(w, Expr::Binary { right, .. } if matches!(**right, Expr::ScalarSubquery(_)))
+        );
     }
 
     #[test]
@@ -820,14 +884,17 @@ mod tests {
         let items = &q.leftmost_select().projections;
         assert!(matches!(
             items[0],
-            SelectItem::Expr { expr: Expr::Literal(Lit::Int(-5)), .. }
+            SelectItem::Expr {
+                expr: Expr::Literal(Lit::Int(-5)),
+                ..
+            }
         ));
     }
 
     #[test]
     fn parses_boolean_literals_and_null() {
-        let q = parse_query("SELECT * FROM t WHERE won = TRUE AND lost = false AND x = NULL")
-            .unwrap();
+        let q =
+            parse_query("SELECT * FROM t WHERE won = TRUE AND lost = false AND x = NULL").unwrap();
         assert_eq!(
             q.leftmost_select()
                 .where_clause

@@ -38,7 +38,12 @@ fn write_query(out: &mut String, q: &Query) {
 fn write_body(out: &mut String, body: &QueryBody) {
     match body {
         QueryBody::Select(s) => write_select(out, s),
-        QueryBody::SetOp { op, all, left, right } => {
+        QueryBody::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
             write_body(out, left);
             let _ = write!(out, " {op}");
             if *all {
@@ -176,7 +181,11 @@ fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8) {
                 out.push(')');
             }
         }
-        Expr::Agg { func, distinct, arg } => {
+        Expr::Agg {
+            func,
+            distinct,
+            arg,
+        } => {
             let _ = write!(out, "{func}(");
             if *distinct {
                 out.push_str("DISTINCT ");
@@ -197,7 +206,11 @@ fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8) {
             }
             out.push(')');
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             write_expr_prec(out, expr, 4);
             if *negated {
                 out.push_str(" NOT");
@@ -211,7 +224,11 @@ fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8) {
             }
             out.push(')');
         }
-        Expr::InSubquery { expr, query, negated } => {
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => {
             write_expr_prec(out, expr, 4);
             if *negated {
                 out.push_str(" NOT");

@@ -22,7 +22,10 @@ fn main() {
     );
 
     println!("execution accuracy (T5-Picard without vs with PK/FK keys):");
-    println!("{:<8}{:>8}{:>14}{:>14}{:>10}", "model", "train", "without", "with keys", "gain");
+    println!(
+        "{:<8}{:>8}{:>14}{:>14}{:>10}",
+        "model", "train", "without", "with keys", "gain"
+    );
     for model in DataModel::ALL {
         for n in [100usize, 300] {
             let pool: Vec<_> = setup.benchmark.train.iter().take(n).cloned().collect();

@@ -34,7 +34,10 @@ fn main() {
         (Category::Unanswerable, "unanswerable (semantic mismatch)"),
     ] {
         let n = entries.iter().filter(|e| e.category == cat).count();
-        println!("  {label:<36}{n:>6} ({:.1}%)", 100.0 * n as f64 / entries.len() as f64);
+        println!(
+            "  {label:<36}{n:>6} ({:.1}%)",
+            100.0 * n as f64 / entries.len() as f64
+        );
     }
 
     println!("\nsample interactions:");
@@ -46,12 +49,20 @@ fn main() {
                 Feedback::ThumbsDown => " [thumbs down]",
                 Feedback::None => "",
             };
-            let corr = if e.corrected { " [expert corrected]" } else { "" };
+            let corr = if e.corrected {
+                " [expert corrected]"
+            } else {
+                ""
+            };
             println!(
                 "  {:?}: \"{}\"{}{}{}",
                 e.category,
                 e.question,
-                if e.sql_generated { "" } else { " [no SQL produced]" },
+                if e.sql_generated {
+                    ""
+                } else {
+                    " [no SQL produced]"
+                },
                 fb,
                 corr
             );

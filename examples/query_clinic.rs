@@ -23,7 +23,9 @@ const DEFAULT_SQL: &str = "SELECT T1.home_team_goals, T1.away_team_goals FROM ma
      WHERE T2.teamname = 'Germany' AND T3.teamname = 'Brazil' AND T4.year = 2014";
 
 fn main() {
-    let sql = std::env::args().nth(1).unwrap_or_else(|| DEFAULT_SQL.to_string());
+    let sql = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| DEFAULT_SQL.to_string());
     println!("SQL: {sql}\n");
 
     let query = match sqlkit::parse_query(&sql) {
@@ -36,7 +38,10 @@ fn main() {
 
     let stats = sqlkit::analyze(&query);
     println!("characteristics:");
-    println!("  joins={} projections={} filters={}", stats.joins, stats.projections, stats.filters);
+    println!(
+        "  joins={} projections={} filters={}",
+        stats.joins, stats.projections, stats.filters
+    );
     println!(
         "  aggregations={} set_ops={} subqueries={}",
         stats.aggregations, stats.set_ops, stats.subqueries

@@ -51,8 +51,7 @@ fn main() {
         budget: Budget::FewShot(10),
     };
     let profiles = profile_items(&bench.test, model, &graph);
-    let probs =
-        success_probabilities(SystemKind::Gpt35, model, Budget::FewShot(10), &profiles);
+    let probs = success_probabilities(SystemKind::Gpt35, model, Budget::FewShot(10), &profiles);
 
     let item = &bench.test[0];
     let mut rng = Rng::new(42);
@@ -62,7 +61,10 @@ fn main() {
     match &pred.sql {
         Some(sql) => {
             println!("predicted SQL: {sql}");
-            println!("latency: {:.2}s (simulated), {} shots", pred.latency, pred.shots_used);
+            println!(
+                "latency: {:.2}s (simulated), {} shots",
+                pred.latency, pred.shots_used
+            );
             match execute_sql(&db, sql) {
                 Ok(rs) => print!("\nresults:\n{rs}"),
                 Err(e) => println!("execution failed: {e}"),

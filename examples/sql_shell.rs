@@ -16,7 +16,7 @@ use footballdb::{generate, load_all, DataModel};
 use sqlengine::{execute_sql, Database};
 use std::io::{BufRead, Write};
 
-fn find<'a>(dbs: &'a [(DataModel, Database); 3], m: DataModel) -> &'a Database {
+fn find(dbs: &[(DataModel, Database); 3], m: DataModel) -> &Database {
     &dbs.iter().find(|(x, _)| *x == m).unwrap().1
 }
 
@@ -50,7 +50,10 @@ fn print_schema(db: &Database, table: Option<&str>) {
 }
 
 fn main() {
-    eprintln!("generating FootballDB (seed {})...", footballdb::DEFAULT_SEED);
+    eprintln!(
+        "generating FootballDB (seed {})...",
+        footballdb::DEFAULT_SEED
+    );
     let domain = generate(footballdb::DEFAULT_SEED);
     let dbs = load_all(&domain);
     let mut model = DataModel::V3;

@@ -132,7 +132,10 @@ fn v3_queries_are_shortest_v2_longest() {
         mean_chars(DataModel::V2),
         mean_chars(DataModel::V3),
     );
-    assert!(v2 > v1 && v1 > v3, "lengths v1={v1:.0} v2={v2:.0} v3={v3:.0}");
+    assert!(
+        v2 > v1 && v1 > v3,
+        "lengths v1={v1:.0} v2={v2:.0} v3={v3:.0}"
+    );
 }
 
 #[test]

@@ -83,17 +83,35 @@ fn gpt_beats_llama_across_models() {
     let s = setup();
     for model in DataModel::ALL {
         let pool: Vec<_> = s.benchmark.train.iter().take(30).cloned().collect();
-        let gpt = run_config(s, SystemKind::Gpt35, model, Budget::FewShot(10), &pool, "e2e")
-            .accuracy();
-        let llama =
-            run_config(s, SystemKind::Llama2, model, Budget::FewShot(8), &pool, "e2e").accuracy();
+        let gpt = run_config(
+            s,
+            SystemKind::Gpt35,
+            model,
+            Budget::FewShot(10),
+            &pool,
+            "e2e",
+        )
+        .accuracy();
+        let llama = run_config(
+            s,
+            SystemKind::Llama2,
+            model,
+            Budget::FewShot(8),
+            &pool,
+            "e2e",
+        )
+        .accuracy();
         assert!(gpt > llama, "{model}: GPT {gpt} vs LLaMA {llama}");
     }
 }
 
 #[test]
 fn zero_shot_is_much_worse_than_fine_tuned() {
-    let zero = accuracy(SystemKind::T5PicardKeys, DataModel::V3, Budget::FineTuned(0));
+    let zero = accuracy(
+        SystemKind::T5PicardKeys,
+        DataModel::V3,
+        Budget::FineTuned(0),
+    );
     let full = accuracy(
         SystemKind::T5PicardKeys,
         DataModel::V3,

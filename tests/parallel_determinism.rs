@@ -1,0 +1,79 @@
+//! Determinism guarantees of the performance pipeline.
+//!
+//! The parallel scheduler and the query-result cache are required to be
+//! semantically invisible: any thread count must reproduce the serial
+//! reference output bit-for-bit, and a memoized execution must score
+//! exactly like a fresh one. These tests pin both properties at the
+//! experiment-grid level.
+
+use evalkit::{run_config, run_finetuned_grid, set_thread_override, EvalSetup, RunResult};
+use footballdb::DataModel;
+use textosql::{Budget, SystemKind};
+
+fn assert_runs_identical(a: &[RunResult], b: &[RunResult]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.system, y.system);
+        assert_eq!(x.model, y.model);
+        assert_eq!(x.items.len(), y.items.len());
+        for (i, j) in x.items.iter().zip(&y.items) {
+            assert_eq!(i.item_id, j.item_id);
+            assert_eq!(
+                i.outcome, j.outcome,
+                "{}/{}/item {}",
+                x.system, x.model, i.item_id
+            );
+            assert_eq!(i.latency.to_bits(), j.latency.to_bits());
+            assert_eq!(i.shots_used, j.shots_used);
+        }
+    }
+}
+
+#[test]
+fn grid_output_is_independent_of_thread_count() {
+    let setup = EvalSetup::small(23);
+
+    set_thread_override(Some(1));
+    let serial = run_finetuned_grid(&setup, &[100]);
+
+    set_thread_override(Some(4));
+    setup.clear_query_caches();
+    let parallel = run_finetuned_grid(&setup, &[100]);
+    set_thread_override(None);
+
+    assert_runs_identical(&serial, &parallel);
+}
+
+#[test]
+fn cached_and_uncached_runs_score_identically() {
+    let setup = EvalSetup::small(29);
+    let pool = &setup.benchmark.train[..40.min(setup.benchmark.train.len())];
+
+    setup.set_query_caches_enabled(false);
+    let uncached = run_config(
+        &setup,
+        SystemKind::Gpt35,
+        DataModel::V2,
+        Budget::FewShot(10),
+        pool,
+        "cache-eq",
+    );
+
+    setup.set_query_caches_enabled(true);
+    setup.clear_query_caches();
+    let cached = run_config(
+        &setup,
+        SystemKind::Gpt35,
+        DataModel::V2,
+        Budget::FewShot(10),
+        pool,
+        "cache-eq",
+    );
+
+    assert_runs_identical(
+        std::slice::from_ref(&uncached),
+        std::slice::from_ref(&cached),
+    );
+    let stats = setup.cache_stats();
+    assert!(stats.hits > 0, "memoization never engaged: {stats:?}");
+}

@@ -1,11 +1,20 @@
-//! Property-based tests over the core data structures and invariants.
+//! Randomized property tests over the core data structures and
+//! invariants.
+//!
+//! Formerly a `proptest` suite; rewritten on top of the in-tree
+//! deterministic [`xrng::Rng`] so the default test run builds with no
+//! external dependencies (the sandbox is offline). Each property draws a
+//! fixed number of pseudo-random cases from a seeded generator, so
+//! failures are reproducible by construction.
 
 use footballdb::{generate, load, DataModel};
 use nlq::gold::build_raw_corpus;
-use proptest::prelude::*;
 use sqlengine::{execute_sql, Value};
 use std::sync::OnceLock;
 use xrng::Rng;
+
+/// Cases per property; in the same ballpark as proptest's default.
+const CASES: usize = 192;
 
 struct Fixture {
     db: sqlengine::Database,
@@ -23,238 +32,335 @@ fn fixture() -> &'static Fixture {
     })
 }
 
-proptest! {
-    /// The raw-text normalizer is idempotent on arbitrary input.
-    #[test]
-    fn normalize_is_idempotent(s in ".{0,200}") {
+/// An arbitrary string of up to `max_len` characters, mixing printable
+/// ASCII with a few multi-byte code points (the old suite used `.{0,N}`).
+fn rand_string(rng: &mut Rng, max_len: usize) -> String {
+    let len = rng.below(max_len as u64 + 1) as usize;
+    (0..len)
+        .map(|_| {
+            if rng.below(12) == 0 {
+                ['é', 'λ', '中', 'ß', '∑', '—'][rng.below(6) as usize]
+            } else {
+                char::from_u32(0x20 + rng.below(95) as u32).unwrap()
+            }
+        })
+        .collect()
+}
+
+/// A string from the character class `[chars]{min_len,max_len}`.
+fn rand_from(rng: &mut Rng, chars: &[char], min_len: usize, max_len: usize) -> String {
+    let len = min_len + rng.below((max_len - min_len + 1) as u64) as usize;
+    (0..len)
+        .map(|_| chars[rng.below(chars.len() as u64) as usize])
+        .collect()
+}
+
+fn alpha_space() -> Vec<char> {
+    let mut c: Vec<char> = ('a'..='z').chain('A'..='Z').collect();
+    c.push(' ');
+    c
+}
+
+fn rand_value(rng: &mut Rng) -> Value {
+    match rng.below(5) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.below(2) == 1),
+        2 => Value::Int(rng.next_u64() as i32 as i64),
+        3 => Value::Float((rng.next_u64() as i32 as f64) / 2_147.0),
+        _ => {
+            let mut chars: Vec<char> = ('a'..='z').chain('0'..='9').collect();
+            chars.push(' ');
+            Value::text(rand_from(rng, &chars, 0, 12))
+        }
+    }
+}
+
+/// The raw-text normalizer is idempotent on arbitrary input.
+#[test]
+fn normalize_is_idempotent() {
+    let mut rng = Rng::new(0xA11CE);
+    for _ in 0..CASES {
+        let s = rand_string(&mut rng, 200);
         let once = sqlkit::normalize(&s);
-        prop_assert_eq!(sqlkit::normalize(&once), once);
+        assert_eq!(sqlkit::normalize(&once), once);
     }
+}
 
-    /// The lexer never panics, whatever the input.
-    #[test]
-    fn tokenize_never_panics(s in ".{0,200}") {
-        let _ = sqlkit::tokenize(&s);
+/// The lexer never panics, whatever the input.
+#[test]
+fn tokenize_never_panics() {
+    let mut rng = Rng::new(0xBEEF);
+    for _ in 0..CASES {
+        let _ = sqlkit::tokenize(&rand_string(&mut rng, 200));
     }
+}
 
-    /// The parser never panics either (it may error).
-    #[test]
-    fn parse_never_panics(s in ".{0,200}") {
-        let _ = sqlkit::parse_query(&s);
+/// The parser never panics either (it may error).
+#[test]
+fn parse_never_panics() {
+    let mut rng = Rng::new(0xCAFE);
+    for _ in 0..CASES {
+        let _ = sqlkit::parse_query(&rand_string(&mut rng, 200));
     }
+}
 
-    /// Printer∘parser is a fixed point: canonical SQL re-parses to an
-    /// identical AST, for every gold query in the corpus.
-    #[test]
-    fn print_parse_roundtrip_on_gold(idx in 0usize..300, model_i in 0usize..3) {
-        let f = fixture();
-        let e = &f.examples[idx % f.examples.len()];
-        let model = DataModel::ALL[model_i];
+/// Printer∘parser is a fixed point: canonical SQL re-parses to an
+/// identical AST, for every gold query in the corpus.
+#[test]
+fn print_parse_roundtrip_on_gold() {
+    let f = fixture();
+    let mut rng = Rng::new(0xD00D);
+    for _ in 0..CASES {
+        let e = &f.examples[rng.below(f.examples.len() as u64) as usize];
+        let model = DataModel::ALL[rng.below(3) as usize];
         let q1 = sqlkit::parse_query(e.sql(model)).unwrap();
         let printed = sqlkit::to_sql(&q1);
         let q2 = sqlkit::parse_query(&printed)
             .unwrap_or_else(|err| panic!("reprint failed: {err}\n{printed}"));
-        prop_assert_eq!(q1, q2);
+        assert_eq!(q1, q2);
     }
+}
 
-    /// Execution accuracy is reflexive: every gold query matches itself.
-    #[test]
-    fn execution_match_is_reflexive(idx in 0usize..300) {
-        let f = fixture();
-        let e = &f.examples[idx % f.examples.len()];
+/// Execution accuracy is reflexive: every gold query matches itself.
+#[test]
+fn execution_match_is_reflexive() {
+    let f = fixture();
+    let mut rng = Rng::new(0xE4E4);
+    for _ in 0..64 {
+        let e = &f.examples[rng.below(f.examples.len() as u64) as usize];
         let sql = e.sql(DataModel::V3);
         let out = evalkit::execution_match(&f.db, sql, Some(sql));
-        prop_assert_eq!(out, evalkit::ExOutcome::Correct);
+        assert_eq!(out, evalkit::ExOutcome::Correct);
     }
+}
 
-    /// Executing the canonical reprint yields the same results as the
-    /// original text (printer preserves semantics).
-    #[test]
-    fn printer_preserves_semantics(idx in 0usize..300) {
-        let f = fixture();
-        let e = &f.examples[idx % f.examples.len()];
+/// Executing the canonical reprint yields the same results as the
+/// original text (printer preserves semantics).
+#[test]
+fn printer_preserves_semantics() {
+    let f = fixture();
+    let mut rng = Rng::new(0xF00F);
+    for _ in 0..64 {
+        let e = &f.examples[rng.below(f.examples.len() as u64) as usize];
         let sql = e.sql(DataModel::V3);
         let printed = sqlkit::to_sql(&sqlkit::parse_query(sql).unwrap());
         let a = execute_sql(&f.db, sql).unwrap();
         let b = execute_sql(&f.db, &printed).unwrap();
-        prop_assert!(a.matches(&b), "reprint changed results:\n{}\nvs\n{}", sql, printed);
+        assert!(
+            a.matches(&b),
+            "reprint changed results:\n{sql}\nvs\n{printed}"
+        );
     }
+}
 
-    /// The deterministic RNG respects bounds.
-    #[test]
-    fn rng_below_respects_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
+/// The deterministic RNG respects bounds.
+#[test]
+fn rng_below_respects_bound() {
+    let mut meta = Rng::new(0x5EED);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let bound = 1 + meta.below(1_000_000);
         let mut r = Rng::new(seed);
         for _ in 0..50 {
-            prop_assert!(r.below(bound) < bound);
+            assert!(r.below(bound) < bound);
         }
     }
+}
 
-    /// Value total order is antisymmetric and consistent with equality.
-    #[test]
-    fn value_total_order_is_consistent(a in value_strategy(), b in value_strategy()) {
-        use std::cmp::Ordering;
+/// Value total order is antisymmetric and consistent with equality.
+#[test]
+fn value_total_order_is_consistent() {
+    use std::cmp::Ordering;
+    let mut rng = Rng::new(0x0DDB0);
+    for _ in 0..CASES {
+        let (a, b) = (rand_value(&mut rng), rand_value(&mut rng));
         let ab = a.total_cmp(&b);
         let ba = b.total_cmp(&a);
-        prop_assert_eq!(ab, ba.reverse());
+        assert_eq!(ab, ba.reverse(), "{a:?} vs {b:?}");
         if ab == Ordering::Equal {
-            prop_assert!(a.group_eq(&b));
+            assert!(a.group_eq(&b), "{a:?} vs {b:?}");
         }
     }
+}
 
-    /// Value total order is transitive.
-    #[test]
-    fn value_total_order_is_transitive(
-        a in value_strategy(),
-        b in value_strategy(),
-        c in value_strategy(),
-    ) {
-        use std::cmp::Ordering::*;
+/// Value total order is transitive.
+#[test]
+fn value_total_order_is_transitive() {
+    use std::cmp::Ordering::Greater;
+    let mut rng = Rng::new(0x7A417);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            rand_value(&mut rng),
+            rand_value(&mut rng),
+            rand_value(&mut rng),
+        );
         let (ab, bc, ac) = (a.total_cmp(&b), b.total_cmp(&c), a.total_cmp(&c));
         if ab != Greater && bc != Greater {
-            prop_assert_ne!(ac, Greater);
+            assert_ne!(ac, Greater, "{a:?} <= {b:?} <= {c:?}");
         }
     }
+}
 
-    /// SQL LIKE agrees with direct equality for patterns without
-    /// wildcards.
-    #[test]
-    fn like_without_wildcards_is_equality(s in "[a-zA-Z ]{0,20}", t in "[a-zA-Z ]{0,20}") {
-        prop_assert_eq!(sqlengine::like_match(&s, &t), s == t);
+/// SQL LIKE agrees with direct equality for patterns without wildcards.
+#[test]
+fn like_without_wildcards_is_equality() {
+    let chars = alpha_space();
+    let mut rng = Rng::new(0x11BE);
+    for _ in 0..CASES {
+        let s = rand_from(&mut rng, &chars, 0, 20);
+        let t = rand_from(&mut rng, &chars, 0, 20);
+        assert_eq!(sqlengine::like_match(&s, &t), s == t, "{s:?} LIKE {t:?}");
     }
+}
 
-    /// `%pattern%` matches exactly the containment relation.
-    #[test]
-    fn like_percent_wrapping_is_contains(s in "[a-z]{0,15}", inner in "[a-z]{1,5}") {
+/// `%pattern%` matches exactly the containment relation.
+#[test]
+fn like_percent_wrapping_is_contains() {
+    let lower: Vec<char> = ('a'..='z').collect();
+    let mut rng = Rng::new(0xC047);
+    for _ in 0..CASES {
+        let s = rand_from(&mut rng, &lower, 0, 15);
+        let inner = rand_from(&mut rng, &lower, 1, 5);
         let pattern = format!("%{inner}%");
-        prop_assert_eq!(sqlengine::like_match(&s, &pattern), s.contains(&inner));
+        assert_eq!(
+            sqlengine::like_match(&s, &pattern),
+            s.contains(&inner),
+            "{s:?} LIKE {pattern:?}"
+        );
     }
+}
 
-    /// Embedding cosine similarity is symmetric and bounded.
-    #[test]
-    fn cosine_is_symmetric_and_bounded(a in ".{1,60}", b in ".{1,60}") {
+/// Embedding cosine similarity is symmetric and bounded.
+#[test]
+fn cosine_is_symmetric_and_bounded() {
+    let mut rng = Rng::new(0xC0517E);
+    for _ in 0..CASES {
+        let a = rand_string(&mut rng, 60);
+        let b = rand_string(&mut rng, 60);
         let (ea, eb) = (nlq::embed::embed(&a), nlq::embed::embed(&b));
         let ab = nlq::embed::cosine(&ea, &eb);
         let ba = nlq::embed::cosine(&eb, &ea);
-        prop_assert!((ab - ba).abs() < 1e-5);
-        prop_assert!((-1.01..=1.01).contains(&ab));
-    }
-
-    /// Query analysis never panics on arbitrary text and reports
-    /// non-trivial lengths for non-empty input.
-    #[test]
-    fn analyze_sql_total(s in ".{1,120}") {
-        let stats = sqlkit::analyze_sql(&s);
-        prop_assert!(stats.chars > 0);
+        assert!((ab - ba).abs() < 1e-5);
+        assert!((-1.01..=1.01).contains(&ab));
     }
 }
 
-proptest! {
-    /// count(*) under a filter equals the cardinality of the projected
-    /// rows under the same filter.
-    #[test]
-    fn count_star_equals_row_cardinality(team_idx in 0usize..86) {
-        let f = fixture();
-        let team = &footballdb::names::NATIONAL_TEAMS[team_idx].0;
+/// Query analysis never panics on arbitrary text and reports non-trivial
+/// lengths for non-empty input.
+#[test]
+fn analyze_sql_total() {
+    let mut rng = Rng::new(0xA2A1);
+    for _ in 0..CASES {
+        let mut s = rand_string(&mut rng, 119);
+        if s.is_empty() {
+            s.push('x');
+        }
+        let stats = sqlkit::analyze_sql(&s);
+        assert!(stats.chars > 0);
+    }
+}
+
+/// count(*) under a filter equals the cardinality of the projected rows
+/// under the same filter.
+#[test]
+fn count_star_equals_row_cardinality() {
+    let f = fixture();
+    let mut rng = Rng::new(0xCC);
+    for _ in 0..32 {
+        let idx = rng.below(86) as usize;
+        let team = &footballdb::names::NATIONAL_TEAMS[idx].0;
         let c = execute_sql(
             &f.db,
             &format!("SELECT count(*) FROM plays_match WHERE teamname = '{team}'"),
-        ).unwrap();
+        )
+        .unwrap();
         let rows = execute_sql(
             &f.db,
             &format!("SELECT match_id FROM plays_match WHERE teamname = '{team}'"),
-        ).unwrap();
-        prop_assert_eq!(c.rows[0][0].clone(), Value::Int(rows.len() as i64));
-    }
-
-    /// DISTINCT never returns more rows than ALL.
-    #[test]
-    fn distinct_is_a_contraction(col in prop_oneof![
-        Just("team_role"), Just("teamname"), Just("goals"), Just("result")
-    ]) {
-        let f = fixture();
-        let all = execute_sql(&f.db, &format!("SELECT {col} FROM plays_match")).unwrap();
-        let distinct = execute_sql(
-            &f.db,
-            &format!("SELECT DISTINCT {col} FROM plays_match"),
-        ).unwrap();
-        prop_assert!(distinct.len() <= all.len());
-        prop_assert!(!distinct.is_empty());
-    }
-
-    /// LIMIT k returns at most k rows, and a prefix of the unlimited
-    /// ordered result.
-    #[test]
-    fn limit_truncates_ordered_results(k in 1u64..40) {
-        let f = fixture();
-        let full = execute_sql(
-            &f.db,
-            "SELECT match_id FROM plays_match ORDER BY match_id, team_id",
-        ).unwrap();
-        let lim = execute_sql(
-            &f.db,
-            &format!("SELECT match_id FROM plays_match ORDER BY match_id, team_id LIMIT {k}"),
-        ).unwrap();
-        prop_assert!(lim.len() as u64 <= k);
-        prop_assert_eq!(&full.rows[..lim.len()], &lim.rows[..]);
-    }
-
-    /// Adding a conjunct never increases the result cardinality.
-    #[test]
-    fn conjunction_is_monotone(year_idx in 0usize..22) {
-        let f = fixture();
-        let year = footballdb::names::WORLD_CUPS[year_idx].0;
-        let base = execute_sql(
-            &f.db,
-            &format!("SELECT match_id FROM match WHERE year = {year}"),
-        ).unwrap();
-        let narrowed = execute_sql(
-            &f.db,
-            &format!("SELECT match_id FROM match WHERE year = {year} AND round = 'Final'"),
-        ).unwrap();
-        prop_assert!(narrowed.len() <= base.len());
-        prop_assert_eq!(narrowed.len(), 1, "every cup has exactly one final");
-    }
-
-    /// UNION ALL cardinality is the sum of its arms; UNION's is at most
-    /// that sum.
-    #[test]
-    fn union_cardinalities(year_idx in 0usize..22) {
-        let f = fixture();
-        let year = footballdb::names::WORLD_CUPS[year_idx].0;
-        let a = execute_sql(
-            &f.db,
-            &format!("SELECT teamname FROM plays_match AS p JOIN match AS m \
-                      ON p.match_id = m.match_id WHERE m.year = {year}"),
-        ).unwrap();
-        let both = execute_sql(
-            &f.db,
-            &format!("SELECT teamname FROM plays_match AS p JOIN match AS m \
-                      ON p.match_id = m.match_id WHERE m.year = {year} \
-                      UNION ALL \
-                      SELECT teamname FROM plays_match AS p JOIN match AS m \
-                      ON p.match_id = m.match_id WHERE m.year = {year}"),
-        ).unwrap();
-        prop_assert_eq!(both.len(), 2 * a.len());
-        let dedup = execute_sql(
-            &f.db,
-            &format!("SELECT teamname FROM plays_match AS p JOIN match AS m \
-                      ON p.match_id = m.match_id WHERE m.year = {year} \
-                      UNION \
-                      SELECT teamname FROM plays_match AS p JOIN match AS m \
-                      ON p.match_id = m.match_id WHERE m.year = {year}"),
-        ).unwrap();
-        prop_assert!(dedup.len() <= a.len());
+        )
+        .unwrap();
+        assert_eq!(c.rows[0][0], Value::Int(rows.len() as i64));
     }
 }
 
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i32>().prop_map(|v| Value::Int(v as i64)),
-        (-1.0e6f64..1.0e6).prop_map(Value::Float),
-        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::text),
-    ]
+/// DISTINCT never returns more rows than ALL.
+#[test]
+fn distinct_is_a_contraction() {
+    let f = fixture();
+    for col in ["team_role", "teamname", "goals", "result"] {
+        let all = execute_sql(&f.db, &format!("SELECT {col} FROM plays_match")).unwrap();
+        let distinct =
+            execute_sql(&f.db, &format!("SELECT DISTINCT {col} FROM plays_match")).unwrap();
+        assert!(distinct.len() <= all.len());
+        assert!(!distinct.is_empty());
+    }
+}
+
+/// LIMIT k returns at most k rows, and a prefix of the unlimited ordered
+/// result.
+#[test]
+fn limit_truncates_ordered_results() {
+    let f = fixture();
+    let full = execute_sql(
+        &f.db,
+        "SELECT match_id FROM plays_match ORDER BY match_id, team_id",
+    )
+    .unwrap();
+    let mut rng = Rng::new(0x117);
+    for _ in 0..24 {
+        let k = 1 + rng.below(39);
+        let lim = execute_sql(
+            &f.db,
+            &format!("SELECT match_id FROM plays_match ORDER BY match_id, team_id LIMIT {k}"),
+        )
+        .unwrap();
+        assert!(lim.len() as u64 <= k);
+        assert_eq!(&full.rows[..lim.len()], &lim.rows[..]);
+    }
+}
+
+/// Adding a conjunct never increases the result cardinality.
+#[test]
+fn conjunction_is_monotone() {
+    let f = fixture();
+    let mut rng = Rng::new(0xC0E1);
+    for _ in 0..22 {
+        let idx = rng.below(22) as usize;
+        let year = footballdb::names::WORLD_CUPS[idx].0;
+        let base = execute_sql(
+            &f.db,
+            &format!("SELECT match_id FROM match WHERE year = {year}"),
+        )
+        .unwrap();
+        let narrowed = execute_sql(
+            &f.db,
+            &format!("SELECT match_id FROM match WHERE year = {year} AND round = 'Final'"),
+        )
+        .unwrap();
+        assert!(narrowed.len() <= base.len());
+        assert_eq!(narrowed.len(), 1, "every cup has exactly one final");
+    }
+}
+
+/// UNION ALL cardinality is the sum of its arms; UNION's is at most that
+/// sum.
+#[test]
+fn union_cardinalities() {
+    let f = fixture();
+    let mut rng = Rng::new(0x0410);
+    for _ in 0..12 {
+        let idx = rng.below(22) as usize;
+        let year = footballdb::names::WORLD_CUPS[idx].0;
+        let arm = format!(
+            "SELECT teamname FROM plays_match AS p JOIN match AS m \
+             ON p.match_id = m.match_id WHERE m.year = {year}"
+        );
+        let a = execute_sql(&f.db, &arm).unwrap();
+        let both = execute_sql(&f.db, &format!("{arm} UNION ALL {arm}")).unwrap();
+        assert_eq!(both.len(), 2 * a.len());
+        let dedup = execute_sql(&f.db, &format!("{arm} UNION {arm}")).unwrap();
+        assert!(dedup.len() <= a.len());
+    }
 }
 
 #[test]
