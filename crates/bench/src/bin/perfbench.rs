@@ -4,14 +4,17 @@
 //! the few-shot grid, and the latency pass) twice over one shared
 //! [`EvalSetup`]:
 //!
-//! 1. **baseline** — one thread, query-result memoization disabled
-//!    (the pre-optimization serial execution model);
-//! 2. **optimized** — the configured worker pool with warm-start-free
-//!    (cleared) caches enabled.
+//! 1. **baseline** — one thread, query-result memoization disabled, and
+//!    every index access path forced off (`set_force_seqscan`): the
+//!    pre-optimization serial execution model;
+//! 2. **optimized** — the configured worker pool with cold caches
+//!    enabled and the index-backed access paths active.
 //!
 //! Both runs must produce identical accuracies — the optimizations are
 //! required to be semantically invisible — and the harness checks that
-//! before reporting. Results land in `BENCH_repro.json`:
+//! before reporting, which makes every full benchmark run a paper-scale
+//! differential test of the index layer. Results land in
+//! `BENCH_repro.json`:
 //!
 //! ```text
 //! cargo run --release -p bench --bin perfbench -- [--small] [--seed N] [--out PATH]
@@ -20,9 +23,10 @@
 use std::time::Instant;
 
 use evalkit::{
-    configured_threads, run_fewshot_grid, run_finetuned_grid, run_latency, set_thread_override,
-    EvalSetup,
+    observed_threads, reset_observed_threads, run_fewshot_grid, run_finetuned_grid, run_latency,
+    set_thread_override, EvalSetup,
 };
+use sqlengine::{reset_stage_timings, set_force_seqscan, stage_timings};
 
 fn usage() -> ! {
     eprintln!("usage: perfbench [--small] [--seed N] [--out PATH]");
@@ -78,30 +82,37 @@ fn main() {
     };
     let setup_s = t.elapsed().as_secs_f64();
 
-    // Baseline: serial, no memoization.
-    eprintln!("perfbench: baseline pass (1 thread, cache disabled)...");
+    // Baseline: serial, no memoization, sequential scans only.
+    eprintln!("perfbench: baseline pass (1 thread, cache disabled, forced seq scans)...");
     set_thread_override(Some(1));
+    set_force_seqscan(Some(true));
     setup.set_query_caches_enabled(false);
     setup.clear_query_caches();
     let t = Instant::now();
     let baseline_acc = run_workload(&setup);
     let serial_s = t.elapsed().as_secs_f64();
 
-    // Optimized: worker pool + cold cache.
+    // Optimized: worker pool + cold cache + index access paths.
     setup.set_query_caches_enabled(true);
     setup.clear_query_caches();
     set_thread_override(None);
-    let threads = configured_threads();
-    eprintln!("perfbench: optimized pass ({threads} threads, cache enabled)...");
+    set_force_seqscan(Some(false));
+    reset_observed_threads();
+    reset_stage_timings();
+    eprintln!("perfbench: optimized pass (pooled, cache enabled, indexes on)...");
     let t = Instant::now();
     let optimized_acc = run_workload(&setup);
     let wall_s = t.elapsed().as_secs_f64();
+    set_force_seqscan(None);
 
+    let threads = observed_threads();
     let stats = setup.cache_stats();
+    let index = setup.index_stats();
+    let stages = stage_timings();
     let identical = baseline_acc == optimized_acc;
     assert!(
         identical,
-        "optimized run diverged from the serial uncached baseline"
+        "optimized run diverged from the serial seq-scan uncached baseline"
     );
 
     let speedup = if wall_s > 0.0 { serial_s / wall_s } else { 0.0 };
@@ -110,18 +121,29 @@ fn main() {
          \"setup_s\": {setup_s:.3},\n  \"speedup\": {speedup:.3},\n  \
          \"threads\": {threads},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
          \"cache_entries\": {},\n  \"cache_hit_rate\": {:.4},\n  \
+         \"index_builds\": {},\n  \"index_probes\": {},\n  \"index_hits\": {},\n  \
+         \"stage_scan_s\": {:.3},\n  \"stage_join_s\": {:.3},\n  \"stage_aggregate_s\": {:.3},\n  \
          \"identical_to_serial\": {identical},\n  \"scale\": \"{}\",\n  \"seed\": {seed}\n}}\n",
         stats.hits,
         stats.misses,
         stats.entries,
         stats.hit_rate(),
+        index.builds,
+        index.probes,
+        index.hits,
+        stages.scan_ns as f64 / 1e9,
+        stages.join_ns as f64 / 1e9,
+        stages.aggregate_ns as f64 / 1e9,
         if small { "small" } else { "paper" },
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     eprintln!(
         "perfbench: serial {serial_s:.2}s -> optimized {wall_s:.2}s \
-         ({speedup:.2}x, {threads} threads, {:.1}% cache hits)",
-        stats.hit_rate() * 100.0
+         ({speedup:.2}x, {threads} threads, {:.1}% cache hits, \
+         {} index builds / {} probes)",
+        stats.hit_rate() * 100.0,
+        index.builds,
+        index.probes,
     );
     print!("{json}");
 }

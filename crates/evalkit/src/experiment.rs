@@ -124,6 +124,19 @@ impl EvalSetup {
         total
     }
 
+    /// Aggregated index build/probe counters over all three model
+    /// databases (the engine builds hash indexes lazily on first use).
+    pub fn index_stats(&self) -> sqlengine::IndexStats {
+        let mut total = sqlengine::IndexStats::default();
+        for (_, db) in &self.databases {
+            let s = db.index_stats();
+            total.builds += s.builds;
+            total.probes += s.probes;
+            total.hits += s.hits;
+        }
+        total
+    }
+
     /// Drops every memoized result and zeroes the counters (used by the
     /// benchmark harness to measure cold-cache baselines).
     pub fn clear_query_caches(&self) {

@@ -38,4 +38,6 @@ pub use experiment::{
 pub use metric::{
     accuracy, component_match, execution_match, execution_match_cached, ComponentMatch, ExOutcome,
 };
-pub use parallel::{configured_threads, par_map, set_thread_override};
+pub use parallel::{
+    configured_threads, observed_threads, par_map, reset_observed_threads, set_thread_override,
+};

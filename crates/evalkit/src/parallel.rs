@@ -38,6 +38,24 @@ pub fn set_thread_override(threads: Option<usize>) {
     THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
 }
 
+/// Widest pool actually spawned by any `par_map` call so far.
+static OBSERVED_POOL: AtomicUsize = AtomicUsize::new(0);
+
+/// The largest worker-pool width any [`par_map`] call has actually used
+/// since the last [`reset_observed_threads`] — `1` when every call so
+/// far ran serially (small input, single-thread config, or nested). The
+/// benchmark harness records this instead of [`configured_threads`],
+/// which only reports what *would* be used and can disagree with
+/// reality (e.g. inputs shorter than the configured width).
+pub fn observed_threads() -> usize {
+    OBSERVED_POOL.load(Ordering::SeqCst).max(1)
+}
+
+/// Zeroes the observed pool-width watermark (benchmark harness).
+pub fn reset_observed_threads() {
+    OBSERVED_POOL.store(0, Ordering::SeqCst);
+}
+
 /// The worker count `par_map` would use right now.
 pub fn configured_threads() -> usize {
     let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
@@ -70,8 +88,12 @@ where
 {
     let threads = configured_threads().min(items.len());
     if threads <= 1 || IN_POOL.with(Cell::get) {
+        if !items.is_empty() && !IN_POOL.with(Cell::get) {
+            OBSERVED_POOL.fetch_max(1, Ordering::SeqCst);
+        }
         return items.iter().map(f).collect();
     }
+    OBSERVED_POOL.fetch_max(threads, Ordering::SeqCst);
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, U)>();
     std::thread::scope(|scope| {

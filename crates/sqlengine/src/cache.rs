@@ -12,8 +12,11 @@
 //! The cache is safe to share across threads (`RwLock` map, atomic
 //! counters) and is semantically transparent: [`execute_sql`] is a pure
 //! function of `(db, sql)`, so a cached result is bit-identical to a
-//! fresh execution. Hit/miss counters make the saved work observable in
-//! the benchmark harness.
+//! fresh execution. This holds regardless of the access path taken
+//! underneath — indexed and forced-seq-scan execution are themselves
+//! bit-identical (see `exec::set_force_seqscan`), so a result cached
+//! under one mode is valid under the other. Hit/miss counters make the
+//! saved work observable in the benchmark harness.
 
 use crate::db::Database;
 use crate::error::EngineError;

@@ -108,7 +108,10 @@ impl TableSchema {
     }
 
     /// Index of a column by name (case-insensitive, as SQL identifiers
-    /// are).
+    /// are). The access-path planner (`exec::scan_index_choice`,
+    /// `exec::inl_key`) resolves candidate index columns through this,
+    /// so its matching rules must stay identical to the executor's
+    /// column resolution.
     pub fn column_index(&self, name: &str) -> Option<usize> {
         self.columns
             .iter()

@@ -1,9 +1,21 @@
-//! In-memory database: catalog plus row storage.
+//! In-memory database: catalog plus row storage, with a lazy
+//! access-path layer.
+//!
+//! Every `(table, column)` pair can serve equality lookups through a
+//! hash index mapping non-NULL key values to ascending row ids. Indexes
+//! are built on first use, cached behind a `RwLock` (the evaluation
+//! pipeline shares one `Database` per data model across its worker
+//! pool), and invalidated wholesale for a table on any mutation. Index
+//! content is a pure function of the stored rows, so concurrent builds
+//! racing on the same slot produce identical maps and first-write-wins
+//! keeps the cache deterministic.
 
 use crate::catalog::{Catalog, DataType, TableSchema};
 use crate::error::EngineError;
-use crate::value::Value;
-use std::collections::HashSet;
+use crate::value::{IndexKey, Value};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// A stored table: schema reference by index plus rows.
 #[derive(Debug, Clone, Default)]
@@ -11,11 +23,76 @@ pub struct TableData {
     pub rows: Vec<Vec<Value>>,
 }
 
+/// A hash index over one column: non-NULL key value → ascending row ids.
+///
+/// NULL cells are skipped at build time, which encodes the SQL rule that
+/// an equality lookup never matches NULL; callers translate a NULL probe
+/// to an empty result before reaching the map.
+#[derive(Debug, Default)]
+pub struct ColumnIndex {
+    map: HashMap<IndexKey, Vec<u32>>,
+}
+
+impl ColumnIndex {
+    fn build(rows: &[Vec<Value>], col: usize) -> ColumnIndex {
+        let mut map: HashMap<IndexKey, Vec<u32>> = HashMap::new();
+        for (i, row) in rows.iter().enumerate() {
+            if let Some(key) = IndexKey::of(&row[col]) {
+                map.entry(key).or_default().push(i as u32);
+            }
+        }
+        ColumnIndex { map }
+    }
+
+    /// Row ids whose column equals `probe` (ascending). `None` when the
+    /// probe is NULL or no row matches — both mean "no rows".
+    pub fn lookup(&self, probe: &Value) -> Option<&[u32]> {
+        let key = IndexKey::of(probe)?;
+        self.map.get(&key).map(Vec::as_slice)
+    }
+
+    /// Number of distinct non-NULL keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Counters describing index-layer activity since database creation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Indexes constructed (rebuilds after invalidation count again).
+    pub builds: u64,
+    /// Equality probes answered through an index.
+    pub probes: u64,
+    /// Probes that found at least one row.
+    pub hits: u64,
+}
+
 /// An in-memory relational database.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Database {
     catalog: Catalog,
     data: Vec<TableData>,
+    /// Lazily built per-`(table, column)` hash indexes.
+    indexes: RwLock<HashMap<(usize, usize), Arc<ColumnIndex>>>,
+    index_builds: AtomicU64,
+    index_probes: AtomicU64,
+    index_hits: AtomicU64,
+}
+
+impl Clone for Database {
+    /// Clones catalog and rows; the index cache starts empty (indexes
+    /// rebuild lazily) and counters reset.
+    fn clone(&self) -> Database {
+        Database {
+            catalog: self.catalog.clone(),
+            data: self.data.clone(),
+            indexes: RwLock::new(HashMap::new()),
+            index_builds: AtomicU64::new(0),
+            index_probes: AtomicU64::new(0),
+            index_hits: AtomicU64::new(0),
+        }
+    }
 }
 
 impl Database {
@@ -29,7 +106,14 @@ impl Database {
             .iter()
             .map(|_| TableData::default())
             .collect();
-        Database { catalog, data }
+        Database {
+            catalog,
+            data,
+            indexes: RwLock::new(HashMap::new()),
+            index_builds: AtomicU64::new(0),
+            index_probes: AtomicU64::new(0),
+            index_hits: AtomicU64::new(0),
+        }
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -51,6 +135,60 @@ impl Database {
     /// Read-only access to a table's rows.
     pub fn rows(&self, name: &str) -> Option<&[Vec<Value>]> {
         self.table_index(name).map(|i| self.data[i].rows.as_slice())
+    }
+
+    /// The hash index for `(table, column)`, building and caching it on
+    /// first use. `None` when the table or column does not exist.
+    ///
+    /// The build happens outside the lock: two threads may race to build
+    /// the same index, but both compute the identical map (content is a
+    /// pure function of the rows) and `or_insert` keeps the first.
+    pub fn index(&self, table: &str, column: &str) -> Option<Arc<ColumnIndex>> {
+        let t = self.table_index(table)?;
+        let c = self.catalog.tables[t].column_index(column)?;
+        if let Some(ix) = self.indexes.read().unwrap().get(&(t, c)) {
+            return Some(ix.clone());
+        }
+        let built = Arc::new(ColumnIndex::build(&self.data[t].rows, c));
+        self.index_builds.fetch_add(1, Ordering::Relaxed);
+        Some(
+            self.indexes
+                .write()
+                .unwrap()
+                .entry((t, c))
+                .or_insert(built)
+                .clone(),
+        )
+    }
+
+    /// Records one equality probe answered through an index.
+    pub fn note_index_probe(&self, found: bool) {
+        self.index_probes.fetch_add(1, Ordering::Relaxed);
+        if found {
+            self.index_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the index-layer counters.
+    pub fn index_stats(&self) -> IndexStats {
+        IndexStats {
+            builds: self.index_builds.load(Ordering::Relaxed),
+            probes: self.index_probes.load(Ordering::Relaxed),
+            hits: self.index_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of currently cached indexes (for tests).
+    pub fn cached_index_count(&self) -> usize {
+        self.indexes.read().unwrap().len()
+    }
+
+    /// Drops every cached index for one table (called on mutation).
+    fn invalidate_indexes(&self, table_idx: usize) {
+        self.indexes
+            .write()
+            .unwrap()
+            .retain(|(t, _), _| *t != table_idx);
     }
 
     /// Inserts a row after type-checking it against the schema.
@@ -77,6 +215,7 @@ impl Database {
             }
         }
         self.data[idx].rows.push(row);
+        self.invalidate_indexes(idx);
         Ok(())
     }
 
@@ -264,6 +403,80 @@ mod tests {
         d.insert("player", vec![Value::Int(1), Value::Null, Value::Int(0)])
             .unwrap();
         assert!(d.check_foreign_keys().is_empty());
+    }
+
+    #[test]
+    fn index_lookup_finds_duplicate_keys_in_row_order() {
+        let mut d = db();
+        d.insert("team", vec![Value::Int(1), Value::text("A")])
+            .unwrap();
+        for (pid, tid) in [(10, 1), (11, 2), (12, 1), (13, 1)] {
+            d.insert(
+                "player",
+                vec![Value::Int(pid), Value::Int(tid), Value::Int(0)],
+            )
+            .unwrap();
+        }
+        let ix = d.index("player", "team_id").unwrap();
+        assert_eq!(ix.lookup(&Value::Int(1)), Some(&[0u32, 2, 3][..]));
+        assert_eq!(ix.lookup(&Value::Int(2)), Some(&[1u32][..]));
+        assert_eq!(ix.lookup(&Value::Int(9)), None);
+        // Int and Float probes share a key class.
+        assert_eq!(ix.lookup(&Value::Float(2.0)), Some(&[1u32][..]));
+        assert_eq!(ix.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn index_never_stores_or_matches_null() {
+        let mut d = db();
+        d.insert("player", vec![Value::Int(1), Value::Null, Value::Int(0)])
+            .unwrap();
+        d.insert("player", vec![Value::Int(2), Value::Int(7), Value::Int(0)])
+            .unwrap();
+        let ix = d.index("player", "team_id").unwrap();
+        assert_eq!(ix.lookup(&Value::Null), None, "NULL probe matches nothing");
+        assert_eq!(ix.distinct_keys(), 1, "NULL cells are not indexed");
+    }
+
+    #[test]
+    fn index_is_cached_and_invalidated_by_insert() {
+        let mut d = db();
+        d.insert("team", vec![Value::Int(1), Value::text("A")])
+            .unwrap();
+        let before = d.index("team", "team_id").unwrap();
+        assert_eq!(d.index_stats().builds, 1);
+        d.index("team", "team_id").unwrap();
+        assert_eq!(d.index_stats().builds, 1, "second access served from cache");
+        assert_eq!(d.cached_index_count(), 1);
+
+        // Mutation drops the table's indexes; the next access rebuilds
+        // over the new rows while old Arcs stay valid but stale.
+        d.insert("team", vec![Value::Int(2), Value::text("B")])
+            .unwrap();
+        assert_eq!(d.cached_index_count(), 0);
+        let after = d.index("team", "team_id").unwrap();
+        assert_eq!(d.index_stats().builds, 2);
+        assert_eq!(before.lookup(&Value::Int(2)), None);
+        assert_eq!(after.lookup(&Value::Int(2)), Some(&[1u32][..]));
+    }
+
+    #[test]
+    fn unknown_index_targets_return_none() {
+        let d = db();
+        assert!(d.index("nope", "team_id").is_none());
+        assert!(d.index("team", "nope").is_none());
+    }
+
+    #[test]
+    fn clone_starts_with_fresh_index_cache() {
+        let mut d = db();
+        d.insert("team", vec![Value::Int(1), Value::text("A")])
+            .unwrap();
+        d.index("team", "team_id").unwrap();
+        let c = d.clone();
+        assert_eq!(c.cached_index_count(), 0);
+        assert_eq!(c.index_stats().builds, 0);
+        assert_eq!(c.row_count("team"), 1);
     }
 
     #[test]

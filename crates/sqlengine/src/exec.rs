@@ -1,18 +1,33 @@
 //! Query executor.
 //!
-//! A straightforward, correctness-first executor over the in-memory
-//! database: hash joins for equi-join conditions, nested loops otherwise,
-//! hash grouping, three-valued NULL logic, and set operations with SQL set
-//! semantics. It supports correlated subqueries through an environment
-//! chain.
+//! A correctness-first executor over the in-memory database with a
+//! cost-aware access-path layer: scans resolve pushed-down equality
+//! predicates through lazy hash indexes and materialize only surviving
+//! rows; equi-joins pick the hash-join build side by cardinality or use
+//! an index-nested-loop when the probe side is an indexed base table;
+//! commutative inner joins are greedily reordered by estimated output
+//! size. Hash grouping, three-valued NULL logic, set operations with SQL
+//! set semantics, and correlated subqueries (through an environment
+//! chain) complete the feature set.
+//!
+//! Every access-path decision is a pure function of the database
+//! statistics and the query, never of timing, so results are
+//! bit-identical across thread counts and across the
+//! `REPRO_FORCE_SEQSCAN=1` reference mode (which disables index usage
+//! but not the planner's order decisions).
 
 use crate::db::Database;
 use crate::error::EngineError;
 use crate::result::ResultSet;
-use crate::value::{like_match, Value};
+use crate::value::{like_match, value_key_eq, value_key_hash, Value};
 use sqlkit::ast::*;
 use sqlkit::printer::expr_to_sql;
-use std::collections::HashMap;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Executes a parsed query against the database.
 pub fn execute(db: &Database, query: &Query) -> Result<ResultSet, EngineError> {
@@ -23,6 +38,74 @@ pub fn execute(db: &Database, query: &Query) -> Result<ResultSet, EngineError> {
 pub fn execute_sql(db: &Database, sql: &str) -> Result<ResultSet, EngineError> {
     let query = sqlkit::parse_query(sql).map_err(|e| EngineError::Parse(e.to_string()))?;
     execute(db, &query)
+}
+
+// ---- execution-mode switches and stage accounting -----------------------
+
+/// 0 = follow `REPRO_FORCE_SEQSCAN`; 1 = force indexes allowed; 2 = force
+/// sequential scans.
+static FORCE_SEQSCAN_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+static FORCE_SEQSCAN_ENV: OnceLock<bool> = OnceLock::new();
+
+/// Programmatic override of the `REPRO_FORCE_SEQSCAN` environment
+/// variable: `Some(true)` disables every index access path (the
+/// differential reference mode), `Some(false)` enables them regardless
+/// of the environment, `None` restores environment resolution. Process
+/// wide; results are identical either way by construction — only the
+/// access paths differ.
+pub fn set_force_seqscan(force: Option<bool>) {
+    let v = match force {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    FORCE_SEQSCAN_OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+/// True when index access paths are disabled.
+pub(crate) fn force_seqscan() -> bool {
+    match FORCE_SEQSCAN_OVERRIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => *FORCE_SEQSCAN_ENV.get_or_init(|| {
+            std::env::var("REPRO_FORCE_SEQSCAN").is_ok_and(|v| !v.trim().is_empty() && v != "0")
+        }),
+    }
+}
+
+static SCAN_NS: AtomicU64 = AtomicU64::new(0);
+static JOIN_NS: AtomicU64 = AtomicU64::new(0);
+static AGG_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative time spent in the executor's three heavy stages across the
+/// whole process. Attributions, not a partition of wall time: a
+/// correlated subquery inside a join predicate bills its own scans to
+/// the scan counter *and* its parent to the join counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    pub scan_ns: u64,
+    pub join_ns: u64,
+    pub aggregate_ns: u64,
+}
+
+/// Snapshot of the per-stage counters.
+pub fn stage_timings() -> StageTimings {
+    StageTimings {
+        scan_ns: SCAN_NS.load(Ordering::Relaxed),
+        join_ns: JOIN_NS.load(Ordering::Relaxed),
+        aggregate_ns: AGG_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the per-stage counters (benchmark harness).
+pub fn reset_stage_timings() {
+    SCAN_NS.store(0, Ordering::Relaxed);
+    JOIN_NS.store(0, Ordering::Relaxed);
+    AGG_NS.store(0, Ordering::Relaxed);
+}
+
+fn bill(counter: &AtomicU64, since: Instant) {
+    counter.fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
 }
 
 /// A materialized intermediate relation: column bindings plus rows.
@@ -272,8 +355,76 @@ fn exec_body(
 }
 
 fn dedupe(rows: &mut Vec<Vec<Value>>) {
-    let mut seen = std::collections::HashSet::new();
-    rows.retain(|row| seen.insert(row.iter().map(key_of).collect::<Vec<_>>()));
+    dedup_by_key(rows, |r| r.as_slice());
+}
+
+/// Removes items whose key-view row duplicates an earlier one,
+/// preserving first-occurrence order, with grouping key semantics
+/// (NULL == NULL, Int/Float unified). Rows are bucketed by a streaming
+/// hash of their values and compared with [`value_key_eq`] only on hash
+/// collision, so no per-row key vector is materialized.
+fn dedup_by_key<T, F>(items: &mut Vec<T>, key: F)
+where
+    F: Fn(&T) -> &[Value],
+{
+    let mut buckets: HashMap<u64, Vec<usize>> = HashMap::with_capacity(items.len());
+    let mut kept: Vec<T> = Vec::with_capacity(items.len());
+    for item in items.drain(..) {
+        let row = key(&item);
+        let mut h = DefaultHasher::new();
+        h.write_usize(row.len());
+        for v in row {
+            value_key_hash(v, &mut h);
+        }
+        let bucket = buckets.entry(h.finish()).or_default();
+        if bucket.iter().any(|&i| {
+            let seen = key(&kept[i]);
+            seen.len() == row.len() && seen.iter().zip(row).all(|(a, b)| value_key_eq(a, b))
+        }) {
+            continue;
+        }
+        bucket.push(kept.len());
+        kept.push(item);
+    }
+    *items = kept;
+}
+
+/// One candidate row in the bounded top-k heap: ordered by the ORDER BY
+/// keys (honoring per-key direction) and then by input position, making
+/// the heap order total and the final output identical to a stable full
+/// sort followed by truncation.
+struct TopKEntry {
+    keys: Vec<Value>,
+    idx: usize,
+    row: Vec<Value>,
+    desc: Arc<[bool]>,
+}
+
+impl PartialEq for TopKEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for TopKEntry {}
+
+impl PartialOrd for TopKEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TopKEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        for ((x, y), desc) in self.keys.iter().zip(&other.keys).zip(self.desc.iter()) {
+            let ord = x.total_cmp(y);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        self.idx.cmp(&other.idx)
+    }
 }
 
 // ---- select level -------------------------------------------------------
@@ -291,23 +442,27 @@ fn exec_select(
     let folded_where = s.where_clause.as_ref().map(|w| fold_uncorrelated(db, w));
     let (pushed, residual) = plan_pushdown(s, folded_where.as_ref());
 
-    // 1. FROM: build the source relation, filtering each scan with its
-    // pushed-down predicates before joining.
+    // 1. FROM: build the source relation. Each scan resolves its pushed
+    // predicates through the access-path layer (index lookup where an
+    // equality key is available, filtered sequential scan otherwise),
+    // and commutative inner joins run in greedily cost-ordered sequence
+    // with the column layout restored to the written order afterwards.
     let mut rel = Relation::default();
     let mut first = true;
     for item in &s.from {
-        let mut r = load_table_ref(db, item, outer)?;
-        apply_scan_filters(db, &mut r, item.binding(), &pushed, outer)?;
+        let r = load_scan(db, item, &pushed, outer)?;
         rel = if first { r } else { cross_join(rel, r) };
         first = false;
     }
-    for join in &s.joins {
-        let mut right = load_table_ref(db, &join.table, outer)?;
-        if join.kind == JoinKind::Inner {
-            apply_scan_filters(db, &mut right, join.table.binding(), &pushed, outer)?;
-        }
-        rel = join_relations(db, rel, right, join, outer)?;
+    let from_width = rel.cols.len();
+    let order = plan_join_order(db, s, &pushed);
+    let mut blocks: Vec<(usize, usize)> = Vec::with_capacity(order.len());
+    for &ji in &order {
+        let before = rel.cols.len();
+        rel = exec_join(db, rel, &s.joins[ji], &pushed, outer)?;
+        blocks.push((ji, rel.cols.len() - before));
     }
+    restore_join_column_order(&mut rel, from_width, &blocks);
     if first {
         // SELECT without FROM: a single empty row.
         rel.rows.push(Vec::new());
@@ -345,12 +500,97 @@ fn exec_select(
     let mut out = ResultSet::new(columns);
 
     if uses_aggregates {
+        let start = Instant::now();
         exec_aggregate(db, s, order_by, &rel, &items, outer, &mut out)?;
+        bill(&AGG_NS, start);
+        if let Some(n) = limit {
+            out.rows.truncate(n as usize);
+        }
+    } else if order_by.is_empty() {
+        // Plain unordered projection: stream output rows directly,
+        // without retaining source rows.
+        let plan = ColumnPlan::compile(items.iter().map(|(_, e)| e), &rel.cols);
+        let mut rows = Vec::with_capacity(rel.rows.len());
+        for row in &rel.rows {
+            let env = Env {
+                cols: &rel.cols,
+                row,
+                parent: outer,
+                plan: Some(&plan),
+            };
+            let mut out_row = Vec::with_capacity(items.len());
+            for (_, e) in &items {
+                out_row.push(eval(db, e, &env)?);
+            }
+            rows.push(out_row);
+        }
+        if s.distinct {
+            dedup_by_key(&mut rows, |r| r.as_slice());
+        }
+        if let Some(n) = limit {
+            rows.truncate(n as usize);
+        }
+        out.rows = rows;
+    } else if !s.distinct && limit.is_some() {
+        // Top-k: ORDER BY + LIMIT k without DISTINCT keeps a bounded
+        // heap of the k smallest rows under the sort order. Ties break
+        // by input position, so the output is exactly the stable full
+        // sort truncated to k — at O(n log k) and without materializing
+        // a source-row copy per input row.
+        let k = limit.unwrap_or(0) as usize;
+        let plan = ColumnPlan::compile(
+            items
+                .iter()
+                .map(|(_, e)| e)
+                .chain(order_by.iter().map(|o| &o.expr)),
+            &rel.cols,
+        );
+        let desc: Arc<[bool]> = order_by.iter().map(|o| o.desc).collect();
+        let mut heap: BinaryHeap<TopKEntry> = BinaryHeap::with_capacity(k + 1);
+        for (idx, row) in rel.rows.iter().enumerate() {
+            let env = Env {
+                cols: &rel.cols,
+                row,
+                parent: outer,
+                plan: Some(&plan),
+            };
+            let mut out_row = Vec::with_capacity(items.len());
+            for (_, e) in &items {
+                out_row.push(eval(db, e, &env)?);
+            }
+            let keys = order_key_row(
+                db,
+                order_by,
+                &rel,
+                row,
+                &out_row,
+                &items,
+                outer,
+                &out.columns,
+                Some(&plan),
+            )?;
+            let entry = TopKEntry {
+                keys,
+                idx,
+                row: out_row,
+                desc: Arc::clone(&desc),
+            };
+            if heap.len() < k {
+                heap.push(entry);
+            } else if let Some(top) = heap.peek() {
+                if entry.cmp(top) == std::cmp::Ordering::Less {
+                    heap.pop();
+                    heap.push(entry);
+                }
+            }
+        }
+        out.rows = heap.into_sorted_vec().into_iter().map(|e| e.row).collect();
+        out.ordered = true;
     } else {
-        // Plain projection. Keep the source row alongside the output row
-        // so ORDER BY can reference non-projected columns. One plan
-        // covers the projection and ORDER BY expressions, both evaluated
-        // in the source scope.
+        // Ordered projection (full sort). Keep the source row alongside
+        // the output row so ORDER BY can reference non-projected
+        // columns. One plan covers the projection and ORDER BY
+        // expressions, both evaluated in the source scope.
         let plan = ColumnPlan::compile(
             items
                 .iter()
@@ -373,43 +613,32 @@ fn exec_select(
             pairs.push((row.clone(), out_row));
         }
         if s.distinct {
-            let mut seen = std::collections::HashSet::new();
-            pairs.retain(|(_, o)| seen.insert(o.iter().map(key_of).collect::<Vec<_>>()));
+            dedup_by_key(&mut pairs, |(_, o)| o.as_slice());
         }
-        if !order_by.is_empty() {
-            let keys = pairs
-                .iter()
-                .map(|(src, outr)| {
-                    order_key_row(
-                        db,
-                        order_by,
-                        &rel,
-                        src,
-                        outr,
-                        &items,
-                        outer,
-                        &out.columns,
-                        Some(&plan),
-                    )
-                })
-                .collect::<Result<Vec<_>, _>>()?;
-            let mut idx: Vec<usize> = (0..pairs.len()).collect();
-            sort_indices(&mut idx, &keys, order_by);
-            let mut reordered = Vec::with_capacity(pairs.len());
-            for i in idx {
-                reordered.push(pairs[i].1.clone());
-            }
-            out.rows = reordered;
-            out.ordered = true;
-        } else {
-            out.rows = pairs.into_iter().map(|(_, o)| o).collect();
+        let keys = pairs
+            .iter()
+            .map(|(src, outr)| {
+                order_key_row(
+                    db,
+                    order_by,
+                    &rel,
+                    src,
+                    outr,
+                    &items,
+                    outer,
+                    &out.columns,
+                    Some(&plan),
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut idx: Vec<usize> = (0..pairs.len()).collect();
+        sort_indices(&mut idx, &keys, order_by);
+        let mut reordered = Vec::with_capacity(pairs.len());
+        for i in idx {
+            reordered.push(pairs[i].1.clone());
         }
-        if let Some(n) = limit {
-            out.rows.truncate(n as usize);
-        }
-    }
-
-    if uses_aggregates {
+        out.rows = reordered;
+        out.ordered = true;
         if let Some(n) = limit {
             out.rows.truncate(n as usize);
         }
@@ -545,37 +774,455 @@ fn order_keys_by_output(
 
 // ---- FROM / joins -------------------------------------------------------
 
-fn load_table_ref(
+/// Loads one FROM/JOIN source and applies its pushed-down predicates.
+///
+/// Named tables go through the access-path layer: when a pushed
+/// predicate is an equality (or IN list) of an indexed column against
+/// literals, the lazy hash index narrows the scan to candidate row ids
+/// and only surviving rows are materialized — the table is never cloned
+/// wholesale. Every pushed predicate is still re-evaluated on the
+/// candidates, so the index can only prune, never decide: indexed and
+/// forced-seqscan execution yield bit-identical relations (candidate
+/// ids are visited in ascending row order, the scan order).
+fn load_scan(
     db: &Database,
     t: &TableRef,
+    pushed: &[(String, Expr)],
     outer: Option<&Env<'_>>,
 ) -> Result<Relation, EngineError> {
-    match t {
+    let start = Instant::now();
+    let mine: Vec<&Expr> = pushed
+        .iter()
+        .filter(|(b, _)| b.eq_ignore_ascii_case(t.binding()))
+        .map(|(_, e)| e)
+        .collect();
+    let rel = match t {
         TableRef::Named { name, alias } => {
             let schema = db
                 .schema(name)
                 .ok_or_else(|| EngineError::UnknownTable(name.clone()))?;
             let binding = alias.clone().unwrap_or_else(|| name.clone());
-            let cols = schema
+            let cols: Vec<(String, String)> = schema
                 .columns
                 .iter()
                 .map(|c| (binding.clone(), c.name.clone()))
                 .collect();
-            let rows = db.rows(name).unwrap().to_vec();
-            Ok(Relation { cols, rows })
+            let all = db.rows(name).unwrap();
+            if mine.is_empty() {
+                Relation {
+                    cols,
+                    rows: all.to_vec(),
+                }
+            } else {
+                let plan = ColumnPlan::compile(mine.iter().copied(), &cols);
+                let keep = |row: &[Value]| -> Result<bool, EngineError> {
+                    for e in &mine {
+                        let env = Env {
+                            cols: &cols,
+                            row,
+                            parent: outer,
+                            plan: Some(&plan),
+                        };
+                        if !eval(db, e, &env)?.is_true() {
+                            return Ok(false);
+                        }
+                    }
+                    Ok(true)
+                };
+                let driver = if force_seqscan() {
+                    None
+                } else {
+                    scan_index_choice(schema, &mine).and_then(|(ci, keys)| {
+                        db.index(name, &schema.columns[ci].name)
+                            .map(|ix| (ix, keys))
+                    })
+                };
+                let mut rows = Vec::new();
+                match driver {
+                    Some((ix, keys)) => {
+                        let mut ids: Vec<u32> = Vec::new();
+                        for k in &keys {
+                            match ix.lookup(k) {
+                                Some(found) => {
+                                    db.note_index_probe(true);
+                                    ids.extend_from_slice(found);
+                                }
+                                None => db.note_index_probe(false),
+                            }
+                        }
+                        ids.sort_unstable();
+                        ids.dedup();
+                        for id in ids {
+                            let row = &all[id as usize];
+                            if keep(row)? {
+                                rows.push(row.clone());
+                            }
+                        }
+                    }
+                    None => {
+                        for row in all {
+                            if keep(row)? {
+                                rows.push(row.clone());
+                            }
+                        }
+                    }
+                }
+                Relation { cols, rows }
+            }
         }
         TableRef::Derived { query, alias } => {
             let rs = exec_query(db, query, outer)?;
-            let cols = rs
+            let cols: Vec<(String, String)> = rs
                 .columns
                 .iter()
                 .map(|c| (alias.clone(), c.clone()))
                 .collect();
-            Ok(Relation {
+            let mut rel = Relation {
                 cols,
                 rows: rs.rows,
-            })
+            };
+            apply_scan_filters(db, &mut rel, &mine, outer)?;
+            rel
         }
+    };
+    bill(&SCAN_NS, start);
+    Ok(rel)
+}
+
+/// Picks the index driver for a filtered scan: the first pushed conjunct
+/// of the form `col = literal` (either side) or `col IN (literal, ...)`
+/// naming a column of the scanned table. Returns the schema column
+/// position and the literal probe keys. A pure function of schema and
+/// predicates, so EXPLAIN reports exactly the executor's choice.
+pub(crate) fn scan_index_choice(
+    schema: &crate::catalog::TableSchema,
+    mine: &[&Expr],
+) -> Option<(usize, Vec<Value>)> {
+    for e in mine {
+        match e {
+            Expr::Binary {
+                left,
+                op: BinOp::Eq,
+                right,
+            } => {
+                for (c, l) in [(left, right), (right, left)] {
+                    if let (Expr::Column(cr), Expr::Literal(lit)) = (c.as_ref(), l.as_ref()) {
+                        if let Some(ci) = schema.column_index(&cr.column) {
+                            return Some((ci, vec![lit_value(lit)]));
+                        }
+                    }
+                }
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated: false,
+            } => {
+                if let Expr::Column(cr) = expr.as_ref() {
+                    if let Some(ci) = schema.column_index(&cr.column) {
+                        let keys: Option<Vec<Value>> = list
+                            .iter()
+                            .map(|item| match item {
+                                Expr::Literal(l) => Some(lit_value(l)),
+                                _ => None,
+                            })
+                            .collect();
+                        if let Some(keys) = keys {
+                            return Some((ci, keys));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Executes one JOIN step: an index-nested-loop when the right side is a
+/// named inner-join table whose ON key is indexed, otherwise the right
+/// side is materialized (through its own access path) and joined by
+/// hash or nested loop.
+fn exec_join(
+    db: &Database,
+    left: Relation,
+    join: &Join,
+    pushed: &[(String, Expr)],
+    outer: Option<&Env<'_>>,
+) -> Result<Relation, EngineError> {
+    if !force_seqscan() {
+        if let Some((left_col, right_col)) = inl_key(db, join) {
+            if let Some(lpos) = find_col(&left.cols, &left_col) {
+                if let TableRef::Named { name, .. } = &join.table {
+                    if let Some(ix) = db.index(name, &right_col) {
+                        return index_nested_loop_join(db, left, join, lpos, &ix, pushed, outer);
+                    }
+                }
+            }
+        }
+    }
+    // Pushed predicates only ever target inner-join bindings, but guard
+    // against a FROM binding shadowing an outer-join binding of the same
+    // name: an outer join's scan must stay unfiltered.
+    let right_pushed = if join.kind == JoinKind::Inner {
+        pushed
+    } else {
+        &[]
+    };
+    let right = load_scan(db, &join.table, right_pushed, outer)?;
+    let start = Instant::now();
+    let out = join_relations(db, left, right, join, outer);
+    bill(&JOIN_NS, start);
+    out
+}
+
+/// The index-nested-loop criterion for one join: an inner join against a
+/// named base table whose subquery-free ON clause has a conjunct
+/// `outer.col = inner.col`, where the inner side is qualified with the
+/// join's binding and names a real column, and the outer side is
+/// qualified with a different binding. Returns the outer column
+/// reference and the inner column's name. Pure function of catalog and
+/// query (shared with EXPLAIN).
+pub(crate) fn inl_key(db: &Database, join: &Join) -> Option<(ColumnRef, String)> {
+    if join.kind != JoinKind::Inner {
+        return None;
+    }
+    let TableRef::Named { name, .. } = &join.table else {
+        return None;
+    };
+    let schema = db.schema(name)?;
+    let binding = join.table.binding();
+    let on = join.on.as_ref()?;
+    if contains_subquery(on) {
+        return None;
+    }
+    for conj in on.conjuncts() {
+        let Expr::Binary {
+            left,
+            op: BinOp::Eq,
+            right,
+        } = conj
+        else {
+            continue;
+        };
+        for (a, b) in [(left, right), (right, left)] {
+            let (Expr::Column(ca), Expr::Column(cb)) = (a.as_ref(), b.as_ref()) else {
+                continue;
+            };
+            let (Some(at), Some(bt)) = (&ca.table, &cb.table) else {
+                continue;
+            };
+            if bt.eq_ignore_ascii_case(binding)
+                && !at.eq_ignore_ascii_case(binding)
+                && schema.column_index(&cb.column).is_some()
+            {
+                return Some((ca.clone(), cb.column.clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Index-nested-loop join: probes the right table's hash index with each
+/// left row's key and materializes only the matching right rows.
+/// Candidate postings are ascending in row order and the full ON clause
+/// (plus any pushed right-side predicates) is re-evaluated per
+/// candidate, so the output is bit-identical to the hash-join path.
+fn index_nested_loop_join(
+    db: &Database,
+    left: Relation,
+    join: &Join,
+    lpos: usize,
+    ix: &crate::db::ColumnIndex,
+    pushed: &[(String, Expr)],
+    outer: Option<&Env<'_>>,
+) -> Result<Relation, EngineError> {
+    let start = Instant::now();
+    let TableRef::Named { name, .. } = &join.table else {
+        unreachable!("INL join requires a named table");
+    };
+    let binding = join.table.binding();
+    let schema = db.schema(name).expect("checked by inl_key");
+    let right_rows = db.rows(name).unwrap();
+    let mut cols = left.cols;
+    cols.extend(
+        schema
+            .columns
+            .iter()
+            .map(|c| (binding.to_string(), c.name.clone())),
+    );
+
+    // Pushed right-side predicates first (cheap, single-table), then the
+    // full ON clause, all resolved once against the joined layout.
+    let mine: Vec<&Expr> = pushed
+        .iter()
+        .filter(|(b, _)| b.eq_ignore_ascii_case(binding))
+        .map(|(_, e)| e)
+        .collect();
+    let on = join.on.as_ref().expect("checked by inl_key");
+    let checks: Vec<&Expr> = mine.iter().copied().chain([on]).collect();
+    let plan = ColumnPlan::compile(checks.iter().copied(), &cols);
+
+    let mut rows = Vec::new();
+    for l in &left.rows {
+        let candidates = match ix.lookup(&l[lpos]) {
+            Some(c) => {
+                db.note_index_probe(true);
+                c
+            }
+            None => {
+                db.note_index_probe(false);
+                continue;
+            }
+        };
+        'cand: for &ri in candidates {
+            let mut row = l.clone();
+            row.extend(right_rows[ri as usize].iter().cloned());
+            for e in &checks {
+                let env = Env {
+                    cols: &cols,
+                    row: &row,
+                    parent: outer,
+                    plan: Some(&plan),
+                };
+                if !eval(db, e, &env)?.is_true() {
+                    continue 'cand;
+                }
+            }
+            rows.push(row);
+        }
+    }
+    bill(&JOIN_NS, start);
+    Ok(Relation { cols, rows })
+}
+
+/// Greedy ordering of commutative inner joins: while joins remain, pick
+/// the eligible one (every ON-referenced binding already in scope) with
+/// the smallest estimated post-filter cardinality. Falls back to the
+/// written order when any join is an outer join or derived table, lacks
+/// an ON clause, references unqualified columns, or contains a subquery
+/// — commutativity is only certain for the simple shape. Depends only
+/// on catalog statistics and the query text, never on execution mode or
+/// runtime cardinalities, so indexed and forced-seqscan runs order
+/// identically.
+pub(crate) fn plan_join_order(db: &Database, s: &Select, pushed: &[(String, Expr)]) -> Vec<usize> {
+    let n = s.joins.len();
+    let natural: Vec<usize> = (0..n).collect();
+    if n < 2 {
+        return natural;
+    }
+    let mut refs: Vec<Vec<String>> = Vec::with_capacity(n);
+    for j in &s.joins {
+        if j.kind != JoinKind::Inner || !matches!(j.table, TableRef::Named { .. }) {
+            return natural;
+        }
+        let Some(on) = &j.on else { return natural };
+        if contains_subquery(on) {
+            return natural;
+        }
+        let mut bindings = Vec::new();
+        let mut qualified = true;
+        on.visit(&mut |x| {
+            if let Expr::Column(c) = x {
+                match &c.table {
+                    Some(t) => {
+                        let t = t.to_lowercase();
+                        if !bindings.contains(&t) {
+                            bindings.push(t);
+                        }
+                    }
+                    None => qualified = false,
+                }
+            }
+        });
+        if !qualified {
+            return natural;
+        }
+        refs.push(bindings);
+    }
+    let est: Vec<usize> = s
+        .joins
+        .iter()
+        .map(|j| scan_estimate(db, &j.table, pushed))
+        .collect();
+    let mut in_scope: Vec<String> = s.from.iter().map(|t| t.binding().to_lowercase()).collect();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    while !remaining.is_empty() {
+        let mut best: Option<usize> = None; // position in `remaining`
+        for (pos, &ji) in remaining.iter().enumerate() {
+            let own = s.joins[ji].table.binding().to_lowercase();
+            let eligible = refs[ji].iter().all(|b| *b == own || in_scope.contains(b));
+            if eligible
+                && match best {
+                    None => true,
+                    Some(bp) => est[ji] < est[remaining[bp]],
+                }
+            {
+                best = Some(pos);
+            }
+        }
+        // A join whose ON references a binding introduced by a later
+        // join (right-deep dependency) pins the written order.
+        let Some(bp) = best else { return natural };
+        let ji = remaining.remove(bp);
+        in_scope.push(s.joins[ji].table.binding().to_lowercase());
+        order.push(ji);
+    }
+    order
+}
+
+/// Estimated post-filter cardinality of a scan: the table's row count
+/// discounted per pushed predicate (equality and IN are treated as
+/// highly selective, anything else mildly so). Only the relative order
+/// of estimates matters; the constants follow the classic System R
+/// defaults.
+pub(crate) fn scan_estimate(db: &Database, t: &TableRef, pushed: &[(String, Expr)]) -> usize {
+    let TableRef::Named { name, .. } = t else {
+        // Derived table: unknown cardinality, order conservatively late.
+        return usize::MAX;
+    };
+    let mut est = db.row_count(name).max(1);
+    for (b, e) in pushed {
+        if !b.eq_ignore_ascii_case(t.binding()) {
+            continue;
+        }
+        let selective = matches!(
+            e,
+            Expr::Binary { op: BinOp::Eq, .. } | Expr::InList { negated: false, .. }
+        );
+        est = (est / if selective { 10 } else { 3 }).max(1);
+    }
+    est
+}
+
+/// After greedy join reordering the physical column layout follows the
+/// execution order; permute the column blocks back to the query's
+/// written order so wildcard projections and unqualified resolution see
+/// the expected layout.
+fn restore_join_column_order(rel: &mut Relation, from_width: usize, blocks: &[(usize, usize)]) {
+    // (original join index, start offset in executed layout, width)
+    let mut executed: Vec<(usize, usize, usize)> = Vec::with_capacity(blocks.len());
+    let mut off = from_width;
+    for &(ji, w) in blocks {
+        executed.push((ji, off, w));
+        off += w;
+    }
+    executed.sort_by_key(|&(ji, _, _)| ji);
+    let mut perm: Vec<usize> = (0..from_width).collect();
+    for &(_, s, w) in &executed {
+        perm.extend(s..s + w);
+    }
+    if perm.iter().enumerate().all(|(i, &p)| i == p) {
+        return;
+    }
+    rel.cols = perm.iter().map(|&i| rel.cols[i].clone()).collect();
+    for row in &mut rel.rows {
+        let mut old = std::mem::take(row);
+        *row = perm
+            .iter()
+            .map(|&i| std::mem::replace(&mut old[i], Value::Null))
+            .collect();
     }
 }
 
@@ -641,34 +1288,78 @@ fn join_relations(
     let null_right = vec![Value::Null; right.cols.len()];
 
     if !left_keys.is_empty() {
-        // Hash join. Residual ON conjuncts are evaluated per candidate
-        // pair; resolve their columns against the joined layout once.
+        // Hash join with cost-aware build side: hash the smaller input,
+        // probe with the larger. Residual ON conjuncts are evaluated per
+        // candidate pair; resolve their columns against the joined
+        // layout once. Both variants emit rows left-major with right
+        // candidates ascending, so the choice (a pure function of the
+        // two cardinalities) never changes the output.
         let plan = ColumnPlan::compile(residual.iter().copied(), &cols);
-        let mut table: HashMap<Vec<Key>, Vec<usize>> = HashMap::with_capacity(right.rows.len());
-        for (i, r) in right.rows.iter().enumerate() {
-            if right_keys.iter().any(|k| r[*k].is_null()) {
-                continue; // NULL keys never match.
+        if left.rows.len() < right.rows.len() {
+            // Build on the left: collect per-left-row match lists during
+            // the right-side probe, then emit in left order.
+            let mut table: HashMap<Vec<Key>, Vec<usize>> = HashMap::with_capacity(left.rows.len());
+            for (i, l) in left.rows.iter().enumerate() {
+                if left_keys.iter().any(|k| l[*k].is_null()) {
+                    continue; // NULL keys never match.
+                }
+                table.entry(keys_of(l, &left_keys)).or_default().push(i);
             }
-            table.entry(keys_of(r, &right_keys)).or_default().push(i);
-        }
-        for l in &left.rows {
-            let mut matched = false;
-            if !left_keys.iter().any(|k| l[*k].is_null()) {
-                if let Some(candidates) = table.get(&keys_of(l, &left_keys)) {
-                    for &ri in candidates {
-                        let mut row = l.clone();
-                        row.extend(right.rows[ri].iter().cloned());
-                        if residual_ok(db, &residual, &cols, &row, outer, &plan)? {
-                            rows.push(row);
-                            matched = true;
-                        }
+            let mut matches: Vec<Vec<usize>> = vec![Vec::new(); left.rows.len()];
+            for (ri, r) in right.rows.iter().enumerate() {
+                if right_keys.iter().any(|k| r[*k].is_null()) {
+                    continue;
+                }
+                if let Some(lids) = table.get(&keys_of(r, &right_keys)) {
+                    for &li in lids {
+                        matches[li].push(ri);
                     }
                 }
             }
-            if !matched && join.kind == JoinKind::Left {
-                let mut row = l.clone();
-                row.extend(null_right.iter().cloned());
-                rows.push(row);
+            for (li, l) in left.rows.iter().enumerate() {
+                let mut matched = false;
+                for &ri in &matches[li] {
+                    let mut row = l.clone();
+                    row.extend(right.rows[ri].iter().cloned());
+                    if residual_ok(db, &residual, &cols, &row, outer, &plan)? {
+                        rows.push(row);
+                        matched = true;
+                    }
+                }
+                if !matched && join.kind == JoinKind::Left {
+                    let mut row = l.clone();
+                    row.extend(null_right.iter().cloned());
+                    rows.push(row);
+                }
+            }
+        } else {
+            // Build on the right, probe with left rows.
+            let mut table: HashMap<Vec<Key>, Vec<usize>> = HashMap::with_capacity(right.rows.len());
+            for (i, r) in right.rows.iter().enumerate() {
+                if right_keys.iter().any(|k| r[*k].is_null()) {
+                    continue; // NULL keys never match.
+                }
+                table.entry(keys_of(r, &right_keys)).or_default().push(i);
+            }
+            for l in &left.rows {
+                let mut matched = false;
+                if !left_keys.iter().any(|k| l[*k].is_null()) {
+                    if let Some(candidates) = table.get(&keys_of(l, &left_keys)) {
+                        for &ri in candidates {
+                            let mut row = l.clone();
+                            row.extend(right.rows[ri].iter().cloned());
+                            if residual_ok(db, &residual, &cols, &row, outer, &plan)? {
+                                rows.push(row);
+                                matched = true;
+                            }
+                        }
+                    }
+                }
+                if !matched && join.kind == JoinKind::Left {
+                    let mut row = l.clone();
+                    row.extend(null_right.iter().cloned());
+                    rows.push(row);
+                }
             }
         }
     } else {
@@ -863,8 +1554,7 @@ fn exec_aggregate(
     }
 
     if s.distinct {
-        let mut seen = std::collections::HashSet::new();
-        group_outputs.retain(|(_, o)| seen.insert(o.iter().map(key_of).collect::<Vec<_>>()));
+        dedup_by_key(&mut group_outputs, |(_, o)| o.as_slice());
     }
 
     if !order_by.is_empty() {
@@ -1143,20 +1833,14 @@ fn contains_subquery(e: &Expr) -> bool {
     found
 }
 
-/// Filters a freshly scanned relation with the predicates pushed to its
-/// binding.
+/// Filters a freshly materialized relation (derived tables, which have
+/// no base-table index) with the predicates pushed to its binding.
 fn apply_scan_filters(
     db: &Database,
     rel: &mut Relation,
-    binding: &str,
-    pushed: &[(String, Expr)],
+    mine: &[&Expr],
     outer: Option<&Env<'_>>,
 ) -> Result<(), EngineError> {
-    let mine: Vec<&Expr> = pushed
-        .iter()
-        .filter(|(b, _)| b.eq_ignore_ascii_case(binding))
-        .map(|(_, e)| e)
-        .collect();
     if mine.is_empty() {
         return Ok(());
     }
@@ -1164,7 +1848,7 @@ fn apply_scan_filters(
     let plan = ColumnPlan::compile(mine.iter().copied(), &cols);
     let mut kept = Vec::with_capacity(rel.rows.len());
     'rows: for row in rel.rows.drain(..) {
-        for e in &mine {
+        for e in mine {
             let env = Env {
                 cols: &cols,
                 row: &row,
@@ -1182,6 +1866,17 @@ fn apply_scan_filters(
 }
 
 // ---- subquery folding -----------------------------------------------------
+
+/// The runtime value of a literal (inverse of [`value_to_lit`]).
+fn lit_value(l: &Lit) -> Value {
+    match l {
+        Lit::Int(v) => Value::Int(*v),
+        Lit::Float(v) => Value::Float(*v),
+        Lit::Str(s) => Value::Text(s.clone()),
+        Lit::Bool(b) => Value::Bool(*b),
+        Lit::Null => Value::Null,
+    }
+}
 
 fn value_to_lit(v: &Value) -> Lit {
     match v {
@@ -1263,13 +1958,7 @@ pub(crate) fn fold_uncorrelated(db: &Database, e: &Expr) -> Expr {
 fn eval(db: &Database, expr: &Expr, env: &Env<'_>) -> Result<Value, EngineError> {
     match expr {
         Expr::Column(c) => env.lookup(c).cloned(),
-        Expr::Literal(l) => Ok(match l {
-            Lit::Int(v) => Value::Int(*v),
-            Lit::Float(v) => Value::Float(*v),
-            Lit::Str(s) => Value::Text(s.clone()),
-            Lit::Bool(b) => Value::Bool(*b),
-            Lit::Null => Value::Null,
-        }),
+        Expr::Literal(l) => Ok(lit_value(l)),
         Expr::Unary { op, expr } => {
             let v = eval(db, expr, env)?;
             apply_unary(*op, &v)
@@ -2195,5 +2884,164 @@ mod tests {
         );
         assert_eq!(rs.columns, vec!["side"]);
         assert_eq!(rs.len(), 10);
+    }
+
+    // ---- access paths ---------------------------------------------------
+
+    #[test]
+    fn index_scan_preserves_seq_scan_row_order() {
+        let db = test_db();
+        // The index path visits candidate ids ascending, so an IN-list
+        // probing keys out of order (with a duplicate) must still return
+        // rows in table order, exactly like a sequential scan.
+        let rs = run(&db, "SELECT name FROM team WHERE team_id IN (3, 1, 3)");
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][0], Value::text("Brazil"));
+        assert_eq!(rs.rows[1][0], Value::text("France"));
+        let stats = db.index_stats();
+        assert!(stats.builds >= 1, "index should have been built lazily");
+        assert!(stats.probes >= 2, "each IN key probes the index");
+    }
+
+    #[test]
+    fn index_scan_equality_never_matches_null() {
+        let catalog = Catalog::new(vec![TableSchema::new("t")
+            .column("k", DataType::Int)
+            .column("v", DataType::Int)]);
+        let mut db = Database::new(catalog);
+        db.insert("t", vec![Value::Null, Value::Int(0)]).unwrap();
+        db.insert("t", vec![Value::Int(1), Value::Int(10)]).unwrap();
+        db.insert("t", vec![Value::Int(1), Value::Int(11)]).unwrap();
+        let rs = run(&db, "SELECT v FROM t WHERE k = 1");
+        assert_eq!(rs.rows.len(), 2, "duplicate keys both match");
+        let rs = run(&db, "SELECT v FROM t WHERE k = NULL");
+        assert!(rs.rows.is_empty(), "col = NULL is never true");
+    }
+
+    #[test]
+    fn index_nested_loop_join_skips_null_keys() {
+        let catalog = Catalog::new(vec![
+            TableSchema::new("l").column("k", DataType::Int),
+            TableSchema::new("r")
+                .column("k", DataType::Int)
+                .column("v", DataType::Int),
+        ]);
+        let mut db = Database::new(catalog);
+        for k in [Some(1), None, Some(2)] {
+            db.insert("l", vec![k.map(Value::Int).unwrap_or(Value::Null)])
+                .unwrap();
+        }
+        for (k, v) in [(Some(1), 10), (None, 99), (Some(2), 20)] {
+            db.insert(
+                "r",
+                vec![k.map(Value::Int).unwrap_or(Value::Null), Value::Int(v)],
+            )
+            .unwrap();
+        }
+        // Inner equi-join against a named base table takes the
+        // index-nested-loop path; NULL probes and NULL-keyed index rows
+        // must both be invisible.
+        let rs = run(&db, "SELECT a.k, b.v FROM l AS a JOIN r AS b ON a.k = b.k");
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0], vec![Value::Int(1), Value::Int(10)]);
+        assert_eq!(rs.rows[1], vec![Value::Int(2), Value::Int(20)]);
+        assert!(db.index_stats().builds >= 1);
+    }
+
+    #[test]
+    fn top_k_matches_stable_full_sort() {
+        let db = test_db();
+        // `year` has duplicates, so this exercises the tie-break: top-k
+        // must reproduce the stable sort's order among equal keys.
+        let full = run(&db, "SELECT game_id, year FROM game ORDER BY year");
+        for k in 0..=6 {
+            let limited = run(
+                &db,
+                &format!("SELECT game_id, year FROM game ORDER BY year LIMIT {k}"),
+            );
+            assert_eq!(
+                limited.rows,
+                full.rows[..k.min(full.rows.len())].to_vec(),
+                "LIMIT {k}"
+            );
+        }
+        let desc = run(
+            &db,
+            "SELECT game_id FROM game ORDER BY year DESC, game_id LIMIT 2",
+        );
+        assert_eq!(desc.rows, vec![vec![Value::Int(5)], vec![Value::Int(3)]],);
+    }
+
+    #[test]
+    fn reordered_joins_restore_written_column_layout() {
+        let db = test_db();
+        // The away-side join carries an equality filter and therefore a
+        // smaller estimate, so the planner runs it first; SELECT * must
+        // still present game, then home, then away columns.
+        let rs = run(
+            &db,
+            "SELECT * FROM game AS g \
+             JOIN team AS h ON g.home_id = h.team_id \
+             JOIN team AS a ON g.away_id = a.team_id \
+             WHERE a.confed = 'UEFA'",
+        );
+        assert_eq!(rs.columns.len(), 12);
+        assert_eq!(rs.rows.len(), 4, "away team in UEFA: games 1, 2, 4, 5");
+        for row in &rs.rows {
+            // Column 7 is h.name, column 10 is a.name.
+            let (game, home, away) = (&row[0], &row[7], &row[10]);
+            let expected_home = match game {
+                Value::Int(1) => "Brazil",
+                Value::Int(2) => "Germany",
+                Value::Int(4) => "Brazil",
+                Value::Int(5) => "Japan",
+                other => panic!("unexpected game {other:?}"),
+            };
+            assert_eq!(home, &Value::text(expected_home));
+            assert!(matches!(away, Value::Text(s) if s == "Germany" || s == "France"));
+        }
+    }
+
+    #[test]
+    fn join_order_planner_respects_dependencies() {
+        let db = test_db();
+        // The second join's ON references the first join's binding, so
+        // no reorder is possible and the planner pins written order.
+        let s = match sqlkit::parse_query(
+            "SELECT 1 FROM game AS g \
+             JOIN team AS h ON g.home_id = h.team_id \
+             JOIN team AS a ON h.team_id = a.team_id",
+        )
+        .unwrap()
+        .body
+        {
+            QueryBody::Select(s) => s,
+            _ => unreachable!(),
+        };
+        assert_eq!(plan_join_order(&db, &s, &[]), vec![0, 1]);
+    }
+
+    #[test]
+    fn build_side_choice_keeps_left_join_semantics() {
+        let mut db = test_db();
+        db.insert(
+            "team",
+            vec![Value::Int(9), Value::text("Ghost"), Value::text("X")],
+        )
+        .unwrap();
+        // 5 teams LEFT JOIN 5 games: left is equal/smaller, so the hash
+        // join builds on the left; Ghost must still null-extend.
+        let rs = run(
+            &db,
+            "SELECT t.name, g.game_id FROM team AS t \
+             LEFT JOIN game AS g ON t.team_id = g.home_id",
+        );
+        let ghost: Vec<_> = rs
+            .rows
+            .iter()
+            .filter(|r| r[0] == Value::text("Ghost"))
+            .collect();
+        assert_eq!(ghost.len(), 1);
+        assert_eq!(ghost[0][1], Value::Null);
     }
 }

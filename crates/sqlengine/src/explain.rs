@@ -1,14 +1,21 @@
 //! Query plan explanation.
 //!
 //! Describes, without executing, how the executor will evaluate a query:
-//! which scans receive pushed-down predicates, which joins can use the
-//! hash algorithm (equi-keys in the ON clause) versus nested loops, what
-//! remains as a residual filter, and the aggregation/ordering tail.
-//! Used by the SQL shell's `\explain` and by tests pinning the planner's
+//! which scans receive pushed-down predicates and whether they resolve
+//! through an index (`index lookup(binding.col)`) or a sequential scan,
+//! the join algorithm per join — index nested-loop, hash (with the
+//! cost-chosen build side), or nested loop — the cost-based join order,
+//! what remains as a residual filter, and the aggregation/ordering
+//! tail. The access-path decisions call the same pure planner functions
+//! the executor uses, so the displayed plan is the executed plan. Used
+//! by the SQL shell's `\explain` and by tests pinning the planner's
 //! decisions.
 
 use crate::db::Database;
-use crate::exec::{fold_uncorrelated, plan_pushdown};
+use crate::exec::{
+    fold_uncorrelated, force_seqscan, inl_key, plan_join_order, plan_pushdown, scan_estimate,
+    scan_index_choice,
+};
 use sqlkit::ast::*;
 use sqlkit::printer::expr_to_sql;
 use std::fmt::Write;
@@ -117,6 +124,28 @@ fn explain_select(db: &Database, s: &Select, indent: usize, out: &mut String) {
             .map(|(_, e)| expr_to_sql(e))
             .collect()
     };
+    // The scan's access path, resolved by the executor's own chooser.
+    let access_for = |t: &TableRef| -> Option<String> {
+        let TableRef::Named { name, .. } = t else {
+            return None;
+        };
+        let schema = db.schema(name)?;
+        let mine: Vec<&Expr> = pushed
+            .iter()
+            .filter(|(b, _)| b.eq_ignore_ascii_case(t.binding()))
+            .map(|(_, e)| e)
+            .collect();
+        if !force_seqscan() {
+            if let Some((ci, _)) = scan_index_choice(schema, &mine) {
+                return Some(format!(
+                    "index lookup({}.{})",
+                    t.binding(),
+                    schema.columns[ci].name
+                ));
+            }
+        }
+        Some("seq scan".to_string())
+    };
 
     pad(out, indent);
     let _ = writeln!(out, "select ({} output column(s))", s.projections.len());
@@ -129,17 +158,46 @@ fn explain_select(db: &Database, s: &Select, indent: usize, out: &mut String) {
         if !filters.is_empty() {
             let _ = write!(out, " filter: {}", filters.join(" AND "));
         }
+        if let Some(access) = access_for(t) {
+            let _ = write!(out, " via {access}");
+        }
         out.push('\n');
         if let TableRef::Derived { query, .. } = t {
             explain_query(db, query, indent + 2, out);
         }
     }
-    for j in &s.joins {
+    // Joins print in the executor's cost-chosen order, with a running
+    // cardinality estimate deciding each hash join's build side.
+    let order = plan_join_order(db, s, &pushed);
+    if order.iter().enumerate().any(|(i, &ji)| i != ji) {
         pad(out, indent + 1);
-        let algo = if has_equi_key(&j.on) {
-            "hash join"
+        let names: Vec<&str> = order
+            .iter()
+            .map(|&ji| s.joins[ji].table.binding())
+            .collect();
+        let _ = writeln!(out, "join order (cost-based): {}", names.join(", "));
+    }
+    let mut left_est: usize = s
+        .from
+        .iter()
+        .map(|t| scan_estimate(db, t, &pushed))
+        .fold(1usize, |a, b| a.saturating_mul(b));
+    for &ji in &order {
+        let j = &s.joins[ji];
+        let right_est = scan_estimate(db, &j.table, &pushed);
+        pad(out, indent + 1);
+        let inl = !force_seqscan() && inl_key(db, j).is_some();
+        let algo = if inl {
+            "index nested-loop join".to_string()
+        } else if has_equi_key(&j.on) {
+            let side = if left_est < right_est {
+                "left"
+            } else {
+                "right"
+            };
+            format!("hash join (build {side})")
         } else {
-            "nested-loop join"
+            "nested-loop join".to_string()
         };
         let kind = match j.kind {
             JoinKind::Inner => "",
@@ -159,6 +217,18 @@ fn explain_select(db: &Database, s: &Select, indent: usize, out: &mut String) {
         if !filters.is_empty() && j.kind == JoinKind::Inner {
             let _ = write!(out, " filter: {}", filters.join(" AND "));
         }
+        if inl {
+            if let Some((_, right_col)) = inl_key(db, j) {
+                let _ = write!(
+                    out,
+                    " via index lookup({}.{})",
+                    j.table.binding(),
+                    right_col
+                );
+            }
+        } else if let Some(access) = access_for(&j.table) {
+            let _ = write!(out, " via {access}");
+        }
         if let Some(on) = &j.on {
             let _ = write!(out, " on {}", expr_to_sql(on));
         }
@@ -166,6 +236,11 @@ fn explain_select(db: &Database, s: &Select, indent: usize, out: &mut String) {
         if let TableRef::Derived { query, .. } = &j.table {
             explain_query(db, query, indent + 2, out);
         }
+        left_est = if has_equi_key(&j.on) || inl {
+            left_est.max(right_est)
+        } else {
+            left_est.saturating_mul(right_est)
+        };
     }
     if let Some(r) = residual {
         pad(out, indent + 1);
@@ -221,20 +296,87 @@ mod tests {
     }
 
     #[test]
-    fn explains_pushdown_and_hash_join() {
+    fn explains_pushdown_and_index_nested_loop_join() {
         let db = db();
         let plan = explain_sql(
             &db,
             "SELECT a.x FROM t AS a JOIN u AS b ON a.id = b.id WHERE a.x > 1 AND b.y = 103",
         )
         .unwrap();
+        // Non-equality filter: no index driver for the scan.
         assert!(
-            plan.contains("scan t AS a [5 row(s)] filter: a.x > 1"),
+            plan.contains("scan t AS a [5 row(s)] filter: a.x > 1 via seq scan"),
             "{plan}"
         );
-        assert!(plan.contains("hash join"), "{plan}");
+        // Equi-join against a named base table probes its lazy index.
+        assert!(plan.contains("index nested-loop join"), "{plan}");
+        assert!(plan.contains("via index lookup(b.id)"), "{plan}");
         assert!(plan.contains("filter: b.y = 103"), "{plan}");
         assert!(!plan.contains("residual"), "{plan}");
+    }
+
+    #[test]
+    fn equality_filter_scans_via_index_lookup() {
+        let db = db();
+        let plan = explain_sql(&db, "SELECT x FROM t WHERE id = 3").unwrap();
+        assert!(
+            plan.contains("filter: id = 3 via index lookup(t.id)"),
+            "{plan}"
+        );
+        let plan = explain_sql(&db, "SELECT x FROM t WHERE id IN (1, 2)").unwrap();
+        assert!(plan.contains("via index lookup(t.id)"), "{plan}");
+        // Range predicates have no hash-index driver.
+        let plan = explain_sql(&db, "SELECT x FROM t WHERE id > 3").unwrap();
+        assert!(plan.contains("via seq scan"), "{plan}");
+    }
+
+    #[test]
+    fn derived_join_falls_back_to_hash_join_with_build_side() {
+        let db = db();
+        let plan = explain_sql(
+            &db,
+            "SELECT a.x FROM t AS a JOIN (SELECT id FROM u) AS b ON a.id = b.id",
+        )
+        .unwrap();
+        // No base table on the right: hash join, building on the
+        // (estimated) smaller left input versus the unknown derived side.
+        assert!(plan.contains("hash join (build left)"), "{plan}");
+    }
+
+    #[test]
+    fn join_order_is_cost_based() {
+        let mut db = Database::new(Catalog::new(vec![
+            TableSchema::new("t")
+                .column("id", DataType::Int)
+                .pk(&["id"]),
+            TableSchema::new("big")
+                .column("tid", DataType::Int)
+                .column("v", DataType::Int),
+            TableSchema::new("small")
+                .column("tid", DataType::Int)
+                .column("w", DataType::Int),
+        ]));
+        for i in 0..4 {
+            db.insert("t", vec![Value::Int(i)]).unwrap();
+            db.insert("small", vec![Value::Int(i), Value::Int(i)])
+                .unwrap();
+        }
+        for i in 0..40 {
+            db.insert("big", vec![Value::Int(i % 4), Value::Int(i)])
+                .unwrap();
+        }
+        let plan = explain_sql(
+            &db,
+            "SELECT t.id FROM t \
+             JOIN big ON big.tid = t.id \
+             JOIN small ON small.tid = t.id",
+        )
+        .unwrap();
+        // The small join commutes ahead of the big one.
+        assert!(
+            plan.contains("join order (cost-based): small, big"),
+            "{plan}"
+        );
     }
 
     #[test]

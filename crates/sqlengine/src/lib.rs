@@ -8,10 +8,11 @@
 //! * [`cache`] — concurrency-safe query-result memoization keyed by
 //!   query text, used to execute each gold query once per data model;
 //! * [`catalog`] — schema metadata with PK/FK constraints;
-//! * [`db`] — row storage with type checking and referential-integrity
-//!   auditing;
-//! * [`exec`] — the executor (hash/nested-loop joins, grouping, HAVING,
-//!   ordering, set operations, correlated subqueries);
+//! * [`db`] — row storage with type checking, referential-integrity
+//!   auditing, and lazy per-`(table, column)` hash indexes;
+//! * [`exec`] — the executor (index or sequential scans, cost-ordered
+//!   index-nested-loop/hash/nested-loop joins, grouping, HAVING,
+//!   top-k ordering, set operations, correlated subqueries);
 //! * [`value`] — runtime values with SQL NULL semantics;
 //! * [`result`] — result sets and the bag-semantics execution match used
 //!   by the EX metric.
@@ -42,9 +43,11 @@ pub mod value;
 
 pub use cache::{CacheStats, QueryCache};
 pub use catalog::{Catalog, ColumnDef, DataType, ForeignKey, TableSchema};
-pub use db::Database;
+pub use db::{ColumnIndex, Database, IndexStats};
 pub use error::EngineError;
-pub use exec::{execute, execute_sql};
+pub use exec::{
+    execute, execute_sql, reset_stage_timings, set_force_seqscan, stage_timings, StageTimings,
+};
 pub use explain::{explain, explain_sql};
 pub use result::ResultSet;
-pub use value::{like_match, Value};
+pub use value::{like_match, IndexKey, Value};

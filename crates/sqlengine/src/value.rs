@@ -2,6 +2,7 @@
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A runtime SQL value.
 ///
@@ -98,6 +99,83 @@ impl Value {
     /// true).
     pub fn is_true(&self) -> bool {
         matches!(self, Value::Bool(true))
+    }
+}
+
+/// A hashable, owned key form of a non-NULL [`Value`], used by the
+/// storage layer's hash indexes.
+///
+/// NULL is deliberately unrepresentable: SQL equality with NULL is
+/// never true, so an index lookup must never match a NULL cell, and the
+/// index builder simply skips NULL values. `Int` and `Float` collapse to
+/// the same `f64` bit pattern (with `-0.0` normalized to `0.0`) so that
+/// key equality coincides with [`Value::sql_eq`] for comparable types.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IndexKey {
+    Bool(bool),
+    Num(u64),
+    Text(String),
+}
+
+impl IndexKey {
+    /// The index key of a value; `None` for NULL (not indexable).
+    pub fn of(v: &Value) -> Option<IndexKey> {
+        match v {
+            Value::Null => None,
+            Value::Bool(b) => Some(IndexKey::Bool(*b)),
+            Value::Int(i) => Some(IndexKey::Num(normal_f64_bits(*i as f64))),
+            Value::Float(f) => Some(IndexKey::Num(normal_f64_bits(*f))),
+            Value::Text(s) => Some(IndexKey::Text(s.clone())),
+        }
+    }
+}
+
+/// Canonical bit pattern for numeric keys: `-0.0` keys like `0.0`.
+pub(crate) fn normal_f64_bits(f: f64) -> u64 {
+    if f == 0.0 { 0.0f64 } else { f }.to_bits()
+}
+
+/// Hashes `v` in its canonical key form without allocating.
+///
+/// Two values hash identically exactly when [`value_key_eq`] holds, so
+/// `(value_key_hash, value_key_eq)` can drive a hash table keyed by
+/// value rows with zero per-row key materialization. NULL participates
+/// (hashing to its own class) because grouping and DISTINCT treat NULLs
+/// as equal to each other.
+pub fn value_key_hash<H: Hasher>(v: &Value, state: &mut H) {
+    match v {
+        Value::Null => state.write_u8(0),
+        Value::Bool(b) => {
+            state.write_u8(1);
+            b.hash(state);
+        }
+        Value::Int(i) => {
+            state.write_u8(2);
+            normal_f64_bits(*i as f64).hash(state);
+        }
+        Value::Float(f) => {
+            state.write_u8(2);
+            normal_f64_bits(*f).hash(state);
+        }
+        Value::Text(s) => {
+            state.write_u8(3);
+            s.hash(state);
+        }
+    }
+}
+
+/// Key equality companion of [`value_key_hash`]: NULL equals NULL,
+/// `Int`/`Float` compare by `f64` bits, other variants compare
+/// structurally. Matches the semantics of grouping/DISTINCT keys.
+pub fn value_key_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Text(x), Value::Text(y)) => x == y,
+        (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_)) => {
+            normal_f64_bits(a.as_f64().unwrap()) == normal_f64_bits(b.as_f64().unwrap())
+        }
+        _ => false,
     }
 }
 
@@ -206,6 +284,47 @@ mod tests {
     fn like_multiple_percents() {
         assert!(like_match("abcdef", "%b%e%"));
         assert!(!like_match("abcdef", "%e%b%"));
+    }
+
+    #[test]
+    fn index_key_skips_null_and_unifies_numerics() {
+        assert_eq!(IndexKey::of(&Value::Null), None);
+        assert_eq!(
+            IndexKey::of(&Value::Int(2)),
+            IndexKey::of(&Value::Float(2.0))
+        );
+        assert_ne!(
+            IndexKey::of(&Value::Int(2)),
+            IndexKey::of(&Value::Float(2.5))
+        );
+        assert_eq!(
+            IndexKey::of(&Value::Float(0.0)),
+            IndexKey::of(&Value::Float(-0.0))
+        );
+    }
+
+    #[test]
+    fn value_key_eq_matches_hash_classes() {
+        use std::collections::hash_map::DefaultHasher;
+        let cases = [
+            (Value::Null, Value::Null, true),
+            (Value::Int(3), Value::Float(3.0), true),
+            (Value::Float(0.0), Value::Float(-0.0), true),
+            (Value::text("a"), Value::text("a"), true),
+            (Value::Bool(true), Value::text("True"), false),
+            (Value::Int(1), Value::Bool(true), false),
+            (Value::Null, Value::Int(0), false),
+        ];
+        for (a, b, eq) in cases {
+            assert_eq!(value_key_eq(&a, &b), eq, "{a:?} vs {b:?}");
+            if eq {
+                let mut ha = DefaultHasher::new();
+                let mut hb = DefaultHasher::new();
+                value_key_hash(&a, &mut ha);
+                value_key_hash(&b, &mut hb);
+                assert_eq!(ha.finish(), hb.finish(), "{a:?} vs {b:?}");
+            }
+        }
     }
 
     #[test]

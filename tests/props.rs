@@ -9,7 +9,7 @@
 
 use footballdb::{generate, load, DataModel};
 use nlq::gold::build_raw_corpus;
-use sqlengine::{execute_sql, Value};
+use sqlengine::{execute_sql, set_force_seqscan, Value};
 use std::sync::OnceLock;
 use xrng::Rng;
 
@@ -360,6 +360,50 @@ fn union_cardinalities() {
         assert_eq!(both.len(), 2 * a.len());
         let dedup = execute_sql(&f.db, &format!("{arm} UNION {arm}")).unwrap();
         assert!(dedup.len() <= a.len());
+    }
+}
+
+/// Differential access-path property: for every gold query (all three
+/// data models), indexed execution is bit-identical — columns, rows, and
+/// row order — to forced-sequential-scan execution.
+///
+/// Runs both modes inside one test because [`set_force_seqscan`] is
+/// process-wide; the other tests in this binary only assert mode-
+/// independent facts, so concurrent toggling cannot affect them.
+#[test]
+fn indexed_execution_is_bit_identical_to_seqscan() {
+    let f = fixture();
+    let domain = generate(footballdb::DEFAULT_SEED);
+    let mut rng = Rng::new(0x1D3);
+    let mut cases = Vec::new();
+    for _ in 0..96 {
+        let e = &f.examples[rng.below(f.examples.len() as u64) as usize];
+        let model = DataModel::ALL[rng.below(3) as usize];
+        cases.push((model, e.sql(model).to_string()));
+    }
+    let dbs: Vec<(DataModel, sqlengine::Database)> = DataModel::ALL
+        .iter()
+        .map(|&m| (m, load(&domain, m)))
+        .collect();
+    type CaseResult = Result<(Vec<String>, Vec<Vec<Value>>), String>;
+    let run_all = |force: bool| -> Vec<CaseResult> {
+        set_force_seqscan(Some(force));
+        let out = cases
+            .iter()
+            .map(|(model, sql)| {
+                let db = &dbs.iter().find(|(m, _)| m == model).unwrap().1;
+                execute_sql(db, sql)
+                    .map(|rs| (rs.columns.clone(), rs.rows.clone()))
+                    .map_err(|e| e.to_string())
+            })
+            .collect();
+        set_force_seqscan(None);
+        out
+    };
+    let indexed = run_all(false);
+    let seqscan = run_all(true);
+    for (i, (a, b)) in indexed.iter().zip(&seqscan).enumerate() {
+        assert_eq!(a, b, "access path changed the result of {:?}", cases[i]);
     }
 }
 
