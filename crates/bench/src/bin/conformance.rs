@@ -1,0 +1,231 @@
+//! Differential SQL-conformance driver.
+//!
+//! ```text
+//! cargo run --release -p bench --bin conformance            # full scale
+//! cargo run --release -p bench --bin conformance -- --smoke # CI job
+//! cargo run --release -p bench --bin conformance -- --seed 41 --seeds 2 --queries 800
+//! ```
+//!
+//! Four axes, every one of which must be observationally silent:
+//!
+//! 1. **Oracle**: hand-written PostgreSQL-semantics tables (3VL truth
+//!    tables, NULL ordering, bag set ops, empty-group aggregates) hold
+//!    on both the engine and the reference interpreter.
+//! 2. **Corpus**: a seeded generated corpus runs under {indexed,
+//!    seqscan} × {fresh, cached} with bit-identical results, and under
+//!    the naive reference interpreter with EX-equal results.
+//! 3. **Threads**: the same corpus (and the gold corpus) evaluated
+//!    through `evalkit::par_map` at 1 worker vs 8 workers is
+//!    bit-identical case by case.
+//! 4. **Gold pairs**: each gold question's v1/v2/v3 SQL executed on the
+//!    matching data-model instances produces EX-equal results.
+//!
+//! Exit status 0 when all axes are clean, 1 on any divergence, 2 on
+//! usage errors. Divergences are printed minimized, with both result
+//! sets and the disagreeing configuration.
+
+use footballdb::{generate, load_all, DataModel};
+use nlq::gold::build_raw_corpus;
+use sqlengine::conformance::{
+    check_oracles, corpus_db, gen_corpus, result_bits_eq, run_corpus, CorpusConfig,
+};
+use sqlengine::{execute_sql, set_force_seqscan, Database, ResultSet};
+use xrng::Rng;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: conformance [--smoke] [--seed N] [--seeds N] [--queries N]\n\
+         \u{20} --smoke    reduced corpus for CI (1 seed x 400 queries)\n\
+         \u{20} --seed N   base corpus seed (default 40)\n\
+         \u{20} --seeds N  number of consecutive seeds (default 5)\n\
+         \u{20} --queries N  queries per seed (default 1200)"
+    );
+    std::process::exit(2);
+}
+
+/// One (label, database, sql) execution case for the axes that run
+/// outside `sqlengine::conformance`.
+struct Case<'a> {
+    label: String,
+    db: &'a Database,
+    sql: String,
+}
+
+/// Runs every case through [`evalkit::par_map`] at a fixed worker count.
+fn run_parallel(cases: &[Case<'_>], threads: usize) -> Vec<Result<ResultSet, String>> {
+    evalkit::set_thread_override(Some(threads));
+    let out = evalkit::par_map(cases, |c| {
+        execute_sql(c.db, &c.sql).map_err(|e| e.to_string())
+    });
+    evalkit::set_thread_override(None);
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 40u64;
+    let mut seeds = 5usize;
+    let mut queries = 1200usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {
+                seeds = 1;
+                queries = 400;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seeds" => {
+                seeds = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--queries" => {
+                queries = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let mut failures = 0usize;
+
+    // Axis 1: semantics oracles on both executors.
+    let oracle_failures = check_oracles();
+    for f in &oracle_failures {
+        eprintln!(
+            "oracle FAILED [{} on {}]: {}\n  {}",
+            f.check, f.executor, f.sql, f.detail
+        );
+    }
+    failures += oracle_failures.len();
+    println!("oracle axis: {} checks-worth of scenarios clean", {
+        if oracle_failures.is_empty() {
+            "all"
+        } else {
+            "NOT all"
+        }
+    });
+
+    // Axis 2: generated corpus, four engine configs + reference.
+    let mut total_queries = 0usize;
+    let mut total_execs = 0usize;
+    let mut total_errored = 0usize;
+    let mut corpora: Vec<(u64, Database, Vec<String>)> = Vec::new();
+    for s in seed..seed + seeds as u64 {
+        let db = corpus_db(s);
+        let corpus = gen_corpus(&CorpusConfig { seed: s, queries });
+        let report = run_corpus(&db, &corpus);
+        total_queries += report.queries;
+        total_execs += report.executions;
+        total_errored += report.errored;
+        for d in &report.divergences {
+            eprintln!("{d}\n");
+        }
+        failures += report.divergences.len();
+        corpora.push((s, db, corpus));
+    }
+    println!(
+        "corpus axis: {total_queries} queries x 4 configs + reference \
+         ({total_execs} engine executions, {total_errored} consistent-error entries)"
+    );
+
+    // Axis 3: thread-count determinism over the corpus and the gold
+    // corpus. Forced seqscan keeps the comparison independent of which
+    // axis-2 run last warmed the lazy indexes.
+    let domain = generate(footballdb::DEFAULT_SEED);
+    let dbs = load_all(&domain);
+    let mut rng = Rng::new(seed ^ 0x7EAD);
+    let examples = build_raw_corpus(&domain, &mut rng, if queries >= 1200 { 300 } else { 120 });
+    let mut cases: Vec<Case<'_>> = Vec::new();
+    for (s, db, corpus) in &corpora {
+        for sql in corpus {
+            cases.push(Case {
+                label: format!("corpus seed {s}"),
+                db,
+                sql: sql.clone(),
+            });
+        }
+    }
+    for e in &examples {
+        for (model, db) in &dbs {
+            cases.push(Case {
+                label: format!("gold #{} {model}", e.id),
+                db,
+                sql: e.sql(*model).to_string(),
+            });
+        }
+    }
+    set_force_seqscan(Some(false));
+    let single = run_parallel(&cases, 1);
+    let eight = run_parallel(&cases, 8);
+    set_force_seqscan(None);
+    let mut thread_diffs = 0usize;
+    for ((c, a), b) in cases.iter().zip(&single).zip(&eight) {
+        let identical = match (a, b) {
+            (Ok(x), Ok(y)) => result_bits_eq(x, y),
+            (Err(x), Err(y)) => x == y,
+            _ => false,
+        };
+        if !identical {
+            eprintln!(
+                "thread divergence [{}]: 1 thread vs 8 threads disagree\n  {}",
+                c.label, c.sql
+            );
+            thread_diffs += 1;
+        }
+    }
+    failures += thread_diffs;
+    println!(
+        "threads axis: {} cases x {{1, 8}} workers, {} divergences",
+        cases.len(),
+        thread_diffs
+    );
+
+    // Axis 4: v1/v2/v3 gold-pair agreement (the paper's multi-schema
+    // property, held to EX equality).
+    let db_of = |m: DataModel| &dbs.iter().find(|(x, _)| *x == m).unwrap().1;
+    let mut pair_diffs = 0usize;
+    for e in &examples {
+        let results: Vec<(DataModel, Result<ResultSet, _>)> = DataModel::ALL
+            .iter()
+            .map(|&m| (m, execute_sql(db_of(m), e.sql(m))))
+            .collect();
+        let (m0, base) = &results[0];
+        for (m, r) in &results[1..] {
+            let agree = match (base, r) {
+                (Ok(x), Ok(y)) => x.matches(y),
+                (Err(_), Err(_)) => true,
+                _ => false,
+            };
+            if !agree {
+                eprintln!(
+                    "gold-pair divergence [{m0} vs {m}] on #{} {:?}\n  {}\n  {}",
+                    e.id,
+                    e.question,
+                    e.sql(*m0),
+                    e.sql(*m)
+                );
+                pair_diffs += 1;
+            }
+        }
+    }
+    failures += pair_diffs;
+    println!(
+        "gold-pair axis: {} examples x 3 models, {} divergences",
+        examples.len(),
+        pair_diffs
+    );
+
+    if failures > 0 {
+        eprintln!("conformance: {failures} divergence(s)");
+        std::process::exit(1);
+    }
+    println!("conformance: clean");
+}

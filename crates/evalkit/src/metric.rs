@@ -5,6 +5,13 @@
 //! gold query (Section 6.1, "Evaluation Metrics"). Component-matching
 //! test suites could not even parse parts of the corpus, which is why EX
 //! is the metric of record.
+//!
+//! Result comparison delegates to [`sqlengine::ResultSet::matches`],
+//! which compares floats by the canonical normalized-f64 key from
+//! `sqlengine`'s value layer rather than a pairwise epsilon. EX therefore
+//! tolerates fold-order float noise (an `avg` computed under different
+//! join orders or cache states) without ever becoming intransitive; the
+//! conformance harness holds this layer to the same key.
 
 use sqlengine::{execute_sql, Database, QueryCache};
 
@@ -272,6 +279,20 @@ mod tests {
             Some("SELECT a FROM t"),
         );
         assert_eq!(out, ExOutcome::WrongResult);
+    }
+
+    #[test]
+    fn float_fold_noise_still_matches() {
+        // `0.1 + 0.2` evaluates to 0.30000000000000004; EX must treat it
+        // as equal to the literal 0.3 via the canonical float key, not
+        // wrong-result it on bit inequality.
+        let db = db();
+        let out = execution_match(
+            &db,
+            "SELECT 0.1 + 0.2 FROM t WHERE a = 1",
+            Some("SELECT 0.3 FROM t WHERE a = 1"),
+        );
+        assert_eq!(out, ExOutcome::Correct);
     }
 
     #[test]

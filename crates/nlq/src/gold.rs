@@ -4,6 +4,13 @@
 //! diversity sampling (≈1K labeled for v3) → hardness-uniform
 //! subsampling (400) → 100-test / 300-train split. The same questions are
 //! labeled for all three data models.
+//!
+//! The v1/v2/v3 labels of one question are semantically equivalent by
+//! construction, which makes them differential test cases for free: the
+//! conformance harness (`bench --bin conformance`, gold-pair axis)
+//! executes every triple on the matching database instances and requires
+//! EX-equal results, so a template or engine regression that breaks the
+//! equivalence is caught before it can skew Tables 3–6.
 
 use crate::embed::{cosine, embed, Embedding};
 use crate::example::GoldExample;

@@ -11,16 +11,20 @@
 //!
 //! The cache is safe to share across threads (`RwLock` map, atomic
 //! counters) and is semantically transparent: [`execute_sql`] is a pure
-//! function of `(db, sql)`, so a cached result is bit-identical to a
-//! fresh execution. This holds regardless of the access path taken
-//! underneath — indexed and forced-seq-scan execution are themselves
-//! bit-identical (see `exec::set_force_seqscan`), so a result cached
-//! under one mode is valid under the other. Hit/miss counters make the
-//! saved work observable in the benchmark harness.
+//! function of `(db, sql)` *under a fixed planner configuration*, so a
+//! cached result is bit-identical to a fresh execution. Entries are
+//! additionally keyed by [`planner_config_fingerprint`]: indexed and
+//! forced-seq-scan execution are bit-identical by construction (see
+//! `exec::set_force_seqscan`), but the cache does not rely on that
+//! invariant — a result computed under one configuration is never
+//! served under another, so a mid-process toggle flip (or a future
+//! toggle without the bit-identity guarantee) cannot cause staleness.
+//! Hit/miss counters make the saved work observable in the benchmark
+//! harness.
 
 use crate::db::Database;
 use crate::error::EngineError;
-use crate::exec::execute_sql;
+use crate::exec::{execute_sql, planner_config_fingerprint};
 use crate::result::ResultSet;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -48,6 +52,9 @@ impl CacheStats {
     }
 }
 
+/// One planner-configuration's memo entries, keyed by trimmed SQL text.
+type MemoTable = HashMap<String, Result<Arc<ResultSet>, EngineError>>;
+
 /// A concurrency-safe memo table for query execution against one
 /// database instance.
 ///
@@ -56,7 +63,9 @@ impl CacheStats {
 /// so re-running it buys nothing.
 #[derive(Debug)]
 pub struct QueryCache {
-    map: RwLock<HashMap<String, Result<Arc<ResultSet>, EngineError>>>,
+    /// Memo tables, one per planner-config fingerprint: entries computed
+    /// under one configuration are invisible to lookups under another.
+    map: RwLock<HashMap<u64, MemoTable>>,
     hits: AtomicU64,
     misses: AtomicU64,
     oversize: AtomicU64,
@@ -99,16 +108,24 @@ impl QueryCache {
 
     /// Executes `sql` against `db`, serving repeats from the memo table.
     ///
-    /// The key is the trimmed query text: conservative (two spellings of
-    /// one query occupy two slots) but guaranteed never to conflate
-    /// distinct queries.
+    /// The key is the trimmed query text under the current planner-config
+    /// fingerprint: conservative (two spellings of one query occupy two
+    /// slots) but guaranteed never to conflate distinct queries or
+    /// distinct configurations.
     pub fn execute_cached(&self, db: &Database, sql: &str) -> Result<Arc<ResultSet>, EngineError> {
         if self.disabled.load(Ordering::Relaxed) {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return execute_sql(db, sql).map(Arc::new);
         }
+        let fp = planner_config_fingerprint();
         let key = sql.trim();
-        if let Some(cached) = self.map.read().unwrap().get(key) {
+        if let Some(cached) = self
+            .map
+            .read()
+            .unwrap()
+            .get(&fp)
+            .and_then(|entries| entries.get(key))
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return cached.clone();
         }
@@ -125,6 +142,8 @@ impl QueryCache {
         self.map
             .write()
             .unwrap()
+            .entry(fp)
+            .or_default()
             .entry(key.to_string())
             .or_insert_with(|| result.clone());
         result
@@ -152,7 +171,7 @@ impl QueryCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.read().unwrap().len(),
+            entries: self.map.read().unwrap().values().map(HashMap::len).sum(),
             oversize: self.oversize.load(Ordering::Relaxed),
         }
     }

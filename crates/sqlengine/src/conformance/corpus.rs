@@ -1,0 +1,905 @@
+//! Deterministic query-corpus generation for the conformance harness.
+//!
+//! Queries are built as [`sqlkit`] ASTs from seeded [`xrng`] streams and
+//! printed to SQL, spanning the hardness classes the gold corpus
+//! exercises: filtered scans, inner/left equi-joins, GROUP BY/HAVING,
+//! set operations (bag and set), scalar/IN/EXISTS subqueries, NULL-heavy
+//! predicates, and ORDER BY with ties, NULLs, and LIMIT. The companion
+//! database ([`corpus_db`]) is deliberately small and NULL-dense so that
+//! three-valued-logic and ordering edge cases occur constantly rather
+//! than occasionally.
+//!
+//! **Hazard rules.** The generator must only emit queries whose results
+//! are deterministic under every configuration being compared, so a few
+//! shapes are avoided by construction rather than filtered after the
+//! fact:
+//!
+//! * multi-table ORDER BY always ends in a unique-key tail (`p.pid,
+//!   a.aid`), because join reordering may permute tie groups;
+//! * on join templates LIMIT appears only together with such a total
+//!   ORDER BY, and DISTINCT not at all;
+//! * aggregate ORDER BY always ends with every group key (positionally),
+//!   making the group order total;
+//! * set-operation arms and subquery outer queries are single-table, so
+//!   pre-sort row order is the scan order on both executors;
+//! * scalar subqueries are aggregate-headed (always exactly one row) and
+//!   columns are qualified wherever two tables are in scope.
+
+use crate::catalog::{Catalog, DataType, TableSchema};
+use crate::db::Database;
+use crate::value::Value;
+use sqlkit::ast::{
+    AggFunc, BinOp, Expr, Join, JoinKind, Lit, OrderItem, Query, QueryBody, Select, SelectItem,
+    SetOp, TableRef, UnaryOp,
+};
+use sqlkit::printer::to_sql;
+use xrng::Rng;
+
+/// Parameters for one corpus.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusConfig {
+    pub seed: u64,
+    pub queries: usize,
+}
+
+const SQUADS: [&str; 5] = ["ajax", "bern", "cali", "dera", "envy"];
+const NICKS: [&str; 4] = ["ace", "bo", "cy", "dex"];
+const COACHES: [&str; 4] = ["kim", "lee", "mo", "nia"];
+
+/// Builds the synthetic conformance database for `seed`.
+///
+/// Schema: `player(pid, squad, score, ratio, nick)`,
+/// `appearance(aid, pid, minutes, card)` with some dangling `pid`s (the
+/// engine audits rather than enforces foreign keys), and
+/// `squad_info(squad, coach, wins)`. Every non-key column is nullable
+/// with high probability and drawn from tiny domains, so duplicates and
+/// NULLs dominate.
+pub fn corpus_db(seed: u64) -> Database {
+    let catalog = Catalog::new(vec![
+        TableSchema::new("player")
+            .column("pid", DataType::Int)
+            .column("squad", DataType::Text)
+            .column("score", DataType::Int)
+            .column("ratio", DataType::Float)
+            .column("nick", DataType::Text)
+            .pk(&["pid"]),
+        TableSchema::new("appearance")
+            .column("aid", DataType::Int)
+            .column("pid", DataType::Int)
+            .column("minutes", DataType::Int)
+            .column("card", DataType::Text)
+            .pk(&["aid"])
+            .fk("pid", "player", "pid"),
+        TableSchema::new("squad_info")
+            .column("squad", DataType::Text)
+            .column("coach", DataType::Text)
+            .column("wins", DataType::Int)
+            .pk(&["squad"]),
+    ]);
+    let mut db = Database::new(catalog);
+    let mut rng = Rng::new(seed).fork("corpus-db");
+    for pid in 1..=44_i64 {
+        let squad = if rng.chance(0.25) {
+            Value::Null
+        } else {
+            Value::text(*rng.choose(&SQUADS))
+        };
+        let score = if rng.chance(0.25) {
+            Value::Null
+        } else {
+            Value::Int(rng.range_i64(0, 6))
+        };
+        let ratio = if rng.chance(0.25) {
+            Value::Null
+        } else {
+            Value::Float(*rng.choose(&[0.0, 0.25, 0.5, 1.5, 2.5, -1.0]))
+        };
+        let nick = if rng.chance(0.3) {
+            Value::Null
+        } else {
+            Value::text(*rng.choose(&NICKS))
+        };
+        db.insert("player", vec![Value::Int(pid), squad, score, ratio, nick])
+            .unwrap();
+    }
+    for aid in 1..=60_i64 {
+        let pid = if rng.chance(0.15) {
+            Value::Null
+        } else {
+            // 0 and 45..=48 dangle past the player table on purpose.
+            Value::Int(rng.range_i64(0, 48))
+        };
+        let minutes = if rng.chance(0.2) {
+            Value::Null
+        } else {
+            Value::Int(*rng.choose(&[0, 15, 45, 90]))
+        };
+        let card = if rng.chance(0.4) {
+            Value::Null
+        } else {
+            Value::text(*rng.choose(&["yellow", "red"]))
+        };
+        db.insert("appearance", vec![Value::Int(aid), pid, minutes, card])
+            .unwrap();
+    }
+    for squad in SQUADS.iter().chain(["zulu"].iter()) {
+        let coach = Value::text(*rng.choose(&COACHES));
+        let wins = Value::Int(rng.range_i64(0, 9));
+        db.insert("squad_info", vec![Value::text(*squad), coach, wins])
+            .unwrap();
+    }
+    db
+}
+
+/// Generates `cfg.queries` SQL strings, deterministically from
+/// `cfg.seed`. Each query gets its own forked stream, so corpora of
+/// different sizes share a prefix.
+pub fn gen_corpus(cfg: &CorpusConfig) -> Vec<String> {
+    let root = Rng::new(cfg.seed).fork("corpus");
+    (0..cfg.queries)
+        .map(|i| {
+            let mut rng = root.fork(&format!("q{i}"));
+            to_sql(&gen_query(&mut rng))
+        })
+        .collect()
+}
+
+fn gen_query(rng: &mut Rng) -> Query {
+    match rng.choose_weighted(&[3.0, 2.0, 2.0, 2.0, 2.0, 2.0]) {
+        0 => gen_simple(rng),
+        1 => gen_order_stress(rng),
+        2 => gen_join(rng),
+        3 => gen_group(rng),
+        4 => gen_setop(rng),
+        _ => gen_subquery(rng),
+    }
+}
+
+// ---- schema metadata ----------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Int,
+    Float,
+    Text,
+}
+
+/// A column candidate: optional table qualifier + column name.
+type ColRef = (Option<&'static str>, &'static str);
+/// A typed aggregate-argument candidate.
+type AggRef = (Option<&'static str>, &'static str, Kind);
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tab {
+    Player,
+    Appearance,
+}
+
+const PLAYER_COLS: &[(&str, Kind)] = &[
+    ("pid", Kind::Int),
+    ("squad", Kind::Text),
+    ("score", Kind::Int),
+    ("ratio", Kind::Float),
+    ("nick", Kind::Text),
+];
+
+const APPEARANCE_COLS: &[(&str, Kind)] = &[
+    ("aid", Kind::Int),
+    ("pid", Kind::Int),
+    ("minutes", Kind::Int),
+    ("card", Kind::Text),
+];
+
+const SQUAD_INFO_COLS: &[(&str, Kind)] = &[
+    ("squad", Kind::Text),
+    ("coach", Kind::Text),
+    ("wins", Kind::Int),
+];
+
+impl Tab {
+    fn name(self) -> &'static str {
+        match self {
+            Tab::Player => "player",
+            Tab::Appearance => "appearance",
+        }
+    }
+
+    fn cols(self) -> &'static [(&'static str, Kind)] {
+        match self {
+            Tab::Player => PLAYER_COLS,
+            Tab::Appearance => APPEARANCE_COLS,
+        }
+    }
+}
+
+// ---- small builders -----------------------------------------------------
+
+fn named(name: &str) -> TableRef {
+    TableRef::Named {
+        name: name.to_string(),
+        alias: None,
+    }
+}
+
+fn aliased(name: &str, alias: &str) -> TableRef {
+    TableRef::Named {
+        name: name.to_string(),
+        alias: Some(alias.to_string()),
+    }
+}
+
+fn item(expr: Expr) -> SelectItem {
+    SelectItem::Expr { expr, alias: None }
+}
+
+fn aliased_item(expr: Expr, alias: &str) -> SelectItem {
+    SelectItem::Expr {
+        expr,
+        alias: Some(alias.to_string()),
+    }
+}
+
+fn col_expr(qualify: Option<&str>, name: &str) -> Expr {
+    match qualify {
+        Some(t) => Expr::col(t, name),
+        None => Expr::bare_col(name),
+    }
+}
+
+fn order(expr: Expr, desc: bool) -> OrderItem {
+    OrderItem { expr, desc }
+}
+
+/// An in-domain (occasionally off-domain) literal for a column.
+fn lit_for(rng: &mut Rng, col: &str) -> Expr {
+    match col {
+        "pid" => Expr::int(rng.range_i64(-1, 50)),
+        "aid" => Expr::int(rng.range_i64(0, 70)),
+        "score" => Expr::int(rng.range_i64(-2, 8)),
+        "minutes" => Expr::int(*rng.choose(&[0, 7, 15, 45, 90, 100])),
+        "wins" => Expr::int(rng.range_i64(-1, 10)),
+        "ratio" => Expr::Literal(Lit::Float(
+            *rng.choose(&[0.0, 0.25, 0.5, 1.5, 2.5, -1.0, 3.0]),
+        )),
+        "squad" => {
+            Expr::text(*rng.choose(&["ajax", "bern", "cali", "dera", "envy", "zulu", "zzz"]))
+        }
+        "nick" => Expr::text(*rng.choose(&["ace", "bo", "cy", "dex", "qq"])),
+        "card" => Expr::text(*rng.choose(&["yellow", "red", "blue"])),
+        "coach" => Expr::text(*rng.choose(&["kim", "lee", "mo", "nia"])),
+        _ => Expr::int(rng.range_i64(0, 5)),
+    }
+}
+
+/// A random predicate over one table's columns. Only shapes that cannot
+/// raise evaluation errors are produced (LIKE only on text, arithmetic
+/// only on numerics), so engine and reference agree on success/failure.
+fn gen_pred(
+    rng: &mut Rng,
+    cols: &[(&'static str, Kind)],
+    qualify: Option<&str>,
+    depth: usize,
+) -> Expr {
+    if depth > 0 && rng.chance(0.3) {
+        let l = gen_pred(rng, cols, qualify, depth - 1);
+        let r = gen_pred(rng, cols, qualify, depth - 1);
+        return match rng.index(3) {
+            0 => Expr::and(l, r),
+            1 => Expr::or(l, r),
+            _ => Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(l),
+            },
+        };
+    }
+    let &(name, kind) = rng.choose(cols);
+    let c = col_expr(qualify, name);
+    match rng.index(6) {
+        0 => {
+            let op = *rng.choose(&[
+                BinOp::Eq,
+                BinOp::Neq,
+                BinOp::Lt,
+                BinOp::Lte,
+                BinOp::Gt,
+                BinOp::Gte,
+            ]);
+            Expr::binary(c, op, lit_for(rng, name))
+        }
+        1 => {
+            let n = 2 + rng.index(3);
+            let mut list: Vec<Expr> = (0..n).map(|_| lit_for(rng, name)).collect();
+            if rng.chance(0.3) {
+                list.push(Expr::Literal(Lit::Null));
+            }
+            Expr::InList {
+                expr: Box::new(c),
+                list,
+                negated: rng.chance(0.5),
+            }
+        }
+        2 => Expr::Between {
+            expr: Box::new(c),
+            low: Box::new(lit_for(rng, name)),
+            high: Box::new(lit_for(rng, name)),
+            negated: rng.chance(0.3),
+        },
+        3 => {
+            if kind == Kind::Text {
+                let op = if rng.chance(0.7) {
+                    BinOp::Like
+                } else {
+                    BinOp::NotLike
+                };
+                let pat = *rng.choose(&["a%", "%e", "%a%", "_o%", "%l", "z%"]);
+                Expr::binary(c, op, Expr::text(pat))
+            } else {
+                Expr::binary(c, BinOp::Gte, lit_for(rng, name))
+            }
+        }
+        4 => Expr::IsNull {
+            expr: Box::new(c),
+            negated: rng.chance(0.5),
+        },
+        _ => {
+            if kind == Kind::Text {
+                Expr::binary(c, BinOp::Eq, lit_for(rng, name))
+            } else {
+                let arith_op = *rng.choose(&[BinOp::Add, BinOp::Sub, BinOp::Mul]);
+                let arith = Expr::binary(c, arith_op, Expr::int(rng.range_i64(1, 3)));
+                let cmp = *rng.choose(&[BinOp::Lt, BinOp::Gte]);
+                Expr::binary(arith, cmp, lit_for(rng, name))
+            }
+        }
+    }
+}
+
+// ---- templates ----------------------------------------------------------
+
+/// Single-table scan: optional DISTINCT, WHERE, ORDER BY (projected
+/// columns or positions only), LIMIT.
+fn gen_simple(rng: &mut Rng) -> Query {
+    let tab = *rng.choose(&[Tab::Player, Tab::Appearance]);
+    let cols = tab.cols();
+    let mut s = Select::default();
+    let mut projected: Vec<&'static str> = Vec::new();
+    if rng.chance(0.2) {
+        s.projections.push(SelectItem::Wildcard);
+        projected = cols.iter().map(|(n, _)| *n).collect();
+    } else {
+        let k = 1 + rng.index(cols.len().min(3));
+        for idx in rng.sample_indices(cols.len(), k) {
+            projected.push(cols[idx].0);
+            s.projections.push(item(Expr::bare_col(cols[idx].0)));
+        }
+    }
+    s.distinct = rng.chance(0.25);
+    s.from.push(named(tab.name()));
+    if rng.chance(0.7) {
+        s.where_clause = Some(gen_pred(rng, cols, None, 1));
+    }
+    let mut q = Query::select(s);
+    if rng.chance(0.6) {
+        for _ in 0..(1 + rng.index(2)) {
+            let expr = if rng.chance(0.25) {
+                Expr::int(1 + rng.index(projected.len()) as i64)
+            } else {
+                Expr::bare_col(projected[rng.index(projected.len())])
+            };
+            q.order_by.push(order(expr, rng.chance(0.5)));
+        }
+    }
+    if rng.chance(0.4) {
+        q.limit = Some(rng.below(9));
+    }
+    q
+}
+
+/// Single-table ordering stress: sort keys chosen from the most
+/// NULL-and-tie-dense columns, usually with LIMIT, to drive the top-k
+/// heap against the full sort.
+fn gen_order_stress(rng: &mut Rng) -> Query {
+    let tab = *rng.choose(&[Tab::Player, Tab::Appearance]);
+    let cands: &[&str] = match tab {
+        Tab::Player => &["squad", "score", "ratio", "nick"],
+        Tab::Appearance => &["pid", "minutes", "card"],
+    };
+    let k = 1 + rng.index(cands.len().min(3));
+    let keys: Vec<&str> = rng
+        .sample_indices(cands.len(), k)
+        .into_iter()
+        .map(|i| cands[i])
+        .collect();
+    let mut s = Select::default();
+    for key in &keys {
+        s.projections.push(item(Expr::bare_col(key)));
+    }
+    s.from.push(named(tab.name()));
+    if rng.chance(0.4) {
+        s.where_clause = Some(gen_pred(rng, tab.cols(), None, 0));
+    }
+    let mut q = Query::select(s);
+    for key in &keys {
+        q.order_by.push(order(Expr::bare_col(key), rng.chance(0.5)));
+    }
+    if rng.chance(0.7) {
+        q.limit = Some(rng.below(50));
+    }
+    q
+}
+
+/// Two- or three-table joins. ORDER BY, when present, ends in the
+/// unique tail `p.pid, a.aid`, so the order is total and LIMIT is safe;
+/// without ORDER BY there is no LIMIT and comparison stays bag-level.
+fn gen_join(rng: &mut Rng) -> Query {
+    let mut s = Select::default();
+    s.from.push(aliased("player", "p"));
+    let kind = if rng.chance(0.3) {
+        JoinKind::Left
+    } else {
+        JoinKind::Inner
+    };
+    s.joins.push(Join {
+        kind,
+        table: aliased("appearance", "a"),
+        on: Some(Expr::eq(Expr::col("p", "pid"), Expr::col("a", "pid"))),
+    });
+    let three = rng.chance(0.35);
+    if three {
+        let kind = if rng.chance(0.3) {
+            JoinKind::Left
+        } else {
+            JoinKind::Inner
+        };
+        s.joins.push(Join {
+            kind,
+            table: aliased("squad_info", "s"),
+            on: Some(Expr::eq(Expr::col("p", "squad"), Expr::col("s", "squad"))),
+        });
+    }
+    let mut cands: Vec<(&str, &str)> = vec![
+        ("p", "pid"),
+        ("p", "squad"),
+        ("p", "score"),
+        ("p", "ratio"),
+        ("a", "aid"),
+        ("a", "minutes"),
+        ("a", "card"),
+    ];
+    if three {
+        cands.push(("s", "wins"));
+        cands.push(("s", "coach"));
+    }
+    let k = 1 + rng.index(3);
+    for idx in rng.sample_indices(cands.len(), k) {
+        let (t, c) = cands[idx];
+        s.projections.push(item(Expr::col(t, c)));
+    }
+    if rng.chance(0.6) {
+        let side = rng.index(if three { 3 } else { 2 });
+        s.where_clause = Some(match side {
+            0 => gen_pred(rng, PLAYER_COLS, Some("p"), 0),
+            1 => gen_pred(rng, APPEARANCE_COLS, Some("a"), 0),
+            _ => gen_pred(rng, SQUAD_INFO_COLS, Some("s"), 0),
+        });
+    }
+    let mut q = Query::select(s);
+    if rng.chance(0.7) {
+        if rng.chance(0.5) {
+            let (t, c) = *rng.choose(&cands);
+            q.order_by.push(order(Expr::col(t, c), rng.chance(0.5)));
+        }
+        q.order_by
+            .push(order(Expr::col("p", "pid"), rng.chance(0.5)));
+        q.order_by
+            .push(order(Expr::col("a", "aid"), rng.chance(0.5)));
+        if rng.chance(0.5) {
+            q.limit = Some(rng.below(30));
+        }
+    }
+    q
+}
+
+fn gen_agg(rng: &mut Rng, cands: &[(Option<&'static str>, &'static str, Kind)]) -> Expr {
+    let pick_numeric = |rng: &mut Rng| {
+        let numeric: Vec<_> = cands
+            .iter()
+            .filter(|(_, _, k)| *k != Kind::Text)
+            .copied()
+            .collect();
+        let (q, c, _) = *rng.choose(&numeric);
+        col_expr(q, c)
+    };
+    match rng.index(5) {
+        0 => Expr::count_star(),
+        1 => {
+            let (q, c, _) = *rng.choose(cands);
+            Expr::Agg {
+                func: AggFunc::Count,
+                distinct: rng.chance(0.4),
+                arg: Some(Box::new(col_expr(q, c))),
+            }
+        }
+        2 => {
+            let func = *rng.choose(&[AggFunc::Sum, AggFunc::Avg]);
+            Expr::agg(func, pick_numeric(rng))
+        }
+        3 => {
+            let func = *rng.choose(&[AggFunc::Min, AggFunc::Max]);
+            let (q, c, _) = *rng.choose(cands);
+            Expr::agg(func, col_expr(q, c))
+        }
+        _ => {
+            // Arithmetic over an aggregate.
+            let agg = Expr::agg(AggFunc::Sum, pick_numeric(rng));
+            Expr::binary(agg, BinOp::Add, Expr::int(rng.range_i64(-2, 2)))
+        }
+    }
+}
+
+/// GROUP BY / HAVING over one table or a two-table join. Group keys are
+/// projected first; ORDER BY always ends with every key position, so the
+/// group order is total and LIMIT is safe.
+fn gen_group(rng: &mut Rng) -> Query {
+    let joined = rng.chance(0.3);
+    let mut s = Select::default();
+    let (key_cands, agg_cands, pred): (Vec<ColRef>, Vec<AggRef>, Expr);
+    if joined {
+        s.from.push(aliased("player", "p"));
+        s.joins.push(Join {
+            kind: JoinKind::Inner,
+            table: aliased("appearance", "a"),
+            on: Some(Expr::eq(Expr::col("p", "pid"), Expr::col("a", "pid"))),
+        });
+        key_cands = vec![
+            (Some("p"), "squad"),
+            (Some("p"), "score"),
+            (Some("a"), "card"),
+            (Some("a"), "minutes"),
+        ];
+        agg_cands = vec![
+            (Some("p"), "score", Kind::Int),
+            (Some("p"), "ratio", Kind::Float),
+            (Some("a"), "minutes", Kind::Int),
+            (Some("a"), "aid", Kind::Int),
+        ];
+        pred = if rng.chance(0.5) {
+            gen_pred(rng, PLAYER_COLS, Some("p"), 0)
+        } else {
+            gen_pred(rng, APPEARANCE_COLS, Some("a"), 0)
+        };
+    } else {
+        let tab = *rng.choose(&[Tab::Player, Tab::Appearance]);
+        s.from.push(named(tab.name()));
+        key_cands = match tab {
+            Tab::Player => vec![(None, "squad"), (None, "score"), (None, "nick")],
+            Tab::Appearance => vec![(None, "card"), (None, "minutes"), (None, "pid")],
+        };
+        agg_cands = tab.cols().iter().map(|&(n, k)| (None, n, k)).collect();
+        pred = gen_pred(rng, tab.cols(), None, 1);
+    }
+
+    // 15%: a global aggregate with no GROUP BY (exercises the
+    // empty-input row when WHERE filters everything out).
+    let n_keys = if rng.chance(0.15) {
+        0
+    } else {
+        1 + usize::from(rng.chance(0.25))
+    };
+    let keys: Vec<(Option<&'static str>, &'static str)> = rng
+        .sample_indices(key_cands.len(), n_keys)
+        .into_iter()
+        .map(|i| key_cands[i])
+        .collect();
+    for (q, c) in &keys {
+        let e = col_expr(*q, c);
+        s.group_by.push(e.clone());
+        s.projections.push(item(e));
+    }
+    let n_aggs = 1 + rng.index(2);
+    for j in 0..n_aggs {
+        let agg = gen_agg(rng, &agg_cands);
+        s.projections.push(aliased_item(agg, &format!("agg{j}")));
+    }
+    if rng.chance(0.6) {
+        s.where_clause = Some(pred);
+    }
+    if rng.chance(0.3) {
+        let cmp = *rng.choose(&[BinOp::Gt, BinOp::Gte, BinOp::Lte]);
+        s.having = Some(Expr::binary(
+            Expr::count_star(),
+            cmp,
+            Expr::int(rng.range_i64(0, 4)),
+        ));
+    }
+    let width = (keys.len() + n_aggs) as i64;
+    let mut q = Query::select(s);
+    if rng.chance(0.7) {
+        let lead = match rng.index(3) {
+            0 => Expr::int(1 + rng.range_i64(0, width - 1)),
+            1 => Expr::bare_col("agg0"),
+            _ => Expr::int(width), // last column (an aggregate)
+        };
+        q.order_by.push(order(lead, rng.chance(0.5)));
+        for i in 0..keys.len() {
+            q.order_by
+                .push(order(Expr::int((i + 1) as i64), rng.chance(0.5)));
+        }
+        if rng.chance(0.4) {
+            q.limit = Some(rng.below(10));
+        }
+    }
+    q
+}
+
+/// One single-table set-operation arm with matching column types.
+fn setop_arm(rng: &mut Rng, table: &'static str, cols: &[&'static str]) -> QueryBody {
+    let mut s = Select::default();
+    for c in cols {
+        s.projections.push(item(Expr::bare_col(c)));
+    }
+    s.from.push(named(table));
+    if rng.chance(0.5) {
+        let meta = if table == "player" {
+            PLAYER_COLS
+        } else {
+            APPEARANCE_COLS
+        };
+        s.where_clause = Some(gen_pred(rng, meta, None, 0));
+    }
+    QueryBody::Select(s)
+}
+
+/// UNION / INTERSECT / EXCEPT (ALL and set forms), two or three
+/// single-table arms, optionally positionally ordered and limited.
+fn gen_setop(rng: &mut Rng) -> Query {
+    // Arm pools with pairwise-compatible column types.
+    let int_arms: [(&'static str, &'static [&'static str]); 4] = [
+        ("player", &["pid"]),
+        ("player", &["score"]),
+        ("appearance", &["pid"]),
+        ("appearance", &["minutes"]),
+    ];
+    let text_arms: [(&'static str, &'static [&'static str]); 3] = [
+        ("player", &["squad"]),
+        ("player", &["nick"]),
+        ("appearance", &["card"]),
+    ];
+    let pair_arms: [(&'static str, &'static [&'static str]); 3] = [
+        ("player", &["squad", "score"]),
+        ("appearance", &["card", "minutes"]),
+        ("player", &["nick", "pid"]),
+    ];
+    let pool: Vec<(&'static str, &'static [&'static str])> = if rng.chance(0.4) {
+        pair_arms.to_vec()
+    } else if rng.chance(0.5) {
+        int_arms.to_vec()
+    } else {
+        text_arms.to_vec()
+    };
+    let arity = pool[0].1.len();
+    let ops = [
+        (SetOp::Union, true),
+        (SetOp::Union, false),
+        (SetOp::Intersect, true),
+        (SetOp::Intersect, false),
+        (SetOp::Except, true),
+        (SetOp::Except, false),
+    ];
+    let pick_arm = |rng: &mut Rng| {
+        let (t, cols) = *rng.choose(&pool);
+        setop_arm(rng, t, cols)
+    };
+    let (op, all) = *rng.choose(&ops);
+    let mut body = QueryBody::SetOp {
+        op,
+        all,
+        left: Box::new(pick_arm(rng)),
+        right: Box::new(pick_arm(rng)),
+    };
+    if rng.chance(0.25) {
+        let (op, all) = *rng.choose(&ops);
+        body = QueryBody::SetOp {
+            op,
+            all,
+            left: Box::new(body),
+            right: Box::new(pick_arm(rng)),
+        };
+    }
+    let mut q = Query {
+        body,
+        order_by: Vec::new(),
+        limit: None,
+    };
+    if rng.chance(0.5) {
+        q.order_by.push(order(Expr::int(1), rng.chance(0.5)));
+        if arity > 1 && rng.chance(0.5) {
+            q.order_by.push(order(Expr::int(2), rng.chance(0.5)));
+        }
+    }
+    if rng.chance(0.4) {
+        q.limit = Some(rng.below(12));
+    }
+    q
+}
+
+/// Scalar-aggregate comparison, `[NOT] IN` subquery against a nullable
+/// column, or correlated `[NOT] EXISTS`, over a single-table outer query.
+fn gen_subquery(rng: &mut Rng) -> Query {
+    let mut s = Select::default();
+    s.from.push(aliased("player", "p"));
+    s.projections.push(item(Expr::col("p", "pid")));
+    if rng.chance(0.4) {
+        let extra = *rng.choose(&["score", "squad", "ratio"]);
+        s.projections.push(item(Expr::col("p", extra)));
+    }
+    let pred = match rng.index(3) {
+        0 => {
+            // Uncorrelated aggregate-headed scalar subquery (exactly one
+            // row by construction, possibly NULL-valued).
+            let (tab, agg_col) = *rng.choose(&[
+                ("player", "score"),
+                ("player", "ratio"),
+                ("appearance", "minutes"),
+            ]);
+            let func = *rng.choose(&[AggFunc::Avg, AggFunc::Min, AggFunc::Max, AggFunc::Sum]);
+            let mut inner = Select::default();
+            inner
+                .projections
+                .push(item(Expr::agg(func, Expr::bare_col(agg_col))));
+            inner.from.push(named(tab));
+            if rng.chance(0.4) {
+                let meta = if tab == "player" {
+                    PLAYER_COLS
+                } else {
+                    APPEARANCE_COLS
+                };
+                inner.where_clause = Some(gen_pred(rng, meta, None, 0));
+            }
+            let outer_col = *rng.choose(&["score", "ratio", "pid"]);
+            let cmp = *rng.choose(&[BinOp::Lt, BinOp::Lte, BinOp::Gt, BinOp::Gte, BinOp::Eq]);
+            Expr::binary(
+                Expr::col("p", outer_col),
+                cmp,
+                Expr::ScalarSubquery(Box::new(Query::select(inner))),
+            )
+        }
+        1 => {
+            // [NOT] IN over appearance.pid, which is nullable and
+            // partially dangling: the three-valued NOT IN trap.
+            let (probe, inner_col) = *rng.choose(&[("pid", "pid"), ("score", "minutes")]);
+            let mut inner = Select::default();
+            inner.projections.push(item(Expr::bare_col(inner_col)));
+            inner.from.push(named("appearance"));
+            if rng.chance(0.6) {
+                inner.where_clause = Some(gen_pred(rng, APPEARANCE_COLS, None, 0));
+            }
+            Expr::InSubquery {
+                expr: Box::new(Expr::col("p", probe)),
+                query: Box::new(Query::select(inner)),
+                negated: rng.chance(0.5),
+            }
+        }
+        _ => {
+            // Correlated [NOT] EXISTS.
+            let mut inner = Select::default();
+            inner.projections.push(item(Expr::int(1)));
+            inner.from.push(aliased("appearance", "a"));
+            let mut on = Expr::eq(Expr::col("a", "pid"), Expr::col("p", "pid"));
+            if rng.chance(0.5) {
+                on = Expr::and(on, gen_pred(rng, APPEARANCE_COLS, Some("a"), 0));
+            }
+            inner.where_clause = Some(on);
+            Expr::Exists {
+                query: Box::new(Query::select(inner)),
+                negated: rng.chance(0.5),
+            }
+        }
+    };
+    s.where_clause = Some(if rng.chance(0.3) {
+        Expr::and(pred, gen_pred(rng, PLAYER_COLS, Some("p"), 0))
+    } else {
+        pred
+    });
+    let mut q = Query::select(s);
+    if rng.chance(0.5) {
+        q.order_by
+            .push(order(Expr::col("p", "pid"), rng.chance(0.5)));
+        if rng.chance(0.6) {
+            q.limit = Some(rng.below(15));
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let cfg = CorpusConfig {
+            seed: 7,
+            queries: 50,
+        };
+        assert_eq!(gen_corpus(&cfg), gen_corpus(&cfg));
+        let other = gen_corpus(&CorpusConfig {
+            seed: 8,
+            queries: 50,
+        });
+        assert_ne!(gen_corpus(&cfg), other);
+    }
+
+    #[test]
+    fn corpora_share_prefixes_across_sizes() {
+        let small = gen_corpus(&CorpusConfig {
+            seed: 3,
+            queries: 10,
+        });
+        let large = gen_corpus(&CorpusConfig {
+            seed: 3,
+            queries: 30,
+        });
+        assert_eq!(small[..], large[..10]);
+    }
+
+    #[test]
+    fn every_query_parses_back() {
+        let corpus = gen_corpus(&CorpusConfig {
+            seed: 11,
+            queries: 300,
+        });
+        for sql in &corpus {
+            let parsed = sqlkit::parse_query(sql)
+                .unwrap_or_else(|e| panic!("generated unparseable SQL: {e}\n{sql}"));
+            // The printer round-trips its own output.
+            assert_eq!(to_sql(&parsed), *sql);
+        }
+    }
+
+    #[test]
+    fn corpus_db_is_deterministic_and_null_dense() {
+        let a = corpus_db(5);
+        let b = corpus_db(5);
+        assert_eq!(a.rows("player"), b.rows("player"));
+        assert_eq!(a.rows("appearance"), b.rows("appearance"));
+        assert_eq!(a.row_count("player"), 44);
+        assert_eq!(a.row_count("appearance"), 60);
+        assert_eq!(a.row_count("squad_info"), 6);
+        let nulls = a
+            .rows("player")
+            .unwrap()
+            .iter()
+            .flatten()
+            .filter(|v| v.is_null())
+            .count();
+        assert!(nulls > 10, "expected a NULL-dense corpus, got {nulls}");
+    }
+
+    #[test]
+    fn corpus_covers_all_hardness_classes() {
+        let corpus = gen_corpus(&CorpusConfig {
+            seed: 1,
+            queries: 400,
+        });
+        let count = |needle: &str| corpus.iter().filter(|s| s.contains(needle)).count();
+        for marker in [
+            "JOIN",
+            "LEFT JOIN",
+            "GROUP BY",
+            "HAVING",
+            "UNION",
+            "INTERSECT",
+            "EXCEPT",
+            "EXISTS",
+            "NOT IN",
+            "ORDER BY",
+            "LIMIT",
+            "DISTINCT",
+            "IS NULL",
+            "BETWEEN",
+        ] {
+            assert!(count(marker) > 0, "no query exercises {marker}");
+        }
+    }
+}

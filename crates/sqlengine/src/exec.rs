@@ -62,6 +62,17 @@ pub fn set_force_seqscan(force: Option<bool>) {
     FORCE_SEQSCAN_OVERRIDE.store(v, Ordering::SeqCst);
 }
 
+/// Fingerprint of every process-wide planner/execution toggle a cached
+/// result could depend on. [`crate::cache::QueryCache`] keys entries by
+/// this, so a mid-process `set_force_seqscan` flip can never serve a
+/// result computed under the other configuration — even though today
+/// the two modes are bit-identical by construction, the cache must not
+/// *rely* on that invariant. Any future planner toggle must be folded
+/// in here.
+pub fn planner_config_fingerprint() -> u64 {
+    force_seqscan() as u64
+}
+
 /// True when index access paths are disabled.
 pub(crate) fn force_seqscan() -> bool {
     match FORCE_SEQSCAN_OVERRIDE.load(Ordering::Relaxed) {
@@ -322,7 +333,7 @@ fn exec_body(
                     out.rows.extend(r.rows);
                     dedupe(&mut out.rows);
                 }
-                (SetOp::Intersect, _) => {
+                (SetOp::Intersect, false) => {
                     let mut lrows = l.rows;
                     dedupe(&mut lrows);
                     let rkeys: std::collections::HashSet<Vec<Key>> = r
@@ -335,7 +346,7 @@ fn exec_body(
                         .filter(|row| rkeys.contains(&row.iter().map(key_of).collect::<Vec<_>>()))
                         .collect();
                 }
-                (SetOp::Except, _) => {
+                (SetOp::Except, false) => {
                     let mut lrows = l.rows;
                     dedupe(&mut lrows);
                     let rkeys: std::collections::HashSet<Vec<Key>> = r
@@ -348,6 +359,28 @@ fn exec_body(
                         .filter(|row| !rkeys.contains(&row.iter().map(key_of).collect::<Vec<_>>()))
                         .collect();
                 }
+                // Bag semantics (SQL standard, as in PostgreSQL): a row
+                // appearing m times on the left and n times on the right
+                // appears min(m, n) times under INTERSECT ALL and
+                // max(m − n, 0) times under EXCEPT ALL. Each left row
+                // consumes at most one matching right row; left rows keep
+                // their input order.
+                (SetOp::Intersect, true) => {
+                    let mut counts = right_multiplicities(&r.rows);
+                    out.rows = l
+                        .rows
+                        .into_iter()
+                        .filter(|row| consume_match(&mut counts, row))
+                        .collect();
+                }
+                (SetOp::Except, true) => {
+                    let mut counts = right_multiplicities(&r.rows);
+                    out.rows = l
+                        .rows
+                        .into_iter()
+                        .filter(|row| !consume_match(&mut counts, row))
+                        .collect();
+                }
             }
             Ok(out)
         }
@@ -356,6 +389,27 @@ fn exec_body(
 
 fn dedupe(rows: &mut Vec<Vec<Value>>) {
     dedup_by_key(rows, |r| r.as_slice());
+}
+
+/// Multiplicity of each distinct row (grouping-key equality) in the
+/// right arm of a bag-semantics set operation.
+fn right_multiplicities(rows: &[Vec<Value>]) -> HashMap<Vec<Key>, usize> {
+    let mut counts: HashMap<Vec<Key>, usize> = HashMap::with_capacity(rows.len());
+    for row in rows {
+        *counts.entry(row.iter().map(key_of).collect()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Consumes one unit of `row`'s multiplicity if any remains.
+fn consume_match(counts: &mut HashMap<Vec<Key>, usize>, row: &[Value]) -> bool {
+    match counts.get_mut(&row.iter().map(key_of).collect::<Vec<Key>>()) {
+        Some(n) if *n > 0 => {
+            *n -= 1;
+            true
+        }
+        _ => false,
+    }
 }
 
 /// Removes items whose key-view row duplicates an earlier one,
@@ -417,7 +471,7 @@ impl PartialOrd for TopKEntry {
 impl Ord for TopKEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         for ((x, y), desc) in self.keys.iter().zip(&other.keys).zip(self.desc.iter()) {
-            let ord = x.total_cmp(y);
+            let ord = x.sort_cmp(y);
             let ord = if *desc { ord.reverse() } else { ord };
             if ord != std::cmp::Ordering::Equal {
                 return ord;
@@ -676,22 +730,18 @@ fn order_key_row(
                 continue;
             }
         }
-        // Alias reference.
+        // Alias reference. A bare ORDER BY name that matches an output
+        // column resolves to the output column even when the same name
+        // also exists in the source scope — PostgreSQL's resolution
+        // order for ORDER BY (output list first, then source tables).
         if let Expr::Column(c) = &o.expr {
             if c.table.is_none() {
                 if let Some(i) = out_columns
                     .iter()
                     .position(|n| n.eq_ignore_ascii_case(&c.column))
                 {
-                    // Prefer the source scope when the name also resolves
-                    // there and is unambiguous; otherwise take the alias.
-                    match env.find_local(c) {
-                        Ok(Some(_)) => {}
-                        _ => {
-                            keys.push(out_row[i].clone());
-                            continue;
-                        }
-                    }
+                    keys.push(out_row[i].clone());
+                    continue;
                 }
             }
         }
@@ -715,7 +765,7 @@ fn sort_indices(idx: &mut [usize], keys: &[Vec<Value>], order_by: &[OrderItem]) 
     idx.sort_by(|&a, &b| {
         for (k, o) in keys[a].iter().zip(&keys[b]).zip(order_by) {
             let (x, y) = k;
-            let ord = x.total_cmp(y);
+            let ord = x.sort_cmp(y);
             let ord = if o.desc { ord.reverse() } else { ord };
             if ord != std::cmp::Ordering::Equal {
                 return ord;
@@ -1537,10 +1587,35 @@ fn exec_aggregate(
         }
         let mut order_row = Vec::with_capacity(order_by.len());
         for o in order_by {
+            // ORDER BY 1 is positional, and a bare name that matches an
+            // output column takes the output value — same resolution
+            // order as the non-aggregate path (`order_key_row`): output
+            // list first, then the group scope. Evaluating these through
+            // `eval_agg` would misread `ORDER BY 1` as the constant 1
+            // and an aliased name as the group's first source value.
+            if let Expr::Literal(Lit::Int(pos)) = &o.expr {
+                let i = (*pos as usize).saturating_sub(1);
+                if i < out_row.len() {
+                    order_row.push(out_row[i].clone());
+                    continue;
+                }
+            }
+            if let Expr::Column(c) = &o.expr {
+                if c.table.is_none() {
+                    if let Some(i) = out
+                        .columns
+                        .iter()
+                        .position(|n| n.eq_ignore_ascii_case(&c.column))
+                    {
+                        order_row.push(out_row[i].clone());
+                        continue;
+                    }
+                }
+            }
             let v = match eval_agg(db, &o.expr, rel, group, outer) {
                 Ok(v) => v,
                 Err(EngineError::UnknownColumn(_)) => {
-                    // Alias fallback.
+                    // Alias fallback: projection expression text match.
                     match alias_value(&o.expr, items, &out_row, &out.columns) {
                         Some(v) => v,
                         None => return Err(EngineError::UnknownColumn(expr_to_sql(&o.expr))),
@@ -2689,7 +2764,13 @@ mod tests {
     }
 
     #[test]
-    fn order_by_places_nulls_first() {
+    fn order_by_places_nulls_last_on_asc_first_on_desc() {
+        // Regression (PostgreSQL NULL placement): ASC puts NULLs last,
+        // DESC puts them first. Minimized repro:
+        //   SELECT name FROM team ORDER BY name LIMIT 1
+        // used to return the NULL row. LIMIT exercises the bounded
+        // top-k heap; the unlimited query exercises the full sort —
+        // they must agree.
         let mut db = test_db();
         db.insert(
             "team",
@@ -2697,9 +2778,90 @@ mod tests {
         )
         .unwrap();
         let rs = run(&db, "SELECT name FROM team ORDER BY name LIMIT 1");
-        assert!(rs.rows[0][0].is_null(), "NULL sorts first in total order");
-        let rs = run(&db, "SELECT name FROM team ORDER BY name DESC LIMIT 1");
+        assert!(!rs.rows[0][0].is_null(), "ASC is NULLS LAST");
+        let rs = run(&db, "SELECT name FROM team ORDER BY name");
+        assert!(rs.rows.last().unwrap()[0].is_null());
         assert!(!rs.rows[0][0].is_null());
+        let rs = run(&db, "SELECT name FROM team ORDER BY name DESC LIMIT 1");
+        assert!(rs.rows[0][0].is_null(), "DESC is NULLS FIRST");
+        let rs = run(&db, "SELECT name FROM team ORDER BY name DESC");
+        assert!(rs.rows[0][0].is_null());
+        assert!(!rs.rows.last().unwrap()[0].is_null());
+    }
+
+    #[test]
+    fn intersect_all_keeps_min_multiplicity() {
+        // Regression: the `ALL` flag was parsed but executed with set
+        // semantics. Bags: home ids = {1×2, 2×1, 3×1, 4×1}, away ids =
+        // {2×2, 3×2, 4×1}; min multiplicities = {2×1, 3×1, 4×1}.
+        let db = test_db();
+        let rs = run(
+            &db,
+            "SELECT home_id FROM game INTERSECT ALL SELECT away_id FROM game",
+        );
+        assert_eq!(rs.len(), 3);
+        let rs = run(
+            &db,
+            "SELECT home_id FROM game INTERSECT SELECT away_id FROM game",
+        );
+        assert_eq!(rs.len(), 3);
+        // A duplicated left value with a single right match survives once.
+        let rs = run(
+            &db,
+            "SELECT home_id FROM game WHERE home_id = 1 \
+             INTERSECT ALL SELECT 1 FROM team WHERE team_id = 1",
+        );
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn except_all_subtracts_multiplicities() {
+        let db = test_db();
+        // home ids {1×2, 2×1, 3×1, 4×1} EXCEPT ALL away ids
+        // {2×2, 3×2, 4×1} = {1×2}: each right row cancels at most one
+        // left row.
+        let rs = run(
+            &db,
+            "SELECT home_id FROM game EXCEPT ALL SELECT away_id FROM game",
+        );
+        assert_eq!(rs.len(), 2);
+        assert!(rs.rows.iter().all(|r| r[0] == Value::Int(1)));
+        // Set-semantics EXCEPT still dedups first.
+        let rs = run(
+            &db,
+            "SELECT home_id FROM game EXCEPT SELECT away_id FROM game",
+        );
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn aggregate_order_by_is_positional_and_alias_aware() {
+        // Regression: the aggregate path evaluated `ORDER BY 1` as the
+        // constant 1 (leaving groups in discovery order) and resolved a
+        // bare name through the group scope before the output list.
+        let db = test_db();
+        let by_pos = run(
+            &db,
+            "SELECT year, count(*) FROM game GROUP BY year ORDER BY 1 DESC",
+        );
+        let by_name = run(
+            &db,
+            "SELECT year, count(*) FROM game GROUP BY year ORDER BY year DESC",
+        );
+        assert_eq!(by_pos.rows, by_name.rows);
+        assert_eq!(by_pos.rows[0][0], Value::Int(2022));
+        // An output alias shadowing a source column must win:
+        // `home_goals` below is the negation, so ascending order is by
+        // the negated value.
+        let rs = run(
+            &db,
+            "SELECT game_id, 0 - home_goals AS home_goals FROM game \
+             ORDER BY home_goals",
+        );
+        let vals: Vec<&Value> = rs.rows.iter().map(|r| &r[1]).collect();
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| a.sort_cmp(b));
+        assert_eq!(vals, sorted, "alias value must drive the sort");
     }
 
     #[test]

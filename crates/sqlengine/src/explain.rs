@@ -47,10 +47,16 @@ fn explain_query(db: &Database, q: &Query, indent: usize, out: &mut String) {
             .order_by
             .iter()
             .map(|o| {
+                // NULL placement is PostgreSQL's default and is pinned by
+                // the conformance oracles; spell it out in the plan.
                 format!(
                     "{}{}",
                     expr_to_sql(&o.expr),
-                    if o.desc { " DESC" } else { "" }
+                    if o.desc {
+                        " DESC NULLS FIRST"
+                    } else {
+                        " NULLS LAST"
+                    }
                 )
             })
             .collect();
@@ -72,16 +78,15 @@ fn explain_body(db: &Database, body: &QueryBody, indent: usize, out: &mut String
             right,
         } => {
             pad(out, indent);
-            let _ = writeln!(
-                out,
-                "{}{}",
-                op,
-                if *all {
-                    " ALL (concatenate)"
-                } else {
-                    " (deduplicate)"
-                }
-            );
+            // Only UNION ALL concatenates; INTERSECT/EXCEPT ALL match
+            // by multiplicity (bag semantics), as the executor does.
+            let how = match (op, *all) {
+                (SetOp::Union, true) => " ALL (concatenate)",
+                (SetOp::Union, false) => " (deduplicate)",
+                (_, true) => " ALL (bag semantics: match multiplicities)",
+                (_, false) => " (set semantics: deduplicate)",
+            };
+            let _ = writeln!(out, "{op}{how}");
             explain_body(db, left, indent + 1, out);
             explain_body(db, right, indent + 1, out);
         }
@@ -429,6 +434,28 @@ mod tests {
         let plan = explain_sql(&db, "SELECT id FROM t UNION SELECT id FROM u").unwrap();
         assert!(plan.contains("UNION (deduplicate)"), "{plan}");
         assert_eq!(plan.matches("select (").count(), 2, "{plan}");
+    }
+
+    #[test]
+    fn bag_set_ops_described_by_multiplicity_not_concatenation() {
+        let db = db();
+        let plan = explain_sql(&db, "SELECT id FROM t INTERSECT ALL SELECT id FROM u").unwrap();
+        assert!(
+            plan.contains("INTERSECT ALL (bag semantics: match multiplicities)"),
+            "{plan}"
+        );
+        let plan = explain_sql(&db, "SELECT id FROM t UNION ALL SELECT id FROM u").unwrap();
+        assert!(plan.contains("UNION ALL (concatenate)"), "{plan}");
+    }
+
+    #[test]
+    fn sort_line_spells_out_null_placement() {
+        let db = db();
+        let plan = explain_sql(&db, "SELECT x FROM t ORDER BY x DESC, id").unwrap();
+        assert!(
+            plan.contains("sort by x DESC NULLS FIRST, id NULLS LAST"),
+            "{plan}"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub mod cache;
 pub mod catalog;
+pub mod conformance;
 pub mod db;
 pub mod error;
 pub mod exec;
@@ -46,7 +47,8 @@ pub use catalog::{Catalog, ColumnDef, DataType, ForeignKey, TableSchema};
 pub use db::{ColumnIndex, Database, IndexStats};
 pub use error::EngineError;
 pub use exec::{
-    execute, execute_sql, reset_stage_timings, set_force_seqscan, stage_timings, StageTimings,
+    execute, execute_sql, planner_config_fingerprint, reset_stage_timings, set_force_seqscan,
+    stage_timings, StageTimings,
 };
 pub use explain::{explain, explain_sql};
 pub use result::ResultSet;

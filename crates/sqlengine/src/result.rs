@@ -1,7 +1,7 @@
 //! Query results and the execution-match comparison used by the EX
 //! metric.
 
-use crate::value::Value;
+use crate::value::{canon_f64, Value};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -69,19 +69,24 @@ impl fmt::Display for ResultSet {
     }
 }
 
-/// Value equality for result comparison: NULLs compare equal, numbers
-/// compare with a small tolerance so `avg` results from different plans
+/// Value equality for result comparison: NULLs compare equal and
+/// numbers compare by their [`canon_f64`] fixed-rounding key, so `avg`
+/// results folded under different plans (join orders, cached vs fresh)
 /// agree.
+///
+/// Canon-key equality — not a pairwise epsilon — because
+/// [`canonical_sort`] must order rows by the *same* key it compares
+/// them with. An epsilon test is not transitive: two rows could compare
+/// equal pairwise yet land in different sorted positions, making the
+/// bag comparison order-sensitive. One canonical key per value rules
+/// that out by construction.
 fn values_equal(a: &Value, b: &Value) -> bool {
     match (a, b) {
         (Value::Null, Value::Null) => true,
         (Value::Text(x), Value::Text(y)) => x == y,
         (Value::Bool(x), Value::Bool(y)) => x == y,
         _ => match (a.as_f64(), b.as_f64()) {
-            (Some(x), Some(y)) => {
-                let scale = x.abs().max(y.abs()).max(1.0);
-                (x - y).abs() <= 1e-9 * scale
-            }
+            (Some(x), Some(y)) => canon_f64(x).to_bits() == canon_f64(y).to_bits(),
             _ => false,
         },
     }
@@ -91,10 +96,21 @@ fn rows_equal(a: &[Value], b: &[Value]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| values_equal(x, y))
 }
 
+/// Orders two values by the comparison key of [`values_equal`]: numeric
+/// values by their canonical rounding, everything else by the total
+/// order. `canon_cmp(x, y) == Equal` exactly when `values_equal(x, y)`
+/// (NaN aside), which keeps the canonical sort aligned with equality.
+fn canon_cmp(x: &Value, y: &Value) -> Ordering {
+    match (x.as_f64(), y.as_f64()) {
+        (Some(a), Some(b)) => canon_f64(a).total_cmp(&canon_f64(b)),
+        _ => x.total_cmp(y),
+    }
+}
+
 fn canonical_sort(rows: &mut [Vec<Value>]) {
     rows.sort_by(|a, b| {
         for (x, y) in a.iter().zip(b.iter()) {
-            match x.total_cmp(y) {
+            match canon_cmp(x, y) {
                 Ordering::Equal => continue,
                 other => return other,
             }
@@ -181,6 +197,31 @@ mod tests {
         let c = rs(vec![vec![Value::Int(2)]], false);
         let d = rs(vec![vec![Value::Float(2.0)]], false);
         assert!(c.matches(&d));
+    }
+
+    #[test]
+    fn canonical_sort_agrees_with_float_equality() {
+        // Regression: the canonical sort used raw f64 ordering while
+        // equality was tolerant, so two bags whose first column held
+        // fold-order float noise could zip mismatched rows. Minimized
+        // from `SELECT avg(x), tag ... GROUP BY tag` under two join
+        // orders.
+        let noisy = 0.1 + 0.2; // 0.30000000000000004
+        let a = rs(
+            vec![
+                vec![Value::Float(noisy), Value::Int(1)],
+                vec![Value::Float(0.3), Value::Int(2)],
+            ],
+            false,
+        );
+        let b = rs(
+            vec![
+                vec![Value::Float(0.3), Value::Int(1)],
+                vec![Value::Float(noisy), Value::Int(2)],
+            ],
+            false,
+        );
+        assert!(a.matches(&b));
     }
 
     #[test]

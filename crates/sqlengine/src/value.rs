@@ -89,6 +89,23 @@ impl Value {
         }
     }
 
+    /// ORDER BY comparison key with PostgreSQL's default NULL
+    /// placement: NULLs sort as *largest*, i.e. last under ASC and —
+    /// after the per-key direction reversal every sort path applies —
+    /// first under DESC. Non-NULL values compare by [`Value::total_cmp`].
+    ///
+    /// Every ordering code path (full sort, top-k heap, aggregate output
+    /// ordering, the reference interpreter) must go through this one
+    /// function, or the conformance harness's bit-identity axis fails.
+    pub fn sort_cmp(&self, other: &Value) -> Ordering {
+        match (self.is_null(), other.is_null()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => self.total_cmp(other),
+        }
+    }
+
     /// Equality under the total order (used for grouping and DISTINCT,
     /// where NULLs compare equal to each other).
     pub fn group_eq(&self, other: &Value) -> bool {
@@ -133,6 +150,22 @@ impl IndexKey {
 /// Canonical bit pattern for numeric keys: `-0.0` keys like `0.0`.
 pub(crate) fn normal_f64_bits(f: f64) -> u64 {
     if f == 0.0 { 0.0f64 } else { f }.to_bits()
+}
+
+/// Canonical fixed-rounding key for tolerant float comparison: rounds
+/// to 12 significant decimal digits, normalizes `-0.0` to `0.0`, and
+/// passes non-finite values through, so every float within rounding
+/// noise of a decimal value maps to one representative. Crucially this
+/// gives the comparison layer a *canonical key* — unlike a pairwise
+/// epsilon test, canon equality is transitive, so sorting by it and
+/// comparing by it can never disagree.
+pub fn canon_f64(f: f64) -> f64 {
+    if !f.is_finite() || f == 0.0 {
+        return if f == 0.0 { 0.0 } else { f };
+    }
+    // 11 digits after the point in scientific notation = 12 significant
+    // digits total; round-trips through decimal text.
+    format!("{f:.11e}").parse().unwrap_or(f)
 }
 
 /// Hashes `v` in its canonical key form without allocating.
@@ -261,6 +294,31 @@ mod tests {
     fn total_cmp_mixes_int_float() {
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+    }
+
+    #[test]
+    fn sort_cmp_ranks_null_last() {
+        let mut vals = [Value::Int(2), Value::Null, Value::Int(1), Value::Null];
+        vals.sort_by(|a, b| a.sort_cmp(b));
+        assert_eq!(vals[0], Value::Int(1));
+        assert_eq!(vals[1], Value::Int(2));
+        assert!(vals[2].is_null() && vals[3].is_null());
+        // Non-NULL ordering agrees with the total order.
+        assert_eq!(
+            Value::Int(2).sort_cmp(&Value::Float(2.5)),
+            Value::Int(2).total_cmp(&Value::Float(2.5))
+        );
+    }
+
+    #[test]
+    fn canon_f64_collapses_fold_order_noise() {
+        assert_eq!(canon_f64(0.1 + 0.2), canon_f64(0.3));
+        assert_eq!(canon_f64(-0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(canon_f64(f64::INFINITY), f64::INFINITY);
+        assert!(canon_f64(f64::NAN).is_nan());
+        assert_eq!(canon_f64(2.0), 2.0);
+        // Distinct values beyond the rounding granularity stay distinct.
+        assert_ne!(canon_f64(1.0), canon_f64(1.0 + 1e-9));
     }
 
     #[test]

@@ -5,6 +5,12 @@
 //! paper's "string normalization" post-processing step (Table 4): it
 //! removes tabs, line breaks, and repeated spaces from raw model output
 //! without parsing it.
+//!
+//! The conformance harness's divergence minimizer relies on `to_sql`
+//! being a *fixpoint* under parse (`to_sql(parse(to_sql(q))) ==
+//! to_sql(q)`): each clause-deletion candidate is printed, re-parsed by
+//! both executors, and compared, so any print/parse drift would
+//! masquerade as an engine divergence.
 
 use crate::ast::*;
 use std::fmt::Write;
@@ -384,6 +390,27 @@ mod tests {
         let q = parse_query(&printed).unwrap();
         let w = q.leftmost_select().where_clause.as_ref().unwrap();
         assert!(matches!(w, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn roundtrip_is_fixpoint_on_minimizer_shapes() {
+        // Shapes the conformance minimizer emits: nested set operations,
+        // NULL members in IN lists, negated predicates, qualified
+        // columns with aliases, positional ORDER BY.
+        let cases = [
+            "SELECT pid FROM player UNION ALL SELECT pid FROM appearance \
+             INTERSECT ALL SELECT minutes FROM appearance",
+            "SELECT id FROM t WHERE v NOT IN (9, NULL)",
+            "SELECT id FROM t WHERE NOT (v BETWEEN 1 AND 3)",
+            "SELECT p.pid, a.aid FROM player AS p LEFT JOIN appearance AS a \
+             ON p.pid = a.pid ORDER BY 1 DESC, 2",
+            "SELECT squad, count(DISTINCT nick) AS agg0 FROM player \
+             GROUP BY squad HAVING count(*) >= 2 ORDER BY agg0 DESC, 1",
+        ];
+        for sql in cases {
+            let printed = roundtrip(sql);
+            assert_eq!(roundtrip(&printed), printed, "not a fixpoint: {sql}");
+        }
     }
 
     #[test]

@@ -10,8 +10,14 @@
 use footballdb::{generate, load, DataModel};
 use nlq::gold::build_raw_corpus;
 use sqlengine::{execute_sql, set_force_seqscan, Value};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use xrng::Rng;
+
+/// Serializes the tests that toggle the process-global forced-seqscan
+/// mode (the other tests in this binary only assert mode-independent
+/// facts). A poisoned lock is reusable; the guarded state is reset by
+/// each user.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
 
 /// Cases per property; in the same ballpark as proptest's default.
 const CASES: usize = 192;
@@ -368,10 +374,11 @@ fn union_cardinalities() {
 /// row order — to forced-sequential-scan execution.
 ///
 /// Runs both modes inside one test because [`set_force_seqscan`] is
-/// process-wide; the other tests in this binary only assert mode-
-/// independent facts, so concurrent toggling cannot affect them.
+/// process-wide, and takes [`MODE_LOCK`] to serialize with the
+/// conformance-corpus property below.
 #[test]
 fn indexed_execution_is_bit_identical_to_seqscan() {
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let f = fixture();
     let domain = generate(footballdb::DEFAULT_SEED);
     let mut rng = Rng::new(0x1D3);
@@ -404,6 +411,32 @@ fn indexed_execution_is_bit_identical_to_seqscan() {
     let seqscan = run_all(true);
     for (i, (a, b)) in indexed.iter().zip(&seqscan).enumerate() {
         assert_eq!(a, b, "access path changed the result of {:?}", cases[i]);
+    }
+}
+
+/// The conformance property, at property-test scale: every generated
+/// corpus query agrees across {indexed, seqscan} x {fresh, cached} and
+/// with the naive reference interpreter. The full sweep runs in the
+/// `conformance` bench bin; this keeps a small version of the property
+/// in the default test run so corpus or engine regressions fail fast.
+#[test]
+fn conformance_corpus_has_no_divergences() {
+    use sqlengine::conformance::{corpus_db, gen_corpus, run_corpus, CorpusConfig};
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_force_seqscan(None);
+    for seed in [17, 29] {
+        let db = corpus_db(seed);
+        let corpus = gen_corpus(&CorpusConfig {
+            seed,
+            queries: CASES / 2,
+        });
+        let report = run_corpus(&db, &corpus);
+        assert!(
+            report.is_clean(),
+            "seed {seed}: {} divergence(s), first:\n{}",
+            report.divergences.len(),
+            report.divergences[0]
+        );
     }
 }
 
