@@ -6,7 +6,7 @@
 //! cargo run --release -p bench --bin conformance -- --seed 41 --seeds 2 --queries 800
 //! ```
 //!
-//! Four axes, every one of which must be observationally silent:
+//! Five axes, every one of which must be observationally silent:
 //!
 //! 1. **Oracle**: hand-written PostgreSQL-semantics tables (3VL truth
 //!    tables, NULL ordering, bag set ops, empty-group aggregates) hold
@@ -19,6 +19,10 @@
 //!    bit-identical case by case.
 //! 4. **Gold pairs**: each gold question's v1/v2/v3 SQL executed on the
 //!    matching data-model instances produces EX-equal results.
+//! 5. **Hazard**: the `hazard: runaway` template class (cross-join
+//!    amplifiers, exponential EXISTS nesting) trips the fuel budget
+//!    deterministically — same stage, same fuel count — under both
+//!    index-backed and forced-seqscan execution.
 //!
 //! Exit status 0 when all axes are clean, 1 on any divergence, 2 on
 //! usage errors. Divergences are printed minimized, with both result
@@ -27,9 +31,10 @@
 use footballdb::{generate, load_all, DataModel};
 use nlq::gold::build_raw_corpus;
 use sqlengine::conformance::{
-    check_oracles, corpus_db, gen_corpus, result_bits_eq, run_corpus, CorpusConfig,
+    check_hazard, check_oracles, corpus_db, gen_corpus, gen_hazard_corpus, result_bits_eq,
+    run_corpus, CorpusConfig,
 };
-use sqlengine::{execute_sql, set_force_seqscan, Database, ResultSet};
+use sqlengine::{execute_sql, set_force_seqscan, Database, ExecBudget, ResultSet};
 use xrng::Rng;
 
 fn usage() -> ! {
@@ -221,6 +226,32 @@ fn main() {
         "gold-pair axis: {} examples x 3 models, {} divergences",
         examples.len(),
         pair_diffs
+    );
+
+    // Axis 5: runaway-hazard templates must trip the fuel budget, and
+    // must trip it identically (same stage, same spent count) whether
+    // joins go through hash indexes or forced sequential scans — the
+    // fuel model only charges mode-independent logical quantities.
+    let hazard_budget = ExecBudget::UNLIMITED.with_max_steps(60_000);
+    let mut hazard_total = 0usize;
+    let mut hazard_diffs = 0usize;
+    for (s, db, _) in &corpora {
+        let hazards = gen_hazard_corpus(&CorpusConfig {
+            seed: *s,
+            queries: (queries / 20).max(10),
+        });
+        for sql in &hazards {
+            hazard_total += 1;
+            if let Err(msg) = check_hazard(db, sql, &hazard_budget) {
+                eprintln!("hazard divergence [seed {s}]: {msg}\n  {sql}");
+                hazard_diffs += 1;
+            }
+        }
+    }
+    failures += hazard_diffs;
+    println!(
+        "hazard axis: {hazard_total} runaway queries x {{indexed, seqscan}}, \
+         {hazard_diffs} divergences"
     );
 
     if failures > 0 {

@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use evalkit::{
     observed_threads, reset_observed_threads, run_fewshot_grid, run_finetuned_grid, run_latency,
-    set_thread_override, EvalSetup,
+    set_thread_override, EvalSetup, FailureKind,
 };
 use sqlengine::{reset_stage_timings, set_force_seqscan, stage_timings};
 
@@ -34,20 +34,30 @@ fn usage() -> ! {
 }
 
 /// Accuracy fingerprint of one full workload pass, used to verify the
-/// optimized run reproduces the baseline exactly.
-fn run_workload(setup: &EvalSetup) -> Vec<f64> {
+/// optimized run reproduces the baseline exactly, plus the classified
+/// failure counts aggregated over every run (each few-shot cell
+/// contributes its last fold, the run it keeps items for).
+fn run_workload(setup: &EvalSetup) -> (Vec<f64>, Vec<(FailureKind, usize)>) {
     let mut acc = Vec::new();
+    let mut failures: Vec<(FailureKind, usize)> =
+        FailureKind::ALL.iter().map(|&k| (k, 0)).collect();
     for run in run_finetuned_grid(setup, &[0, 100, 200, 300]) {
         acc.push(run.accuracy());
+        for (slot, (_, n)) in failures.iter_mut().zip(run.failure_counts()) {
+            slot.1 += n;
+        }
     }
     for folded in run_fewshot_grid(setup) {
         acc.extend(folded.fold_accuracies.iter().copied());
+        for (slot, (_, n)) in failures.iter_mut().zip(folded.last_run.failure_counts()) {
+            slot.1 += n;
+        }
     }
     for (_, mean, sd) in run_latency(setup) {
         acc.push(mean);
         acc.push(sd);
     }
-    acc
+    (acc, failures)
 }
 
 fn main() {
@@ -89,7 +99,7 @@ fn main() {
     setup.set_query_caches_enabled(false);
     setup.clear_query_caches();
     let t = Instant::now();
-    let baseline_acc = run_workload(&setup);
+    let (baseline_acc, _) = run_workload(&setup);
     let serial_s = t.elapsed().as_secs_f64();
 
     // Optimized: worker pool + cold cache + index access paths.
@@ -101,7 +111,7 @@ fn main() {
     reset_stage_timings();
     eprintln!("perfbench: optimized pass (pooled, cache enabled, indexes on)...");
     let t = Instant::now();
-    let optimized_acc = run_workload(&setup);
+    let (optimized_acc, failure_counts) = run_workload(&setup);
     let wall_s = t.elapsed().as_secs_f64();
     set_force_seqscan(None);
 
@@ -116,6 +126,11 @@ fn main() {
     );
 
     let speedup = if wall_s > 0.0 { serial_s / wall_s } else { 0.0 };
+    let failure_json = failure_counts
+        .iter()
+        .map(|(k, n)| format!("\"{}\": {n}", k.name()))
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         "{{\n  \"wall_s\": {wall_s:.3},\n  \"serial_s\": {serial_s:.3},\n  \
          \"setup_s\": {setup_s:.3},\n  \"speedup\": {speedup:.3},\n  \
@@ -123,6 +138,7 @@ fn main() {
          \"cache_entries\": {},\n  \"cache_hit_rate\": {:.4},\n  \
          \"index_builds\": {},\n  \"index_probes\": {},\n  \"index_hits\": {},\n  \
          \"stage_scan_s\": {:.3},\n  \"stage_join_s\": {:.3},\n  \"stage_aggregate_s\": {:.3},\n  \
+         \"failure_counts\": {{{failure_json}}},\n  \
          \"identical_to_serial\": {identical},\n  \"scale\": \"{}\",\n  \"seed\": {seed}\n}}\n",
         stats.hits,
         stats.misses,

@@ -21,7 +21,7 @@ fn usage() -> ! {
          targets: table1 table2 table3 table4 table5 table6 table7 table8\n\
          \u{20}        figure7 figure8 ablation-keys ablation-joinpath\n\
          \u{20}        ablation-train895 ablation-lexical tradeoff-tokens\n\
-         \u{20}        export all"
+         \u{20}        failures export all"
     );
     std::process::exit(2);
 }
@@ -138,6 +138,10 @@ fn main() {
             }
             "tradeoff-tokens" => {
                 print!("{}", evalkit::tradeoff::tradeoff_report(&setup));
+            }
+            "failures" => {
+                let runs = figure_runs(&setup);
+                print!("{}", report::failure_breakdown(&runs));
             }
             "export" => {
                 let dir = std::path::Path::new("dataset");

@@ -41,6 +41,7 @@
 pub mod capability;
 pub mod cost;
 pub mod decode;
+pub mod fault;
 pub mod ir;
 pub mod joinpath;
 pub mod linking;
@@ -55,7 +56,8 @@ pub use capability::{
 };
 pub use cost::{latency, mean_sd, params as cost_params, CostParams};
 pub use decode::{constrain, DecodeOutcome};
+pub use fault::{corrupt_sql, FaultKind, FaultPlan, RetryPolicy, SimClock};
 pub use ir::{IrError, SemQl};
 pub use joinpath::{JoinGraph, JoinPathError};
 pub use retrieval::RetrievalIndex;
-pub use systems::{predict, Prediction, SystemContext};
+pub use systems::{predict, predict_governed, GovernedPrediction, Prediction, SystemContext};

@@ -21,6 +21,7 @@
 use crate::capability::{Budget, SystemKind};
 use crate::cost;
 use crate::decode::{constrain, DecodeOutcome};
+use crate::fault::{corrupt_sql, FaultKind, FaultPlan, RetryPolicy, SimClock};
 use crate::ir::SemQl;
 use crate::joinpath::JoinGraph;
 use crate::linking::{find_values, schema_links};
@@ -142,6 +143,97 @@ pub fn predict(
         shots_used,
         prefix_checks,
         prompt_tokens,
+    }
+}
+
+/// A prediction that passed through a [`FaultPlan`]: the base prediction
+/// (possibly corrupted), plus what the governor observed.
+#[derive(Debug, Clone)]
+pub struct GovernedPrediction {
+    pub prediction: Prediction,
+    /// The injected fault, if this (system, question) drew one.
+    pub fault: Option<FaultKind>,
+    /// Retry attempts consumed by a transient fault.
+    pub retries: u32,
+    /// Simulated seconds spent backing off (already added to latency).
+    pub backoff_s: f64,
+    /// True when a transient fault exhausted every retry: the provider
+    /// never answered and the prediction carries no SQL.
+    pub gave_up: bool,
+}
+
+/// [`predict`] wrapped in fault injection and retry governance.
+///
+/// With `plan = None` this is exactly `predict`. With a plan, the
+/// question's seeded fault draw decides what happens at the provider
+/// boundary: non-transient faults corrupt the emitted SQL ([`corrupt_sql`]);
+/// a transient fault enters a retry loop whose exponential, seeded-jitter
+/// backoff accrues on a simulated clock into the prediction's latency —
+/// recovery leaves the SQL untouched, exhaustion drops it. A panic draw
+/// (independent stream, see [`FaultPlan::draws_panic`]) panics *before*
+/// any work, exercising the harness's per-query isolation.
+pub fn predict_governed(
+    kind: SystemKind,
+    item: &GoldExample,
+    ctx: &SystemContext<'_>,
+    p_success: f64,
+    rng: &mut Rng,
+    plan: Option<&FaultPlan>,
+    retry: &RetryPolicy,
+) -> GovernedPrediction {
+    if let Some(plan) = plan {
+        if plan.draws_panic(kind, item.id) {
+            panic!("injected worker fault: {kind} question {}", item.id);
+        }
+    }
+    let mut prediction = predict(kind, item, ctx, p_success, rng);
+    let fault = plan.and_then(|p| p.draw(kind, item.id));
+    let Some(kind_drawn) = fault else {
+        return GovernedPrediction {
+            prediction,
+            fault: None,
+            retries: 0,
+            backoff_s: 0.0,
+            gave_up: false,
+        };
+    };
+    let plan = plan.expect("fault implies plan");
+    let mut inject = plan.injection_rng(kind, item.id);
+    if kind_drawn != FaultKind::Transient {
+        prediction.sql = corrupt_sql(kind_drawn, prediction.sql.take(), &mut inject);
+        return GovernedPrediction {
+            prediction,
+            fault,
+            retries: 0,
+            backoff_s: 0.0,
+            gave_up: false,
+        };
+    }
+    // Transient provider error: deterministic retry with exponential
+    // backoff. Each attempt recovers iff its uniform draw is >= the
+    // fault rate, so recovery is monotone across rates with the same
+    // seed (recovered at a high rate => recovered at any lower one).
+    let mut clock = SimClock::new();
+    let mut retries = 0;
+    let mut recovered = false;
+    for attempt in 0..retry.max_retries {
+        clock.advance(retry.delay_s(attempt, &mut inject));
+        retries += 1;
+        if inject.f64() >= plan.rate {
+            recovered = true;
+            break;
+        }
+    }
+    prediction.latency += clock.now_s();
+    if !recovered {
+        prediction.sql = None;
+    }
+    GovernedPrediction {
+        prediction,
+        fault,
+        retries,
+        backoff_s: clock.now_s(),
+        gave_up: !recovered,
     }
 }
 

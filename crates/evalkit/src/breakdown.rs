@@ -114,6 +114,7 @@ mod tests {
             } else {
                 ExOutcome::WrongResult
             },
+            failure: (!correct).then_some(crate::metric::FailureKind::WrongResult),
             latency: 1.0,
             shots_used: 0,
             hardness: h,

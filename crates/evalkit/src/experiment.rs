@@ -5,16 +5,16 @@
 //! fine-tuned systems over train-set sizes (Table 5), LLMs over few-shot
 //! folds (Table 6), and the latency measurements (Table 7).
 
-use crate::metric::{accuracy, execution_match_cached, ExOutcome};
-use crate::parallel::par_map;
+use crate::metric::{accuracy, execution_match_governed, ExOutcome, FailureKind};
+use crate::parallel::{par_map, par_map_catch};
 use footballdb::{generate, load, DataModel, Domain};
 use nlq::gold::{build_benchmark, PipelineConfig};
 use nlq::{Benchmark, GoldExample};
-use sqlengine::{CacheStats, Database, QueryCache};
+use sqlengine::{CacheStats, Database, ExecBudget, QueryCache};
 use sqlkit::{Hardness, QueryStats};
 use textosql::{
-    predict, profile_items_with_db, success_probabilities, Budget, ItemProfile, JoinGraph,
-    RetrievalIndex, SystemContext, SystemKind,
+    predict_governed, profile_items_with_db, success_probabilities, Budget, FaultPlan, ItemProfile,
+    JoinGraph, RetrievalIndex, RetryPolicy, SystemContext, SystemKind,
 };
 use xrng::Rng;
 
@@ -158,6 +158,9 @@ impl EvalSetup {
 pub struct ItemResult {
     pub item_id: usize,
     pub outcome: ExOutcome,
+    /// The classified failure when `outcome` is not correct (graceful
+    /// degradation); `None` for correct items.
+    pub failure: Option<FailureKind>,
     pub latency: f64,
     pub shots_used: usize,
     pub hardness: Hardness,
@@ -181,10 +184,36 @@ impl RunResult {
     pub fn latencies(&self) -> Vec<f64> {
         self.items.iter().map(|i| i.latency).collect()
     }
+
+    /// Failure counts over every taxonomy entry, in [`FailureKind::ALL`]
+    /// order (zero-count kinds included, so rows line up across runs).
+    pub fn failure_counts(&self) -> Vec<(FailureKind, usize)> {
+        FailureKind::ALL
+            .iter()
+            .map(|&k| {
+                let n = self.items.iter().filter(|i| i.failure == Some(k)).count();
+                (k, n)
+            })
+            .collect()
+    }
+}
+
+/// Robustness governance for one run: what faults to inject, how to
+/// retry transient ones, and how much fuel each predicted query may
+/// burn. The default governor injects nothing and applies the default
+/// engine budget, making [`run_config`] a governed run with a no-op
+/// fault plan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Governor {
+    pub fault_plan: Option<FaultPlan>,
+    pub retry: RetryPolicy,
+    pub budget: ExecBudget,
 }
 
 /// Runs one (system, data model, budget) configuration over the test
 /// set. `train_pool` is the fine-tuning set or the few-shot pool.
+/// Equivalent to [`run_config_governed`] with the default (no-fault)
+/// governor.
 pub fn run_config(
     setup: &EvalSetup,
     system: SystemKind,
@@ -192,6 +221,33 @@ pub fn run_config(
     budget: Budget,
     train_pool: &[GoldExample],
     run_label: &str,
+) -> RunResult {
+    run_config_governed(
+        setup,
+        system,
+        model,
+        budget,
+        train_pool,
+        run_label,
+        &Governor::default(),
+    )
+}
+
+/// [`run_config`] under a [`Governor`]: predictions pass through the
+/// fault plan (with deterministic retry for transient faults), predicted
+/// SQL executes under the fuel budget, and each worker is panic-isolated
+/// — a poisoned item degrades to a [`FailureKind::Panic`] record instead
+/// of aborting the sweep. Per-item outcomes are bit-identical at any
+/// `REPRO_THREADS` under the same fault seed.
+#[allow(clippy::too_many_arguments)]
+pub fn run_config_governed(
+    setup: &EvalSetup,
+    system: SystemKind,
+    model: DataModel,
+    budget: Budget,
+    train_pool: &[GoldExample],
+    run_label: &str,
+    governor: &Governor,
 ) -> RunResult {
     let db = setup.db(model);
     let graph = setup.graph(model);
@@ -233,21 +289,59 @@ pub fn run_config(
     // the serial output exactly.
     let cache = setup.query_cache(model);
     let indices: Vec<usize> = (0..setup.benchmark.test.len()).collect();
-    let items = par_map(&indices, |&i| {
+    // Panic isolation wraps the whole unit: an injected worker panic (or
+    // a real one) lands in that item's slot as `Err` — identically at any
+    // thread count — and degrades below to a classified Panic record.
+    let caught = par_map_catch(&indices, |&i| {
         let item = &setup.benchmark.test[i];
         let mut rng = root.fork(&format!("{system}/{model}/{}/{i}", budget.size()));
         let p = if successes[i] { 1.0 } else { 0.0 };
-        let pred = predict(system, item, &ctx, p, &mut rng);
-        let outcome = execution_match_cached(db, cache, item.sql(model), pred.sql.as_deref());
+        let g = predict_governed(
+            system,
+            item,
+            &ctx,
+            p,
+            &mut rng,
+            governor.fault_plan.as_ref(),
+            &governor.retry,
+        );
+        let (outcome, mut failure) = execution_match_governed(
+            db,
+            cache,
+            &governor.budget,
+            item.sql(model),
+            g.prediction.sql.as_deref(),
+        );
+        if g.gave_up {
+            // The provider exhausted its retries; the missing SQL is a
+            // provider failure, not a benign "no prediction".
+            failure = Some(FailureKind::ProviderError);
+        }
         ItemResult {
             item_id: item.id,
             outcome,
-            latency: pred.latency,
-            shots_used: pred.shots_used,
+            failure,
+            latency: g.prediction.latency,
+            shots_used: g.prediction.shots_used,
             hardness: profiles[i].hardness,
             stats: profiles[i].stats,
         }
     });
+    let items = caught
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|_| ItemResult {
+                item_id: setup.benchmark.test[i].id,
+                outcome: ExOutcome::ExecError,
+                failure: Some(FailureKind::Panic),
+                latency: 0.0,
+                shots_used: 0,
+                hardness: profiles[i].hardness,
+                stats: profiles[i].stats,
+            })
+        })
+        .collect();
 
     RunResult {
         system,

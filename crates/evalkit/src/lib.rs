@@ -32,12 +32,15 @@ pub mod report;
 pub mod tradeoff;
 
 pub use experiment::{
-    run_config, run_fewshot_grid, run_finetuned_grid, run_latency, EvalSetup, FoldedResult,
-    ItemResult, RunResult,
+    run_config, run_config_governed, run_fewshot_grid, run_finetuned_grid, run_latency, EvalSetup,
+    FoldedResult, Governor, ItemResult, RunResult,
 };
 pub use metric::{
-    accuracy, component_match, execution_match, execution_match_cached, ComponentMatch, ExOutcome,
+    accuracy, classify_engine_error, component_match, execute_classified, execution_match,
+    execution_match_cached, execution_match_governed, ComponentMatch, ExOutcome, FailureKind,
+    QueryOutcome,
 };
 pub use parallel::{
-    configured_threads, observed_threads, par_map, reset_observed_threads, set_thread_override,
+    configured_threads, observed_threads, par_map, par_map_catch, reset_observed_threads,
+    set_thread_override,
 };

@@ -13,7 +13,8 @@
 //! join orders or cache states) without ever becoming intransitive; the
 //! conformance harness holds this layer to the same key.
 
-use sqlengine::{execute_sql, Database, QueryCache};
+use sqlengine::{execute_sql, Database, EngineError, ExecBudget, QueryCache, ResultSet};
+use std::sync::Arc;
 
 /// Outcome of evaluating one prediction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,6 +32,110 @@ pub enum ExOutcome {
 impl ExOutcome {
     pub fn is_correct(self) -> bool {
         self == ExOutcome::Correct
+    }
+}
+
+/// The graceful-degradation failure taxonomy: every per-query outcome
+/// that is not a correct result gets one of these labels, feeding EX as
+/// 0 and the failure-breakdown table in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// The system produced no SQL at all.
+    NoSql,
+    /// A transient provider error exhausted every retry.
+    ProviderError,
+    /// The evaluation worker panicked; the query was isolated, not fatal.
+    Panic,
+    /// The predicted SQL did not parse.
+    ParseError,
+    /// The predicted SQL referenced an unknown or ambiguous identifier
+    /// (the wrong-schema class).
+    UnknownIdentifier,
+    /// Execution aborted by the fuel budget (runaway query).
+    BudgetExceeded,
+    /// Any other execution error (type errors, cardinality, …).
+    ExecError,
+    /// Executed fine but produced the wrong results.
+    WrongResult,
+}
+
+impl FailureKind {
+    pub const ALL: [FailureKind; 8] = [
+        FailureKind::NoSql,
+        FailureKind::ProviderError,
+        FailureKind::Panic,
+        FailureKind::ParseError,
+        FailureKind::UnknownIdentifier,
+        FailureKind::BudgetExceeded,
+        FailureKind::ExecError,
+        FailureKind::WrongResult,
+    ];
+
+    /// Stable snake_case label used in reports and BENCH JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::NoSql => "no_sql",
+            FailureKind::ProviderError => "provider_error",
+            FailureKind::Panic => "panic",
+            FailureKind::ParseError => "parse_error",
+            FailureKind::UnknownIdentifier => "unknown_identifier",
+            FailureKind::BudgetExceeded => "budget_exceeded",
+            FailureKind::ExecError => "exec_error",
+            FailureKind::WrongResult => "wrong_result",
+        }
+    }
+
+    /// The coarse [`ExOutcome`] this failure feeds into (EX scores 0
+    /// either way; the distinction keeps legacy breakdowns meaningful).
+    pub fn as_outcome(self) -> ExOutcome {
+        match self {
+            FailureKind::NoSql | FailureKind::ProviderError => ExOutcome::NoSql,
+            FailureKind::WrongResult => ExOutcome::WrongResult,
+            _ => ExOutcome::ExecError,
+        }
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Maps an engine error to its failure class.
+pub fn classify_engine_error(e: &EngineError) -> FailureKind {
+    match e {
+        EngineError::Parse(_) => FailureKind::ParseError,
+        EngineError::UnknownTable(_)
+        | EngineError::UnknownColumn(_)
+        | EngineError::AmbiguousColumn(_) => FailureKind::UnknownIdentifier,
+        EngineError::BudgetExceeded { .. } => FailureKind::BudgetExceeded,
+        _ => FailureKind::ExecError,
+    }
+}
+
+/// A per-query execution outcome under graceful degradation: either the
+/// materialized results or a classified failure — never a crash.
+#[derive(Debug, Clone)]
+pub enum QueryOutcome {
+    Ok(Arc<ResultSet>),
+    Classified(FailureKind),
+}
+
+/// Executes one prediction through the cache under a fuel budget and
+/// classifies whatever happens.
+pub fn execute_classified(
+    db: &Database,
+    cache: &QueryCache,
+    budget: &ExecBudget,
+    sql: Option<&str>,
+) -> QueryOutcome {
+    match sql {
+        None => QueryOutcome::Classified(FailureKind::NoSql),
+        Some(sql) => match cache.execute_budgeted(db, sql, budget) {
+            Ok(rs) => QueryOutcome::Ok(rs),
+            Err(e) => QueryOutcome::Classified(classify_engine_error(&e)),
+        },
     }
 }
 
@@ -84,6 +189,33 @@ pub fn execution_match_cached(
             }
             Err(_) => ExOutcome::ExecError,
         },
+    }
+}
+
+/// [`execution_match_cached`] with graceful degradation: the prediction
+/// runs under `budget` and every non-correct outcome carries a
+/// [`FailureKind`]. The gold query stays *unbudgeted* — a gold failure
+/// is a labeling bug and still panics loudly; only predicted SQL is
+/// treated as untrusted input that may run away.
+pub fn execution_match_governed(
+    db: &Database,
+    cache: &QueryCache,
+    budget: &ExecBudget,
+    gold_sql: &str,
+    predicted: Option<&str>,
+) -> (ExOutcome, Option<FailureKind>) {
+    let gold = cache
+        .execute_cached(db, gold_sql)
+        .unwrap_or_else(|e| panic!("gold SQL failed to execute: {e}\n{gold_sql}"));
+    match execute_classified(db, cache, budget, predicted) {
+        QueryOutcome::Ok(rs) => {
+            if rs.matches(&gold) {
+                (ExOutcome::Correct, None)
+            } else {
+                (ExOutcome::WrongResult, Some(FailureKind::WrongResult))
+            }
+        }
+        QueryOutcome::Classified(kind) => (kind.as_outcome(), Some(kind)),
     }
 }
 
@@ -257,6 +389,58 @@ mod tests {
         db.insert("t", vec![Value::Int(2), Value::text("y")])
             .unwrap();
         db
+    }
+
+    #[test]
+    fn governed_match_classifies_every_failure_class() {
+        let db = db();
+        let cache = QueryCache::new();
+        let budget = ExecBudget::default();
+        let gold = "SELECT a FROM t WHERE b = 'x'";
+        let case = |pred: Option<&str>| execution_match_governed(&db, &cache, &budget, gold, pred);
+        assert_eq!(
+            case(Some("SELECT a FROM t WHERE a < 2")),
+            (ExOutcome::Correct, None)
+        );
+        assert_eq!(
+            case(Some("SELECT a FROM t")),
+            (ExOutcome::WrongResult, Some(FailureKind::WrongResult))
+        );
+        assert_eq!(case(None), (ExOutcome::NoSql, Some(FailureKind::NoSql)));
+        assert_eq!(
+            case(Some("SELECT a FROM t WHERE AND")),
+            (ExOutcome::ExecError, Some(FailureKind::ParseError))
+        );
+        assert_eq!(
+            case(Some("SELECT revenue FROM warehouse_fact")),
+            (ExOutcome::ExecError, Some(FailureKind::UnknownIdentifier))
+        );
+        // A one-step budget turns even the gold text into a budget trip —
+        // and the gold side itself must stay unbudgeted.
+        let starved = ExecBudget::UNLIMITED.with_max_steps(1);
+        assert_eq!(
+            execution_match_governed(&db, &cache, &starved, gold, Some("SELECT a, b FROM t")),
+            (ExOutcome::ExecError, Some(FailureKind::BudgetExceeded))
+        );
+    }
+
+    #[test]
+    fn classify_covers_engine_error_space() {
+        assert_eq!(
+            classify_engine_error(&EngineError::UnknownTable("x".into())),
+            FailureKind::UnknownIdentifier
+        );
+        assert_eq!(
+            classify_engine_error(&EngineError::Eval("bad".into())),
+            FailureKind::ExecError
+        );
+        assert_eq!(
+            classify_engine_error(&EngineError::BudgetExceeded {
+                stage: "join",
+                spent: 1
+            }),
+            FailureKind::BudgetExceeded
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! the item level reuses the same workers.
 
 use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -124,6 +125,35 @@ where
         .collect()
 }
 
+/// [`par_map`] with per-unit panic isolation: a unit that panics yields
+/// `Err(message)` in its slot instead of poisoning the whole fan-out.
+///
+/// The catch wraps the unit closure itself, identically on the serial
+/// and pooled paths, so outcomes are bit-identical at any
+/// `REPRO_THREADS` — a panicking unit is `Err` everywhere and its
+/// neighbors are unaffected. (Rust's default panic hook still prints
+/// the panic message; drivers that inject panics on purpose install a
+/// quiet hook.) Aborting panics (`panic = "abort"`) cannot be isolated;
+/// the workspace uses unwinding.
+pub fn par_map_catch<T, U, F>(items: &[T], f: F) -> Vec<Result<U, String>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map(items, |item| {
+        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            }
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +196,36 @@ mod tests {
         let empty: Vec<i32> = Vec::new();
         assert!(par_map(&empty, |x| *x).is_empty());
         assert_eq!(par_map(&[41], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn catch_isolates_panicking_units() {
+        // Quiet hook: the injected panics below are expected output.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let items: Vec<usize> = (0..50).collect();
+        let run = |threads: usize| {
+            set_thread_override(Some(threads));
+            let out = par_map_catch(&items, |&i| {
+                if i % 7 == 3 {
+                    panic!("boom at {i}");
+                }
+                i * 2
+            });
+            set_thread_override(None);
+            out
+        };
+        let serial = run(1);
+        let pooled = run(8);
+        std::panic::set_hook(prev);
+        assert_eq!(serial, pooled, "panic isolation must be thread-invariant");
+        for (i, r) in serial.iter().enumerate() {
+            if i % 7 == 3 {
+                assert_eq!(*r, Err(format!("boom at {i}")));
+            } else {
+                assert_eq!(*r, Ok(i * 2));
+            }
+        }
     }
 
     #[test]

@@ -476,6 +476,45 @@ pub fn error_analysis(runs: &[RunResult]) -> String {
     out
 }
 
+/// Failure breakdown under governed execution: per-[`FailureKind`]
+/// counts and shares across one or more runs, plus each run's EX. Rows
+/// cover the whole taxonomy (zero counts included) so reports from
+/// different fault rates align line-for-line.
+pub fn failure_breakdown(runs: &[RunResult]) -> String {
+    use crate::metric::FailureKind;
+    let mut out = String::new();
+    let _ = writeln!(out, "Failure breakdown (graceful degradation)");
+    let total: usize = runs.iter().map(|r| r.items.len()).sum();
+    let mut header = format!("{:<8}{:<18}{:>8}", "Model", "System", "EX");
+    for kind in FailureKind::ALL {
+        let _ = write!(header, "{:>16}", kind.name());
+    }
+    let _ = writeln!(out, "{header}");
+    for run in runs {
+        let mut line = format!(
+            "{:<8}{:<18}{:>8}",
+            run.model.label(),
+            run.system.name(),
+            pct(run.accuracy())
+        );
+        for (_, n) in run.failure_counts() {
+            let _ = write!(line, "{n:>16}");
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    let failed: usize = runs
+        .iter()
+        .flat_map(|r| &r.items)
+        .filter(|i| i.failure.is_some())
+        .count();
+    let _ = writeln!(
+        out,
+        "{total} items total, {failed} classified failures ({})",
+        pct(failed as f64 / total.max(1) as f64)
+    );
+    out
+}
+
 /// Convenience: runs the whole grid and renders every report.
 pub fn full_report(setup: &EvalSetup) -> String {
     let mut out = String::new();
@@ -513,6 +552,8 @@ pub fn full_report(setup: &EvalSetup) -> String {
     out.push_str(&figure8(&fig_runs));
     out.push('\n');
     out.push_str(&error_analysis(&fig_runs));
+    out.push('\n');
+    out.push_str(&failure_breakdown(&fig_runs));
     out
 }
 
@@ -590,6 +631,35 @@ mod tests {
             .map(|t| t.trim_end_matches('%').parse::<f64>().unwrap())
             .sum();
         assert!((99.0..101.0).contains(&sum), "shares sum to {sum}: {row}");
+    }
+
+    #[test]
+    fn failure_breakdown_covers_the_taxonomy() {
+        use crate::experiment::Governor;
+        use crate::metric::FailureKind;
+        use footballdb::DataModel;
+        use textosql::{Budget, FaultPlan, SystemKind};
+        let s = setup();
+        let gov = Governor {
+            fault_plan: Some(FaultPlan::new(5, 0.4)),
+            ..Governor::default()
+        };
+        let run = crate::experiment::run_config_governed(
+            s,
+            SystemKind::Gpt35,
+            DataModel::V1,
+            Budget::FewShot(10),
+            &s.benchmark.train[..10],
+            "breakdown-test",
+            &gov,
+        );
+        let text = failure_breakdown(std::slice::from_ref(&run));
+        for kind in FailureKind::ALL {
+            assert!(text.contains(kind.name()), "missing column {kind}\n{text}");
+        }
+        // 40% fault rate must classify at least one failure.
+        assert!(run.items.iter().any(|i| i.failure.is_some()));
+        assert!(text.contains("classified failures"));
     }
 
     #[test]

@@ -22,9 +22,10 @@
 //! Hit/miss counters make the saved work observable in the benchmark
 //! harness.
 
+use crate::budget::ExecBudget;
 use crate::db::Database;
 use crate::error::EngineError;
-use crate::exec::{execute_sql, planner_config_fingerprint};
+use crate::exec::{execute_sql, execute_sql_with_budget, planner_config_fingerprint};
 use crate::result::ResultSet;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -53,14 +54,19 @@ impl CacheStats {
 }
 
 /// One planner-configuration's memo entries, keyed by trimmed SQL text.
-type MemoTable = HashMap<String, Result<Arc<ResultSet>, EngineError>>;
+type MemoTable = HashMap<String, Arc<ResultSet>>;
 
 /// A concurrency-safe memo table for query execution against one
 /// database instance.
 ///
-/// Both successful results and execution errors are cached: predicted
-/// SQL that fails to execute fails identically on every configuration,
-/// so re-running it buys nothing.
+/// Only successful results are cached. Errors are never stored: a
+/// failure may be circumstantial rather than intrinsic to the query —
+/// in particular [`EngineError::BudgetExceeded`] depends on the
+/// caller's fuel budget, so a capped run must never poison the table
+/// for a later uncapped run. Successful results, by contrast, are
+/// budget-independent (a budget can only abort an execution, never
+/// change its output), which is why budgeted and unbudgeted callers
+/// may share entries.
 #[derive(Debug)]
 pub struct QueryCache {
     /// Memo tables, one per planner-config fingerprint: entries computed
@@ -113,9 +119,34 @@ impl QueryCache {
     /// slots) but guaranteed never to conflate distinct queries or
     /// distinct configurations.
     pub fn execute_cached(&self, db: &Database, sql: &str) -> Result<Arc<ResultSet>, EngineError> {
+        self.execute_inner(db, sql, execute_sql)
+    }
+
+    /// Like [`QueryCache::execute_cached`] but executes misses under a
+    /// fuel budget. Cache hits are served as usual — a stored result was
+    /// fully materialized, so re-deriving it would spend fuel for no
+    /// benefit and a successful result is identical under every budget.
+    /// A `BudgetExceeded` miss is returned to the caller and (like every
+    /// error) never stored, so it cannot poison a later run with a
+    /// larger — or no — budget.
+    pub fn execute_budgeted(
+        &self,
+        db: &Database,
+        sql: &str,
+        budget: &ExecBudget,
+    ) -> Result<Arc<ResultSet>, EngineError> {
+        self.execute_inner(db, sql, |db, sql| execute_sql_with_budget(db, sql, budget))
+    }
+
+    fn execute_inner(
+        &self,
+        db: &Database,
+        sql: &str,
+        run: impl Fn(&Database, &str) -> Result<ResultSet, EngineError>,
+    ) -> Result<Arc<ResultSet>, EngineError> {
         if self.disabled.load(Ordering::Relaxed) {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            return execute_sql(db, sql).map(Arc::new);
+            return run(db, sql).map(Arc::new);
         }
         let fp = planner_config_fingerprint();
         let key = sql.trim();
@@ -127,15 +158,13 @@ impl QueryCache {
             .and_then(|entries| entries.get(key))
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return cached.clone();
+            return Ok(Arc::clone(cached));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let result = execute_sql(db, sql).map(Arc::new);
-        if let Ok(rs) = &result {
-            if rs.rows.len().saturating_mul(rs.columns.len().max(1)) > self.max_cells {
-                self.oversize.fetch_add(1, Ordering::Relaxed);
-                return result;
-            }
+        let rs = run(db, sql).map(Arc::new)?;
+        if rs.rows.len().saturating_mul(rs.columns.len().max(1)) > self.max_cells {
+            self.oversize.fetch_add(1, Ordering::Relaxed);
+            return Ok(rs);
         }
         // Two threads may race to fill the same key; both computed the
         // same pure result, so first-write-wins keeps determinism.
@@ -145,8 +174,8 @@ impl QueryCache {
             .entry(fp)
             .or_default()
             .entry(key.to_string())
-            .or_insert_with(|| result.clone());
-        result
+            .or_insert_with(|| Arc::clone(&rs));
+        Ok(rs)
     }
 
     /// Turns memoization off (every call executes) or back on. The memo
@@ -230,12 +259,40 @@ mod tests {
     }
 
     #[test]
-    fn errors_are_cached_too() {
+    fn errors_are_never_cached() {
         let db = db();
         let cache = QueryCache::new();
         let e1 = cache.execute_cached(&db, "SELECT nope FROM t").unwrap_err();
         let e2 = cache.execute_cached(&db, "SELECT nope FROM t").unwrap_err();
         assert_eq!(e1, e2);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 0));
+    }
+
+    #[test]
+    fn budget_abort_does_not_poison_later_uncapped_run() {
+        let db = db();
+        let cache = QueryCache::new();
+        let sql = "SELECT a FROM t";
+        // A one-step budget aborts the projection immediately.
+        let starved = ExecBudget::UNLIMITED.with_max_steps(1);
+        let err = cache.execute_budgeted(&db, sql, &starved).unwrap_err();
+        assert!(matches!(err, EngineError::BudgetExceeded { .. }));
+        assert_eq!(
+            cache.stats().entries,
+            0,
+            "aborted result must not be stored"
+        );
+        // The later uncapped run executes fresh and sees the real result.
+        let rs = cache.execute_cached(&db, sql).unwrap();
+        assert_eq!(*rs, execute_sql(&db, sql).unwrap());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 1));
+        // And a roomy budgeted call is now served from the cache.
+        let again = cache
+            .execute_budgeted(&db, sql, &ExecBudget::default())
+            .unwrap();
+        assert_eq!(*again, *rs);
         assert_eq!(cache.stats().hits, 1);
     }
 

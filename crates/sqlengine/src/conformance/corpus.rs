@@ -812,6 +812,92 @@ fn gen_subquery(rng: &mut Rng) -> Query {
     q
 }
 
+// ---- hazard: runaway templates --------------------------------------------
+
+/// The `hazard: runaway` corpus: queries engineered to do unbounded
+/// work — multi-way cross-join amplifiers and exponentially nested
+/// correlated EXISTS chains. Deliberately *not* part of [`gen_corpus`]:
+/// the differential harness executes its corpus unbudgeted, and a
+/// runaway template's only acceptable outcome is `BudgetExceeded` under
+/// a fuel budget. The verified invariant (see
+/// [`crate::conformance::check_hazard`]) is that each query trips the
+/// budget at the same `(stage, spent)` fuel count across index/seqscan
+/// modes and thread counts.
+pub fn gen_hazard_corpus(cfg: &CorpusConfig) -> Vec<String> {
+    let root = Rng::new(cfg.seed).fork("hazard");
+    (0..cfg.queries)
+        .map(|i| {
+            let mut rng = root.fork(&format!("h{i}"));
+            to_sql(&gen_hazard(&mut rng))
+        })
+        .collect()
+}
+
+fn gen_hazard(rng: &mut Rng) -> Query {
+    if rng.chance(0.5) {
+        gen_runaway_cross(rng)
+    } else {
+        gen_runaway_exists(rng)
+    }
+}
+
+/// Cross-join amplifier: a three- or four-way comma product
+/// materializing at least 44 × 60 × 44 rows. No WHERE clause on
+/// purpose — a pushed-down filter could shrink a scan enough to slip
+/// under the hazard budget, and the template must trip it by
+/// construction.
+fn gen_runaway_cross(rng: &mut Rng) -> Query {
+    let mut s = Select::default();
+    s.from.push(aliased("player", "p1"));
+    s.from.push(aliased("appearance", "a1"));
+    s.from.push(aliased("player", "p2"));
+    if rng.chance(0.5) {
+        s.from.push(aliased("appearance", "a2"));
+    }
+    s.projections.push(item(Expr::col("p1", "pid")));
+    if rng.chance(0.5) {
+        s.projections.push(item(Expr::col("p2", "score")));
+    }
+    Query::select(s)
+}
+
+/// Exponential subquery nesting: every correlated EXISTS level
+/// re-executes a player × appearance product (2640 rows of cross-join
+/// fuel) for each candidate row of its parent, so total work multiplies
+/// per level — 44 outer rows alone already cost 44 × 2640 steps.
+fn gen_runaway_exists(rng: &mut Rng) -> Query {
+    let depth = 1 + rng.index(2);
+    let mut s = Select::default();
+    s.from.push(aliased("player", "p0"));
+    s.projections.push(item(Expr::col("p0", "pid")));
+    if rng.chance(0.5) {
+        s.projections.push(item(Expr::col("p0", "squad")));
+    }
+    s.where_clause = Some(exists_level(1, depth));
+    Query::select(s)
+}
+
+fn exists_level(level: usize, depth: usize) -> Expr {
+    let p = format!("p{level}");
+    let a = format!("a{level}");
+    let mut inner = Select::default();
+    inner.projections.push(item(Expr::int(1)));
+    inner.from.push(aliased("player", &p));
+    inner.from.push(aliased("appearance", &a));
+    // Correlate on the outermost binding so no level can be folded to a
+    // run-once literal.
+    let corr = Expr::eq(Expr::col(&p, "pid"), Expr::col("p0", "pid"));
+    inner.where_clause = Some(if level < depth {
+        Expr::and(corr, exists_level(level + 1, depth))
+    } else {
+        corr
+    });
+    Expr::Exists {
+        query: Box::new(Query::select(inner)),
+        negated: false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -874,6 +960,29 @@ mod tests {
             .filter(|v| v.is_null())
             .count();
         assert!(nulls > 10, "expected a NULL-dense corpus, got {nulls}");
+    }
+
+    #[test]
+    fn hazard_corpus_is_deterministic_and_parses() {
+        let cfg = CorpusConfig {
+            seed: 9,
+            queries: 40,
+        };
+        let corpus = gen_hazard_corpus(&cfg);
+        assert_eq!(corpus, gen_hazard_corpus(&cfg));
+        let mut cross = 0;
+        let mut exists = 0;
+        for sql in &corpus {
+            let parsed = sqlkit::parse_query(sql)
+                .unwrap_or_else(|e| panic!("generated unparseable SQL: {e}\n{sql}"));
+            assert_eq!(to_sql(&parsed), *sql);
+            if sql.contains("EXISTS") {
+                exists += 1;
+            } else {
+                cross += 1;
+            }
+        }
+        assert!(cross > 0 && exists > 0, "both template classes present");
     }
 
     #[test]

@@ -32,14 +32,15 @@ pub mod corpus;
 pub mod oracle;
 pub mod reference;
 
-pub use corpus::{corpus_db, gen_corpus, CorpusConfig};
+pub use corpus::{corpus_db, gen_corpus, gen_hazard_corpus, CorpusConfig};
 pub use oracle::{check_oracles, OracleFailure, Truth, AND3, NOT3, OR3};
 pub use reference::{ref_execute, ref_execute_sql};
 
+use crate::budget::ExecBudget;
 use crate::cache::QueryCache;
 use crate::db::Database;
 use crate::error::EngineError;
-use crate::exec::{execute_sql, set_force_seqscan};
+use crate::exec::{execute_sql, execute_sql_with_budget, set_force_seqscan};
 use crate::result::ResultSet;
 use crate::value::Value;
 use sqlkit::ast::{Expr, Query, QueryBody};
@@ -255,6 +256,51 @@ pub fn run_corpus(db: &Database, corpus: &[String]) -> ConformanceReport {
         }
     }
     report
+}
+
+/// Verifies one `hazard: runaway` query: under `budget` it must return
+/// [`EngineError::BudgetExceeded`] in *both* scan modes, at the same
+/// `(stage, spent)` fuel count. Returns the agreed trip point, or a
+/// description of the violated invariant. Fuel is charged only on
+/// logical quantities that are bit-identical across access paths (see
+/// [`crate::budget`]), so any disagreement here is an engine bug, not a
+/// tolerance issue. Restores the scan-mode override before returning.
+pub fn check_hazard(
+    db: &Database,
+    sql: &str,
+    budget: &ExecBudget,
+) -> Result<(&'static str, u64), String> {
+    let mut trips: Vec<(&'static str, u64)> = Vec::new();
+    let mut violation = None;
+    for (mode, force) in [("indexed", false), ("seqscan", true)] {
+        set_force_seqscan(Some(force));
+        let outcome = execute_sql_with_budget(db, sql, budget);
+        match outcome {
+            Err(EngineError::BudgetExceeded { stage, spent }) => trips.push((stage, spent)),
+            Err(e) => {
+                violation = Some(format!("[{mode}] errored without tripping the budget: {e}"));
+                break;
+            }
+            Ok(rs) => {
+                violation = Some(format!(
+                    "[{mode}] completed with {} rows instead of tripping the budget",
+                    rs.rows.len()
+                ));
+                break;
+            }
+        }
+    }
+    set_force_seqscan(None);
+    if let Some(v) = violation {
+        return Err(v);
+    }
+    if trips[0] != trips[1] {
+        return Err(format!(
+            "trip point diverges across scan modes: indexed {:?} vs seqscan {:?}",
+            trips[0], trips[1]
+        ));
+    }
+    Ok(trips[0])
 }
 
 // ---- divergence minimization --------------------------------------------

@@ -35,7 +35,7 @@ use std::cmp::Ordering;
 
 /// Parses and executes `sql` with the reference interpreter.
 pub fn ref_execute_sql(db: &Database, sql: &str) -> Result<ResultSet, EngineError> {
-    let query = sqlkit::parse_query(sql).map_err(|e| EngineError::Parse(e.to_string()))?;
+    let query = sqlkit::parse_query(sql).map_err(EngineError::Parse)?;
     ref_execute(db, &query)
 }
 

@@ -16,6 +16,7 @@
 //! `REPRO_FORCE_SEQSCAN=1` reference mode (which disables index usage
 //! but not the planner's order decisions).
 
+use crate::budget::{charge, charge_rows, ExecBudget};
 use crate::db::Database;
 use crate::error::EngineError;
 use crate::result::ResultSet;
@@ -36,8 +37,34 @@ pub fn execute(db: &Database, query: &Query) -> Result<ResultSet, EngineError> {
 
 /// Parses and executes SQL text.
 pub fn execute_sql(db: &Database, sql: &str) -> Result<ResultSet, EngineError> {
-    let query = sqlkit::parse_query(sql).map_err(|e| EngineError::Parse(e.to_string()))?;
+    let query = sqlkit::parse_query(sql).map_err(EngineError::Parse)?;
     execute(db, &query)
+}
+
+/// Executes a parsed query under a fuel budget: pathological plans
+/// return [`EngineError::BudgetExceeded`] instead of hanging or
+/// exhausting memory. The budget is installed thread-locally for the
+/// duration of this call (restored even on unwind) and covers every
+/// nested subquery execution. See [`crate::budget`] for the accounting
+/// rules.
+pub fn execute_with_budget(
+    db: &Database,
+    query: &Query,
+    budget: &ExecBudget,
+) -> Result<ResultSet, EngineError> {
+    let _guard = crate::budget::FuelGuard::install(*budget);
+    execute(db, query)
+}
+
+/// Parses and executes SQL text under a fuel budget. Parsing itself is
+/// not charged — only execution consumes fuel.
+pub fn execute_sql_with_budget(
+    db: &Database,
+    sql: &str,
+    budget: &ExecBudget,
+) -> Result<ResultSet, EngineError> {
+    let query = sqlkit::parse_query(sql).map_err(EngineError::Parse)?;
+    execute_with_budget(db, &query, budget)
 }
 
 // ---- execution-mode switches and stage accounting -----------------------
@@ -505,7 +532,7 @@ fn exec_select(
     let mut first = true;
     for item in &s.from {
         let r = load_scan(db, item, &pushed, outer)?;
-        rel = if first { r } else { cross_join(rel, r) };
+        rel = if first { r } else { cross_join(rel, r)? };
         first = false;
     }
     let from_width = rel.cols.len();
@@ -555,17 +582,22 @@ fn exec_select(
 
     if uses_aggregates {
         let start = Instant::now();
-        exec_aggregate(db, s, order_by, &rel, &items, outer, &mut out)?;
+        let res = exec_aggregate(db, s, order_by, &rel, &items, outer, &mut out);
         bill(&AGG_NS, start);
+        res?;
         if let Some(n) = limit {
             out.rows.truncate(n as usize);
         }
+        charge_rows("output", out.rows.len() as u64)?;
     } else if order_by.is_empty() {
         // Plain unordered projection: stream output rows directly,
         // without retaining source rows.
         let plan = ColumnPlan::compile(items.iter().map(|(_, e)| e), &rel.cols);
+        let width = items.len() as u64;
         let mut rows = Vec::with_capacity(rel.rows.len());
         for row in &rel.rows {
+            charge("project", 1, width)?;
+            charge_rows("output", 1)?;
             let env = Env {
                 cols: &rel.cols,
                 row,
@@ -600,8 +632,10 @@ fn exec_select(
             &rel.cols,
         );
         let desc: Arc<[bool]> = order_by.iter().map(|o| o.desc).collect();
+        let width = items.len() as u64;
         let mut heap: BinaryHeap<TopKEntry> = BinaryHeap::with_capacity(k + 1);
         for (idx, row) in rel.rows.iter().enumerate() {
+            charge("project", 1, width)?;
             let env = Env {
                 cols: &rel.cols,
                 row,
@@ -640,6 +674,7 @@ fn exec_select(
         }
         out.rows = heap.into_sorted_vec().into_iter().map(|e| e.row).collect();
         out.ordered = true;
+        charge_rows("output", out.rows.len() as u64)?;
     } else {
         // Ordered projection (full sort). Keep the source row alongside
         // the output row so ORDER BY can reference non-projected
@@ -652,8 +687,12 @@ fn exec_select(
                 .chain(order_by.iter().map(|o| &o.expr)),
             &rel.cols,
         );
+        let width = (items.len() + rel.cols.len()) as u64;
         let mut pairs: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(rel.rows.len());
         for row in &rel.rows {
+            // Full sort retains the source row alongside the output row,
+            // so the cell charge covers both.
+            charge("project", 1, width)?;
             let env = Env {
                 cols: &rel.cols,
                 row,
@@ -696,6 +735,7 @@ fn exec_select(
         if let Some(n) = limit {
             out.rows.truncate(n as usize);
         }
+        charge_rows("output", out.rows.len() as u64)?;
     }
     Ok(out)
 }
@@ -1113,6 +1153,10 @@ fn index_nested_loop_join(
     let checks: Vec<&Expr> = mine.iter().copied().chain([on]).collect();
     let plan = ColumnPlan::compile(checks.iter().copied(), &cols);
 
+    // Emitted rows are charged identically to the hash-join path (same
+    // rows, same order), so tripping the budget reports the same
+    // (stage, spent) in indexed and seqscan modes.
+    let width = cols.len() as u64;
     let mut rows = Vec::new();
     for l in &left.rows {
         let candidates = match ix.lookup(&l[lpos]) {
@@ -1139,6 +1183,7 @@ fn index_nested_loop_join(
                     continue 'cand;
                 }
             }
+            charge("join", 1, width)?;
             rows.push(row);
         }
     }
@@ -1276,18 +1321,23 @@ fn restore_join_column_order(rel: &mut Relation, from_width: usize, blocks: &[(u
     }
 }
 
-fn cross_join(left: Relation, right: Relation) -> Relation {
+/// Cartesian product of two relations. Fallible: every emitted row is
+/// charged to the fuel budget, so an unconstrained multi-way product
+/// aborts instead of materializing quadratic (or worse) row counts.
+fn cross_join(left: Relation, right: Relation) -> Result<Relation, EngineError> {
     let mut cols = left.cols;
     cols.extend(right.cols);
-    let mut rows = Vec::with_capacity(left.rows.len() * right.rows.len().max(1));
+    let width = cols.len() as u64;
+    let mut rows = Vec::new();
     for l in &left.rows {
         for r in &right.rows {
+            charge("cross-join", 1, width)?;
             let mut row = l.clone();
             row.extend(r.iter().cloned());
             rows.push(row);
         }
     }
-    Relation { cols, rows }
+    Ok(Relation { cols, rows })
 }
 
 /// Joins two relations with hash-join acceleration for equi-conditions.
@@ -1366,17 +1416,20 @@ fn join_relations(
                     }
                 }
             }
+            let width = cols.len() as u64;
             for (li, l) in left.rows.iter().enumerate() {
                 let mut matched = false;
                 for &ri in &matches[li] {
                     let mut row = l.clone();
                     row.extend(right.rows[ri].iter().cloned());
                     if residual_ok(db, &residual, &cols, &row, outer, &plan)? {
+                        charge("join", 1, width)?;
                         rows.push(row);
                         matched = true;
                     }
                 }
                 if !matched && join.kind == JoinKind::Left {
+                    charge("join", 1, width)?;
                     let mut row = l.clone();
                     row.extend(null_right.iter().cloned());
                     rows.push(row);
@@ -1391,6 +1444,7 @@ fn join_relations(
                 }
                 table.entry(keys_of(r, &right_keys)).or_default().push(i);
             }
+            let width = cols.len() as u64;
             for l in &left.rows {
                 let mut matched = false;
                 if !left_keys.iter().any(|k| l[*k].is_null()) {
@@ -1399,6 +1453,7 @@ fn join_relations(
                             let mut row = l.clone();
                             row.extend(right.rows[ri].iter().cloned());
                             if residual_ok(db, &residual, &cols, &row, outer, &plan)? {
+                                charge("join", 1, width)?;
                                 rows.push(row);
                                 matched = true;
                             }
@@ -1406,6 +1461,7 @@ fn join_relations(
                     }
                 }
                 if !matched && join.kind == JoinKind::Left {
+                    charge("join", 1, width)?;
                     let mut row = l.clone();
                     row.extend(null_right.iter().cloned());
                     rows.push(row);
@@ -1413,11 +1469,17 @@ fn join_relations(
             }
         }
     } else {
-        // Nested loop.
+        // Nested loop. Every candidate pair is charged (not just emitted
+        // rows): a selective non-equi ON over huge inputs does quadratic
+        // work regardless of output size. This path is chosen by key
+        // shape alone, identically in indexed and seqscan modes, so the
+        // extra candidate charges stay mode-independent.
+        let width = cols.len() as u64;
         let plan = join.on.as_ref().map(|on| ColumnPlan::compile([on], &cols));
         for l in &left.rows {
             let mut matched = false;
             for r in &right.rows {
+                charge("join", 1, width)?;
                 let mut row = l.clone();
                 row.extend(r.iter().cloned());
                 let ok = match &join.on {
@@ -1438,6 +1500,7 @@ fn join_relations(
                 }
             }
             if !matched && join.kind == JoinKind::Left {
+                charge("join", 1, width)?;
                 let mut row = l.clone();
                 row.extend(null_right.iter().cloned());
                 rows.push(row);
@@ -1546,6 +1609,10 @@ fn exec_aggregate(
     outer: Option<&Env<'_>>,
     out: &mut ResultSet,
 ) -> Result<(), EngineError> {
+    // Charge the full input up front: grouping and per-group evaluation
+    // each walk every input row at least once, and an over-budget input
+    // should abort before any of that work starts.
+    charge("aggregate", rel.rows.len() as u64, rel.cols.len() as u64)?;
     // Partition rows into groups.
     let mut groups: Vec<Vec<usize>> = Vec::new();
     if s.group_by.is_empty() {

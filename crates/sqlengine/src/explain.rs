@@ -29,7 +29,7 @@ pub fn explain(db: &Database, query: &Query) -> String {
 
 /// Parses and explains SQL text.
 pub fn explain_sql(db: &Database, sql: &str) -> Result<String, crate::EngineError> {
-    let q = sqlkit::parse_query(sql).map_err(|e| crate::EngineError::Parse(e.to_string()))?;
+    let q = sqlkit::parse_query(sql).map_err(crate::EngineError::Parse)?;
     Ok(explain(db, &q))
 }
 

@@ -5,6 +5,8 @@
 //! gold and predicted SQL so that execution accuracy (EX) can be computed
 //! by result comparison.
 //!
+//! * [`budget`] — fuel-based execution budgets so pathological queries
+//!   abort with `BudgetExceeded` instead of hanging or exhausting memory;
 //! * [`cache`] — concurrency-safe query-result memoization keyed by
 //!   query text, used to execute each gold query once per data model;
 //! * [`catalog`] — schema metadata with PK/FK constraints;
@@ -32,6 +34,7 @@
 //! assert_eq!(rs.rows[0][0], Value::text("Brazil"));
 //! ```
 
+pub mod budget;
 pub mod cache;
 pub mod catalog;
 pub mod conformance;
@@ -42,13 +45,14 @@ pub mod explain;
 pub mod result;
 pub mod value;
 
+pub use budget::ExecBudget;
 pub use cache::{CacheStats, QueryCache};
 pub use catalog::{Catalog, ColumnDef, DataType, ForeignKey, TableSchema};
 pub use db::{ColumnIndex, Database, IndexStats};
 pub use error::EngineError;
 pub use exec::{
-    execute, execute_sql, planner_config_fingerprint, reset_stage_timings, set_force_seqscan,
-    stage_timings, StageTimings,
+    execute, execute_sql, execute_sql_with_budget, execute_with_budget, planner_config_fingerprint,
+    reset_stage_timings, set_force_seqscan, stage_timings, StageTimings,
 };
 pub use explain::{explain, explain_sql};
 pub use result::ResultSet;

@@ -1,0 +1,134 @@
+//! Robustness integration tests: fuel budgets bound pathological
+//! queries, budget aborts never poison the query cache, hazard
+//! templates trip identically across access-path modes, and governed
+//! runs stay bit-identical under panic injection at any thread count.
+
+use footballdb_repro::evalkit::{run_config_governed, set_thread_override, EvalSetup, Governor};
+use footballdb_repro::sqlengine::conformance::{
+    check_hazard, corpus_db, gen_hazard_corpus, CorpusConfig,
+};
+use footballdb_repro::sqlengine::{execute_sql_with_budget, EngineError, ExecBudget, QueryCache};
+use footballdb_repro::textosql::{Budget, FaultPlan, SystemKind};
+use std::time::Instant;
+
+/// A four-way cross join over the conformance corpus db: 44 × 60 × 44 ×
+/// 60 ≈ 7M rows, far past the default step budget.
+const RUNAWAY: &str =
+    "SELECT p1.pid FROM player AS p1, appearance AS a1, player AS p2, appearance AS a2";
+
+#[test]
+fn unbounded_cross_join_is_stopped_in_bounded_time() {
+    let db = corpus_db(77);
+    let start = Instant::now();
+    let res = execute_sql_with_budget(&db, RUNAWAY, &ExecBudget::default());
+    let elapsed = start.elapsed();
+    match res {
+        Err(EngineError::BudgetExceeded { stage, spent }) => {
+            assert!(!stage.is_empty());
+            assert!(spent > 0);
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+    // The default budget caps work at a few million fuel units; even a
+    // debug build clears that in well under a minute, while the
+    // unbudgeted query would materialize ~7M rows and keep going.
+    assert!(
+        elapsed.as_secs() < 60,
+        "budget abort took {elapsed:?} — not bounded"
+    );
+}
+
+#[test]
+fn budget_abort_never_enters_the_query_cache() {
+    let db = corpus_db(78);
+    let cache = QueryCache::new();
+    let starved = ExecBudget::UNLIMITED.with_max_steps(50);
+    let err = cache.execute_budgeted(&db, RUNAWAY, &starved);
+    assert!(matches!(err, Err(EngineError::BudgetExceeded { .. })));
+    assert_eq!(cache.stats().entries, 0, "aborted result was cached");
+    assert_eq!(cache.stats().hits, 0);
+}
+
+#[test]
+fn hazard_corpus_trips_identically_across_modes() {
+    let db = corpus_db(40);
+    let budget = ExecBudget::UNLIMITED.with_max_steps(60_000);
+    let corpus = gen_hazard_corpus(&CorpusConfig {
+        seed: 40,
+        queries: 12,
+    });
+    assert!(!corpus.is_empty());
+    for sql in &corpus {
+        let (stage, spent) = check_hazard(&db, sql, &budget)
+            .unwrap_or_else(|msg| panic!("hazard divergence: {msg}\n  {sql}"));
+        assert!(spent >= 60_000, "tripped early at {stage}: {spent}");
+    }
+}
+
+#[test]
+fn hazard_budget_is_thread_local() {
+    // A budget installed on one thread must not leak into another: the
+    // same runaway query runs unbudgeted-with-huge-cap on a spawned
+    // thread while the main thread's budget is starved.
+    let db = corpus_db(79);
+    let starved = ExecBudget::UNLIMITED.with_max_steps(50);
+    let cross = "SELECT player.pid FROM player, appearance";
+    let err = execute_sql_with_budget(&db, cross, &starved);
+    assert!(matches!(err, Err(EngineError::BudgetExceeded { .. })));
+    std::thread::scope(|scope| {
+        scope
+            .spawn(|| {
+                let roomy = ExecBudget::default();
+                let ok = execute_sql_with_budget(&db, cross, &roomy);
+                assert!(ok.is_ok(), "fresh thread inherited a starved budget");
+            })
+            .join()
+            .unwrap();
+    });
+}
+
+#[test]
+fn governed_runs_are_thread_invariant_under_panic_injection() {
+    // Injected panics are expected output here; keep the log quiet.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let setup = EvalSetup::small(11);
+    let pool: Vec<_> = setup.benchmark.train[..10].to_vec();
+    let gov = Governor {
+        fault_plan: Some(FaultPlan::new(3, 0.4).with_panic_rate(0.1)),
+        ..Governor::default()
+    };
+    let run_at = |threads: usize| {
+        set_thread_override(Some(threads));
+        let run = run_config_governed(
+            &setup,
+            SystemKind::Gpt35,
+            footballdb_repro::footballdb::DataModel::V1,
+            Budget::FewShot(10),
+            &pool,
+            "robustness",
+            &gov,
+        );
+        set_thread_override(None);
+        run
+    };
+    let serial = run_at(1);
+    let pooled = run_at(4);
+    std::panic::set_hook(prev);
+    assert_eq!(serial.items.len(), pooled.items.len());
+    let mut panics = 0usize;
+    for (a, b) in serial.items.iter().zip(&pooled.items) {
+        assert_eq!(a.item_id, b.item_id);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.failure, b.failure);
+        if a.failure == Some(footballdb_repro::evalkit::FailureKind::Panic) {
+            panics += 1;
+        }
+    }
+    assert!(
+        panics > 0,
+        "a 10% panic rate over {} items injected nothing",
+        serial.items.len()
+    );
+    assert_eq!(serial.accuracy(), pooled.accuracy());
+}
