@@ -24,9 +24,9 @@ use std::time::Instant;
 
 use evalkit::{
     observed_threads, reset_observed_threads, run_fewshot_grid, run_finetuned_grid, run_latency,
-    set_thread_override, EvalSetup, FailureKind,
+    set_thread_override, EvalSetup, FailureKind, ItemTrace,
 };
-use sqlengine::{reset_stage_timings, set_force_seqscan, stage_timings};
+use sqlengine::set_force_seqscan;
 
 fn usage() -> ! {
     eprintln!("usage: perfbench [--small] [--seed N] [--out PATH]");
@@ -35,16 +35,23 @@ fn usage() -> ! {
 
 /// Accuracy fingerprint of one full workload pass, used to verify the
 /// optimized run reproduces the baseline exactly, plus the classified
-/// failure counts aggregated over every run (each few-shot cell
-/// contributes its last fold, the run it keeps items for).
-fn run_workload(setup: &EvalSetup) -> (Vec<f64>, Vec<(FailureKind, usize)>) {
+/// failure counts and the merged per-item trace aggregated over every
+/// run that keeps items (each few-shot cell contributes its last fold).
+/// Stage times come from per-query spans scoped to each worker, so a
+/// stage's seconds are attributed to the query that spent them no
+/// matter which pool thread ran it.
+fn run_workload(setup: &EvalSetup) -> (Vec<f64>, Vec<(FailureKind, usize)>, ItemTrace) {
     let mut acc = Vec::new();
     let mut failures: Vec<(FailureKind, usize)> =
         FailureKind::ALL.iter().map(|&k| (k, 0)).collect();
+    let mut trace = ItemTrace::default();
     for run in run_finetuned_grid(setup, &[0, 100, 200, 300]) {
         acc.push(run.accuracy());
         for (slot, (_, n)) in failures.iter_mut().zip(run.failure_counts()) {
             slot.1 += n;
+        }
+        for item in &run.items {
+            trace.merge(&item.trace);
         }
     }
     for folded in run_fewshot_grid(setup) {
@@ -52,12 +59,15 @@ fn run_workload(setup: &EvalSetup) -> (Vec<f64>, Vec<(FailureKind, usize)>) {
         for (slot, (_, n)) in failures.iter_mut().zip(folded.last_run.failure_counts()) {
             slot.1 += n;
         }
+        for item in &folded.last_run.items {
+            trace.merge(&item.trace);
+        }
     }
     for (_, mean, sd) in run_latency(setup) {
         acc.push(mean);
         acc.push(sd);
     }
-    (acc, failures)
+    (acc, failures, trace)
 }
 
 fn main() {
@@ -99,7 +109,7 @@ fn main() {
     setup.set_query_caches_enabled(false);
     setup.clear_query_caches();
     let t = Instant::now();
-    let (baseline_acc, _) = run_workload(&setup);
+    let (baseline_acc, _, _) = run_workload(&setup);
     let serial_s = t.elapsed().as_secs_f64();
 
     // Optimized: worker pool + cold cache + index access paths.
@@ -108,17 +118,15 @@ fn main() {
     set_thread_override(None);
     set_force_seqscan(Some(false));
     reset_observed_threads();
-    reset_stage_timings();
     eprintln!("perfbench: optimized pass (pooled, cache enabled, indexes on)...");
     let t = Instant::now();
-    let (optimized_acc, failure_counts) = run_workload(&setup);
+    let (optimized_acc, failure_counts, stages) = run_workload(&setup);
     let wall_s = t.elapsed().as_secs_f64();
     set_force_seqscan(None);
 
     let threads = observed_threads();
     let stats = setup.cache_stats();
     let index = setup.index_stats();
-    let stages = stage_timings();
     let identical = baseline_acc == optimized_acc;
     assert!(
         identical,
@@ -147,9 +155,9 @@ fn main() {
         index.builds,
         index.probes,
         index.hits,
-        stages.scan_ns as f64 / 1e9,
-        stages.join_ns as f64 / 1e9,
-        stages.aggregate_ns as f64 / 1e9,
+        stages.stage("scan").wall_ns as f64 / 1e9,
+        stages.stage("join").wall_ns as f64 / 1e9,
+        stages.stage("aggregate").wall_ns as f64 / 1e9,
         if small { "small" } else { "paper" },
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));

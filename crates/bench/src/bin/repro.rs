@@ -13,6 +13,7 @@
 
 use evalkit::report;
 use evalkit::{run_fewshot_grid, run_finetuned_grid, run_latency, EvalSetup, RunResult};
+use footballdb::DataModel;
 use textosql::SystemKind;
 
 fn usage() -> ! {
@@ -21,9 +22,55 @@ fn usage() -> ! {
          targets: table1 table2 table3 table4 table5 table6 table7 table8\n\
          \u{20}        figure7 figure8 ablation-keys ablation-joinpath\n\
          \u{20}        ablation-train895 ablation-lexical tradeoff-tokens\n\
-         \u{20}        failures export all"
+         \u{20}        failures export trace <question_id> all"
     );
     std::process::exit(2);
+}
+
+/// `repro trace <question_id>`: executes the question's gold SQL under a
+/// trace collector on every data model and renders the span trees —
+/// deterministic operator counters first, then the full annotated tree
+/// (whose wall times and access-path counters vary run to run).
+fn trace_question(setup: &EvalSetup, id: usize) -> String {
+    use std::fmt::Write as _;
+    let item = setup
+        .benchmark
+        .test
+        .iter()
+        .chain(setup.benchmark.train.iter())
+        .find(|e| e.id == id);
+    let Some(item) = item else {
+        return format!("question {id} is not in the train or test split\n");
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "question {id}: {}", item.question);
+    for model in DataModel::ALL {
+        let sql = item.sql(model);
+        let (result, span) = sqlengine::trace_execute_sql(setup.db(model), sql);
+        let _ = writeln!(out, "\n[{model}] {sql}");
+        match result {
+            Ok(rs) => {
+                let _ = writeln!(
+                    out,
+                    "result: {} row(s), {} column(s)",
+                    rs.rows.len(),
+                    rs.columns.len()
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+            }
+        }
+        let _ = writeln!(out, "deterministic counters:");
+        for line in span.counter_tree().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+        let _ = writeln!(out, "execution (wall times are not deterministic):");
+        for line in span.render().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    out
 }
 
 fn figure_runs(setup: &EvalSetup) -> Vec<RunResult> {
@@ -71,8 +118,19 @@ fn main() {
         EvalSetup::paper_scale(seed)
     };
 
-    for target in targets {
+    let mut titer = targets.into_iter();
+    while let Some(target) = titer.next() {
         match target.as_str() {
+            "trace" => {
+                let id = titer
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("trace requires a numeric question id");
+                        usage()
+                    });
+                print!("{}", trace_question(&setup, id));
+            }
             "table1" => print!("{}", report::table1(&setup)),
             "table2" => print!("{}", report::table2(&setup)),
             "table3" => print!("{}", report::table3(&setup)),

@@ -122,6 +122,10 @@ mod tests {
                 joins,
                 ..QueryStats::default()
             },
+            trace: crate::metrics::ItemTrace::default(),
+            fault: None,
+            retries: 0,
+            gave_up: false,
         }
     }
 

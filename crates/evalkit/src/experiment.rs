@@ -6,6 +6,7 @@
 //! folds (Table 6), and the latency measurements (Table 7).
 
 use crate::metric::{accuracy, execution_match_governed, ExOutcome, FailureKind};
+use crate::metrics::ItemTrace;
 use crate::parallel::{par_map, par_map_catch};
 use footballdb::{generate, load, DataModel, Domain};
 use nlq::gold::{build_benchmark, PipelineConfig};
@@ -13,8 +14,8 @@ use nlq::{Benchmark, GoldExample};
 use sqlengine::{CacheStats, Database, ExecBudget, QueryCache};
 use sqlkit::{Hardness, QueryStats};
 use textosql::{
-    predict_governed, profile_items_with_db, success_probabilities, Budget, FaultPlan, ItemProfile,
-    JoinGraph, RetrievalIndex, RetryPolicy, SystemContext, SystemKind,
+    predict_governed, profile_items_with_db, success_probabilities, Budget, FaultKind, FaultPlan,
+    ItemProfile, JoinGraph, RetrievalIndex, RetryPolicy, SystemContext, SystemKind,
 };
 use xrng::Rng;
 
@@ -113,6 +114,7 @@ impl EvalSetup {
             misses: 0,
             entries: 0,
             oversize: 0,
+            builds: 0,
         };
         for (_, cache) in &self.caches {
             let s = cache.stats();
@@ -120,6 +122,7 @@ impl EvalSetup {
             total.misses += s.misses;
             total.entries += s.entries;
             total.oversize += s.oversize;
+            total.builds += s.builds;
         }
         total
     }
@@ -165,6 +168,16 @@ pub struct ItemResult {
     pub shots_used: usize,
     pub hardness: Hardness,
     pub stats: QueryStats,
+    /// Per-stage trace summary of this item's execution-match step
+    /// (scoped per item via a thread-local collector, so concurrent
+    /// items never cross-contaminate).
+    pub trace: ItemTrace,
+    /// The injected fault the provider surfaced for this item, if any.
+    pub fault: Option<FaultKind>,
+    /// Retries spent recovering from transient faults.
+    pub retries: u32,
+    /// Whether the provider exhausted every retry.
+    pub gave_up: bool,
 }
 
 /// One configuration's run over the test set.
@@ -305,6 +318,10 @@ pub fn run_config_governed(
             governor.fault_plan.as_ref(),
             &governor.retry,
         );
+        // A trace collector scoped to this item: spans from the gold and
+        // predicted executions land here and nowhere else, regardless of
+        // which pool thread runs the closure.
+        let trace_guard = sqlengine::TraceGuard::install();
         let (outcome, mut failure) = execution_match_governed(
             db,
             cache,
@@ -312,6 +329,7 @@ pub fn run_config_governed(
             item.sql(model),
             g.prediction.sql.as_deref(),
         );
+        let trace = ItemTrace::from_span(&trace_guard.finish());
         if g.gave_up {
             // The provider exhausted its retries; the missing SQL is a
             // provider failure, not a benign "no prediction".
@@ -325,6 +343,10 @@ pub fn run_config_governed(
             shots_used: g.prediction.shots_used,
             hardness: profiles[i].hardness,
             stats: profiles[i].stats,
+            trace,
+            fault: g.fault,
+            retries: g.retries,
+            gave_up: g.gave_up,
         }
     });
     let items = caught
@@ -339,6 +361,10 @@ pub fn run_config_governed(
                 shots_used: 0,
                 hardness: profiles[i].hardness,
                 stats: profiles[i].stats,
+                trace: ItemTrace::default(),
+                fault: None,
+                retries: 0,
+                gave_up: false,
             })
         })
         .collect();

@@ -8,6 +8,8 @@
 //! * [`parallel`] — deterministic scoped-thread fan-out for the grid
 //!   (`REPRO_THREADS=1` is the serial reference path);
 //! * [`experiment`] — the experiment grid (Tables 5–7);
+//! * [`metrics`] — registry aggregating per-item trace spans into
+//!   per-(system, model, hardness) counters and histograms;
 //! * [`breakdown`] — hardness and characteristic breakdowns (Figures
 //!   7–8);
 //! * [`report`] — text renderers for Tables 1–8 and both figures;
@@ -27,6 +29,7 @@ pub mod ablation;
 pub mod breakdown;
 pub mod experiment;
 pub mod metric;
+pub mod metrics;
 pub mod parallel;
 pub mod report;
 pub mod tradeoff;
@@ -39,6 +42,9 @@ pub use metric::{
     accuracy, classify_engine_error, component_match, execute_classified, execution_match,
     execution_match_cached, execution_match_governed, ComponentMatch, ExOutcome, FailureKind,
     QueryOutcome,
+};
+pub use metrics::{
+    hardness_name, ItemTrace, LatencyHistogram, MetricsCell, MetricsRegistry, StageAgg, STAGES,
 };
 pub use parallel::{
     configured_threads, observed_threads, par_map, par_map_catch, reset_observed_threads,

@@ -15,8 +15,25 @@ use std::fmt::Write;
 use textosql::{cost_params, SystemKind};
 use xrng::Rng;
 
+/// Formats a proportion as a percentage. A non-finite proportion (the
+/// 0/0 of an empty sample) renders as `n/a` instead of a
+/// plausible-looking number.
 fn pct(x: f64) -> String {
-    format!("{:.2}%", x * 100.0)
+    if x.is_finite() {
+        format!("{:.2}%", x * 100.0)
+    } else {
+        "n/a".to_string()
+    }
+}
+
+/// Share of `n` out of `total`, explicit about the empty case: a zero
+/// total is `n/a`, never a fabricated `0.00%`.
+fn pct_of(n: usize, total: usize) -> String {
+    if total == 0 {
+        "n/a".to_string()
+    } else {
+        pct(n as f64 / total as f64)
+    }
 }
 
 /// Table 1: statistics of the simulated live user logs.
@@ -270,10 +287,14 @@ pub fn table6(results: &[FoldedResult]) -> String {
             .collect();
         for (g, l) in gpt.iter().zip(&llama) {
             let fmt = |r: &FoldedResult| {
-                if r.shots == 0 {
-                    pct(r.mean())
-                } else {
-                    format!("{} (±{})", pct(r.mean()), pct(r.sd()))
+                // A ± needs at least two folds; a single fold has no
+                // spread to report and gets an explicit n=1 marker, and
+                // no folds at all is n/a, not a zero.
+                match r.fold_accuracies.len() {
+                    0 => "n/a".to_string(),
+                    _ if r.shots == 0 => pct(r.mean()),
+                    1 => format!("{} (n=1)", pct(r.mean())),
+                    _ => format!("{} (±{})", pct(r.mean()), pct(r.sd())),
                 }
             };
             let _ = writeln!(
@@ -491,12 +512,13 @@ pub fn failure_breakdown(runs: &[RunResult]) -> String {
     }
     let _ = writeln!(out, "{header}");
     for run in runs {
-        let mut line = format!(
-            "{:<8}{:<18}{:>8}",
-            run.model.label(),
-            run.system.name(),
+        // An empty run has no accuracy; say so instead of scoring it 0.
+        let ex = if run.items.is_empty() {
+            "n/a".to_string()
+        } else {
             pct(run.accuracy())
-        );
+        };
+        let mut line = format!("{:<8}{:<18}{:>8}", run.model.label(), run.system.name(), ex);
         for (_, n) in run.failure_counts() {
             let _ = write!(line, "{n:>16}");
         }
@@ -510,7 +532,7 @@ pub fn failure_breakdown(runs: &[RunResult]) -> String {
     let _ = writeln!(
         out,
         "{total} items total, {failed} classified failures ({})",
-        pct(failed as f64 / total.max(1) as f64)
+        pct_of(failed, total)
     );
     out
 }
@@ -565,6 +587,66 @@ mod tests {
     fn setup() -> &'static EvalSetup {
         static SETUP: OnceLock<EvalSetup> = OnceLock::new();
         SETUP.get_or_init(|| EvalSetup::small(11))
+    }
+
+    #[test]
+    fn pct_renders_non_finite_as_na() {
+        assert_eq!(pct(0.5), "50.00%");
+        assert_eq!(pct(f64::NAN), "n/a");
+        assert_eq!(pct(f64::INFINITY), "n/a");
+        assert_eq!(pct_of(0, 0), "n/a");
+        assert_eq!(pct_of(1, 4), "25.00%");
+    }
+
+    #[test]
+    fn failure_breakdown_is_explicit_about_empty_runs() {
+        use textosql::{Budget, SystemKind};
+        let empty = RunResult {
+            system: SystemKind::Gpt35,
+            model: DataModel::V1,
+            budget: Budget::FewShot(0),
+            items: Vec::new(),
+        };
+        let t = failure_breakdown(&[empty]);
+        assert!(t.contains("n/a"), "{t}");
+        assert!(!t.contains("0.00%"), "no fabricated zero share: {t}");
+        assert!(
+            t.contains("0 items total, 0 classified failures (n/a)"),
+            "{t}"
+        );
+    }
+
+    #[test]
+    fn table6_marks_single_fold_cells_instead_of_zero_spread() {
+        use textosql::{Budget, SystemKind};
+        let run = |system| RunResult {
+            system,
+            model: DataModel::V1,
+            budget: Budget::FewShot(10),
+            items: Vec::new(),
+        };
+        let folded = |system, accs: Vec<f64>| FoldedResult {
+            system,
+            model: DataModel::V1,
+            shots: 10,
+            fold_accuracies: accs,
+            last_run: run(system),
+        };
+        let t = table6(&[
+            folded(SystemKind::Gpt35, vec![0.4]),
+            folded(SystemKind::Llama2, vec![0.2, 0.3]),
+        ]);
+        assert!(t.contains("40.00% (n=1)"), "{t}");
+        assert!(
+            !t.contains("(±0.00%)"),
+            "single fold must not claim zero spread: {t}"
+        );
+        assert!(t.contains("25.00% (±5.00%)"), "{t}");
+        let none = table6(&[
+            folded(SystemKind::Gpt35, Vec::new()),
+            folded(SystemKind::Llama2, Vec::new()),
+        ]);
+        assert!(none.contains("n/a"), "{none}");
     }
 
     #[test]

@@ -140,7 +140,14 @@ impl Drop for FuelGuard {
 /// Charges `n` operator steps of `width` cells each to the current
 /// budget, if one is installed. The check order (steps, then cells) is
 /// fixed so the reported `(stage, spent)` is deterministic.
+///
+/// Charges are mirrored to the active trace span (if any) *before* the
+/// budget check and regardless of whether a budget is installed: fuel
+/// is charged only on logical quantities that are bit-identical across
+/// access paths (see the module docs), which is exactly what makes the
+/// trace's fuel counters part of the deterministic digest.
 pub(crate) fn charge(stage: &'static str, n: u64, width: u64) -> Result<(), EngineError> {
+    crate::trace::on_charge(n, n.saturating_mul(width));
     FUEL.with(|cell| {
         let mut slot = cell.borrow_mut();
         let Some(st) = slot.as_mut() else {

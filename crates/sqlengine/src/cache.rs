@@ -27,6 +27,8 @@ use crate::db::Database;
 use crate::error::EngineError;
 use crate::exec::{execute_sql, execute_sql_with_budget, planner_config_fingerprint};
 use crate::result::ResultSet;
+use crate::trace::{self, TraceSpan};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -39,6 +41,11 @@ pub struct CacheStats {
     pub entries: usize,
     /// Results executed but not stored because they exceeded the size cap.
     pub oversize: u64,
+    /// Entries actually inserted into the memo table. Two misses racing
+    /// on the same key both count a miss (each really executed), but
+    /// only the thread that wins the insert counts a build — so
+    /// `builds == entries` as long as the cache is never cleared.
+    pub builds: u64,
 }
 
 impl CacheStats {
@@ -53,8 +60,18 @@ impl CacheStats {
     }
 }
 
+/// One memoized execution: the result, plus the trace spans recorded
+/// while computing it (when the fill happened under an active
+/// [`trace::TraceGuard`]). A later hit replays the spans, so a memoized
+/// run produces the same deterministic counter tree as a cold one.
+#[derive(Debug)]
+struct CacheEntry {
+    result: Arc<ResultSet>,
+    trace: Option<Arc<Vec<TraceSpan>>>,
+}
+
 /// One planner-configuration's memo entries, keyed by trimmed SQL text.
-type MemoTable = HashMap<String, Arc<ResultSet>>;
+type MemoTable = HashMap<String, CacheEntry>;
 
 /// A concurrency-safe memo table for query execution against one
 /// database instance.
@@ -75,6 +92,7 @@ pub struct QueryCache {
     hits: AtomicU64,
     misses: AtomicU64,
     oversize: AtomicU64,
+    builds: AtomicU64,
     disabled: AtomicBool,
     /// Maximum result size (rows × columns) eligible for storage.
     ///
@@ -107,6 +125,7 @@ impl QueryCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             oversize: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
             disabled: AtomicBool::new(false),
             max_cells,
         }
@@ -146,11 +165,12 @@ impl QueryCache {
     ) -> Result<Arc<ResultSet>, EngineError> {
         if self.disabled.load(Ordering::Relaxed) {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            trace::cache_event(false);
             return run(db, sql).map(Arc::new);
         }
         let fp = planner_config_fingerprint();
         let key = sql.trim();
-        if let Some(cached) = self
+        if let Some(entry) = self
             .map
             .read()
             .unwrap()
@@ -158,23 +178,41 @@ impl QueryCache {
             .and_then(|entries| entries.get(key))
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(cached));
+            trace::cache_event(true);
+            if let Some(spans) = &entry.trace {
+                trace::replay(spans);
+            }
+            return Ok(Arc::clone(&entry.result));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let rs = run(db, sql).map(Arc::new)?;
+        trace::cache_event(false);
+        let (rs, spans) = trace::capture(|| run(db, sql).map(Arc::new));
+        let rs = rs?;
         if rs.rows.len().saturating_mul(rs.columns.len().max(1)) > self.max_cells {
             self.oversize.fetch_add(1, Ordering::Relaxed);
             return Ok(rs);
         }
         // Two threads may race to fill the same key; both computed the
-        // same pure result, so first-write-wins keeps determinism.
-        self.map
+        // same pure result, so first-write-wins keeps determinism — and
+        // only the winning insert counts a build, which is what keeps
+        // `builds` equal to the number of stored entries under races.
+        match self
+            .map
             .write()
             .unwrap()
             .entry(fp)
             .or_default()
             .entry(key.to_string())
-            .or_insert_with(|| Arc::clone(&rs));
+        {
+            Entry::Occupied(_) => {}
+            Entry::Vacant(slot) => {
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                slot.insert(CacheEntry {
+                    result: Arc::clone(&rs),
+                    trace: spans.map(Arc::new),
+                });
+            }
+        }
         Ok(rs)
     }
 
@@ -194,6 +232,7 @@ impl QueryCache {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.oversize.store(0, Ordering::Relaxed);
+        self.builds.store(0, Ordering::Relaxed);
     }
 
     pub fn stats(&self) -> CacheStats {
@@ -202,6 +241,7 @@ impl QueryCache {
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.map.read().unwrap().values().map(HashMap::len).sum(),
             oversize: self.oversize.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
         }
     }
 }
@@ -337,6 +377,78 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
         assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn racing_misses_on_one_key_count_a_single_build() {
+        let db = db();
+        let cache = QueryCache::new();
+        let sql = "SELECT a FROM t WHERE a = 2";
+        let threads = 8;
+        let barrier = std::sync::Barrier::new(threads);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    // All threads pass the read-lock lookup before any of
+                    // them stores, so every one of them misses and
+                    // executes — the double-count hazard under audit.
+                    barrier.wait();
+                    cache.execute_cached(&db, sql).unwrap();
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(
+            s.builds, 1,
+            "racing misses must not double-count builds: {s:?}"
+        );
+        assert_eq!(s.hits + s.misses, threads as u64, "every lookup counted");
+        assert!(s.misses >= 1);
+    }
+
+    #[test]
+    fn build_counter_tracks_distinct_entries() {
+        let db = db();
+        let cache = QueryCache::new();
+        cache.execute_cached(&db, "SELECT a FROM t").unwrap();
+        cache.execute_cached(&db, "SELECT a FROM t").unwrap(); // hit
+        cache
+            .execute_cached(&db, "SELECT a FROM t WHERE a = 1")
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!((s.builds, s.entries), (2, 2));
+        // Oversize and error executions never count as builds.
+        let tiny = QueryCache::with_max_cells(1);
+        tiny.execute_cached(&db, "SELECT a FROM t").unwrap();
+        tiny.execute_cached(&db, "SELECT nope FROM t").unwrap_err();
+        let s = tiny.stats();
+        assert_eq!((s.builds, s.entries, s.oversize), (0, 0, 1));
+    }
+
+    #[test]
+    fn cache_hit_replays_the_fill_time_counter_tree() {
+        let db = db();
+        let cache = QueryCache::new();
+        let sql = "SELECT a FROM t WHERE a > 1";
+        let cold = {
+            let guard = trace::TraceGuard::install();
+            cache.execute_cached(&db, sql).unwrap();
+            guard.finish()
+        };
+        let warm = {
+            let guard = trace::TraceGuard::install();
+            cache.execute_cached(&db, sql).unwrap();
+            guard.finish()
+        };
+        assert_eq!(
+            cold.counter_tree(),
+            warm.counter_tree(),
+            "a memoized run must report the same deterministic counters"
+        );
+        assert_eq!(cold.counters.cache_misses, 1);
+        assert_eq!(warm.counters.cache_hits, 1);
+        assert!(warm.render().contains("cache replay"), "{}", warm.render());
     }
 
     #[test]

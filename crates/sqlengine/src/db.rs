@@ -167,6 +167,10 @@ impl Database {
         if found {
             self.index_hits.fetch_add(1, Ordering::Relaxed);
         }
+        // Mirror the probe into the active trace span (if any), so
+        // per-query traces attribute probes to the operator that issued
+        // them rather than only to the database-wide totals.
+        crate::trace::probe(found);
     }
 
     /// Snapshot of the index-layer counters.

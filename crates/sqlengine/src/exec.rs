@@ -20,15 +20,15 @@ use crate::budget::{charge, charge_rows, ExecBudget};
 use crate::db::Database;
 use crate::error::EngineError;
 use crate::result::ResultSet;
+use crate::trace;
 use crate::value::{like_match, value_key_eq, value_key_hash, Value};
 use sqlkit::ast::*;
 use sqlkit::printer::expr_to_sql;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::Hasher;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
 
 /// Executes a parsed query against the database.
 pub fn execute(db: &Database, query: &Query) -> Result<ResultSet, EngineError> {
@@ -37,7 +37,10 @@ pub fn execute(db: &Database, query: &Query) -> Result<ResultSet, EngineError> {
 
 /// Parses and executes SQL text.
 pub fn execute_sql(db: &Database, sql: &str) -> Result<ResultSet, EngineError> {
-    let query = sqlkit::parse_query(sql).map_err(EngineError::Parse)?;
+    let query = {
+        let _span = trace::span("parse");
+        sqlkit::parse_query(sql).map_err(EngineError::Parse)?
+    };
     execute(db, &query)
 }
 
@@ -63,7 +66,10 @@ pub fn execute_sql_with_budget(
     sql: &str,
     budget: &ExecBudget,
 ) -> Result<ResultSet, EngineError> {
-    let query = sqlkit::parse_query(sql).map_err(EngineError::Parse)?;
+    let query = {
+        let _span = trace::span("parse");
+        sqlkit::parse_query(sql).map_err(EngineError::Parse)?
+    };
     execute_with_budget(db, &query, budget)
 }
 
@@ -111,40 +117,10 @@ pub(crate) fn force_seqscan() -> bool {
     }
 }
 
-static SCAN_NS: AtomicU64 = AtomicU64::new(0);
-static JOIN_NS: AtomicU64 = AtomicU64::new(0);
-static AGG_NS: AtomicU64 = AtomicU64::new(0);
-
-/// Cumulative time spent in the executor's three heavy stages across the
-/// whole process. Attributions, not a partition of wall time: a
-/// correlated subquery inside a join predicate bills its own scans to
-/// the scan counter *and* its parent to the join counter.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StageTimings {
-    pub scan_ns: u64,
-    pub join_ns: u64,
-    pub aggregate_ns: u64,
-}
-
-/// Snapshot of the per-stage counters.
-pub fn stage_timings() -> StageTimings {
-    StageTimings {
-        scan_ns: SCAN_NS.load(Ordering::Relaxed),
-        join_ns: JOIN_NS.load(Ordering::Relaxed),
-        aggregate_ns: AGG_NS.load(Ordering::Relaxed),
-    }
-}
-
-/// Zeroes the per-stage counters (benchmark harness).
-pub fn reset_stage_timings() {
-    SCAN_NS.store(0, Ordering::Relaxed);
-    JOIN_NS.store(0, Ordering::Relaxed);
-    AGG_NS.store(0, Ordering::Relaxed);
-}
-
-fn bill(counter: &AtomicU64, since: Instant) {
-    counter.fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
-}
+// Stage accounting lives in [`crate::trace`]: per-query, thread-local
+// span trees. The old process-global `SCAN_NS`/`JOIN_NS` atomics let
+// concurrent queries on the evaluation pool bleed wall-clock into each
+// other's stage counters; scoped collection cannot.
 
 /// A materialized intermediate relation: column bindings plus rows.
 #[derive(Debug, Clone, Default)]
@@ -309,22 +285,30 @@ fn exec_query(
     query: &Query,
     outer: Option<&Env<'_>>,
 ) -> Result<ResultSet, EngineError> {
+    let _span = trace::span("query");
     let mut result = match &query.body {
         QueryBody::Select(s) => {
-            return exec_select(db, s, &query.order_by, query.limit, outer);
+            let out = exec_select(db, s, &query.order_by, query.limit, outer);
+            if let Ok(rs) = &out {
+                trace::rows_out(rs.rows.len() as u64);
+            }
+            return out;
         }
         QueryBody::SetOp { .. } => exec_body(db, &query.body, outer)?,
     };
     // ORDER BY over a set-operation result may reference output columns
     // by name (or be a positional integer literal).
     if !query.order_by.is_empty() {
+        let _sort = trace::span("sort");
         let keys = order_keys_by_output(&result, &query.order_by)?;
         sort_by_keys(&mut result.rows, keys, &query.order_by);
         result.ordered = true;
+        trace::rows_out(result.rows.len() as u64);
     }
     if let Some(n) = query.limit {
         result.rows.truncate(n as usize);
     }
+    trace::rows_out(result.rows.len() as u64);
     Ok(result)
 }
 
@@ -341,6 +325,9 @@ fn exec_body(
             left,
             right,
         } => {
+            let _span = trace::span_labeled("setop", || {
+                format!("{op}{}", if *all { " all" } else { "" }).to_lowercase()
+            });
             let l = exec_body(db, left, outer)?;
             let r = exec_body(db, right, outer)?;
             if l.columns.len() != r.columns.len() {
@@ -409,6 +396,7 @@ fn exec_body(
                         .collect();
                 }
             }
+            trace::rows_out(out.rows.len() as u64);
             Ok(out)
         }
     }
@@ -520,8 +508,13 @@ fn exec_select(
     // 0. Plan the WHERE clause: fold uncorrelated subqueries to literals
     // (so they run once, not per row) and split the conjunction into
     // predicates pushable to individual scans versus residual ones.
-    let folded_where = s.where_clause.as_ref().map(|w| fold_uncorrelated(db, w));
-    let (pushed, residual) = plan_pushdown(s, folded_where.as_ref());
+    // Column resolution happens per operator (`ColumnPlan::compile`)
+    // under that operator's span, so "resolve" has no span of its own.
+    let (pushed, residual) = {
+        let _span = trace::span("plan");
+        let folded_where = s.where_clause.as_ref().map(|w| fold_uncorrelated(db, w));
+        plan_pushdown(s, folded_where.as_ref())
+    };
 
     // 1. FROM: build the source relation. Each scan resolves its pushed
     // predicates through the access-path layer (index lookup where an
@@ -553,6 +546,7 @@ fn exec_select(
     // `residual` is borrowed, not moved: the compiled plan keys column
     // occurrences by node address, so the expression must stay put.
     if let Some(w) = &residual {
+        let _span = trace::span("filter");
         let plan = ColumnPlan::compile([w], &rel.cols);
         let mut kept = Vec::with_capacity(rel.rows.len());
         for row in std::mem::take(&mut rel.rows) {
@@ -567,6 +561,7 @@ fn exec_select(
             }
         }
         rel.rows = kept;
+        trace::rows_out(rel.rows.len() as u64);
     }
 
     // 3. Projection plan.
@@ -581,10 +576,11 @@ fn exec_select(
     let mut out = ResultSet::new(columns);
 
     if uses_aggregates {
-        let start = Instant::now();
-        let res = exec_aggregate(db, s, order_by, &rel, &items, outer, &mut out);
-        bill(&AGG_NS, start);
-        res?;
+        {
+            let _span = trace::span("aggregate");
+            exec_aggregate(db, s, order_by, &rel, &items, outer, &mut out)?;
+            trace::rows_out(out.rows.len() as u64);
+        }
         if let Some(n) = limit {
             out.rows.truncate(n as usize);
         }
@@ -592,6 +588,7 @@ fn exec_select(
     } else if order_by.is_empty() {
         // Plain unordered projection: stream output rows directly,
         // without retaining source rows.
+        let _span = trace::span("project");
         let plan = ColumnPlan::compile(items.iter().map(|(_, e)| e), &rel.cols);
         let width = items.len() as u64;
         let mut rows = Vec::with_capacity(rel.rows.len());
@@ -617,12 +614,15 @@ fn exec_select(
             rows.truncate(n as usize);
         }
         out.rows = rows;
+        trace::rows_out(out.rows.len() as u64);
     } else if !s.distinct && limit.is_some() {
         // Top-k: ORDER BY + LIMIT k without DISTINCT keeps a bounded
         // heap of the k smallest rows under the sort order. Ties break
         // by input position, so the output is exactly the stable full
         // sort truncated to k — at O(n log k) and without materializing
         // a source-row copy per input row.
+        let _span = trace::span("sort");
+        trace::detail(|| "top-k heap".to_string());
         let k = limit.unwrap_or(0) as usize;
         let plan = ColumnPlan::compile(
             items
@@ -674,12 +674,15 @@ fn exec_select(
         }
         out.rows = heap.into_sorted_vec().into_iter().map(|e| e.row).collect();
         out.ordered = true;
+        trace::rows_out(out.rows.len() as u64);
         charge_rows("output", out.rows.len() as u64)?;
     } else {
         // Ordered projection (full sort). Keep the source row alongside
         // the output row so ORDER BY can reference non-projected
         // columns. One plan covers the projection and ORDER BY
         // expressions, both evaluated in the source scope.
+        let _span = trace::span("sort");
+        trace::detail(|| "full sort".to_string());
         let plan = ColumnPlan::compile(
             items
                 .iter()
@@ -735,6 +738,7 @@ fn exec_select(
         if let Some(n) = limit {
             out.rows.truncate(n as usize);
         }
+        trace::rows_out(out.rows.len() as u64);
         charge_rows("output", out.rows.len() as u64)?;
     }
     Ok(out)
@@ -880,7 +884,7 @@ fn load_scan(
     pushed: &[(String, Expr)],
     outer: Option<&Env<'_>>,
 ) -> Result<Relation, EngineError> {
-    let start = Instant::now();
+    let _span = trace::span_labeled("scan", || t.binding().to_string());
     let mine: Vec<&Expr> = pushed
         .iter()
         .filter(|(b, _)| b.eq_ignore_ascii_case(t.binding()))
@@ -899,6 +903,7 @@ fn load_scan(
                 .collect();
             let all = db.rows(name).unwrap();
             if mine.is_empty() {
+                trace::detail(|| "seq scan".to_string());
                 Relation {
                     cols,
                     rows: all.to_vec(),
@@ -930,6 +935,7 @@ fn load_scan(
                 let mut rows = Vec::new();
                 match driver {
                     Some((ix, keys)) => {
+                        trace::detail(|| format!("index lookup ({} key(s))", keys.len()));
                         let mut ids: Vec<u32> = Vec::new();
                         for k in &keys {
                             match ix.lookup(k) {
@@ -950,6 +956,7 @@ fn load_scan(
                         }
                     }
                     None => {
+                        trace::detail(|| "filtered seq scan".to_string());
                         for row in all {
                             if keep(row)? {
                                 rows.push(row.clone());
@@ -961,6 +968,7 @@ fn load_scan(
             }
         }
         TableRef::Derived { query, alias } => {
+            trace::detail(|| "derived".to_string());
             let rs = exec_query(db, query, outer)?;
             let cols: Vec<(String, String)> = rs
                 .columns
@@ -975,7 +983,7 @@ fn load_scan(
             rel
         }
     };
-    bill(&SCAN_NS, start);
+    trace::rows_out(rel.rows.len() as u64);
     Ok(rel)
 }
 
@@ -1060,9 +1068,11 @@ fn exec_join(
         &[]
     };
     let right = load_scan(db, &join.table, right_pushed, outer)?;
-    let start = Instant::now();
+    let _span = trace::span_labeled("join", || join.table.binding().to_string());
     let out = join_relations(db, left, right, join, outer);
-    bill(&JOIN_NS, start);
+    if let Ok(rel) = &out {
+        trace::rows_out(rel.rows.len() as u64);
+    }
     out
 }
 
@@ -1127,7 +1137,8 @@ fn index_nested_loop_join(
     pushed: &[(String, Expr)],
     outer: Option<&Env<'_>>,
 ) -> Result<Relation, EngineError> {
-    let start = Instant::now();
+    let _span = trace::span_labeled("join", || join.table.binding().to_string());
+    trace::detail(|| "index nested-loop".to_string());
     let TableRef::Named { name, .. } = &join.table else {
         unreachable!("INL join requires a named table");
     };
@@ -1187,7 +1198,7 @@ fn index_nested_loop_join(
             rows.push(row);
         }
     }
-    bill(&JOIN_NS, start);
+    trace::rows_out(rows.len() as u64);
     Ok(Relation { cols, rows })
 }
 
@@ -1325,6 +1336,8 @@ fn restore_join_column_order(rel: &mut Relation, from_width: usize, blocks: &[(u
 /// charged to the fuel budget, so an unconstrained multi-way product
 /// aborts instead of materializing quadratic (or worse) row counts.
 fn cross_join(left: Relation, right: Relation) -> Result<Relation, EngineError> {
+    let _span = trace::span_labeled("join", || "cross".to_string());
+    trace::detail(|| "cross product".to_string());
     let mut cols = left.cols;
     cols.extend(right.cols);
     let width = cols.len() as u64;
@@ -1337,6 +1350,7 @@ fn cross_join(left: Relation, right: Relation) -> Result<Relation, EngineError> 
             rows.push(row);
         }
     }
+    trace::rows_out(rows.len() as u64);
     Ok(Relation { cols, rows })
 }
 
@@ -1398,6 +1412,7 @@ fn join_relations(
         if left.rows.len() < right.rows.len() {
             // Build on the left: collect per-left-row match lists during
             // the right-side probe, then emit in left order.
+            trace::detail(|| "hash (build left)".to_string());
             let mut table: HashMap<Vec<Key>, Vec<usize>> = HashMap::with_capacity(left.rows.len());
             for (i, l) in left.rows.iter().enumerate() {
                 if left_keys.iter().any(|k| l[*k].is_null()) {
@@ -1437,6 +1452,7 @@ fn join_relations(
             }
         } else {
             // Build on the right, probe with left rows.
+            trace::detail(|| "hash (build right)".to_string());
             let mut table: HashMap<Vec<Key>, Vec<usize>> = HashMap::with_capacity(right.rows.len());
             for (i, r) in right.rows.iter().enumerate() {
                 if right_keys.iter().any(|k| r[*k].is_null()) {
@@ -1474,6 +1490,7 @@ fn join_relations(
         // work regardless of output size. This path is chosen by key
         // shape alone, identically in indexed and seqscan modes, so the
         // extra candidate charges stay mode-independent.
+        trace::detail(|| "nested loop".to_string());
         let width = cols.len() as u64;
         let plan = join.on.as_ref().map(|on| ColumnPlan::compile([on], &cols));
         for l in &left.rows {

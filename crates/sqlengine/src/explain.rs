@@ -33,6 +33,52 @@ pub fn explain_sql(db: &Database, sql: &str) -> Result<String, crate::EngineErro
     Ok(explain(db, &q))
 }
 
+/// `EXPLAIN ANALYZE`: executes the query under a [`crate::trace`]
+/// collector and renders the static plan followed by the observed span
+/// tree — per-operator rows, fuel, index probes, and wall-clock (the
+/// latter explicitly marked non-deterministic). Execution errors are
+/// reported inline; the spans recorded up to the failure still render.
+pub fn explain_analyze(db: &Database, query: &Query) -> String {
+    let (result, trace) = crate::trace::trace_execute(db, query);
+    render_analyze(explain(db, query), result, trace)
+}
+
+/// Parses and `EXPLAIN ANALYZE`s SQL text.
+pub fn explain_analyze_sql(db: &Database, sql: &str) -> Result<String, crate::EngineError> {
+    let q = sqlkit::parse_query(sql).map_err(crate::EngineError::Parse)?;
+    Ok(explain_analyze(db, &q))
+}
+
+fn render_analyze(
+    plan: String,
+    result: Result<crate::ResultSet, crate::EngineError>,
+    trace: crate::trace::TraceSpan,
+) -> String {
+    let mut out = String::with_capacity(plan.len() + 512);
+    out.push_str("plan:\n");
+    for line in plan.lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+    out.push_str("execution (wall times are not deterministic):\n");
+    for line in trace.render().lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+    match result {
+        Ok(rs) => {
+            let _ = writeln!(
+                out,
+                "result: {} row(s), {} column(s)",
+                rs.rows.len(),
+                rs.columns.len()
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+        }
+    }
+    out
+}
+
 fn pad(out: &mut String, indent: usize) {
     for _ in 0..indent {
         out.push_str("  ");
@@ -462,5 +508,34 @@ mod tests {
     fn parse_errors_propagate() {
         let db = db();
         assert!(explain_sql(&db, "nope").is_err());
+    }
+
+    #[test]
+    fn explain_analyze_reports_plan_spans_and_result() {
+        let db = db();
+        let report = explain_analyze_sql(
+            &db,
+            "SELECT a.x FROM t AS a JOIN u AS b ON a.id = b.id WHERE b.y = 103",
+        )
+        .unwrap();
+        assert!(report.contains("plan:"), "{report}");
+        assert!(report.contains("index nested-loop join"), "{report}");
+        assert!(
+            report.contains("execution (wall times are not deterministic):"),
+            "{report}"
+        );
+        assert!(report.contains("join b [index nested-loop]"), "{report}");
+        assert!(report.contains("probes="), "{report}");
+        assert!(report.contains("result: 1 row(s), 1 column(s)"), "{report}");
+    }
+
+    #[test]
+    fn explain_analyze_reports_execution_errors_inline() {
+        let db = db();
+        let report = explain_analyze_sql(&db, "SELECT nope FROM t").unwrap();
+        assert!(report.contains("error: "), "{report}");
+        // The scan completed before projection failed, so its span is
+        // still in the report.
+        assert!(report.contains("scan t"), "{report}");
     }
 }

@@ -15,6 +15,8 @@
 //! * [`exec`] — the executor (index or sequential scans, cost-ordered
 //!   index-nested-loop/hash/nested-loop joins, grouping, HAVING,
 //!   top-k ordering, set operations, correlated subqueries);
+//! * [`trace`] — per-query, thread-local trace spans: deterministic
+//!   operator counters kept strictly apart from wall-clock timing;
 //! * [`value`] — runtime values with SQL NULL semantics;
 //! * [`result`] — result sets and the bag-semantics execution match used
 //!   by the EX metric.
@@ -43,6 +45,7 @@ pub mod error;
 pub mod exec;
 pub mod explain;
 pub mod result;
+pub mod trace;
 pub mod value;
 
 pub use budget::ExecBudget;
@@ -52,8 +55,12 @@ pub use db::{ColumnIndex, Database, IndexStats};
 pub use error::EngineError;
 pub use exec::{
     execute, execute_sql, execute_sql_with_budget, execute_with_budget, planner_config_fingerprint,
-    reset_stage_timings, set_force_seqscan, stage_timings, StageTimings,
+    set_force_seqscan,
 };
-pub use explain::{explain, explain_sql};
+pub use explain::{explain, explain_analyze, explain_analyze_sql, explain_sql};
 pub use result::ResultSet;
+pub use trace::{
+    trace_execute, trace_execute_sql, trace_execute_sql_with_budget, TraceCounters, TraceGuard,
+    TraceSpan,
+};
 pub use value::{like_match, IndexKey, Value};
