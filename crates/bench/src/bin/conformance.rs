@@ -12,8 +12,9 @@
 //!    tables, NULL ordering, bag set ops, empty-group aggregates) hold
 //!    on both the engine and the reference interpreter.
 //! 2. **Corpus**: a seeded generated corpus runs under {indexed,
-//!    seqscan} × {fresh, cached} with bit-identical results, and under
-//!    the naive reference interpreter with EX-equal results.
+//!    seqscan} × {vectorized, row-at-a-time} × {fresh, cached} (six
+//!    configs) with bit-identical results, and under the naive
+//!    reference interpreter with EX-equal results.
 //! 3. **Threads**: the same corpus (and the gold corpus) evaluated
 //!    through `evalkit::par_map` at 1 worker vs 8 workers is
 //!    bit-identical case by case.
@@ -118,7 +119,7 @@ fn main() {
         }
     });
 
-    // Axis 2: generated corpus, four engine configs + reference.
+    // Axis 2: generated corpus, six engine configs + reference.
     let mut total_queries = 0usize;
     let mut total_execs = 0usize;
     let mut total_errored = 0usize;
@@ -137,7 +138,7 @@ fn main() {
         corpora.push((s, db, corpus));
     }
     println!(
-        "corpus axis: {total_queries} queries x 4 configs + reference \
+        "corpus axis: {total_queries} queries x 6 configs + reference \
          ({total_execs} engine executions, {total_errored} consistent-error entries)"
     );
 
@@ -230,8 +231,9 @@ fn main() {
 
     // Axis 5: runaway-hazard templates must trip the fuel budget, and
     // must trip it identically (same stage, same spent count) whether
-    // joins go through hash indexes or forced sequential scans — the
-    // fuel model only charges mode-independent logical quantities.
+    // joins go through hash indexes or forced sequential scans, and
+    // whether the vectorized or the row executor runs them — the fuel
+    // model only charges mode-independent logical quantities.
     let hazard_budget = ExecBudget::UNLIMITED.with_max_steps(60_000);
     let mut hazard_total = 0usize;
     let mut hazard_diffs = 0usize;
@@ -250,8 +252,8 @@ fn main() {
     }
     failures += hazard_diffs;
     println!(
-        "hazard axis: {hazard_total} runaway queries x {{indexed, seqscan}}, \
-         {hazard_diffs} divergences"
+        "hazard axis: {hazard_total} runaway queries x {{indexed, seqscan}} x \
+         {{vectorized, rowexec}}, {hazard_diffs} divergences"
     );
 
     if failures > 0 {

@@ -7,17 +7,25 @@
 //! 1. **baseline** — one thread, query-result memoization disabled, and
 //!    every index access path forced off (`set_force_seqscan`): the
 //!    pre-optimization serial execution model;
-//! 2. **optimized** — the configured worker pool with cold caches
-//!    enabled and the index-backed access paths active.
+//! 2. **optimized** — a worker pool of exactly `--threads` workers
+//!    (default 8) with cold caches enabled and the index-backed access
+//!    paths active.
 //!
 //! Both runs must produce identical accuracies — the optimizations are
 //! required to be semantically invisible — and the harness checks that
 //! before reporting, which makes every full benchmark run a paper-scale
-//! differential test of the index layer. Results land in
-//! `BENCH_repro.json`:
+//! differential test of the index layer. The harness also refuses to
+//! write results when the pool width actually observed during the
+//! optimized pass disagrees with the requested `--threads`: a
+//! multi-thread benchmark that silently ran serially (e.g. a stray
+//! `REPRO_THREADS=1` once produced a "parallel" record measured on one
+//! thread) must fail loudly, not publish. Results land in
+//! `BENCH_repro.json` with both `threads` (requested) and
+//! `observed_threads` recorded:
 //!
 //! ```text
-//! cargo run --release -p bench --bin perfbench -- [--small] [--seed N] [--out PATH]
+//! cargo run --release -p bench --bin perfbench -- \
+//!     [--small] [--seed N] [--threads N] [--out PATH]
 //! ```
 
 use std::time::Instant;
@@ -29,7 +37,7 @@ use evalkit::{
 use sqlengine::set_force_seqscan;
 
 fn usage() -> ! {
-    eprintln!("usage: perfbench [--small] [--seed N] [--out PATH]");
+    eprintln!("usage: perfbench [--small] [--seed N] [--threads N] [--out PATH]");
     std::process::exit(2);
 }
 
@@ -37,9 +45,11 @@ fn usage() -> ! {
 /// optimized run reproduces the baseline exactly, plus the classified
 /// failure counts and the merged per-item trace aggregated over every
 /// run that keeps items (each few-shot cell contributes its last fold).
-/// Stage times come from per-query spans scoped to each worker, so a
-/// stage's seconds are attributed to the query that spent them no
-/// matter which pool thread ran it.
+/// Stage times come from per-query spans scoped to each worker and
+/// measured on the thread-CPU clock, so a stage's seconds are
+/// attributed to the query that spent them no matter which pool thread
+/// ran it — and are not inflated by timeslicing when the pool
+/// oversubscribes the host's cores.
 fn run_workload(setup: &EvalSetup) -> (Vec<f64>, Vec<(FailureKind, usize)>, ItemTrace) {
     let mut acc = Vec::new();
     let mut failures: Vec<(FailureKind, usize)> =
@@ -74,6 +84,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut small = false;
     let mut seed = 7u64;
+    let mut threads_requested = 8usize;
     let mut out_path = "BENCH_repro.json".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -83,6 +94,13 @@ fn main() {
                 seed = it
                     .next()
                     .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                threads_requested = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
                     .unwrap_or_else(|| usage());
             }
             "--out" => out_path = it.next().cloned().unwrap_or_else(|| usage()),
@@ -112,19 +130,34 @@ fn main() {
     let (baseline_acc, _, _) = run_workload(&setup);
     let serial_s = t.elapsed().as_secs_f64();
 
-    // Optimized: worker pool + cold cache + index access paths.
+    // Optimized: worker pool + cold cache + index access paths. The
+    // pool width is pinned explicitly — never inherited from the
+    // environment — so the record means what it says.
     setup.set_query_caches_enabled(true);
     setup.clear_query_caches();
-    set_thread_override(None);
+    set_thread_override(Some(threads_requested));
     set_force_seqscan(Some(false));
     reset_observed_threads();
-    eprintln!("perfbench: optimized pass (pooled, cache enabled, indexes on)...");
+    eprintln!(
+        "perfbench: optimized pass ({threads_requested} workers, cache enabled, indexes on)..."
+    );
     let t = Instant::now();
     let (optimized_acc, failure_counts, stages) = run_workload(&setup);
     let wall_s = t.elapsed().as_secs_f64();
     set_force_seqscan(None);
+    set_thread_override(None);
 
-    let threads = observed_threads();
+    let threads = threads_requested;
+    let observed = observed_threads();
+    if observed != threads_requested {
+        eprintln!(
+            "perfbench: REFUSING to write {out_path}: requested {threads_requested} worker(s) \
+             but the widest pool observed during the optimized pass was {observed}. \
+             The timing above does not measure the configuration it claims to; \
+             check REPRO_THREADS and the workload size."
+        );
+        std::process::exit(1);
+    }
     let stats = setup.cache_stats();
     let index = setup.index_stats();
     let identical = baseline_acc == optimized_acc;
@@ -142,7 +175,8 @@ fn main() {
     let json = format!(
         "{{\n  \"wall_s\": {wall_s:.3},\n  \"serial_s\": {serial_s:.3},\n  \
          \"setup_s\": {setup_s:.3},\n  \"speedup\": {speedup:.3},\n  \
-         \"threads\": {threads},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+         \"threads\": {threads},\n  \"observed_threads\": {observed},\n  \
+         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
          \"cache_entries\": {},\n  \"cache_hit_rate\": {:.4},\n  \
          \"index_builds\": {},\n  \"index_probes\": {},\n  \"index_hits\": {},\n  \
          \"stage_scan_s\": {:.3},\n  \"stage_join_s\": {:.3},\n  \"stage_aggregate_s\": {:.3},\n  \
@@ -155,9 +189,9 @@ fn main() {
         index.builds,
         index.probes,
         index.hits,
-        stages.stage("scan").wall_ns as f64 / 1e9,
-        stages.stage("join").wall_ns as f64 / 1e9,
-        stages.stage("aggregate").wall_ns as f64 / 1e9,
+        stages.stage("scan").cpu_ns as f64 / 1e9,
+        stages.stage("join").cpu_ns as f64 / 1e9,
+        stages.stage("aggregate").cpu_ns as f64 / 1e9,
         if small { "small" } else { "paper" },
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));

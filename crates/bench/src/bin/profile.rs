@@ -5,8 +5,11 @@
 //! registry's deterministic section (stage calls / rows / fuel, item
 //! and outcome counts, failure and fault taxonomies, retry totals,
 //! latency histogram buckets) must be byte-identical between the two
-//! passes. Wall-clock seconds and the scheduling-dependent cache split
-//! are reported in a separate `wall` section that carries no such
+//! passes. Timing (whole-pass wall seconds, per-stage thread-CPU
+//! seconds), the scheduling-dependent cache split,
+//! and the vectorized executor's batch statistics (`batches_out` and
+//! the mean selection-vector fill `sel_vec_density` per stage) are
+//! reported in a separate `wall` section that carries no such
 //! guarantee.
 //!
 //! ```text
@@ -125,11 +128,24 @@ fn main() {
     let total = pooled_reg.totals();
     let stage_wall = STAGES
         .iter()
-        .map(|&s| {
-            format!(
-                "\"{s}_s\": {:.4}",
-                total.trace.stage(s).wall_ns as f64 / 1e9
-            )
+        .map(|&s| format!("\"{s}_s\": {:.4}", total.trace.stage(s).cpu_ns as f64 / 1e9))
+        .collect::<Vec<_>>()
+        .join(", ");
+    // Advisory vectorized-executor stats: batches emitted per stage and
+    // the mean fill of those 1024-row vectors. Zero-batch stages (and
+    // row-engine runs) are omitted; never part of the digest.
+    let stage_batches = STAGES
+        .iter()
+        .filter_map(|&s| {
+            let agg = total.trace.stage(s);
+            if agg.batches_out == 0 {
+                return None;
+            }
+            let density = agg.rows_out as f64 / (agg.batches_out as f64 * 1024.0);
+            Some(format!(
+                "\"{s}\": {{\"batches_out\": {}, \"sel_vec_density\": {density:.4}}}",
+                agg.batches_out
+            ))
         })
         .collect::<Vec<_>>()
         .join(", ");
@@ -141,6 +157,7 @@ fn main() {
          \"counters\": {},\n  \
          \"wall\": {{\n    \"serial_s\": {serial_s:.3},\n    \"pooled_s\": {pooled_s:.3},\n    \
          {stage_wall},\n    \
+         \"stage_batches\": {{{stage_batches}}},\n    \
          \"index_probes\": {},\n    \"index_hits\": {},\n    \
          \"cache_hits\": {},\n    \"cache_misses\": {}\n  }}\n}}\n",
         if small { "small" } else { "paper" },

@@ -30,7 +30,7 @@ fn usage() -> ! {
 /// `repro trace <question_id>`: executes the question's gold SQL under a
 /// trace collector on every data model and renders the span trees —
 /// deterministic operator counters first, then the full annotated tree
-/// (whose wall times and access-path counters vary run to run).
+/// (whose timings and access-path counters vary run to run).
 fn trace_question(setup: &EvalSetup, id: usize) -> String {
     use std::fmt::Write as _;
     let item = setup
@@ -65,7 +65,7 @@ fn trace_question(setup: &EvalSetup, id: usize) -> String {
         for line in span.counter_tree().lines() {
             let _ = writeln!(out, "  {line}");
         }
-        let _ = writeln!(out, "execution (wall times are not deterministic):");
+        let _ = writeln!(out, "execution (cpu times are not deterministic):");
         for line in span.render().lines() {
             let _ = writeln!(out, "  {line}");
         }

@@ -14,7 +14,7 @@
 //! `rows_out` / `fuel_steps` / `fuel_cells`, item/correct counts,
 //! failure counts, fault/retry counts, and latency histograms (the
 //! latencies are simulated, hence seeded-deterministic) are exact
-//! across thread counts. `wall_ns`, index probe and cache hit/miss
+//! across thread counts. `cpu_ns`, index probe and cache hit/miss
 //! totals are advisory: reported, but excluded from the deterministic
 //! sections of `BENCH_profile.json`.
 
@@ -52,8 +52,11 @@ pub struct StageAgg {
     pub fuel_steps: u64,
     /// Budget cells charged, summed (deterministic).
     pub fuel_cells: u64,
-    /// Wall-clock nanoseconds, summed (never deterministic).
-    pub wall_ns: u64,
+    /// Column-vector batches emitted, summed (advisory: zero whenever
+    /// the row engine ran, so excluded from the deterministic JSON).
+    pub batches_out: u64,
+    /// Thread-CPU nanoseconds, summed (never deterministic).
+    pub cpu_ns: u64,
 }
 
 impl StageAgg {
@@ -62,7 +65,8 @@ impl StageAgg {
         self.rows_out += other.rows_out;
         self.fuel_steps += other.fuel_steps;
         self.fuel_cells += other.fuel_cells;
-        self.wall_ns += other.wall_ns;
+        self.batches_out += other.batches_out;
+        self.cpu_ns += other.cpu_ns;
     }
 }
 
@@ -96,7 +100,8 @@ impl ItemTrace {
                 agg.rows_out += s.counters.rows_out;
                 agg.fuel_steps += s.counters.fuel_steps;
                 agg.fuel_cells += s.counters.fuel_cells;
-                agg.wall_ns += s.wall_ns;
+                agg.batches_out += s.counters.batches_out;
+                agg.cpu_ns += s.cpu_ns;
             }
             out.index_probes += s.counters.index_probes;
             out.index_hits += s.counters.index_hits;
@@ -408,8 +413,9 @@ mod tests {
                 index_hits: 1,
                 cache_hits: 0,
                 cache_misses: 0,
+                batches_out: 0,
             },
-            wall_ns: 123,
+            cpu_ns: 123,
             children: Vec::new(),
         }
     }

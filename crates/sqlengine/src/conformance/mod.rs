@@ -15,10 +15,11 @@
 //!    under bag (or ordered, when both sides order) comparison.
 //! 3. **Config layer** ([`check_case`]): the engine re-runs every query
 //!    under each planner configuration that claims observational
-//!    equivalence — indexed vs forced sequential scans, cached vs
-//!    uncached — and all runs must be *bit-identical*, not merely
-//!    EX-equal. (The thread-count and cross-data-model axes need crates
-//!    above `sqlengine` and live in the `conformance` bench driver.)
+//!    equivalence — indexed vs forced sequential scans, vectorized vs
+//!    row-at-a-time execution, cached vs uncached — and all runs must
+//!    be *bit-identical*, not merely EX-equal. (The thread-count and
+//!    cross-data-model axes need crates above `sqlengine` and live in
+//!    the `conformance` bench driver.)
 //!
 //! Divergences are minimized by clause deletion ([`minimize_sql`]) and
 //! reported with both result sets and the disagreeing configuration, so
@@ -40,7 +41,7 @@ use crate::budget::ExecBudget;
 use crate::cache::QueryCache;
 use crate::db::Database;
 use crate::error::EngineError;
-use crate::exec::{execute_sql, execute_sql_with_budget, set_force_seqscan};
+use crate::exec::{execute_sql, execute_sql_with_budget, set_force_seqscan, set_vectorized};
 use crate::result::ResultSet;
 use crate::value::Value;
 use sqlkit::ast::{Expr, Query, QueryBody};
@@ -95,12 +96,18 @@ impl ConformanceReport {
 }
 
 /// The engine-side configurations that must be observationally
-/// identical for any query: {indexed, forced seqscan} × {fresh, cached}.
-const CONFIGS: [(&str, bool, bool); 4] = [
-    ("indexed", false, false),
-    ("seqscan", true, false),
-    ("indexed+cache", false, true),
-    ("seqscan+cache", true, true),
+/// identical for any query: {indexed, forced seqscan} × {vectorized,
+/// forced row-at-a-time} on fresh runs, plus the cached variants of the
+/// vectorized pair. `vec = true` only *allows* the columnar executor —
+/// plan-ineligible queries still run row-at-a-time, which is itself
+/// part of the equivalence claim.
+const CONFIGS: [(&str, bool, bool, bool); 6] = [
+    ("indexed", false, false, true),
+    ("seqscan", true, false, true),
+    ("indexed+rowexec", false, false, false),
+    ("seqscan+rowexec", true, false, false),
+    ("indexed+cache", false, true, true),
+    ("seqscan+cache", true, true, true),
 ];
 
 fn run_config(
@@ -109,14 +116,17 @@ fn run_config(
     sql: &str,
     force: bool,
     cached: bool,
+    vec: bool,
 ) -> Result<ResultSet, EngineError> {
     set_force_seqscan(Some(force));
+    set_vectorized(Some(vec));
     let out = if cached {
         cache.execute_cached(db, sql).map(|rs| (*rs).clone())
     } else {
         execute_sql(db, sql)
     };
     set_force_seqscan(None);
+    set_vectorized(None);
     out
 }
 
@@ -177,7 +187,9 @@ fn check_raw(
 ) -> Option<(String, String, String)> {
     let runs: Vec<(&str, Result<ResultSet, EngineError>)> = CONFIGS
         .iter()
-        .map(|(name, force, cached)| (*name, run_config(db, cache, sql, *force, *cached)))
+        .map(|(name, force, cached, vec)| {
+            (*name, run_config(db, cache, sql, *force, *cached, *vec))
+        })
         .collect();
     let (base_name, base) = &runs[0];
     for (name, outcome) in &runs[1..] {
@@ -259,24 +271,33 @@ pub fn run_corpus(db: &Database, corpus: &[String]) -> ConformanceReport {
 }
 
 /// Verifies one `hazard: runaway` query: under `budget` it must return
-/// [`EngineError::BudgetExceeded`] in *both* scan modes, at the same
-/// `(stage, spent)` fuel count. Returns the agreed trip point, or a
-/// description of the violated invariant. Fuel is charged only on
-/// logical quantities that are bit-identical across access paths (see
-/// [`crate::budget`]), so any disagreement here is an engine bug, not a
-/// tolerance issue. Restores the scan-mode override before returning.
+/// [`EngineError::BudgetExceeded`] in *all four* execution modes —
+/// {indexed, forced seqscan} × {vectorized, row-at-a-time} — at the
+/// same `(stage, spent)` fuel count. Returns the agreed trip point, or
+/// a description of the violated invariant. Fuel is charged only on
+/// logical quantities that are bit-identical across access paths and
+/// executors (see [`crate::budget`]), so any disagreement here is an
+/// engine bug, not a tolerance issue. Restores both mode overrides
+/// before returning.
 pub fn check_hazard(
     db: &Database,
     sql: &str,
     budget: &ExecBudget,
 ) -> Result<(&'static str, u64), String> {
-    let mut trips: Vec<(&'static str, u64)> = Vec::new();
+    const MODES: [(&str, bool, bool); 4] = [
+        ("indexed", false, true),
+        ("seqscan", true, true),
+        ("indexed+rowexec", false, false),
+        ("seqscan+rowexec", true, false),
+    ];
+    let mut trips: Vec<(&'static str, (&'static str, u64))> = Vec::new();
     let mut violation = None;
-    for (mode, force) in [("indexed", false), ("seqscan", true)] {
+    for (mode, force, vec) in MODES {
         set_force_seqscan(Some(force));
+        set_vectorized(Some(vec));
         let outcome = execute_sql_with_budget(db, sql, budget);
         match outcome {
-            Err(EngineError::BudgetExceeded { stage, spent }) => trips.push((stage, spent)),
+            Err(EngineError::BudgetExceeded { stage, spent }) => trips.push((mode, (stage, spent))),
             Err(e) => {
                 violation = Some(format!("[{mode}] errored without tripping the budget: {e}"));
                 break;
@@ -291,16 +312,19 @@ pub fn check_hazard(
         }
     }
     set_force_seqscan(None);
+    set_vectorized(None);
     if let Some(v) = violation {
         return Err(v);
     }
-    if trips[0] != trips[1] {
-        return Err(format!(
-            "trip point diverges across scan modes: indexed {:?} vs seqscan {:?}",
-            trips[0], trips[1]
-        ));
+    let (base_mode, base) = trips[0];
+    for &(mode, trip) in &trips[1..] {
+        if trip != base {
+            return Err(format!(
+                "trip point diverges across execution modes: {base_mode} {base:?} vs {mode} {trip:?}"
+            ));
+        }
     }
-    Ok(trips[0])
+    Ok(base)
 }
 
 // ---- divergence minimization --------------------------------------------

@@ -1,20 +1,22 @@
-//! Query executor.
+//! Row-at-a-time query executor.
 //!
-//! A correctness-first executor over the in-memory database with a
-//! cost-aware access-path layer: scans resolve pushed-down equality
-//! predicates through lazy hash indexes and materialize only surviving
-//! rows; equi-joins pick the hash-join build side by cardinality or use
+//! A correctness-first executor over the in-memory database, driven by
+//! the physical plan from [`crate::plan`]: scans resolve pushed-down
+//! equality predicates through lazy hash indexes and materialize only
+//! surviving rows; equi-joins hash the estimated-smaller side or probe
 //! an index-nested-loop when the probe side is an indexed base table;
-//! commutative inner joins are greedily reordered by estimated output
-//! size. Hash grouping, three-valued NULL logic, set operations with SQL
-//! set semantics, and correlated subqueries (through an environment
-//! chain) complete the feature set.
+//! commutative inner joins run in greedily cost-ordered sequence. Hash
+//! grouping, three-valued NULL logic, set operations with SQL set
+//! semantics, and correlated subqueries (through an environment chain)
+//! complete the feature set.
 //!
 //! Every access-path decision is a pure function of the database
-//! statistics and the query, never of timing, so results are
-//! bit-identical across thread counts and across the
+//! statistics and the query (see [`crate::plan`]), never of timing, so
+//! results are bit-identical across thread counts, across the
 //! `REPRO_FORCE_SEQSCAN=1` reference mode (which disables index usage
-//! but not the planner's order decisions).
+//! but not the planner's order decisions), and across the columnar
+//! executor in [`crate::vexec`] (which shares this module's plan,
+//! charging discipline, and output stage).
 
 use crate::budget::{charge, charge_rows, ExecBudget};
 use crate::db::Database;
@@ -97,13 +99,13 @@ pub fn set_force_seqscan(force: Option<bool>) {
 
 /// Fingerprint of every process-wide planner/execution toggle a cached
 /// result could depend on. [`crate::cache::QueryCache`] keys entries by
-/// this, so a mid-process `set_force_seqscan` flip can never serve a
-/// result computed under the other configuration — even though today
-/// the two modes are bit-identical by construction, the cache must not
-/// *rely* on that invariant. Any future planner toggle must be folded
-/// in here.
+/// this, so a mid-process `set_force_seqscan` or `set_vectorized` flip
+/// can never serve a result computed under the other configuration —
+/// even though today the modes are bit-identical by construction, the
+/// cache must not *rely* on that invariant. Any future planner toggle
+/// must be folded in here.
 pub fn planner_config_fingerprint() -> u64 {
-    force_seqscan() as u64
+    force_seqscan() as u64 | (vectorized_enabled() as u64) << 1
 }
 
 /// True when index access paths are disabled.
@@ -117,6 +119,38 @@ pub(crate) fn force_seqscan() -> bool {
     }
 }
 
+/// 0 = follow `REPRO_FORCE_ROWEXEC`; 1 = force the columnar executor
+/// on; 2 = force the row executor.
+static VECTORIZED_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+static VECTORIZED_ENV: OnceLock<bool> = OnceLock::new();
+
+/// Programmatic override of the `REPRO_FORCE_ROWEXEC` environment
+/// variable: `Some(false)` pins every eligible query to the
+/// row-at-a-time executor (the differential reference mode),
+/// `Some(true)` enables the columnar executor regardless of the
+/// environment, `None` restores environment resolution. Process wide;
+/// results, fuel charges, and deterministic trace counters are
+/// identical either way by construction — only the inner loops differ.
+pub fn set_vectorized(on: Option<bool>) {
+    let v = match on {
+        None => 0,
+        Some(true) => 1,
+        Some(false) => 2,
+    };
+    VECTORIZED_OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+/// True when eligible queries run on the columnar executor.
+pub(crate) fn vectorized_enabled() -> bool {
+    match VECTORIZED_OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => !*VECTORIZED_ENV.get_or_init(|| {
+            std::env::var("REPRO_FORCE_ROWEXEC").is_ok_and(|v| !v.trim().is_empty() && v != "0")
+        }),
+    }
+}
+
 // Stage accounting lives in [`crate::trace`]: per-query, thread-local
 // span trees. The old process-global `SCAN_NS`/`JOIN_NS` atomics let
 // concurrent queries on the evaluation pool bleed wall-clock into each
@@ -124,23 +158,23 @@ pub(crate) fn force_seqscan() -> bool {
 
 /// A materialized intermediate relation: column bindings plus rows.
 #[derive(Debug, Clone, Default)]
-struct Relation {
+pub(crate) struct Relation {
     /// (binding, column-name) per position. The binding is the table
     /// alias (or name) the column is visible under.
-    cols: Vec<(String, String)>,
-    rows: Vec<Vec<Value>>,
+    pub(crate) cols: Vec<(String, String)>,
+    pub(crate) rows: Vec<Vec<Value>>,
 }
 
 /// Evaluation environment: one relation row, optionally chained to an
 /// outer query's environment for correlated subqueries.
-struct Env<'a> {
-    cols: &'a [(String, String)],
-    row: &'a [Value],
-    parent: Option<&'a Env<'a>>,
+pub(crate) struct Env<'a> {
+    pub(crate) cols: &'a [(String, String)],
+    pub(crate) row: &'a [Value],
+    pub(crate) parent: Option<&'a Env<'a>>,
     /// Pre-resolved column positions for the expressions a row loop is
     /// about to evaluate. Purely an accelerator: any reference not in
     /// the plan falls back to the linear name scan.
-    plan: Option<&'a ColumnPlan>,
+    pub(crate) plan: Option<&'a ColumnPlan>,
 }
 
 impl<'a> Env<'a> {
@@ -174,7 +208,10 @@ impl<'a> Env<'a> {
 /// Resolves a column reference against one relation's bindings by
 /// case-insensitive name scan. `Ok(None)` means "not in this relation"
 /// (the caller may continue up the environment chain).
-fn resolve_column(cols: &[(String, String)], c: &ColumnRef) -> Result<Option<usize>, EngineError> {
+pub(crate) fn resolve_column(
+    cols: &[(String, String)],
+    c: &ColumnRef,
+) -> Result<Option<usize>, EngineError> {
     match &c.table {
         Some(t) => Ok(cols
             .iter()
@@ -196,7 +233,7 @@ fn resolve_column(cols: &[(String, String)], c: &ColumnRef) -> Result<Option<usi
 
 /// Resolution outcome for one column occurrence.
 #[derive(Debug, Clone, Copy)]
-enum Slot {
+pub(crate) enum Slot {
     /// Position in the local relation's row.
     Local(usize),
     /// Not in the local relation; resolve through the parent chain.
@@ -220,12 +257,12 @@ enum Slot {
 /// are never keyed here — they take the fallback scan against their own
 /// (different) scope.
 #[derive(Debug, Default)]
-struct ColumnPlan {
+pub(crate) struct ColumnPlan {
     slots: HashMap<usize, Slot>,
 }
 
 impl ColumnPlan {
-    fn compile<'e, I>(exprs: I, cols: &[(String, String)]) -> ColumnPlan
+    pub(crate) fn compile<'e, I>(exprs: I, cols: &[(String, String)]) -> ColumnPlan
     where
         I: IntoIterator<Item = &'e Expr>,
     {
@@ -245,21 +282,21 @@ impl ColumnPlan {
         ColumnPlan { slots }
     }
 
-    fn get(&self, c: &ColumnRef) -> Option<Slot> {
+    pub(crate) fn get(&self, c: &ColumnRef) -> Option<Slot> {
         self.slots.get(&(c as *const ColumnRef as usize)).copied()
     }
 }
 
 /// A hashable canonical key for join probes, grouping, and DISTINCT.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum Key {
+pub(crate) enum Key {
     Null,
     Bool(bool),
     Num(u64),
     Text(String),
 }
 
-fn key_of(v: &Value) -> Key {
+pub(crate) fn key_of(v: &Value) -> Key {
     match v {
         Value::Null => Key::Null,
         Value::Bool(b) => Key::Bool(*b),
@@ -432,7 +469,7 @@ fn consume_match(counts: &mut HashMap<Vec<Key>, usize>, row: &[Value]) -> bool {
 /// (NULL == NULL, Int/Float unified). Rows are bucketed by a streaming
 /// hash of their values and compared with [`value_key_eq`] only on hash
 /// collision, so no per-row key vector is materialized.
-fn dedup_by_key<T, F>(items: &mut Vec<T>, key: F)
+pub(crate) fn dedup_by_key<T, F>(items: &mut Vec<T>, key: F)
 where
     F: Fn(&T) -> &[Value],
 {
@@ -505,36 +542,44 @@ fn exec_select(
     limit: Option<u64>,
     outer: Option<&Env<'_>>,
 ) -> Result<ResultSet, EngineError> {
-    // 0. Plan the WHERE clause: fold uncorrelated subqueries to literals
-    // (so they run once, not per row) and split the conjunction into
-    // predicates pushable to individual scans versus residual ones.
-    // Column resolution happens per operator (`ColumnPlan::compile`)
-    // under that operator's span, so "resolve" has no span of its own.
-    let (pushed, residual) = {
+    // 0. Plan: fold uncorrelated subqueries to literals (so they run
+    // once, not per row), then derive the physical plan — predicate
+    // pushdown, access paths, join order, join algorithms — as a pure
+    // function of catalog and query (`crate::plan`). Column resolution
+    // happens per operator (`ColumnPlan::compile`) under that
+    // operator's span, so "resolve" has no span of its own.
+    let plan = {
         let _span = trace::span("plan");
         let folded_where = s.where_clause.as_ref().map(|w| fold_uncorrelated(db, w));
-        plan_pushdown(s, folded_where.as_ref())
+        crate::plan::plan_select(db, s, folded_where.as_ref())
     };
 
+    // Plan-gated query shapes run on the columnar batch executor, which
+    // produces bit-identical results and charges fuel in the identical
+    // order (`crate::vexec`). Correlated subqueries (outer env) stay on
+    // the row engine.
+    if plan.vectorized && outer.is_none() && vectorized_enabled() {
+        return crate::vexec::exec_select_vec(db, s, order_by, limit, &plan);
+    }
+
     // 1. FROM: build the source relation. Each scan resolves its pushed
-    // predicates through the access-path layer (index lookup where an
+    // predicates through the plan's access path (index lookup where an
     // equality key is available, filtered sequential scan otherwise),
     // and commutative inner joins run in greedily cost-ordered sequence
     // with the column layout restored to the written order afterwards.
     let mut rel = Relation::default();
     let mut first = true;
-    for item in &s.from {
-        let r = load_scan(db, item, &pushed, outer)?;
+    for (item, sp) in s.from.iter().zip(&plan.scans) {
+        let r = load_scan(db, item, &plan.pushed, &sp.access, outer)?;
         rel = if first { r } else { cross_join(rel, r)? };
         first = false;
     }
     let from_width = rel.cols.len();
-    let order = plan_join_order(db, s, &pushed);
-    let mut blocks: Vec<(usize, usize)> = Vec::with_capacity(order.len());
-    for &ji in &order {
+    let mut blocks: Vec<(usize, usize)> = Vec::with_capacity(plan.join_order.len());
+    for step in &plan.join_order {
         let before = rel.cols.len();
-        rel = exec_join(db, rel, &s.joins[ji], &pushed, outer)?;
-        blocks.push((ji, rel.cols.len() - before));
+        rel = exec_join(db, rel, &s.joins[step.ji], step, &plan.pushed, outer)?;
+        blocks.push((step.ji, rel.cols.len() - before));
     }
     restore_join_column_order(&mut rel, from_width, &blocks);
     if first {
@@ -545,7 +590,7 @@ fn exec_select(
     // 2. Residual WHERE predicates (multi-table or non-pushable).
     // `residual` is borrowed, not moved: the compiled plan keys column
     // occurrences by node address, so the expression must stay put.
-    if let Some(w) = &residual {
+    if let Some(w) = &plan.residual {
         let _span = trace::span("filter");
         let plan = ColumnPlan::compile([w], &rel.cols);
         let mut kept = Vec::with_capacity(rel.rows.len());
@@ -564,8 +609,24 @@ fn exec_select(
         trace::rows_out(rel.rows.len() as u64);
     }
 
+    output_stage(db, s, order_by, limit, outer, &rel)
+}
+
+/// Steps 3–4 of SELECT execution, shared between the row engine and the
+/// vectorized executor (which materializes surviving batches into a
+/// [`Relation`] before any output path its kernels don't cover
+/// natively): projection expansion, then aggregation / plain projection
+/// / top-k / full sort, with DISTINCT, LIMIT, and output-row fuel.
+pub(crate) fn output_stage(
+    db: &Database,
+    s: &Select,
+    order_by: &[OrderItem],
+    limit: Option<u64>,
+    outer: Option<&Env<'_>>,
+    rel: &Relation,
+) -> Result<ResultSet, EngineError> {
     // 3. Projection plan.
-    let items = expand_projections(&rel, &s.projections)?;
+    let items = expand_projections(&rel.cols, &s.projections)?;
 
     let uses_aggregates = !s.group_by.is_empty()
         || items.iter().any(|(_, e)| e.contains_aggregate())
@@ -578,7 +639,7 @@ fn exec_select(
     if uses_aggregates {
         {
             let _span = trace::span("aggregate");
-            exec_aggregate(db, s, order_by, &rel, &items, outer, &mut out)?;
+            exec_aggregate(db, s, order_by, rel, &items, outer, &mut out)?;
             trace::rows_out(out.rows.len() as u64);
         }
         if let Some(n) = limit {
@@ -649,7 +710,7 @@ fn exec_select(
             let keys = order_key_row(
                 db,
                 order_by,
-                &rel,
+                rel,
                 row,
                 &out_row,
                 &items,
@@ -717,7 +778,7 @@ fn exec_select(
                 order_key_row(
                     db,
                     order_by,
-                    &rel,
+                    rel,
                     src,
                     outr,
                     &items,
@@ -870,18 +931,20 @@ fn order_keys_by_output(
 
 /// Loads one FROM/JOIN source and applies its pushed-down predicates.
 ///
-/// Named tables go through the access-path layer: when a pushed
-/// predicate is an equality (or IN list) of an indexed column against
-/// literals, the lazy hash index narrows the scan to candidate row ids
-/// and only surviving rows are materialized — the table is never cloned
-/// wholesale. Every pushed predicate is still re-evaluated on the
-/// candidates, so the index can only prune, never decide: indexed and
-/// forced-seqscan execution yield bit-identical relations (candidate
-/// ids are visited in ascending row order, the scan order).
+/// Named tables follow the plan's access path: an [`Access::Index`]
+/// choice probes the lazy hash index to narrow the scan to candidate
+/// row ids and only surviving rows are materialized — the table is
+/// never cloned wholesale. Every pushed predicate is still re-evaluated
+/// on the candidates, so the index can only prune, never decide:
+/// indexed and forced-seqscan execution yield bit-identical relations
+/// (candidate ids are visited in ascending row order, the scan order).
+///
+/// [`Access::Index`]: crate::plan::Access::Index
 fn load_scan(
     db: &Database,
     t: &TableRef,
     pushed: &[(String, Expr)],
+    access: &crate::plan::Access,
     outer: Option<&Env<'_>>,
 ) -> Result<Relation, EngineError> {
     let _span = trace::span_labeled("scan", || t.binding().to_string());
@@ -924,20 +987,22 @@ fn load_scan(
                     }
                     Ok(true)
                 };
-                let driver = if force_seqscan() {
-                    None
-                } else {
-                    scan_index_choice(schema, &mine).and_then(|(ci, keys)| {
-                        db.index(name, &schema.columns[ci].name)
-                            .map(|ix| (ix, keys))
-                    })
+                // The plan already decided the access path; the index
+                // itself is fetched at run time (EXPLAIN never builds
+                // one), falling back to the filtered scan if the
+                // catalog can't serve it.
+                let driver = match access {
+                    crate::plan::Access::Index { column, keys } => {
+                        db.index(name, column).map(|ix| (ix, keys.as_slice()))
+                    }
+                    _ => None,
                 };
                 let mut rows = Vec::new();
                 match driver {
                     Some((ix, keys)) => {
                         trace::detail(|| format!("index lookup ({} key(s))", keys.len()));
                         let mut ids: Vec<u32> = Vec::new();
-                        for k in &keys {
+                        for k in keys {
                             match ix.lookup(k) {
                                 Some(found) => {
                                     db.note_index_probe(true);
@@ -987,75 +1052,24 @@ fn load_scan(
     Ok(rel)
 }
 
-/// Picks the index driver for a filtered scan: the first pushed conjunct
-/// of the form `col = literal` (either side) or `col IN (literal, ...)`
-/// naming a column of the scanned table. Returns the schema column
-/// position and the literal probe keys. A pure function of schema and
-/// predicates, so EXPLAIN reports exactly the executor's choice.
-pub(crate) fn scan_index_choice(
-    schema: &crate::catalog::TableSchema,
-    mine: &[&Expr],
-) -> Option<(usize, Vec<Value>)> {
-    for e in mine {
-        match e {
-            Expr::Binary {
-                left,
-                op: BinOp::Eq,
-                right,
-            } => {
-                for (c, l) in [(left, right), (right, left)] {
-                    if let (Expr::Column(cr), Expr::Literal(lit)) = (c.as_ref(), l.as_ref()) {
-                        if let Some(ci) = schema.column_index(&cr.column) {
-                            return Some((ci, vec![lit_value(lit)]));
-                        }
-                    }
-                }
-            }
-            Expr::InList {
-                expr,
-                list,
-                negated: false,
-            } => {
-                if let Expr::Column(cr) = expr.as_ref() {
-                    if let Some(ci) = schema.column_index(&cr.column) {
-                        let keys: Option<Vec<Value>> = list
-                            .iter()
-                            .map(|item| match item {
-                                Expr::Literal(l) => Some(lit_value(l)),
-                                _ => None,
-                            })
-                            .collect();
-                        if let Some(keys) = keys {
-                            return Some((ci, keys));
-                        }
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Executes one JOIN step: an index-nested-loop when the right side is a
-/// named inner-join table whose ON key is indexed, otherwise the right
-/// side is materialized (through its own access path) and joined by
-/// hash or nested loop.
+/// Executes one JOIN step following the plan's algorithm choice: an
+/// index-nested-loop when the plan selected one (the index itself is
+/// fetched at run time; if the catalog can't serve it the step degrades
+/// to the result-identical hash path), otherwise the right side is
+/// materialized through the plan's access path and joined by hash or
+/// nested loop.
 fn exec_join(
     db: &Database,
     left: Relation,
     join: &Join,
+    step: &crate::plan::JoinStep,
     pushed: &[(String, Expr)],
     outer: Option<&Env<'_>>,
 ) -> Result<Relation, EngineError> {
-    if !force_seqscan() {
-        if let Some((left_col, right_col)) = inl_key(db, join) {
-            if let Some(lpos) = find_col(&left.cols, &left_col) {
-                if let TableRef::Named { name, .. } = &join.table {
-                    if let Some(ix) = db.index(name, &right_col) {
-                        return index_nested_loop_join(db, left, join, lpos, &ix, pushed, outer);
-                    }
-                }
+    if let crate::plan::JoinAlgo::IndexNestedLoop { right_col, lpos } = &step.algo {
+        if let TableRef::Named { name, .. } = &join.table {
+            if let Some(ix) = db.index(name, right_col) {
+                return index_nested_loop_join(db, left, join, *lpos, &ix, pushed, outer);
             }
         }
     }
@@ -1067,60 +1081,13 @@ fn exec_join(
     } else {
         &[]
     };
-    let right = load_scan(db, &join.table, right_pushed, outer)?;
+    let right = load_scan(db, &join.table, right_pushed, &step.scan.access, outer)?;
     let _span = trace::span_labeled("join", || join.table.binding().to_string());
-    let out = join_relations(db, left, right, join, outer);
+    let out = join_relations(db, left, right, join, &step.algo, outer);
     if let Ok(rel) = &out {
         trace::rows_out(rel.rows.len() as u64);
     }
     out
-}
-
-/// The index-nested-loop criterion for one join: an inner join against a
-/// named base table whose subquery-free ON clause has a conjunct
-/// `outer.col = inner.col`, where the inner side is qualified with the
-/// join's binding and names a real column, and the outer side is
-/// qualified with a different binding. Returns the outer column
-/// reference and the inner column's name. Pure function of catalog and
-/// query (shared with EXPLAIN).
-pub(crate) fn inl_key(db: &Database, join: &Join) -> Option<(ColumnRef, String)> {
-    if join.kind != JoinKind::Inner {
-        return None;
-    }
-    let TableRef::Named { name, .. } = &join.table else {
-        return None;
-    };
-    let schema = db.schema(name)?;
-    let binding = join.table.binding();
-    let on = join.on.as_ref()?;
-    if contains_subquery(on) {
-        return None;
-    }
-    for conj in on.conjuncts() {
-        let Expr::Binary {
-            left,
-            op: BinOp::Eq,
-            right,
-        } = conj
-        else {
-            continue;
-        };
-        for (a, b) in [(left, right), (right, left)] {
-            let (Expr::Column(ca), Expr::Column(cb)) = (a.as_ref(), b.as_ref()) else {
-                continue;
-            };
-            let (Some(at), Some(bt)) = (&ca.table, &cb.table) else {
-                continue;
-            };
-            if bt.eq_ignore_ascii_case(binding)
-                && !at.eq_ignore_ascii_case(binding)
-                && schema.column_index(&cb.column).is_some()
-            {
-                return Some((ca.clone(), cb.column.clone()));
-            }
-        }
-    }
-    None
 }
 
 /// Index-nested-loop join: probes the right table's hash index with each
@@ -1202,106 +1169,6 @@ fn index_nested_loop_join(
     Ok(Relation { cols, rows })
 }
 
-/// Greedy ordering of commutative inner joins: while joins remain, pick
-/// the eligible one (every ON-referenced binding already in scope) with
-/// the smallest estimated post-filter cardinality. Falls back to the
-/// written order when any join is an outer join or derived table, lacks
-/// an ON clause, references unqualified columns, or contains a subquery
-/// — commutativity is only certain for the simple shape. Depends only
-/// on catalog statistics and the query text, never on execution mode or
-/// runtime cardinalities, so indexed and forced-seqscan runs order
-/// identically.
-pub(crate) fn plan_join_order(db: &Database, s: &Select, pushed: &[(String, Expr)]) -> Vec<usize> {
-    let n = s.joins.len();
-    let natural: Vec<usize> = (0..n).collect();
-    if n < 2 {
-        return natural;
-    }
-    let mut refs: Vec<Vec<String>> = Vec::with_capacity(n);
-    for j in &s.joins {
-        if j.kind != JoinKind::Inner || !matches!(j.table, TableRef::Named { .. }) {
-            return natural;
-        }
-        let Some(on) = &j.on else { return natural };
-        if contains_subquery(on) {
-            return natural;
-        }
-        let mut bindings = Vec::new();
-        let mut qualified = true;
-        on.visit(&mut |x| {
-            if let Expr::Column(c) = x {
-                match &c.table {
-                    Some(t) => {
-                        let t = t.to_lowercase();
-                        if !bindings.contains(&t) {
-                            bindings.push(t);
-                        }
-                    }
-                    None => qualified = false,
-                }
-            }
-        });
-        if !qualified {
-            return natural;
-        }
-        refs.push(bindings);
-    }
-    let est: Vec<usize> = s
-        .joins
-        .iter()
-        .map(|j| scan_estimate(db, &j.table, pushed))
-        .collect();
-    let mut in_scope: Vec<String> = s.from.iter().map(|t| t.binding().to_lowercase()).collect();
-    let mut remaining: Vec<usize> = (0..n).collect();
-    let mut order = Vec::with_capacity(n);
-    while !remaining.is_empty() {
-        let mut best: Option<usize> = None; // position in `remaining`
-        for (pos, &ji) in remaining.iter().enumerate() {
-            let own = s.joins[ji].table.binding().to_lowercase();
-            let eligible = refs[ji].iter().all(|b| *b == own || in_scope.contains(b));
-            if eligible
-                && match best {
-                    None => true,
-                    Some(bp) => est[ji] < est[remaining[bp]],
-                }
-            {
-                best = Some(pos);
-            }
-        }
-        // A join whose ON references a binding introduced by a later
-        // join (right-deep dependency) pins the written order.
-        let Some(bp) = best else { return natural };
-        let ji = remaining.remove(bp);
-        in_scope.push(s.joins[ji].table.binding().to_lowercase());
-        order.push(ji);
-    }
-    order
-}
-
-/// Estimated post-filter cardinality of a scan: the table's row count
-/// discounted per pushed predicate (equality and IN are treated as
-/// highly selective, anything else mildly so). Only the relative order
-/// of estimates matters; the constants follow the classic System R
-/// defaults.
-pub(crate) fn scan_estimate(db: &Database, t: &TableRef, pushed: &[(String, Expr)]) -> usize {
-    let TableRef::Named { name, .. } = t else {
-        // Derived table: unknown cardinality, order conservatively late.
-        return usize::MAX;
-    };
-    let mut est = db.row_count(name).max(1);
-    for (b, e) in pushed {
-        if !b.eq_ignore_ascii_case(t.binding()) {
-            continue;
-        }
-        let selective = matches!(
-            e,
-            Expr::Binary { op: BinOp::Eq, .. } | Expr::InList { negated: false, .. }
-        );
-        est = (est / if selective { 10 } else { 3 }).max(1);
-    }
-    est
-}
-
 /// After greedy join reordering the physical column layout follows the
 /// execution order; permute the column blocks back to the query's
 /// written order so wildcard projections and unqualified resolution see
@@ -1355,11 +1222,16 @@ fn cross_join(left: Relation, right: Relation) -> Result<Relation, EngineError> 
 }
 
 /// Joins two relations with hash-join acceleration for equi-conditions.
+/// The equi-key pairs are re-derived against the materialized layouts
+/// (the plan's `has_equi_key` check is a superset: a pair it saw may
+/// resolve to an outer binding at run time and drop to the residual);
+/// the plan supplies only the build side.
 fn join_relations(
     db: &Database,
     left: Relation,
     right: Relation,
     join: &Join,
+    algo: &crate::plan::JoinAlgo,
     outer: Option<&Env<'_>>,
 ) -> Result<Relation, EngineError> {
     let mut cols = left.cols.clone();
@@ -1402,14 +1274,16 @@ fn join_relations(
     let null_right = vec![Value::Null; right.cols.len()];
 
     if !left_keys.is_empty() {
-        // Hash join with cost-aware build side: hash the smaller input,
-        // probe with the larger. Residual ON conjuncts are evaluated per
-        // candidate pair; resolve their columns against the joined
-        // layout once. Both variants emit rows left-major with right
-        // candidates ascending, so the choice (a pure function of the
-        // two cardinalities) never changes the output.
+        // Hash join with plan-chosen build side: hash the estimated
+        // smaller input, probe with the larger. Residual ON conjuncts
+        // are evaluated per candidate pair; resolve their columns
+        // against the joined layout once. Both variants emit rows
+        // left-major with right candidates ascending, so the choice (a
+        // pure function of catalog estimates) never changes the output
+        // or the fuel charged.
         let plan = ColumnPlan::compile(residual.iter().copied(), &cols);
-        if left.rows.len() < right.rows.len() {
+        let build_left = matches!(algo, crate::plan::JoinAlgo::Hash { build_left: true });
+        if build_left {
             // Build on the left: collect per-left-row match lists during
             // the right-side probe, then emit in left order.
             trace::detail(|| "hash (build left)".to_string());
@@ -1550,7 +1424,7 @@ fn residual_ok(
     Ok(true)
 }
 
-fn find_col(cols: &[(String, String)], c: &ColumnRef) -> Option<usize> {
+pub(crate) fn find_col(cols: &[(String, String)], c: &ColumnRef) -> Option<usize> {
     match &c.table {
         Some(t) => cols
             .iter()
@@ -1573,15 +1447,15 @@ fn find_col(cols: &[(String, String)], c: &ColumnRef) -> Option<usize> {
 
 // ---- projection ---------------------------------------------------------
 
-fn expand_projections(
-    rel: &Relation,
+pub(crate) fn expand_projections(
+    cols: &[(String, String)],
     items: &[SelectItem],
 ) -> Result<Vec<(String, Expr)>, EngineError> {
     let mut out = Vec::with_capacity(items.len());
     for item in items {
         match item {
             SelectItem::Wildcard => {
-                for (b, n) in &rel.cols {
+                for (b, n) in cols {
                     out.push((
                         n.clone(),
                         Expr::Column(ColumnRef::new(b.clone(), n.clone())),
@@ -1590,7 +1464,7 @@ fn expand_projections(
             }
             SelectItem::QualifiedWildcard(t) => {
                 let mut any = false;
-                for (b, n) in &rel.cols {
+                for (b, n) in cols {
                     if b.eq_ignore_ascii_case(t) {
                         out.push((
                             n.clone(),
@@ -1909,89 +1783,6 @@ fn compute_aggregate(
     }
 }
 
-// ---- predicate pushdown ---------------------------------------------------
-
-/// Splits the WHERE conjunction into per-binding pushable predicates and
-/// a residual expression.
-///
-/// A conjunct is pushable when every column it references belongs to a
-/// single binding that is a FROM item or an INNER-join target (pushing
-/// below the null-producing side of a LEFT JOIN would change
-/// semantics), and it contains no remaining (correlated) subqueries.
-pub(crate) fn plan_pushdown(
-    s: &Select,
-    folded_where: Option<&Expr>,
-) -> (Vec<(String, Expr)>, Option<Expr>) {
-    let Some(w) = folded_where else {
-        return (Vec::new(), None);
-    };
-    // Bindings eligible as push targets.
-    let mut targets: Vec<String> = s.from.iter().map(|t| t.binding().to_string()).collect();
-    for j in &s.joins {
-        if j.kind == JoinKind::Inner {
-            targets.push(j.table.binding().to_string());
-        }
-    }
-    // With a single relation in scope, bare columns can only resolve to
-    // it, so unqualified predicates are pushable too.
-    let default_binding = if s.from.len() == 1 && s.joins.is_empty() {
-        Some(s.from[0].binding().to_string())
-    } else {
-        None
-    };
-    let mut pushed = Vec::new();
-    let mut residual: Option<Expr> = None;
-    for conj in w.conjuncts() {
-        match sole_binding(conj, default_binding.as_deref()) {
-            Some(b)
-                if targets.iter().any(|t| t.eq_ignore_ascii_case(&b))
-                    && !contains_subquery(conj) =>
-            {
-                pushed.push((b, conj.clone()));
-            }
-            _ => {
-                residual = Some(match residual.take() {
-                    None => conj.clone(),
-                    Some(r) => Expr::and(r, conj.clone()),
-                });
-            }
-        }
-    }
-    (pushed, residual)
-}
-
-/// The unique binding a predicate's columns reference, if any. Bare
-/// (unqualified) columns resolve to `default_binding` when the scope has
-/// exactly one relation, and make the predicate non-pushable otherwise.
-fn sole_binding(e: &Expr, default_binding: Option<&str>) -> Option<String> {
-    let mut binding: Option<String> = None;
-    let mut ok = true;
-    e.visit(&mut |x| {
-        if let Expr::Column(c) = x {
-            let target = c.table.as_deref().or(default_binding);
-            match target {
-                None => ok = false,
-                Some(t) => match &binding {
-                    None => binding = Some(t.to_string()),
-                    Some(b) if b.eq_ignore_ascii_case(t) => {}
-                    Some(_) => ok = false,
-                },
-            }
-        }
-    });
-    if ok {
-        binding
-    } else {
-        None
-    }
-}
-
-fn contains_subquery(e: &Expr) -> bool {
-    let mut found = false;
-    e.visit_queries(&mut |_| found = true);
-    found
-}
-
 /// Filters a freshly materialized relation (derived tables, which have
 /// no base-table index) with the predicates pushed to its binding.
 fn apply_scan_filters(
@@ -2027,7 +1818,7 @@ fn apply_scan_filters(
 // ---- subquery folding -----------------------------------------------------
 
 /// The runtime value of a literal (inverse of [`value_to_lit`]).
-fn lit_value(l: &Lit) -> Value {
+pub(crate) fn lit_value(l: &Lit) -> Value {
     match l {
         Lit::Int(v) => Value::Int(*v),
         Lit::Float(v) => Value::Float(*v),
@@ -2114,7 +1905,7 @@ pub(crate) fn fold_uncorrelated(db: &Database, e: &Expr) -> Expr {
 
 // ---- scalar expression evaluation ---------------------------------------
 
-fn eval(db: &Database, expr: &Expr, env: &Env<'_>) -> Result<Value, EngineError> {
+pub(crate) fn eval(db: &Database, expr: &Expr, env: &Env<'_>) -> Result<Value, EngineError> {
     match expr {
         Expr::Column(c) => env.lookup(c).cloned(),
         Expr::Literal(l) => Ok(lit_value(l)),
@@ -2247,7 +2038,7 @@ fn eval(db: &Database, expr: &Expr, env: &Env<'_>) -> Result<Value, EngineError>
     }
 }
 
-fn truth(v: &Value) -> Option<bool> {
+pub(crate) fn truth(v: &Value) -> Option<bool> {
     match v {
         Value::Bool(b) => Some(*b),
         Value::Null => None,
@@ -2259,7 +2050,7 @@ fn truth(v: &Value) -> Option<bool> {
     }
 }
 
-fn apply_unary(op: UnaryOp, v: &Value) -> Result<Value, EngineError> {
+pub(crate) fn apply_unary(op: UnaryOp, v: &Value) -> Result<Value, EngineError> {
     match op {
         UnaryOp::Not => Ok(match truth(v) {
             Some(b) => Value::Bool(!b),
@@ -2274,7 +2065,7 @@ fn apply_unary(op: UnaryOp, v: &Value) -> Result<Value, EngineError> {
     }
 }
 
-fn apply_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, EngineError> {
+pub(crate) fn apply_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, EngineError> {
     use BinOp::*;
     match op {
         And | Or => {
@@ -2349,7 +2140,7 @@ fn apply_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, EngineError> {
     }
 }
 
-fn apply_function(name: &str, args: &[Value]) -> Result<Value, EngineError> {
+pub(crate) fn apply_function(name: &str, args: &[Value]) -> Result<Value, EngineError> {
     match (name, args) {
         ("lower", [Value::Text(s)]) => Ok(Value::Text(s.to_lowercase())),
         ("upper", [Value::Text(s)]) => Ok(Value::Text(s.to_uppercase())),
@@ -3264,7 +3055,7 @@ mod tests {
             QueryBody::Select(s) => s,
             _ => unreachable!(),
         };
-        assert_eq!(plan_join_order(&db, &s, &[]), vec![0, 1]);
+        assert_eq!(crate::plan::plan_join_order(&db, &s, &[]), vec![0, 1]);
     }
 
     #[test]

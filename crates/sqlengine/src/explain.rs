@@ -6,16 +6,15 @@
 //! the join algorithm per join — index nested-loop, hash (with the
 //! cost-chosen build side), or nested loop — the cost-based join order,
 //! what remains as a residual filter, and the aggregation/ordering
-//! tail. The access-path decisions call the same pure planner functions
-//! the executor uses, so the displayed plan is the executed plan. Used
-//! by the SQL shell's `\explain` and by tests pinning the planner's
+//! tail. Every decision is read off the one [`crate::plan::SelectPlan`]
+//! both executors obey — EXPLAIN renders the plan tree, it does not
+//! re-derive it — so the displayed plan is the executed plan. Used by
+//! the SQL shell's `\explain` and by tests pinning the planner's
 //! decisions.
 
 use crate::db::Database;
-use crate::exec::{
-    fold_uncorrelated, force_seqscan, inl_key, plan_join_order, plan_pushdown, scan_estimate,
-    scan_index_choice,
-};
+use crate::exec::{fold_uncorrelated, vectorized_enabled};
+use crate::plan::{plan_select, Access, JoinAlgo};
 use sqlkit::ast::*;
 use sqlkit::printer::expr_to_sql;
 use std::fmt::Write;
@@ -149,59 +148,37 @@ fn table_label(t: &TableRef) -> String {
     }
 }
 
-/// True when the ON clause contains at least one column=column equi-pair
-/// (the executor's hash-join criterion).
-fn has_equi_key(on: &Option<Expr>) -> bool {
-    let Some(on) = on else { return false };
-    on.conjuncts().iter().any(|c| {
-        matches!(
-            c,
-            Expr::Binary { left, op: BinOp::Eq, right }
-                if matches!(left.as_ref(), Expr::Column(_))
-                    && matches!(right.as_ref(), Expr::Column(_))
-        )
-    })
-}
-
 fn explain_select(db: &Database, s: &Select, indent: usize, out: &mut String) {
-    // Fold uncorrelated subqueries exactly as the executor does, so the
-    // displayed pushdown matches the executed plan.
+    // Fold uncorrelated subqueries exactly as the executor does, then
+    // build the one physical plan both executors obey. EXPLAIN renders
+    // that plan tree; it never re-derives a decision.
     let folded = s.where_clause.as_ref().map(|w| fold_uncorrelated(db, w));
-    let (pushed, residual) = plan_pushdown(s, folded.as_ref());
+    let plan = plan_select(db, s, folded.as_ref());
     let pushed_for = |binding: &str| -> Vec<String> {
-        pushed
+        plan.pushed
             .iter()
             .filter(|(b, _)| b.eq_ignore_ascii_case(binding))
             .map(|(_, e)| expr_to_sql(e))
             .collect()
     };
-    // The scan's access path, resolved by the executor's own chooser.
-    let access_for = |t: &TableRef| -> Option<String> {
-        let TableRef::Named { name, .. } = t else {
-            return None;
-        };
-        let schema = db.schema(name)?;
-        let mine: Vec<&Expr> = pushed
-            .iter()
-            .filter(|(b, _)| b.eq_ignore_ascii_case(t.binding()))
-            .map(|(_, e)| e)
-            .collect();
-        if !force_seqscan() {
-            if let Some((ci, _)) = scan_index_choice(schema, &mine) {
-                return Some(format!(
-                    "index lookup({}.{})",
-                    t.binding(),
-                    schema.columns[ci].name
-                ));
+    let access_str = |t: &TableRef, access: &Access| -> Option<String> {
+        match access {
+            Access::Index { column, .. } => {
+                Some(format!("index lookup({}.{})", t.binding(), column))
             }
+            Access::Seq | Access::Filtered => Some("seq scan".to_string()),
+            Access::Derived => None,
         }
-        Some("seq scan".to_string())
     };
 
     pad(out, indent);
     let _ = writeln!(out, "select ({} output column(s))", s.projections.len());
+    if plan.vectorized && vectorized_enabled() {
+        pad(out, indent + 1);
+        out.push_str("executor: vectorized (columnar batches)\n");
+    }
 
-    for t in &s.from {
+    for (t, sp) in s.from.iter().zip(&plan.scans) {
         pad(out, indent + 1);
         let rows = t.base_table().map(|b| db.row_count(b)).unwrap_or_default();
         let filters = pushed_for(t.binding());
@@ -209,7 +186,7 @@ fn explain_select(db: &Database, s: &Select, indent: usize, out: &mut String) {
         if !filters.is_empty() {
             let _ = write!(out, " filter: {}", filters.join(" AND "));
         }
-        if let Some(access) = access_for(t) {
+        if let Some(access) = access_str(t, &sp.access) {
             let _ = write!(out, " via {access}");
         }
         out.push('\n');
@@ -217,38 +194,26 @@ fn explain_select(db: &Database, s: &Select, indent: usize, out: &mut String) {
             explain_query(db, query, indent + 2, out);
         }
     }
-    // Joins print in the executor's cost-chosen order, with a running
-    // cardinality estimate deciding each hash join's build side.
-    let order = plan_join_order(db, s, &pushed);
-    if order.iter().enumerate().any(|(i, &ji)| i != ji) {
+    // Joins print in the plan's cost-chosen order.
+    if plan.join_order.iter().enumerate().any(|(i, st)| i != st.ji) {
         pad(out, indent + 1);
-        let names: Vec<&str> = order
+        let names: Vec<&str> = plan
+            .join_order
             .iter()
-            .map(|&ji| s.joins[ji].table.binding())
+            .map(|st| s.joins[st.ji].table.binding())
             .collect();
         let _ = writeln!(out, "join order (cost-based): {}", names.join(", "));
     }
-    let mut left_est: usize = s
-        .from
-        .iter()
-        .map(|t| scan_estimate(db, t, &pushed))
-        .fold(1usize, |a, b| a.saturating_mul(b));
-    for &ji in &order {
-        let j = &s.joins[ji];
-        let right_est = scan_estimate(db, &j.table, &pushed);
+    for step in &plan.join_order {
+        let j = &s.joins[step.ji];
         pad(out, indent + 1);
-        let inl = !force_seqscan() && inl_key(db, j).is_some();
-        let algo = if inl {
-            "index nested-loop join".to_string()
-        } else if has_equi_key(&j.on) {
-            let side = if left_est < right_est {
-                "left"
-            } else {
-                "right"
-            };
-            format!("hash join (build {side})")
-        } else {
-            "nested-loop join".to_string()
+        let algo = match &step.algo {
+            JoinAlgo::IndexNestedLoop { .. } => "index nested-loop join".to_string(),
+            JoinAlgo::Hash { build_left } => format!(
+                "hash join (build {})",
+                if *build_left { "left" } else { "right" }
+            ),
+            JoinAlgo::NestedLoop => "nested-loop join".to_string(),
         };
         let kind = match j.kind {
             JoinKind::Inner => "",
@@ -268,16 +233,14 @@ fn explain_select(db: &Database, s: &Select, indent: usize, out: &mut String) {
         if !filters.is_empty() && j.kind == JoinKind::Inner {
             let _ = write!(out, " filter: {}", filters.join(" AND "));
         }
-        if inl {
-            if let Some((_, right_col)) = inl_key(db, j) {
-                let _ = write!(
-                    out,
-                    " via index lookup({}.{})",
-                    j.table.binding(),
-                    right_col
-                );
-            }
-        } else if let Some(access) = access_for(&j.table) {
+        if let JoinAlgo::IndexNestedLoop { right_col, .. } = &step.algo {
+            let _ = write!(
+                out,
+                " via index lookup({}.{})",
+                j.table.binding(),
+                right_col
+            );
+        } else if let Some(access) = access_str(&j.table, &step.scan.access) {
             let _ = write!(out, " via {access}");
         }
         if let Some(on) = &j.on {
@@ -287,15 +250,10 @@ fn explain_select(db: &Database, s: &Select, indent: usize, out: &mut String) {
         if let TableRef::Derived { query, .. } = &j.table {
             explain_query(db, query, indent + 2, out);
         }
-        left_est = if has_equi_key(&j.on) || inl {
-            left_est.max(right_est)
-        } else {
-            left_est.saturating_mul(right_est)
-        };
     }
-    if let Some(r) = residual {
+    if let Some(r) = &plan.residual {
         pad(out, indent + 1);
-        let _ = writeln!(out, "residual filter: {}", expr_to_sql(&r));
+        let _ = writeln!(out, "residual filter: {}", expr_to_sql(r));
     }
     let aggregated = !s.group_by.is_empty()
         || s.projections
@@ -527,6 +485,34 @@ mod tests {
         assert!(report.contains("join b [index nested-loop]"), "{report}");
         assert!(report.contains("probes="), "{report}");
         assert!(report.contains("result: 1 row(s), 1 column(s)"), "{report}");
+    }
+
+    #[test]
+    fn explain_renders_the_executed_physical_plan() {
+        let db = db();
+        // Vectorized-eligible query: the rendered plan advertises the
+        // columnar executor that will actually run it.
+        let sql = "SELECT a.x FROM t AS a JOIN u AS b ON a.id = b.id WHERE b.y = 103";
+        let plan = explain_sql(&db, sql).unwrap();
+        assert!(
+            plan.contains("executor: vectorized (columnar batches)"),
+            "{plan}"
+        );
+        // Forcing the row engine removes the routing line — EXPLAIN
+        // reflects the executor that will run, not a fixed banner.
+        crate::exec::set_vectorized(Some(false));
+        let plan_row = explain_sql(&db, sql).unwrap();
+        crate::exec::set_vectorized(None);
+        assert!(!plan_row.contains("executor:"), "{plan_row}");
+        // Derived tables are not vectorizable: the outer select carries
+        // no executor line (the derived subquery, a plain scan of u,
+        // still vectorizes on its own at its deeper indent).
+        let plan = explain_sql(
+            &db,
+            "SELECT a.x FROM t AS a JOIN (SELECT id FROM u) AS b ON a.id = b.id",
+        )
+        .unwrap();
+        assert!(!plan.contains("\n  executor:"), "{plan}");
     }
 
     #[test]

@@ -12,9 +12,16 @@
 //! * [`catalog`] — schema metadata with PK/FK constraints;
 //! * [`db`] — row storage with type checking, referential-integrity
 //!   auditing, and lazy per-`(table, column)` hash indexes;
-//! * [`exec`] — the executor (index or sequential scans, cost-ordered
-//!   index-nested-loop/hash/nested-loop joins, grouping, HAVING,
-//!   top-k ordering, set operations, correlated subqueries);
+//! * [`plan`] — the physical planner: predicate pushdown, access-path
+//!   selection, join ordering and algorithm choice as a pure function
+//!   of catalog and query, rendered by EXPLAIN and obeyed by both
+//!   executors;
+//! * [`exec`] — the row-at-a-time executor (index or sequential scans,
+//!   cost-ordered index-nested-loop/hash/nested-loop joins, grouping,
+//!   HAVING, top-k ordering, set operations, correlated subqueries);
+//!   plan-gated query shapes are routed to `vexec`, the columnar batch
+//!   executor (late materialization over gather vectors), which is
+//!   bit-identical in results, fuel, and deterministic trace counters;
 //! * [`trace`] — per-query, thread-local trace spans: deterministic
 //!   operator counters kept strictly apart from wall-clock timing;
 //! * [`value`] — runtime values with SQL NULL semantics;
@@ -44,9 +51,11 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod explain;
+pub mod plan;
 pub mod result;
 pub mod trace;
 pub mod value;
+mod vexec;
 
 pub use budget::ExecBudget;
 pub use cache::{CacheStats, QueryCache};
@@ -55,7 +64,7 @@ pub use db::{ColumnIndex, Database, IndexStats};
 pub use error::EngineError;
 pub use exec::{
     execute, execute_sql, execute_sql_with_budget, execute_with_budget, planner_config_fingerprint,
-    set_force_seqscan,
+    set_force_seqscan, set_vectorized,
 };
 pub use explain::{explain, explain_analyze, explain_analyze_sql, explain_sql};
 pub use result::ResultSet;

@@ -25,8 +25,16 @@
 //!    `cache_misses`. Deterministic for a fixed configuration but *not*
 //!    across `REPRO_FORCE_SEQSCAN` modes, and cache events depend on
 //!    scheduling; excluded from the deterministic digests.
-//! 3. **Wall-clock** — `wall_ns`. Never deterministic; excluded from
-//!    every digest and compared by no test.
+//! 3. **Timing** — `cpu_ns`, the span's thread-CPU nanoseconds
+//!    ([`CLOCK_THREAD_CPUTIME_ID`] on Linux). CPU rather than wall
+//!    clock so an operator is billed only for cycles it actually
+//!    burned: on an oversubscribed pool (more workers than cores) the
+//!    scheduler timeslices queries against each other, and a wall
+//!    clock would misattribute every descheduled interval to whatever
+//!    span happened to be open — the same misattribution class the
+//!    old global stage atomics had, resurfacing through the OS. Never
+//!    deterministic; excluded from every digest and compared by no
+//!    test.
 //!
 //! Two digests serve the two comparison scopes:
 //!
@@ -48,7 +56,45 @@ use crate::result::ResultSet;
 use sqlkit::ast::Query;
 use std::cell::RefCell;
 use std::fmt::Write as _;
-use std::time::Instant;
+
+/// Nanoseconds of CPU time consumed so far by the calling thread.
+///
+/// Backs span timing (see the module docs' class 3): descheduled time
+/// must not be attributed to the operator on the stack. Raw
+/// `clock_gettime` FFI against the platform libc the binary already
+/// links — not a dependency.
+#[cfg(target_os = "linux")]
+fn thread_cpu_ns() -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        sec: i64,
+        nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec { sec: 0, nsec: 0 };
+    // SAFETY: `ts` is a valid exclusive out-pointer for the call.
+    if unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) } == 0 {
+        ts.sec as u64 * 1_000_000_000 + ts.nsec as u64
+    } else {
+        0
+    }
+}
+
+/// Fallback for platforms without a thread-CPU clock: monotonic wall
+/// time from a process-wide epoch (over-attributes under
+/// oversubscription, but keeps spans meaningful).
+#[cfg(not(target_os = "linux"))]
+fn thread_cpu_ns() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    EPOCH
+        .get_or_init(std::time::Instant::now)
+        .elapsed()
+        .as_nanos() as u64
+}
 
 /// Per-span counters. See the module docs for which fields participate
 /// in the determinism contract.
@@ -68,6 +114,10 @@ pub struct TraceCounters {
     pub cache_hits: u64,
     /// Query-cache misses observed while this span was innermost (advisory).
     pub cache_misses: u64,
+    /// Column-vector batches emitted by the vectorized executor while
+    /// this span was innermost (advisory: zero on the row engine, so —
+    /// like the access-path fields — excluded from both digests).
+    pub batches_out: u64,
 }
 
 /// One node of a query's execution trace.
@@ -84,8 +134,9 @@ pub struct TraceSpan {
     /// marker). Mode-dependent; excluded from both digests.
     pub detail: String,
     pub counters: TraceCounters,
-    /// Wall-clock nanoseconds. Excluded from both digests.
-    pub wall_ns: u64,
+    /// Thread-CPU nanoseconds spent inside the span (wall-clock
+    /// fallback off Linux). Excluded from both digests.
+    pub cpu_ns: u64,
     pub children: Vec<TraceSpan>,
 }
 
@@ -124,6 +175,7 @@ impl TraceSpan {
                 acc.index_hits += s.counters.index_hits;
                 acc.cache_hits += s.counters.cache_hits;
                 acc.cache_misses += s.counters.cache_misses;
+                acc.batches_out += s.counters.batches_out;
             }
         });
         (n, acc)
@@ -132,18 +184,18 @@ impl TraceSpan {
     /// Wall-clock nanoseconds summed over every span of `stage` in the
     /// subtree. Attributions, not a partition: a subquery inside a join
     /// predicate bills its own operators *and* its parent join.
-    pub fn stage_wall_ns(&self, stage: &str) -> u64 {
+    pub fn stage_cpu_ns(&self, stage: &str) -> u64 {
         let mut ns = 0u64;
         self.visit(&mut |s, _| {
             if s.stage == stage {
-                ns += s.wall_ns;
+                ns += s.cpu_ns;
             }
         });
         ns
     }
 
     /// The full deterministic counter tree: every span, rendered as
-    /// `stage label rows=N steps=S cells=C`, wall-clock and access-path
+    /// `stage label rows=N steps=S cells=C`, timing and access-path
     /// fields excluded. Byte-identical across thread counts and across
     /// cold vs memoized runs under one planner configuration.
     pub fn counter_tree(&self) -> String {
@@ -201,7 +253,7 @@ impl TraceSpan {
     }
 
     /// Human-readable rendering with every field: counters, access-path
-    /// detail, and wall-clock (explicitly marked as non-deterministic).
+    /// detail, and thread-CPU time (explicitly marked as non-deterministic).
     pub fn render(&self) -> String {
         let mut out = String::with_capacity(512);
         self.visit(&mut |s, depth| {
@@ -224,7 +276,10 @@ impl TraceSpan {
             if c.cache_hits + c.cache_misses > 0 {
                 let _ = write!(out, " cache={}h/{}m", c.cache_hits, c.cache_misses);
             }
-            let _ = writeln!(out, " wall={:.3}ms", s.wall_ns as f64 / 1e6);
+            if c.batches_out > 0 {
+                let _ = write!(out, " batches={}", c.batches_out);
+            }
+            let _ = writeln!(out, " cpu={:.3}ms", s.cpu_ns as f64 / 1e6);
         });
         out
     }
@@ -302,7 +357,7 @@ pub fn is_active() -> bool {
 /// the tree correctly). A no-op when no collector is installed.
 pub(crate) struct SpanGuard {
     active: bool,
-    start: Instant,
+    start_cpu_ns: u64,
 }
 
 impl Drop for SpanGuard {
@@ -310,14 +365,14 @@ impl Drop for SpanGuard {
         if !self.active {
             return;
         }
-        let wall = self.start.elapsed().as_nanos() as u64;
+        let cpu = thread_cpu_ns().saturating_sub(self.start_cpu_ns);
         TRACE.with(|cell| {
             if let Some(c) = cell.borrow_mut().as_mut() {
                 // The stack below the root can only be empty if spans
                 // were mispaired; guard rather than panic in Drop.
                 if c.stack.len() > 1 {
                     let mut span = c.stack.pop().unwrap();
-                    span.wall_ns = wall;
+                    span.cpu_ns = cpu;
                     c.stack.last_mut().unwrap().children.push(span);
                 }
             }
@@ -344,7 +399,8 @@ pub(crate) fn span_labeled(stage: &'static str, label: impl FnOnce() -> String) 
     });
     SpanGuard {
         active,
-        start: Instant::now(),
+        // Clock syscall only when a collector will consume it.
+        start_cpu_ns: if active { thread_cpu_ns() } else { 0 },
     }
 }
 
@@ -374,6 +430,12 @@ pub(crate) fn on_charge(steps: u64, cells: u64) {
         s.counters.fuel_steps += steps;
         s.counters.fuel_cells += cells;
     });
+}
+
+/// Records column-vector batches emitted by the innermost open span
+/// (advisory; the vectorized executor only).
+pub(crate) fn batches(n: u64) {
+    with_top(|s| s.counters.batches_out += n);
 }
 
 /// Records an index probe against the innermost open span.
@@ -522,11 +584,11 @@ mod tests {
     }
 
     #[test]
-    fn digests_exclude_wall_and_access_path_fields() {
+    fn digests_exclude_timing_and_access_path_fields() {
         let mut a = TraceSpan::new("join", "u".to_string());
         a.counters.rows_out = 4;
         let mut b = a.clone();
-        b.wall_ns = 999;
+        b.cpu_ns = 999;
         b.detail = "hash (build left)".into();
         b.counters.index_probes = 17;
         b.counters.cache_hits = 3;

@@ -13,8 +13,8 @@ use sqlengine::conformance::{
     check_case, check_oracles, corpus_db, gen_corpus, run_corpus, CorpusConfig,
 };
 use sqlengine::{
-    execute_sql, planner_config_fingerprint, set_force_seqscan, Catalog, DataType, Database,
-    QueryCache, TableSchema, Value,
+    execute_sql, planner_config_fingerprint, set_force_seqscan, set_vectorized, Catalog, DataType,
+    Database, QueryCache, TableSchema, Value,
 };
 use std::sync::Mutex;
 
@@ -26,6 +26,7 @@ static MODE_LOCK: Mutex<()> = Mutex::new(());
 fn mode_guard() -> std::sync::MutexGuard<'static, ()> {
     let guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     set_force_seqscan(None);
+    set_vectorized(None);
     guard
 }
 

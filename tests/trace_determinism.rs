@@ -15,7 +15,7 @@ use evalkit::{
     run_config, set_thread_override, EvalSetup, ItemTrace, MetricsRegistry, RunResult, STAGES,
 };
 use footballdb::DataModel;
-use sqlengine::{set_force_seqscan, trace_execute_sql};
+use sqlengine::{set_force_seqscan, set_vectorized, trace_execute_sql};
 use std::sync::{Barrier, Mutex};
 use textosql::{Budget, SystemKind};
 
@@ -27,6 +27,7 @@ static MODE_LOCK: Mutex<()> = Mutex::new(());
 fn mode_guard() -> std::sync::MutexGuard<'static, ()> {
     let guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     set_force_seqscan(None);
+    set_vectorized(None);
     set_thread_override(None);
     guard
 }
@@ -151,6 +152,54 @@ fn logical_digest_is_identical_for_indexed_and_seqscan_paths() {
     // The comparison is only meaningful if the indexed pass actually
     // took index access paths somewhere.
     assert!(indexed_probes > 0, "no query used an index path");
+}
+
+#[test]
+fn counter_tree_is_identical_for_vectorized_and_row_executors() {
+    let _guard = mode_guard();
+    let setup = EvalSetup::small(47);
+    let mut compared = 0usize;
+    let mut vectorized_batches = 0u64;
+    for model in DataModel::ALL {
+        let db = setup.db(model);
+        for item in &setup.benchmark.test {
+            let sql = item.sql(model);
+
+            set_vectorized(Some(true));
+            let (vec_res, vec_span) = trace_execute_sql(db, sql);
+
+            set_vectorized(Some(false));
+            let (row_res, row_span) = trace_execute_sql(db, sql);
+
+            assert_eq!(vec_res.is_ok(), row_res.is_ok(), "{model} {sql}");
+            if let (Ok(a), Ok(b)) = (&vec_res, &row_res) {
+                assert_eq!(a, b, "{model} {sql}");
+            }
+            // Not just the logical digest: the full deterministic
+            // counter tree — every span, stage, row count, and fuel
+            // charge — is identical between the executors. Only the
+            // advisory batches_out column may differ.
+            assert_eq!(
+                vec_span.counter_tree(),
+                row_span.counter_tree(),
+                "{model} {sql}"
+            );
+            vectorized_batches += ItemTrace::from_span(&vec_span)
+                .stages
+                .iter()
+                .map(|s| s.batches_out)
+                .sum::<u64>();
+            compared += 1;
+        }
+    }
+    set_vectorized(None);
+    assert!(compared > 0);
+    // The comparison is only meaningful if the vectorized executor
+    // actually ran somewhere (batches_out is its signature).
+    assert!(
+        vectorized_batches > 0,
+        "no query took the vectorized executor"
+    );
 }
 
 #[test]
