@@ -167,6 +167,12 @@ fn main() {
     );
 
     let speedup = if wall_s > 0.0 { serial_s / wall_s } else { 0.0 };
+    // Speedup per observed worker: 1.0 is perfect linear scaling. The
+    // record also carries the host's CPU count so a low efficiency on
+    // an oversubscribed host (observed workers > cores) is readable as
+    // such rather than as a contention regression.
+    let parallel_efficiency = speedup / observed as f64;
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let failure_json = failure_counts
         .iter()
         .map(|(k, n)| format!("\"{}\": {n}", k.name()))
@@ -175,9 +181,11 @@ fn main() {
     let json = format!(
         "{{\n  \"wall_s\": {wall_s:.3},\n  \"serial_s\": {serial_s:.3},\n  \
          \"setup_s\": {setup_s:.3},\n  \"speedup\": {speedup:.3},\n  \
+         \"parallel_efficiency\": {parallel_efficiency:.4},\n  \
          \"threads\": {threads},\n  \"observed_threads\": {observed},\n  \
+         \"host_cpus\": {host_cpus},\n  \
          \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
-         \"cache_entries\": {},\n  \"cache_hit_rate\": {:.4},\n  \
+         \"cache_entries\": {},\n  \"cache_oversize\": {},\n  \"cache_hit_rate\": {:.4},\n  \
          \"index_builds\": {},\n  \"index_probes\": {},\n  \"index_hits\": {},\n  \
          \"stage_scan_s\": {:.3},\n  \"stage_join_s\": {:.3},\n  \"stage_aggregate_s\": {:.3},\n  \
          \"failure_counts\": {{{failure_json}}},\n  \
@@ -185,6 +193,7 @@ fn main() {
         stats.hits,
         stats.misses,
         stats.entries,
+        stats.oversize,
         stats.hit_rate(),
         index.builds,
         index.probes,

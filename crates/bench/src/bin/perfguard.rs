@@ -3,7 +3,10 @@
 //! code 1 — when either headline regresses beyond the tolerance band:
 //!
 //! * `wall_s` (optimized-pass wall time) grew past `baseline x (1+tol)`;
-//! * `speedup` (serial / optimized) fell below `baseline x (1-tol)`.
+//! * `speedup` (serial / optimized) fell below `baseline x (1-tol)`;
+//! * `parallel_efficiency` (speedup per observed worker) fell below
+//!   `baseline x (1-tol)` — the contention signature: wall time flat
+//!   while the extra workers stop paying for themselves.
 //!
 //! The default tolerance is 25%, wide enough to absorb shared-runner
 //! noise while still catching the class of regression that motivated
@@ -61,6 +64,9 @@ struct Record {
     speedup: f64,
     threads: f64,
     observed_threads: f64,
+    /// Speedup per observed worker; `None` in records predating the
+    /// field (the efficiency gate then stays silent).
+    parallel_efficiency: Option<f64>,
     identical: bool,
     scale: String,
 }
@@ -75,6 +81,7 @@ fn load(path: &str, what: &str) -> Record {
         speedup: num_field(&json, "speedup", what),
         threads: num_field(&json, "threads", what),
         observed_threads: num_field(&json, "observed_threads", what),
+        parallel_efficiency: raw_field(&json, "parallel_efficiency").and_then(|t| t.parse().ok()),
         identical: raw_field(&json, "identical_to_serial") == Some("true"),
         scale: str_field(&json, "scale", what).to_string(),
     }
@@ -135,6 +142,19 @@ fn main() {
             "speedup regressed: {:.3}x < {:.3}x (baseline {:.3}x - {tolerance_pct}%)",
             cand.speedup, speedup_floor, base.speedup
         ));
+    }
+    // Efficiency gate: catches the contention class of regression —
+    // wall time can stay flat while per-worker yield collapses (e.g. a
+    // new global lock burning the extra workers). Gated only when both
+    // records carry the field, so old baselines still load.
+    if let (Some(base_eff), Some(cand_eff)) = (base.parallel_efficiency, cand.parallel_efficiency) {
+        let eff_floor = base_eff * (1.0 - tol);
+        if cand_eff < eff_floor {
+            errors.push(format!(
+                "parallel_efficiency regressed: {cand_eff:.4} < {eff_floor:.4} \
+                 (baseline {base_eff:.4} - {tolerance_pct}%)"
+            ));
+        }
     }
 
     if !errors.is_empty() {

@@ -4,6 +4,12 @@
 //! join graphs, gold benchmark) and runs the paper's experiment grid:
 //! fine-tuned systems over train-set sizes (Table 5), LLMs over few-shot
 //! folds (Table 6), and the latency measurements (Table 7).
+//!
+//! Grids are scheduled flat: each table's cells are *prepared* (pools,
+//! success draws, retrieval indexes) and then every `(cell, item)` pair
+//! joins one shared [`run_prepared`] fan-out, so a straggler cell can't
+//! pin a worker while its siblings sit idle. Item RNGs are forked by
+//! label, which makes the flat schedule bit-identical to the nested one.
 
 use crate::metric::{accuracy, execution_match_governed, ExOutcome, FailureKind};
 use crate::metrics::ItemTrace;
@@ -246,35 +252,32 @@ pub fn run_config(
     )
 }
 
-/// [`run_config`] under a [`Governor`]: predictions pass through the
-/// fault plan (with deterministic retry for transient faults), predicted
-/// SQL executes under the fuel budget, and each worker is panic-isolated
-/// — a poisoned item degrades to a [`FailureKind::Panic`] record instead
-/// of aborting the sweep. Per-item outcomes are bit-identical at any
-/// `REPRO_THREADS` under the same fault seed.
-#[allow(clippy::too_many_arguments)]
-pub fn run_config_governed(
-    setup: &EvalSetup,
-    system: SystemKind,
-    model: DataModel,
-    budget: Budget,
-    train_pool: &[GoldExample],
-    run_label: &str,
-    governor: &Governor,
-) -> RunResult {
-    let db = setup.db(model);
-    let graph = setup.graph(model);
-    let index = RetrievalIndex::build(train_pool);
-    let ctx = SystemContext {
-        model,
-        db,
-        graph,
-        index: Some(&index),
-        budget,
-    };
+/// One grid cell, prepared for the flat `(cell × item)` fan-out: the
+/// configuration plus its *owned* shot/training pool. Preparation is
+/// cheap and deterministic; the expensive per-item work happens in
+/// [`run_prepared`].
+pub struct PreparedConfig {
+    pub system: SystemKind,
+    pub model: DataModel,
+    pub budget: Budget,
+    pub pool: Vec<GoldExample>,
+    pub run_label: String,
+    pub governor: Governor,
+}
+
+/// Per-cell derived state: the root RNG (forked from the run label) and
+/// the stratified success draw. Computed once per cell so every item of
+/// the cell sees the same draw regardless of which worker runs it.
+struct CellState {
+    root: Rng,
+    successes: Vec<bool>,
+}
+
+fn cell_state(setup: &EvalSetup, cfg: &PreparedConfig) -> CellState {
+    let (system, model, budget) = (cfg.system, cfg.model, cfg.budget);
     let profiles = setup.profiles(model);
     let probs = success_probabilities(system, model, budget, profiles);
-    let root = Rng::new(setup.seed ^ 0x5eed).fork(run_label);
+    let root = Rng::new(setup.seed ^ 0x5eed).fork(&cfg.run_label);
 
     // Stratified success draw: instead of independent Bernoulli draws
     // (whose binomial noise would swamp a 100-item test set), select a
@@ -295,86 +298,170 @@ pub fn run_config_governed(
     };
     let count = ((expected + jitter).round().max(0.0) as usize).min(probs.len());
     let successes = weighted_success_set(&probs, count, &mut draw_rng);
+    CellState { root, successes }
+}
 
-    // Each item is an independent unit: its RNG is forked from `root` by
-    // label (not drawn from a shared stream), so the fan-out below is
-    // order-insensitive and `par_map`'s by-index collection reproduces
-    // the serial output exactly.
+/// One item of one cell. The item RNG is forked from the cell's root by
+/// label (never drawn from a shared stream), so this function is a pure
+/// unit: any worker may run it, in any order, with identical output.
+fn run_one_item(
+    setup: &EvalSetup,
+    ctx: &SystemContext,
+    system: SystemKind,
+    state: &CellState,
+    governor: &Governor,
+    i: usize,
+) -> ItemResult {
+    let (model, budget) = (ctx.model, ctx.budget);
+    let profiles = setup.profiles(model);
     let cache = setup.query_cache(model);
-    let indices: Vec<usize> = (0..setup.benchmark.test.len()).collect();
-    // Panic isolation wraps the whole unit: an injected worker panic (or
-    // a real one) lands in that item's slot as `Err` — identically at any
-    // thread count — and degrades below to a classified Panic record.
-    let caught = par_map_catch(&indices, |&i| {
-        let item = &setup.benchmark.test[i];
-        let mut rng = root.fork(&format!("{system}/{model}/{}/{i}", budget.size()));
-        let p = if successes[i] { 1.0 } else { 0.0 };
-        let g = predict_governed(
-            system,
-            item,
-            &ctx,
-            p,
-            &mut rng,
-            governor.fault_plan.as_ref(),
-            &governor.retry,
-        );
-        // A trace collector scoped to this item: spans from the gold and
-        // predicted executions land here and nowhere else, regardless of
-        // which pool thread runs the closure.
-        let trace_guard = sqlengine::TraceGuard::install();
-        let (outcome, mut failure) = execution_match_governed(
-            db,
-            cache,
-            &governor.budget,
-            item.sql(model),
-            g.prediction.sql.as_deref(),
-        );
-        let trace = ItemTrace::from_span(&trace_guard.finish());
-        if g.gave_up {
-            // The provider exhausted its retries; the missing SQL is a
-            // provider failure, not a benign "no prediction".
-            failure = Some(FailureKind::ProviderError);
-        }
-        ItemResult {
-            item_id: item.id,
-            outcome,
-            failure,
-            latency: g.prediction.latency,
-            shots_used: g.prediction.shots_used,
-            hardness: profiles[i].hardness,
-            stats: profiles[i].stats,
-            trace,
-            fault: g.fault,
-            retries: g.retries,
-            gave_up: g.gave_up,
-        }
-    });
-    let items = caught
-        .into_iter()
-        .enumerate()
-        .map(|(i, slot)| {
-            slot.unwrap_or_else(|_| ItemResult {
-                item_id: setup.benchmark.test[i].id,
-                outcome: ExOutcome::ExecError,
-                failure: Some(FailureKind::Panic),
-                latency: 0.0,
-                shots_used: 0,
-                hardness: profiles[i].hardness,
-                stats: profiles[i].stats,
-                trace: ItemTrace::default(),
-                fault: None,
-                retries: 0,
-                gave_up: false,
-            })
-        })
-        .collect();
+    let item = &setup.benchmark.test[i];
+    let mut rng = state
+        .root
+        .fork(&format!("{system}/{model}/{}/{i}", budget.size()));
+    let p = if state.successes[i] { 1.0 } else { 0.0 };
+    let g = predict_governed(
+        system,
+        item,
+        ctx,
+        p,
+        &mut rng,
+        governor.fault_plan.as_ref(),
+        &governor.retry,
+    );
+    // A trace collector scoped to this item: spans from the gold and
+    // predicted executions land here and nowhere else, regardless of
+    // which pool thread runs the closure.
+    let trace_guard = sqlengine::TraceGuard::install();
+    let (outcome, mut failure) = execution_match_governed(
+        ctx.db,
+        cache,
+        &governor.budget,
+        item.sql(model),
+        g.prediction.sql.as_deref(),
+    );
+    let trace = ItemTrace::from_span(&trace_guard.finish());
+    if g.gave_up {
+        // The provider exhausted its retries; the missing SQL is a
+        // provider failure, not a benign "no prediction".
+        failure = Some(FailureKind::ProviderError);
+    }
+    ItemResult {
+        item_id: item.id,
+        outcome,
+        failure,
+        latency: g.prediction.latency,
+        shots_used: g.prediction.shots_used,
+        hardness: profiles[i].hardness,
+        stats: profiles[i].stats,
+        trace,
+        fault: g.fault,
+        retries: g.retries,
+        gave_up: g.gave_up,
+    }
+}
 
-    RunResult {
+/// The degraded record for an item whose worker panicked.
+fn panicked_item(setup: &EvalSetup, model: DataModel, i: usize) -> ItemResult {
+    let profiles = setup.profiles(model);
+    ItemResult {
+        item_id: setup.benchmark.test[i].id,
+        outcome: ExOutcome::ExecError,
+        failure: Some(FailureKind::Panic),
+        latency: 0.0,
+        shots_used: 0,
+        hardness: profiles[i].hardness,
+        stats: profiles[i].stats,
+        trace: ItemTrace::default(),
+        fault: None,
+        retries: 0,
+        gave_up: false,
+    }
+}
+
+/// Runs prepared cells over the test set at `(cell, item)` granularity:
+/// ALL pairs across ALL cells share one flat fan-out.
+///
+/// This is the grid schedulers' straggler fix. A per-cell fan-out keeps
+/// a worker pinned to its slowest cell while siblings drain (cells are
+/// very uneven — fuel varies ~20× across configurations), capping the
+/// 8-thread speedup; flattening lets idle workers steal items from the
+/// straggler cell. Results are reassembled per cell by index, so the
+/// output is bit-identical to the nested schedule.
+///
+/// Panic isolation wraps each pair: a poisoned item degrades to a
+/// classified [`FailureKind::Panic`] record — identically at any thread
+/// count — instead of aborting the sweep.
+pub fn run_prepared(setup: &EvalSetup, cells: &[PreparedConfig]) -> Vec<RunResult> {
+    // Per-cell prepare: the success draws (cheap, serial) and the
+    // retrieval indexes (embedding the pools — parallel; the indexes
+    // borrow the pools, which is why preparation is a distinct pass).
+    let states: Vec<CellState> = cells.iter().map(|c| cell_state(setup, c)).collect();
+    let pools: Vec<&[GoldExample]> = cells.iter().map(|c| c.pool.as_slice()).collect();
+    let indexes: Vec<RetrievalIndex> = par_map(&pools, |p| RetrievalIndex::build(p));
+
+    let n_items = setup.benchmark.test.len();
+    let pairs: Vec<(usize, usize)> = (0..cells.len())
+        .flat_map(|c| (0..n_items).map(move |i| (c, i)))
+        .collect();
+    let caught = par_map_catch(&pairs, |&(c, i)| {
+        let cfg = &cells[c];
+        let ctx = SystemContext {
+            model: cfg.model,
+            db: setup.db(cfg.model),
+            graph: setup.graph(cfg.model),
+            index: Some(&indexes[c]),
+            budget: cfg.budget,
+        };
+        run_one_item(setup, &ctx, cfg.system, &states[c], &cfg.governor, i)
+    });
+
+    let mut slots = caught.into_iter();
+    cells
+        .iter()
+        .map(|cfg| RunResult {
+            system: cfg.system,
+            model: cfg.model,
+            budget: cfg.budget,
+            items: (0..n_items)
+                .map(|i| {
+                    slots
+                        .next()
+                        .expect("one slot per pair")
+                        .unwrap_or_else(|_| panicked_item(setup, cfg.model, i))
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// [`run_config`] under a [`Governor`]: predictions pass through the
+/// fault plan (with deterministic retry for transient faults), predicted
+/// SQL executes under the fuel budget, and each worker is panic-isolated
+/// — a poisoned item degrades to a [`FailureKind::Panic`] record instead
+/// of aborting the sweep. Per-item outcomes are bit-identical at any
+/// `REPRO_THREADS` under the same fault seed.
+#[allow(clippy::too_many_arguments)]
+pub fn run_config_governed(
+    setup: &EvalSetup,
+    system: SystemKind,
+    model: DataModel,
+    budget: Budget,
+    train_pool: &[GoldExample],
+    run_label: &str,
+    governor: &Governor,
+) -> RunResult {
+    let cfg = PreparedConfig {
         system,
         model,
         budget,
-        items,
-    }
+        pool: train_pool.to_vec(),
+        run_label: run_label.to_string(),
+        governor: *governor,
+    };
+    run_prepared(setup, std::slice::from_ref(&cfg))
+        .pop()
+        .expect("one cell in, one run out")
 }
 
 /// Draws `count` success flags without replacement, weighted by the
@@ -396,8 +483,9 @@ fn weighted_success_set(probs: &[f64], count: usize, rng: &mut Rng) -> Vec<bool>
 
 /// Table 5: fine-tuned systems × data models × train sizes.
 ///
-/// The grid cells are independent configurations; they fan out on the
-/// worker pool and come back in grid order.
+/// The grid cells are independent configurations; the whole grid runs
+/// as one flat `(cell, item)` fan-out (see [`run_prepared`]) and comes
+/// back in grid order.
 pub fn run_finetuned_grid(setup: &EvalSetup, train_sizes: &[usize]) -> Vec<RunResult> {
     let systems = [
         SystemKind::ValueNet,
@@ -408,14 +496,18 @@ pub fn run_finetuned_grid(setup: &EvalSetup, train_sizes: &[usize]) -> Vec<RunRe
     for model in DataModel::ALL {
         for &n in train_sizes {
             for system in systems {
-                cells.push((model, n, system));
+                cells.push(PreparedConfig {
+                    system,
+                    model,
+                    budget: Budget::FineTuned(n),
+                    pool: setup.benchmark.train.iter().take(n).cloned().collect(),
+                    run_label: "table5".to_string(),
+                    governor: Governor::default(),
+                });
             }
         }
     }
-    par_map(&cells, |&(model, n, system)| {
-        let pool: Vec<GoldExample> = setup.benchmark.train.iter().take(n).cloned().collect();
-        run_config(setup, system, model, Budget::FineTuned(n), &pool, "table5")
-    })
+    run_prepared(setup, &cells)
 }
 
 /// A few-shot experiment's per-fold accuracies.
@@ -455,50 +547,57 @@ pub fn run_fewshot_grid(setup: &EvalSetup) -> Vec<FoldedResult> {
         (SystemKind::Gpt35, &[0, 10, 20, 30], 3),
         (SystemKind::Llama2, &[0, 2, 4, 8], 4),
     ];
-    // One fan-out unit per (model, system, shots) cell; the folds inside
-    // a cell stay serial since each is already seeded by fold label.
+    // Every fold of every (model, system, shots) cell is its own
+    // prepared cell, so the whole table fans out at item granularity —
+    // folds no longer serialize inside a straggler cell. The fold RNG
+    // labels are unchanged, so fold pools (and results) are identical
+    // to the nested schedule.
     let mut cells = Vec::new();
+    let mut configs = Vec::new();
     for model in DataModel::ALL {
         for (system, shot_list, folds) in specs {
             for &shots in shot_list {
                 cells.push((model, system, shots, folds));
+                for fold in 0..folds {
+                    // Random shot sample per fold, as in the paper.
+                    let mut rng =
+                        Rng::new(setup.seed).fork(&format!("fold/{system}/{model}/{shots}/{fold}"));
+                    let idx = rng.sample_indices(setup.benchmark.train.len(), shots.max(1));
+                    let pool: Vec<GoldExample> = if shots == 0 {
+                        Vec::new()
+                    } else {
+                        idx.iter()
+                            .map(|&i| setup.benchmark.train[i].clone())
+                            .collect()
+                    };
+                    configs.push(PreparedConfig {
+                        system,
+                        model,
+                        budget: Budget::FewShot(shots),
+                        pool,
+                        run_label: format!("table6/f{fold}"),
+                        governor: Governor::default(),
+                    });
+                }
             }
         }
     }
-    par_map(&cells, |&(model, system, shots, folds)| {
-        let mut fold_accuracies = Vec::new();
-        let mut last_run = None;
-        for fold in 0..folds {
-            // Random shot sample per fold, as in the paper.
-            let mut rng =
-                Rng::new(setup.seed).fork(&format!("fold/{system}/{model}/{shots}/{fold}"));
-            let idx = rng.sample_indices(setup.benchmark.train.len(), shots.max(1));
-            let pool: Vec<GoldExample> = if shots == 0 {
-                Vec::new()
-            } else {
-                idx.iter()
-                    .map(|&i| setup.benchmark.train[i].clone())
-                    .collect()
-            };
-            let run = run_config(
-                setup,
+    let mut runs = run_prepared(setup, &configs).into_iter();
+    cells
+        .into_iter()
+        .map(|(model, system, shots, folds)| {
+            let fold_runs: Vec<RunResult> = (0..folds)
+                .map(|_| runs.next().expect("one run per fold"))
+                .collect();
+            FoldedResult {
                 system,
                 model,
-                Budget::FewShot(shots),
-                &pool,
-                &format!("table6/f{fold}"),
-            );
-            fold_accuracies.push(run.accuracy());
-            last_run = Some(run);
-        }
-        FoldedResult {
-            system,
-            model,
-            shots,
-            fold_accuracies,
-            last_run: last_run.unwrap(),
-        }
-    })
+                shots,
+                fold_accuracies: fold_runs.iter().map(RunResult::accuracy).collect(),
+                last_run: fold_runs.into_iter().next_back().unwrap(),
+            }
+        })
+        .collect()
 }
 
 /// Table 7: latency statistics per system at its maximum budget.
@@ -508,25 +607,33 @@ pub fn run_fewshot_grid(setup: &EvalSetup) -> Vec<FoldedResult> {
 /// cost).
 pub fn run_latency(setup: &EvalSetup) -> Vec<(SystemKind, f64, f64)> {
     let model = DataModel::V1;
-    par_map(&SystemKind::ALL, |&system| {
-        let budget = if system.fine_tuned() {
-            Budget::FineTuned(300)
-        } else if system == SystemKind::Llama2 {
-            Budget::FewShot(8)
-        } else {
-            Budget::FewShot(30)
-        };
-        let run = run_config(
-            setup,
-            system,
-            model,
-            budget,
-            &setup.benchmark.train,
-            "table7",
-        );
-        let (m, sd) = textosql::mean_sd(&run.latencies());
-        (system, m, sd)
-    })
+    let cells: Vec<PreparedConfig> = SystemKind::ALL
+        .iter()
+        .map(|&system| {
+            let budget = if system.fine_tuned() {
+                Budget::FineTuned(300)
+            } else if system == SystemKind::Llama2 {
+                Budget::FewShot(8)
+            } else {
+                Budget::FewShot(30)
+            };
+            PreparedConfig {
+                system,
+                model,
+                budget,
+                pool: setup.benchmark.train.clone(),
+                run_label: "table7".to_string(),
+                governor: Governor::default(),
+            }
+        })
+        .collect();
+    run_prepared(setup, &cells)
+        .into_iter()
+        .map(|run| {
+            let (m, sd) = textosql::mean_sd(&run.latencies());
+            (run.system, m, sd)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -35,8 +35,8 @@ pub mod report;
 pub mod tradeoff;
 
 pub use experiment::{
-    run_config, run_config_governed, run_fewshot_grid, run_finetuned_grid, run_latency, EvalSetup,
-    FoldedResult, Governor, ItemResult, RunResult,
+    run_config, run_config_governed, run_fewshot_grid, run_finetuned_grid, run_latency,
+    run_prepared, EvalSetup, FoldedResult, Governor, ItemResult, PreparedConfig, RunResult,
 };
 pub use metric::{
     accuracy, classify_engine_error, component_match, execute_classified, execution_match,
@@ -47,6 +47,6 @@ pub use metrics::{
     hardness_name, ItemTrace, LatencyHistogram, MetricsCell, MetricsRegistry, StageAgg, STAGES,
 };
 pub use parallel::{
-    configured_threads, observed_threads, par_map, par_map_catch, reset_observed_threads,
-    set_thread_override,
+    configured_threads, note_pool_width, observed_threads, par_map, par_map_catch,
+    reset_observed_threads, set_thread_override,
 };

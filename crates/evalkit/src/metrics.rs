@@ -151,6 +151,11 @@ impl LatencyHistogram {
         self.buckets[idx] += 1;
     }
 
+    /// Folds another histogram into this one. Bucket addition commutes,
+    /// so per-shard (or per-worker) histograms merged in any order equal
+    /// the histogram a single sequential recorder would have produced —
+    /// which is what lets the serving layer keep one histogram per
+    /// worker and still report deterministic totals.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
@@ -164,6 +169,42 @@ impl LatencyHistogram {
 
     pub fn total(&self) -> u64 {
         self.buckets.iter().sum()
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the lower bound of the bucket
+    /// holding the `ceil(q * total)`-th sample — i.e. the resolution is
+    /// the bucket width, and the reported value is a floor of the true
+    /// quantile. Deterministic (pure integer bucket walk); `0.0` on an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Self::lower_bound(i);
+            }
+        }
+        Self::lower_bound(self.buckets.len() - 1)
+    }
+
+    /// Median latency (see [`LatencyHistogram::quantile`]).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile latency — the serving layer's tail headline.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
     }
 }
 
@@ -448,6 +489,54 @@ mod tests {
         assert_eq!(h.buckets[6], 1); // [1.0, 2.0)
         assert_eq!(h.buckets[15], 1);
         assert!((LatencyHistogram::lower_bound(6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_hit_bucket_edges_exactly() {
+        // 100 samples: 50 in bucket 5 ([0.5, 1.0)), 49 in bucket 6
+        // ([1.0, 2.0)), 1 in bucket 15. Ranks: p50 -> 50th sample
+        // (last of bucket 5), p99 -> 99th (last of bucket 6), p999 ->
+        // ceil(99.9) = 100th (the lone tail sample).
+        let mut h = LatencyHistogram::default();
+        h.buckets[5] = 50;
+        h.buckets[6] = 49;
+        h.buckets[15] = 1;
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.p50(), LatencyHistogram::lower_bound(5));
+        assert_eq!(h.p99(), LatencyHistogram::lower_bound(6));
+        assert_eq!(h.p999(), LatencyHistogram::lower_bound(15));
+        // One more sample in bucket 6 tips the median over the edge:
+        // rank ceil(0.5 * 101) = 51 now lands in bucket 6.
+        h.buckets[6] += 1;
+        assert_eq!(h.p50(), LatencyHistogram::lower_bound(6));
+        // Degenerate cases: empty histogram, single sample, q = 1.0.
+        assert_eq!(LatencyHistogram::default().quantile(0.5), 0.0);
+        let mut one = LatencyHistogram::default();
+        one.record(0.75);
+        assert_eq!(one.quantile(0.001), LatencyHistogram::lower_bound(5));
+        assert_eq!(one.quantile(1.0), LatencyHistogram::lower_bound(5));
+        assert_eq!(h.quantile(1.0), LatencyHistogram::lower_bound(15));
+    }
+
+    #[test]
+    fn merged_shard_histograms_equal_sequential_recording() {
+        let latencies = [0.01, 0.2, 0.7, 1.5, 3.0, 10.0, 0.7, 64.0];
+        let mut sequential = LatencyHistogram::default();
+        for l in latencies {
+            sequential.record(l);
+        }
+        // Deal the same samples round-robin over 3 "shards", merge in a
+        // scrambled order: totals and every quantile must match.
+        let mut shards = [LatencyHistogram::default(); 3];
+        for (i, l) in latencies.iter().enumerate() {
+            shards[i % 3].record(*l);
+        }
+        let mut merged = LatencyHistogram::default();
+        for i in [2, 0, 1] {
+            merged.merge(&shards[i]);
+        }
+        assert_eq!(merged, sequential);
+        assert_eq!(merged.p999(), sequential.p999());
     }
 
     #[test]

@@ -57,6 +57,15 @@ pub fn reset_observed_threads() {
     OBSERVED_POOL.store(0, Ordering::SeqCst);
 }
 
+/// Reports an externally-managed worker pool into the
+/// [`observed_threads`] watermark. `par_map` records its own pools;
+/// long-lived pools that bypass it (the serving layer's worker pool)
+/// call this once at spawn so benchmark records attribute their
+/// speedup to the width that actually ran.
+pub fn note_pool_width(threads: usize) {
+    OBSERVED_POOL.fetch_max(threads, Ordering::SeqCst);
+}
+
 /// The worker count `par_map` would use right now.
 pub fn configured_threads() -> usize {
     let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
@@ -226,6 +235,18 @@ mod tests {
                 assert_eq!(*r, Ok(i * 2));
             }
         }
+    }
+
+    #[test]
+    fn external_pools_raise_the_watermark() {
+        // Watermark state is process-global; this test only asserts
+        // monotonicity (fetch_max), which holds regardless of what
+        // other tests have recorded concurrently.
+        note_pool_width(6);
+        assert!(observed_threads() >= 6);
+        let before = observed_threads();
+        note_pool_width(2);
+        assert!(observed_threads() >= before, "fetch_max never lowers");
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Immutable shared state for the serving layer.
+//!
+//! A server holds one snapshot per data model: the loaded [`Database`]
+//! behind an `Arc` (workers share it read-only; its lazy index cache is
+//! internally lock-striped) and one sharded [`QueryCache`] per model.
+//! Nothing here is copied per worker and nothing is guarded by a single
+//! global lock — the caches stripe internally, so the only shared
+//! mutable state contends at shard granularity.
+
+use evalkit::par_map;
+use footballdb::{generate, load, DataModel, Domain};
+use sqlengine::{CacheStats, Database, QueryCache};
+use std::sync::Arc;
+
+/// The three data-model snapshots plus their per-model query caches.
+pub struct ServeState {
+    pub domain: Domain,
+    models: Vec<(DataModel, Arc<Database>, QueryCache)>,
+}
+
+impl ServeState {
+    /// Loads all three data-model instances (fanned out) with fresh,
+    /// empty caches. Content depends only on the deterministic domain
+    /// generator, so two states are interchangeable.
+    pub fn build() -> ServeState {
+        let domain = generate(footballdb::DEFAULT_SEED);
+        let models = par_map(&DataModel::ALL, |&m| {
+            (m, Arc::new(load(&domain, m)), QueryCache::new())
+        });
+        ServeState { domain, models }
+    }
+
+    pub fn db(&self, model: DataModel) -> &Arc<Database> {
+        &self.models.iter().find(|(m, _, _)| *m == model).unwrap().1
+    }
+
+    pub fn cache(&self, model: DataModel) -> &QueryCache {
+        &self.models.iter().find(|(m, _, _)| *m == model).unwrap().2
+    }
+
+    /// Aggregated cache counters over all three model caches.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats {
+            hits: 0,
+            misses: 0,
+            entries: 0,
+            oversize: 0,
+            builds: 0,
+        };
+        for (_, _, cache) in &self.models {
+            let s = cache.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.entries += s.entries;
+            total.oversize += s.oversize;
+            total.builds += s.builds;
+        }
+        total
+    }
+
+    /// Σ per-shard |builds − entries| over all caches: 0 whenever the
+    /// racing-miss single-build invariant held on every shard.
+    pub fn shard_drift(&self) -> u64 {
+        self.models.iter().map(|(_, _, c)| c.shard_drift()).sum()
+    }
+
+    /// A deliberately pathological query against this model: a
+    /// non-equi self-join of the model's largest table, whose nested
+    /// loop exhausts any sane [`sqlengine::ExecBudget`]. The workload
+    /// injects a small seeded fraction of these so admission control
+    /// has something real to shed — gold SQL alone never trips the
+    /// budget.
+    pub fn hazard_sql(&self, model: DataModel) -> String {
+        let db = self.db(model);
+        let table = db
+            .catalog()
+            .tables
+            .iter()
+            .max_by_key(|t| db.row_count(&t.name))
+            .expect("catalog has tables");
+        let col = &table.columns[0].name;
+        format!(
+            "SELECT count(*) FROM {t} AS a JOIN {t} AS b ON a.{col} <> b.{col}",
+            t = table.name
+        )
+    }
+}

@@ -1,0 +1,153 @@
+//! Open-loop traffic generation.
+//!
+//! Replays the statistics of the paper's nine-month interaction log as
+//! an arrival stream: Poisson arrivals at a configured rate on the
+//! seeded [`SimClock`], Zipf-skewed query popularity over the gold
+//! pool, periodic burst phases, the log's no-SQL-generated fraction
+//! (questions the NL layer answers without reaching the engine), and a
+//! small fraction of injected runaway queries. Open-loop means
+//! arrivals never wait for completions — exactly the load shape a
+//! saturated server sees — and everything is a pure function of the
+//! seed, so two generations are identical item for item.
+
+use footballdb::{DataModel, Domain};
+use nlq::log::{simulate_log, LogStats};
+use nlq::Benchmark;
+use textosql::SimClock;
+use xrng::Rng;
+
+/// What one arrival asks the server to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestKind {
+    /// A gold query (index into the gold pool) against one model.
+    Gold(usize),
+    /// An injected runaway (pathological self-join).
+    Hazard,
+    /// The NL layer produced no SQL (out-of-scope / non-English /
+    /// unanswerable); served without touching the engine.
+    NoSql,
+}
+
+/// One request of the open-loop stream.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub arrival_s: f64,
+    pub model: DataModel,
+    pub kind: RequestKind,
+    /// The SQL to execute (empty for [`RequestKind::NoSql`]).
+    pub sql: String,
+}
+
+/// Periodic burst phase: for the first `duty` fraction of every
+/// `period_s`, the arrival rate is multiplied by `multiplier`.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstSpec {
+    pub period_s: f64,
+    pub duty: f64,
+    pub multiplier: f64,
+}
+
+impl Default for BurstSpec {
+    fn default() -> BurstSpec {
+        BurstSpec {
+            period_s: 10.0,
+            duty: 0.2,
+            multiplier: 3.0,
+        }
+    }
+}
+
+/// Shape of one generated stream.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Mean arrival rate outside bursts (queries per second).
+    pub rate_qps: f64,
+    /// Length of the stream in simulated seconds.
+    pub duration_s: f64,
+    /// Zipf skew exponent for query popularity (1.0 ≈ classic Zipf).
+    pub zipf_s: f64,
+    /// Fraction of arrivals that are injected runaways.
+    pub hazard_fraction: f64,
+    pub burst: BurstSpec,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> WorkloadSpec {
+        WorkloadSpec {
+            rate_qps: 100.0,
+            duration_s: 30.0,
+            zipf_s: 1.0,
+            hazard_fraction: 0.02,
+            burst: BurstSpec::default(),
+        }
+    }
+}
+
+/// Generates the arrival stream for one rate. `seed` fully determines
+/// the stream; the rate is folded into the RNG label so different
+/// rates draw independent streams.
+pub fn generate(
+    domain: &Domain,
+    benchmark: &Benchmark,
+    seed: u64,
+    spec: &WorkloadSpec,
+) -> Vec<Request> {
+    let mut rng = Rng::new(seed).fork(&format!("serve-workload/{}", spec.rate_qps as u64));
+
+    // The deployment log's no-SQL fraction (Table 1): the share of
+    // questions the NL layer answers (or rejects) without generating
+    // SQL. Simulated once per stream from its own substream.
+    let mut log_rng = rng.fork("log");
+    let entries = simulate_log(domain, &mut log_rng, 512);
+    let stats = LogStats::from_entries(&entries);
+    let no_sql_rate = stats.no_sql_generated as f64 / stats.questions.max(1) as f64;
+
+    // Zipf popularity over the gold pool: a shuffled rank permutation
+    // (so popularity is not correlated with pool order) with weight
+    // 1/(rank+1)^s.
+    let pool = &benchmark.gold_pool;
+    let mut ranks: Vec<usize> = (0..pool.len()).collect();
+    rng.shuffle(&mut ranks);
+    let weights: Vec<f64> = ranks
+        .iter()
+        .map(|&r| 1.0 / ((r + 1) as f64).powf(spec.zipf_s))
+        .collect();
+
+    let mut clock = SimClock::new();
+    let mut out = Vec::new();
+    loop {
+        // Poisson arrivals, thinned through the burst phase: the
+        // instantaneous rate is `rate * multiplier` inside a burst.
+        let in_burst =
+            (clock.now_s() % spec.burst.period_s) < spec.burst.duty * spec.burst.period_s;
+        let rate = if in_burst {
+            spec.rate_qps * spec.burst.multiplier
+        } else {
+            spec.rate_qps
+        };
+        let u = rng.f64().max(f64::MIN_POSITIVE);
+        clock.advance(-u.ln() / rate);
+        if clock.now_s() >= spec.duration_s {
+            break;
+        }
+        let model = *rng.choose(&DataModel::ALL);
+        let kind = if rng.chance(spec.hazard_fraction) {
+            RequestKind::Hazard
+        } else if rng.chance(no_sql_rate) {
+            RequestKind::NoSql
+        } else {
+            RequestKind::Gold(rng.choose_weighted(&weights))
+        };
+        let sql = match kind {
+            RequestKind::Gold(i) => pool[i].sql(model).to_string(),
+            _ => String::new(),
+        };
+        out.push(Request {
+            arrival_s: clock.now_s(),
+            model,
+            kind,
+            sql,
+        });
+    }
+    out
+}

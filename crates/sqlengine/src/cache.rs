@@ -9,18 +9,30 @@
 //! later evaluation shares the materialized [`ResultSet`] behind an
 //! `Arc`.
 //!
-//! The cache is safe to share across threads (`RwLock` map, atomic
-//! counters) and is semantically transparent: [`execute_sql`] is a pure
-//! function of `(db, sql)` *under a fixed planner configuration*, so a
-//! cached result is bit-identical to a fresh execution. Entries are
-//! additionally keyed by [`planner_config_fingerprint`]: indexed and
-//! forced-seq-scan execution are bit-identical by construction (see
+//! The cache is safe to share across threads and is semantically
+//! transparent: [`execute_sql`] is a pure function of `(db, sql)`
+//! *under a fixed planner configuration*, so a cached result is
+//! bit-identical to a fresh execution. Entries are additionally keyed
+//! by [`planner_config_fingerprint`]: indexed and forced-seq-scan
+//! execution are bit-identical by construction (see
 //! `exec::set_force_seqscan`), but the cache does not rely on that
 //! invariant — a result computed under one configuration is never
 //! served under another, so a mid-process toggle flip (or a future
 //! toggle without the bit-identity guarantee) cannot cause staleness.
 //! Hit/miss counters make the saved work observable in the benchmark
 //! harness.
+//!
+//! **Sharding.** The memo table is lock-striped into [`SHARDS`]
+//! independent `RwLock` shards selected by a deterministic FNV hash of
+//! the trimmed query text, so concurrent lookups of *different* queries
+//! take *different* locks and a long miss-side fill in one shard never
+//! blocks hits in the others. Shard choice is a pure function of the
+//! key (never of `RandomState` or thread identity), which keeps
+//! per-shard counters reproducible across runs. The racing-miss
+//! invariant is per shard: two misses on one key both count a miss,
+//! but only the thread winning that shard's `Entry::Vacant` insert
+//! counts a build — so `builds == entries` holds shard by shard, which
+//! the serving benchmark audits as "zero shard-counter drift".
 
 use crate::budget::ExecBudget;
 use crate::db::Database;
@@ -73,8 +85,41 @@ struct CacheEntry {
 /// One planner-configuration's memo entries, keyed by trimmed SQL text.
 type MemoTable = HashMap<String, CacheEntry>;
 
-/// A concurrency-safe memo table for query execution against one
-/// database instance.
+/// Number of lock stripes. Wide enough that 8–16 workers rarely collide
+/// on a shard lock, small enough that `stats()` stays a cheap sweep.
+pub const SHARDS: usize = 16;
+
+/// One lock stripe: the memo maps (nested per planner-config
+/// fingerprint) plus this shard's build counter. `builds == map entry
+/// count` is the per-shard no-lost/no-double-build invariant.
+#[derive(Debug, Default)]
+struct CacheShard {
+    /// Memo tables, one per planner-config fingerprint: entries computed
+    /// under one configuration are invisible to lookups under another.
+    map: RwLock<HashMap<u64, MemoTable>>,
+    builds: AtomicU64,
+}
+
+/// Per-shard counter snapshot (see [`QueryCache::shard_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    pub builds: u64,
+    pub entries: usize,
+}
+
+/// Deterministic FNV-1a shard selector over the trimmed query text.
+/// Never keyed by `RandomState`, so shard populations are identical
+/// across runs and processes.
+fn shard_of(key: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+    }
+    (h % SHARDS as u64) as usize
+}
+
+/// A concurrency-safe, lock-striped memo table for query execution
+/// against one database instance.
 ///
 /// Only successful results are cached. Errors are never stored: a
 /// failure may be circumstantial rather than intrinsic to the query —
@@ -86,13 +131,10 @@ type MemoTable = HashMap<String, CacheEntry>;
 /// may share entries.
 #[derive(Debug)]
 pub struct QueryCache {
-    /// Memo tables, one per planner-config fingerprint: entries computed
-    /// under one configuration are invisible to lookups under another.
-    map: RwLock<HashMap<u64, MemoTable>>,
+    shards: [CacheShard; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
     oversize: AtomicU64,
-    builds: AtomicU64,
     disabled: AtomicBool,
     /// Maximum result size (rows × columns) eligible for storage.
     ///
@@ -121,14 +163,18 @@ impl QueryCache {
     /// (rows × columns) cells.
     pub fn with_max_cells(max_cells: usize) -> QueryCache {
         QueryCache {
-            map: RwLock::new(HashMap::new()),
+            shards: std::array::from_fn(|_| CacheShard::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             oversize: AtomicU64::new(0),
-            builds: AtomicU64::new(0),
             disabled: AtomicBool::new(false),
             max_cells,
         }
+    }
+
+    /// Number of lock stripes (fixed; exposed for invariant checks).
+    pub fn shard_count(&self) -> usize {
+        SHARDS
     }
 
     /// Executes `sql` against `db`, serving repeats from the memo table.
@@ -170,7 +216,8 @@ impl QueryCache {
         }
         let fp = planner_config_fingerprint();
         let key = sql.trim();
-        if let Some(entry) = self
+        let shard = &self.shards[shard_of(key)];
+        if let Some(entry) = shard
             .map
             .read()
             .unwrap()
@@ -194,9 +241,10 @@ impl QueryCache {
         }
         // Two threads may race to fill the same key; both computed the
         // same pure result, so first-write-wins keeps determinism — and
-        // only the winning insert counts a build, which is what keeps
-        // `builds` equal to the number of stored entries under races.
-        match self
+        // only the thread winning this shard's insert counts a build,
+        // which is what keeps each shard's `builds` equal to its stored
+        // entry count under races.
+        match shard
             .map
             .write()
             .unwrap()
@@ -206,7 +254,7 @@ impl QueryCache {
         {
             Entry::Occupied(_) => {}
             Entry::Vacant(slot) => {
-                self.builds.fetch_add(1, Ordering::Relaxed);
+                shard.builds.fetch_add(1, Ordering::Relaxed);
                 slot.insert(CacheEntry {
                     result: Arc::clone(&rs),
                     trace: spans.map(Arc::new),
@@ -226,23 +274,61 @@ impl QueryCache {
         !self.disabled.load(Ordering::Relaxed)
     }
 
-    /// Drops all entries and zeroes the counters.
+    /// Drops all entries and zeroes the counters (global and per-shard).
     pub fn clear(&self) {
-        self.map.write().unwrap().clear();
+        for shard in &self.shards {
+            shard.map.write().unwrap().clear();
+            shard.builds.store(0, Ordering::Relaxed);
+        }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.oversize.store(0, Ordering::Relaxed);
-        self.builds.store(0, Ordering::Relaxed);
     }
 
     pub fn stats(&self) -> CacheStats {
+        let mut entries = 0;
+        let mut builds = 0;
+        for shard in &self.shards {
+            entries += shard
+                .map
+                .read()
+                .unwrap()
+                .values()
+                .map(HashMap::len)
+                .sum::<usize>();
+            builds += shard.builds.load(Ordering::Relaxed);
+        }
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.read().unwrap().values().map(HashMap::len).sum(),
+            entries,
             oversize: self.oversize.load(Ordering::Relaxed),
-            builds: self.builds.load(Ordering::Relaxed),
+            builds,
         }
+    }
+
+    /// Per-shard `(builds, entries)` snapshot, in shard order. The
+    /// no-lost/no-double-build invariant is `builds == entries` in every
+    /// shard (as long as the cache has not been cleared mid-count);
+    /// [`QueryCache::shard_drift`] folds it into one number.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| ShardStats {
+                builds: shard.builds.load(Ordering::Relaxed),
+                entries: shard.map.read().unwrap().values().map(HashMap::len).sum(),
+            })
+            .collect()
+    }
+
+    /// Total absolute disagreement between each shard's build counter
+    /// and its stored entry count — 0 unless a build was lost or double
+    /// counted under racing misses.
+    pub fn shard_drift(&self) -> u64 {
+        self.shard_stats()
+            .iter()
+            .map(|s| s.builds.abs_diff(s.entries as u64))
+            .sum()
     }
 }
 
@@ -405,6 +491,34 @@ mod tests {
         );
         assert_eq!(s.hits + s.misses, threads as u64, "every lookup counted");
         assert!(s.misses >= 1);
+        assert_eq!(cache.shard_drift(), 0);
+    }
+
+    #[test]
+    fn shard_stats_sum_to_globals_and_spread_over_shards() {
+        let db = db();
+        let cache = QueryCache::new();
+        for i in 0..40 {
+            // Distinct texts land on distinct keys (and, FNV willing,
+            // many distinct shards).
+            cache
+                .execute_cached(&db, &format!("SELECT a FROM t WHERE a > {}", i - 20))
+                .unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!((s.entries, s.builds), (40, 40));
+        let shards = cache.shard_stats();
+        assert_eq!(shards.len(), cache.shard_count());
+        assert_eq!(shards.iter().map(|x| x.entries).sum::<usize>(), 40);
+        assert_eq!(shards.iter().map(|x| x.builds).sum::<u64>(), 40);
+        for sh in &shards {
+            assert_eq!(sh.builds, sh.entries as u64, "per-shard drift");
+        }
+        let populated = shards.iter().filter(|x| x.entries > 0).count();
+        assert!(populated > 1, "40 keys all hashed into one shard");
+        cache.clear();
+        assert_eq!(cache.shard_drift(), 0);
+        assert!(cache.shard_stats().iter().all(|x| x.entries == 0));
     }
 
     #[test]

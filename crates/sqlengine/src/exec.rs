@@ -1002,15 +1002,17 @@ fn load_scan(
                     Some((ix, keys)) => {
                         trace::detail(|| format!("index lookup ({} key(s))", keys.len()));
                         let mut ids: Vec<u32> = Vec::new();
+                        let (mut hits, mut misses) = (0u64, 0u64);
                         for k in keys {
                             match ix.lookup(k) {
                                 Some(found) => {
-                                    db.note_index_probe(true);
+                                    hits += 1;
                                     ids.extend_from_slice(found);
                                 }
-                                None => db.note_index_probe(false),
+                                None => misses += 1,
                             }
                         }
+                        db.note_index_probes(hits + misses, hits);
                         ids.sort_unstable();
                         ids.dedup();
                         for id in ids {
@@ -1136,35 +1138,42 @@ fn index_nested_loop_join(
     // (stage, spent) in indexed and seqscan modes.
     let width = cols.len() as u64;
     let mut rows = Vec::new();
-    for l in &left.rows {
-        let candidates = match ix.lookup(&l[lpos]) {
-            Some(c) => {
-                db.note_index_probe(true);
-                c
-            }
-            None => {
-                db.note_index_probe(false);
-                continue;
-            }
-        };
-        'cand: for &ri in candidates {
-            let mut row = l.clone();
-            row.extend(right_rows[ri as usize].iter().cloned());
-            for e in &checks {
-                let env = Env {
-                    cols: &cols,
-                    row: &row,
-                    parent: outer,
-                    plan: Some(&plan),
-                };
-                if !eval(db, e, &env)?.is_true() {
-                    continue 'cand;
+    // One probe per left row: tallied locally and flushed in a single
+    // batch — even on a budget abort — so the hot loop pays no
+    // per-probe atomics or thread-local reads.
+    let (mut probes, mut hits) = (0u64, 0u64);
+    let scanned: Result<(), EngineError> = (|| {
+        for l in &left.rows {
+            probes += 1;
+            let candidates = match ix.lookup(&l[lpos]) {
+                Some(c) => {
+                    hits += 1;
+                    c
                 }
+                None => continue,
+            };
+            'cand: for &ri in candidates {
+                let mut row = l.clone();
+                row.extend(right_rows[ri as usize].iter().cloned());
+                for e in &checks {
+                    let env = Env {
+                        cols: &cols,
+                        row: &row,
+                        parent: outer,
+                        plan: Some(&plan),
+                    };
+                    if !eval(db, e, &env)?.is_true() {
+                        continue 'cand;
+                    }
+                }
+                charge("join", 1, width)?;
+                rows.push(row);
             }
-            charge("join", 1, width)?;
-            rows.push(row);
         }
-    }
+        Ok(())
+    })();
+    db.note_index_probes(probes, hits);
+    scanned?;
     trace::rows_out(rows.len() as u64);
     Ok(Relation { cols, rows })
 }

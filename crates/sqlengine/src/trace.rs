@@ -438,11 +438,21 @@ pub(crate) fn batches(n: u64) {
     with_top(|s| s.counters.batches_out += n);
 }
 
-/// Records an index probe against the innermost open span.
+/// Records a single index probe against the innermost open span.
+/// Production callers batch through [`probes`]; kept for tests that
+/// exercise the per-probe accounting directly.
+#[cfg(test)]
 pub(crate) fn probe(found: bool) {
+    probes(1, found as u64);
+}
+
+/// Records a batch of index probes against the innermost open span —
+/// one thread-local access for the whole batch, for the per-row join
+/// hot path.
+pub(crate) fn probes(n: u64, hits: u64) {
     with_top(|s| {
-        s.counters.index_probes += 1;
-        s.counters.index_hits += found as u64;
+        s.counters.index_probes += n;
+        s.counters.index_hits += hits;
     });
 }
 

@@ -572,15 +572,17 @@ fn vscan<'a>(
             Some((ix, keys)) => {
                 trace::detail(|| format!("index lookup ({} key(s))", keys.len()));
                 let mut ids: Vec<u32> = Vec::new();
+                let (mut hits, mut misses) = (0u64, 0u64);
                 for k in keys {
                     match ix.lookup(k) {
                         Some(found) => {
-                            db.note_index_probe(true);
+                            hits += 1;
                             ids.extend_from_slice(found);
                         }
-                        None => db.note_index_probe(false),
+                        None => misses += 1,
                     }
                 }
+                db.note_index_probes(hits + misses, hits);
                 ids.sort_unstable();
                 ids.dedup();
                 for id in ids {
@@ -697,38 +699,45 @@ fn vinl_join<'a>(
     let width = cols.len() as u64;
     let mut lpicks: Vec<u32> = Vec::new();
     let mut rpicks: Vec<u32> = Vec::new();
-    for lrow in 0..left.len {
-        let candidates = match ix.lookup(left.value(lrow, lpos)) {
-            Some(c) => {
-                db.note_index_probe(true);
-                c
-            }
-            None => {
-                db.note_index_probe(false);
-                continue;
-            }
-        };
-        'cand: for &ri in candidates {
-            let env = VEnv {
-                src: VSrc::PairBase {
-                    left: &left,
-                    lrow,
-                    right: right_rows,
-                    rrow: ri as usize,
-                },
-                cols: &cols,
-                plan: Some(&cplan),
-            };
-            for e in &checks {
-                if !veval(e, &env)?.is_true() {
-                    continue 'cand;
+    // One probe per left row: tallied locally and flushed in a single
+    // batch — even on a budget abort — so the hot loop pays no
+    // per-probe atomics or thread-local reads.
+    let (mut probes, mut hits) = (0u64, 0u64);
+    let scanned: Result<(), EngineError> = (|| {
+        for lrow in 0..left.len {
+            probes += 1;
+            let candidates = match ix.lookup(left.value(lrow, lpos)) {
+                Some(c) => {
+                    hits += 1;
+                    c
                 }
+                None => continue,
+            };
+            'cand: for &ri in candidates {
+                let env = VEnv {
+                    src: VSrc::PairBase {
+                        left: &left,
+                        lrow,
+                        right: right_rows,
+                        rrow: ri as usize,
+                    },
+                    cols: &cols,
+                    plan: Some(&cplan),
+                };
+                for e in &checks {
+                    if !veval(e, &env)?.is_true() {
+                        continue 'cand;
+                    }
+                }
+                charge("join", 1, width)?;
+                lpicks.push(lrow as u32);
+                rpicks.push(ri);
             }
-            charge("join", 1, width)?;
-            lpicks.push(lrow as u32);
-            rpicks.push(ri);
         }
-    }
+        Ok(())
+    })();
+    db.note_index_probes(probes, hits);
+    scanned?;
 
     let left_width = left.cols.len();
     let mut slots: Vec<VSlot<'a>> = Vec::with_capacity(left.slots.len() + 1);

@@ -3,6 +3,7 @@
 pub use evalkit;
 pub use footballdb;
 pub use nlq;
+pub use serve;
 pub use sqlengine;
 pub use sqlkit;
 pub use textosql;
