@@ -32,7 +32,7 @@ use std::time::Instant;
 
 use evalkit::{
     observed_threads, reset_observed_threads, run_fewshot_grid, run_finetuned_grid, run_latency,
-    set_thread_override, EvalSetup, FailureKind, ItemTrace,
+    set_thread_override, EvalSetup, FailureKind, ForensicsRegistry, ItemTrace,
 };
 use sqlengine::set_force_seqscan;
 
@@ -50,11 +50,19 @@ fn usage() -> ! {
 /// attributed to the query that spent them no matter which pool thread
 /// ran it — and are not inflated by timeslicing when the pool
 /// oversubscribes the host's cores.
-fn run_workload(setup: &EvalSetup) -> (Vec<f64>, Vec<(FailureKind, usize)>, ItemTrace) {
+fn run_workload(
+    setup: &EvalSetup,
+) -> (
+    Vec<f64>,
+    Vec<(FailureKind, usize)>,
+    ItemTrace,
+    ForensicsRegistry,
+) {
     let mut acc = Vec::new();
     let mut failures: Vec<(FailureKind, usize)> =
         FailureKind::ALL.iter().map(|&k| (k, 0)).collect();
     let mut trace = ItemTrace::default();
+    let mut forensics = ForensicsRegistry::new();
     for run in run_finetuned_grid(setup, &[0, 100, 200, 300]) {
         acc.push(run.accuracy());
         for (slot, (_, n)) in failures.iter_mut().zip(run.failure_counts()) {
@@ -63,6 +71,7 @@ fn run_workload(setup: &EvalSetup) -> (Vec<f64>, Vec<(FailureKind, usize)>, Item
         for item in &run.items {
             trace.merge(&item.trace);
         }
+        forensics.record_run(setup, &run);
     }
     for folded in run_fewshot_grid(setup) {
         acc.extend(folded.fold_accuracies.iter().copied());
@@ -72,12 +81,13 @@ fn run_workload(setup: &EvalSetup) -> (Vec<f64>, Vec<(FailureKind, usize)>, Item
         for item in &folded.last_run.items {
             trace.merge(&item.trace);
         }
+        forensics.record_run(setup, &folded.last_run);
     }
     for (_, mean, sd) in run_latency(setup) {
         acc.push(mean);
         acc.push(sd);
     }
-    (acc, failures, trace)
+    (acc, failures, trace, forensics)
 }
 
 fn main() {
@@ -127,7 +137,7 @@ fn main() {
     setup.set_query_caches_enabled(false);
     setup.clear_query_caches();
     let t = Instant::now();
-    let (baseline_acc, _, _) = run_workload(&setup);
+    let (baseline_acc, _, _, _) = run_workload(&setup);
     let serial_s = t.elapsed().as_secs_f64();
 
     // Optimized: worker pool + cold cache + index access paths. The
@@ -142,7 +152,7 @@ fn main() {
         "perfbench: optimized pass ({threads_requested} workers, cache enabled, indexes on)..."
     );
     let t = Instant::now();
-    let (optimized_acc, failure_counts, stages) = run_workload(&setup);
+    let (optimized_acc, failure_counts, stages, forensics) = run_workload(&setup);
     let wall_s = t.elapsed().as_secs_f64();
     set_force_seqscan(None);
     set_thread_override(None);
@@ -189,6 +199,8 @@ fn main() {
          \"index_builds\": {},\n  \"index_probes\": {},\n  \"index_hits\": {},\n  \
          \"stage_scan_s\": {:.3},\n  \"stage_join_s\": {:.3},\n  \"stage_aggregate_s\": {:.3},\n  \
          \"failure_counts\": {{{failure_json}}},\n  \
+         \"forensics_wrong_result\": {},\n  \"forensics_classified\": {},\n  \
+         \"forensics_unclassified\": {},\n  \
          \"identical_to_serial\": {identical},\n  \"scale\": \"{}\",\n  \"seed\": {seed}\n}}\n",
         stats.hits,
         stats.misses,
@@ -201,6 +213,9 @@ fn main() {
         stages.stage("scan").cpu_ns as f64 / 1e9,
         stages.stage("join").cpu_ns as f64 / 1e9,
         stages.stage("aggregate").cpu_ns as f64 / 1e9,
+        forensics.totals().wrong_result,
+        forensics.totals().classified,
+        forensics.totals().unclassified,
         if small { "small" } else { "paper" },
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));

@@ -22,7 +22,11 @@
 //! ```
 //!
 //! Both files are plain `perfbench` output; parsing is a flat
-//! field-scan, deliberately dependency-free like the writers.
+//! field-scan, deliberately dependency-free like the writers. Fields
+//! the guard does not read (e.g. the `forensics_*` counters) are
+//! simply ignored, so the record schema can grow without invalidating
+//! an older checked-in baseline — a baseline predating a new field
+//! still compares cleanly against a candidate that carries it.
 
 fn usage() -> ! {
     eprintln!("usage: perfguard [--baseline PATH] [--candidate PATH] [--tolerance PCT]");

@@ -22,7 +22,7 @@ fn usage() -> ! {
          targets: table1 table2 table3 table4 table5 table6 table7 table8\n\
          \u{20}        figure7 figure8 ablation-keys ablation-joinpath\n\
          \u{20}        ablation-train895 ablation-lexical tradeoff-tokens\n\
-         \u{20}        failures export trace <question_id> all"
+         \u{20}        failures forensics export trace <question_id> all"
     );
     std::process::exit(2);
 }
@@ -200,6 +200,10 @@ fn main() {
             "failures" => {
                 let runs = figure_runs(&setup);
                 print!("{}", report::failure_breakdown(&runs));
+            }
+            "forensics" => {
+                let runs = figure_runs(&setup);
+                print!("{}", evalkit::forensics::forensics_report(&setup, &runs));
             }
             "export" => {
                 let dir = std::path::Path::new("dataset");

@@ -21,7 +21,9 @@
 //!   multipliers for Figures 7/8, mechanistic vetoes);
 //! * [`systems`] — the five evaluated systems (ValueNet, T5-Picard,
 //!   T5-Picard_Keys, GPT-3.5, LLaMA2-70B) composed per Table 4;
-//! * [`cost`] — the inference-latency model (Table 7).
+//! * [`cost`] — the inference-latency model (Table 7);
+//! * [`stage`] — pipeline-stage tags for failure attribution
+//!   (`evalkit::forensics`).
 //!
 //! # Example
 //!
@@ -48,6 +50,7 @@ pub mod linking;
 pub mod prompt;
 pub mod retrieval;
 pub mod schema_encode;
+pub mod stage;
 pub mod systems;
 
 pub use capability::{
@@ -60,4 +63,5 @@ pub use fault::{corrupt_sql, FaultKind, FaultPlan, RetryPolicy, SimClock};
 pub use ir::{IrError, SemQl};
 pub use joinpath::{JoinGraph, JoinPathError};
 pub use retrieval::RetrievalIndex;
+pub use stage::PipelineStage;
 pub use systems::{predict, predict_governed, GovernedPrediction, Prediction, SystemContext};

@@ -1,6 +1,8 @@
-//! Accuracy breakdowns for Figures 7 and 8.
+//! Accuracy breakdowns for Figures 7 and 8, plus the failure-kind
+//! breakdown backing the forensics report.
 
 use crate::experiment::{ItemResult, RunResult};
+use crate::metric::FailureKind;
 use sqlkit::Hardness;
 
 /// Accuracy and count for one bucket.
@@ -98,6 +100,26 @@ pub fn by_characteristic(run: &RunResult, ch: Characteristic) -> Vec<Bucket> {
     bucketize(run.items.iter(), |i| ch.of(i), 3)
 }
 
+/// Failure-kind breakdown over a run's failed items, derived from each
+/// item's *classified* `failure` (the `classify_engine_error` verdict
+/// recorded at execution time) — never re-derived from the outcome.
+///
+/// Returned in [`FailureKind::ALL`] order with zero-count kinds
+/// included, so rows line up with [`RunResult::failure_counts`]. The
+/// historic bug pinned by `by_failure_agrees_with_failure_counts`:
+/// stamping every incorrect item `WrongResult` inflated the
+/// wrong-result bucket with parse/identifier/budget failures and made
+/// the breakdown disagree with `failure_counts()`.
+pub fn by_failure(run: &RunResult) -> Vec<(FailureKind, Bucket)> {
+    FailureKind::ALL
+        .iter()
+        .map(|&k| {
+            let count = run.items.iter().filter(|i| i.failure == Some(k)).count();
+            (k, Bucket { count, correct: 0 })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,15 +128,18 @@ mod tests {
     use sqlkit::QueryStats;
     use textosql::{Budget, SystemKind};
 
-    fn item(h: Hardness, joins: usize, correct: bool) -> ItemResult {
+    fn item(h: Hardness, joins: usize, failure: Option<FailureKind>) -> ItemResult {
         ItemResult {
             item_id: 0,
-            outcome: if correct {
-                ExOutcome::Correct
-            } else {
-                ExOutcome::WrongResult
+            // Outcome follows the classified failure. The old fixture
+            // hardcoded WrongResult for every incorrect item — exactly
+            // the misclassification `by_failure` now guards against.
+            outcome: match failure {
+                None => ExOutcome::Correct,
+                Some(k) => k.as_outcome(),
             },
-            failure: (!correct).then_some(crate::metric::FailureKind::WrongResult),
+            failure,
+            predicted_sql: None,
             latency: 1.0,
             shots_used: 0,
             hardness: h,
@@ -141,9 +166,9 @@ mod tests {
     #[test]
     fn hardness_buckets_count_and_score() {
         let r = run(vec![
-            item(Hardness::Easy, 0, true),
-            item(Hardness::Easy, 0, false),
-            item(Hardness::Extra, 3, false),
+            item(Hardness::Easy, 0, None),
+            item(Hardness::Easy, 0, Some(FailureKind::WrongResult)),
+            item(Hardness::Extra, 3, Some(FailureKind::WrongResult)),
         ]);
         let b = by_hardness(&r);
         assert_eq!(b[0].0, Hardness::Easy);
@@ -157,10 +182,10 @@ mod tests {
     #[test]
     fn characteristic_buckets_saturate_at_two() {
         let r = run(vec![
-            item(Hardness::Easy, 0, true),
-            item(Hardness::Easy, 1, true),
-            item(Hardness::Easy, 2, false),
-            item(Hardness::Easy, 5, true),
+            item(Hardness::Easy, 0, None),
+            item(Hardness::Easy, 1, None),
+            item(Hardness::Easy, 2, Some(FailureKind::WrongResult)),
+            item(Hardness::Easy, 5, None),
         ]);
         let b = by_characteristic(&r, Characteristic::Joins);
         assert_eq!(b[0].count, 1);
@@ -185,5 +210,49 @@ mod tests {
     fn labels_cover_axes() {
         assert_eq!(Characteristic::ALL.len(), 6);
         assert_eq!(Characteristic::SetOps.label(), "#set ops");
+    }
+
+    /// Regression: incorrect items keep their classified failure kind.
+    /// The breakdown used to stamp every one of them `WrongResult`,
+    /// which made parse/identifier/exec failures inflate the
+    /// wrong-result bucket and disagree with `failure_counts()`.
+    #[test]
+    fn by_failure_agrees_with_failure_counts() {
+        use crate::metric::classify_engine_error;
+        use sqlengine::EngineError;
+
+        let parse_kind = classify_engine_error(&EngineError::Parse(
+            sqlkit::parse_query("SELECT").unwrap_err(),
+        ));
+        let ident_kind = classify_engine_error(&EngineError::UnknownColumn("zz".into()));
+        let exec_kind = classify_engine_error(&EngineError::Eval("bad operand".into()));
+        assert_eq!(parse_kind, FailureKind::ParseError);
+        assert_eq!(ident_kind, FailureKind::UnknownIdentifier);
+        assert_eq!(exec_kind, FailureKind::ExecError);
+
+        let r = run(vec![
+            item(Hardness::Easy, 0, None),
+            item(Hardness::Easy, 0, Some(FailureKind::WrongResult)),
+            item(Hardness::Medium, 1, Some(parse_kind)),
+            item(Hardness::Medium, 1, Some(ident_kind)),
+            item(Hardness::Hard, 2, Some(exec_kind)),
+        ]);
+
+        let by = by_failure(&r);
+        let counts = r.failure_counts();
+        assert_eq!(by.len(), counts.len());
+        for ((k1, b), (k2, n)) in by.iter().zip(counts.iter()) {
+            assert_eq!(k1, k2);
+            assert_eq!(b.count, *n, "bucket for {k1} disagrees");
+        }
+        // Only the genuinely wrong-result item lands in that bucket.
+        let wrong = by
+            .iter()
+            .find(|(k, _)| *k == FailureKind::WrongResult)
+            .unwrap();
+        assert_eq!(wrong.1.count, 1);
+        // And the failed-item total is preserved, not re-bucketed.
+        let failed: usize = by.iter().map(|(_, b)| b.count).sum();
+        assert_eq!(failed, 4);
     }
 }

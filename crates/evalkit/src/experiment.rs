@@ -170,6 +170,10 @@ pub struct ItemResult {
     /// The classified failure when `outcome` is not correct (graceful
     /// degradation); `None` for correct items.
     pub failure: Option<FailureKind>,
+    /// The SQL the system produced (post-processed), kept so the
+    /// forensics layer can align it clause-by-clause against gold.
+    /// `None` when the provider produced nothing or the worker panicked.
+    pub predicted_sql: Option<String>,
     pub latency: f64,
     pub shots_used: usize,
     pub hardness: Hardness,
@@ -350,6 +354,7 @@ fn run_one_item(
         item_id: item.id,
         outcome,
         failure,
+        predicted_sql: g.prediction.sql.clone(),
         latency: g.prediction.latency,
         shots_used: g.prediction.shots_used,
         hardness: profiles[i].hardness,
@@ -368,6 +373,7 @@ fn panicked_item(setup: &EvalSetup, model: DataModel, i: usize) -> ItemResult {
         item_id: setup.benchmark.test[i].id,
         outcome: ExOutcome::ExecError,
         failure: Some(FailureKind::Panic),
+        predicted_sql: None,
         latency: 0.0,
         shots_used: 0,
         hardness: profiles[i].hardness,

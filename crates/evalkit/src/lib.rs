@@ -12,6 +12,8 @@
 //!   per-(system, model, hardness) counters and histograms;
 //! * [`breakdown`] — hardness and characteristic breakdowns (Figures
 //!   7–8);
+//! * [`forensics`] — clause-level diff classification and pipeline-stage
+//!   attribution of every failed item (error fingerprints);
 //! * [`report`] — text renderers for Tables 1–8 and both figures;
 //! * [`ablation`] — keys-encoding, join-path, and extended-training
 //!   ablations.
@@ -28,6 +30,7 @@
 pub mod ablation;
 pub mod breakdown;
 pub mod experiment;
+pub mod forensics;
 pub mod metric;
 pub mod metrics;
 pub mod parallel;
@@ -37,6 +40,10 @@ pub mod tradeoff;
 pub use experiment::{
     run_config, run_config_governed, run_fewshot_grid, run_finetuned_grid, run_latency,
     run_prepared, EvalSetup, FoldedResult, Governor, ItemResult, PreparedConfig, RunResult,
+};
+pub use forensics::{
+    classify_item, forensics_report, wrong_result_total, FingerprintCell, ForensicsRegistry,
+    ItemForensics,
 };
 pub use metric::{
     accuracy, classify_engine_error, component_match, execute_classified, execution_match,

@@ -246,6 +246,35 @@ pub struct ComponentMatch {
 }
 
 impl ComponentMatch {
+    /// Derives the per-component verdicts from a canonical clause diff:
+    /// a component agrees exactly when no diff class touching it is
+    /// present. `HAVING` divergences are folded into the `group_by`
+    /// component (they disagree about the same grouping semantics);
+    /// join-edge divergences into `tables` (the FROM graph).
+    pub fn from_diff(d: &sqlkit::ClauseDiff) -> ComponentMatch {
+        use sqlkit::DiffClass as C;
+        let none_of = |classes: &[C]| !classes.iter().any(|&c| d.has(c));
+        ComponentMatch {
+            tables: none_of(&[C::MissingTable, C::ExtraTable, C::WrongJoinPath]),
+            projections: none_of(&[
+                C::MissingProjection,
+                C::ExtraProjection,
+                C::WrongAggregate,
+                C::WrongDistinct,
+            ]),
+            filters: none_of(&[
+                C::MissingPredicate,
+                C::ExtraPredicate,
+                C::ValueLinkingMiss,
+                C::WrongOperator,
+            ]),
+            group_by: none_of(&[C::MissingGroupKey, C::ExtraGroupKey, C::WrongHaving]),
+            order_by: none_of(&[C::WrongOrderBy]),
+            limit: none_of(&[C::WrongLimit]),
+            set_shape: none_of(&[C::WrongSetShape]),
+        }
+    }
+
     /// All components agree (exact component matching).
     pub fn exact(&self) -> bool {
         self.tables
@@ -276,102 +305,19 @@ impl ComponentMatch {
 
 /// Compares gold and predicted SQL clause by clause. Returns `None` when
 /// either side fails to parse.
+///
+/// Computed from the canonical clause diff ([`sqlkit::diff_sql`]), so
+/// component matching and the forensics fingerprints can never disagree.
+/// The diff's canonicalization subsumes — and fixes — the old ad-hoc
+/// textual dealiasing, which rewrote `"{binding}."` substrings in the
+/// rendered SQL: that corrupted string literals containing an alias
+/// prefix and never reconciled qualified vs bare column styles (see
+/// `component_match_reconciles_qualification_styles`).
 pub fn component_match(gold_sql: &str, predicted_sql: &str) -> Option<ComponentMatch> {
-    use sqlkit::ast::{Query, SelectItem};
-
-    let gold = sqlkit::parse_query(gold_sql).ok()?;
-    let pred = sqlkit::parse_query(predicted_sql).ok()?;
-
-    // Alias-insensitive normalization: render each component with table
-    // aliases replaced by base-table names.
-    fn dealias(q: &Query, text: String) -> String {
-        let mut out = text;
-        let s = q.leftmost_select();
-        // Longest bindings first so T1 cannot corrupt T10-style aliases.
-        let mut refs: Vec<(&str, &str)> = s
-            .table_refs()
-            .filter_map(|t| t.base_table().map(|b| (t.binding(), b)))
-            .collect();
-        refs.sort_by_key(|(binding, _)| std::cmp::Reverse(binding.len()));
-        for (binding, base) in refs {
-            if !binding.eq_ignore_ascii_case(base) {
-                out = out.replace(&format!("{binding}."), &format!("{base}."));
-            }
-        }
-        out.to_ascii_lowercase()
-    }
-
-    fn sorted_set(items: Vec<String>) -> Vec<String> {
-        let mut v = items;
-        v.sort();
-        v
-    }
-
-    fn tables_of(q: &Query) -> Vec<String> {
-        sorted_set(
-            q.leftmost_select()
-                .table_refs()
-                .filter_map(|t| t.base_table().map(|b| b.to_ascii_lowercase()))
-                .collect(),
-        )
-    }
-
-    fn projections_of(q: &Query) -> Vec<String> {
-        sorted_set(
-            q.leftmost_select()
-                .projections
-                .iter()
-                .map(|item| match item {
-                    SelectItem::Wildcard => "*".to_string(),
-                    SelectItem::QualifiedWildcard(t) => format!("{t}.*"),
-                    SelectItem::Expr { expr, .. } => dealias(q, sqlkit::expr_to_sql(expr)),
-                })
-                .collect(),
-        )
-    }
-
-    fn filters_of(q: &Query) -> Vec<String> {
-        sorted_set(
-            q.leftmost_select()
-                .where_clause
-                .as_ref()
-                .map(|w| {
-                    w.conjuncts()
-                        .iter()
-                        .map(|c| dealias(q, sqlkit::expr_to_sql(c)))
-                        .collect()
-                })
-                .unwrap_or_default(),
-        )
-    }
-
-    fn group_of(q: &Query) -> Vec<String> {
-        sorted_set(
-            q.leftmost_select()
-                .group_by
-                .iter()
-                .map(|g| dealias(q, sqlkit::expr_to_sql(g)))
-                .collect(),
-        )
-    }
-
-    fn order_of(q: &Query) -> Vec<String> {
-        // Order matters here, so no sorting.
-        q.order_by
-            .iter()
-            .map(|o| format!("{} {}", dealias(q, sqlkit::expr_to_sql(&o.expr)), o.desc))
-            .collect()
-    }
-
-    Some(ComponentMatch {
-        tables: tables_of(&gold) == tables_of(&pred),
-        projections: projections_of(&gold) == projections_of(&pred),
-        filters: filters_of(&gold) == filters_of(&pred),
-        group_by: group_of(&gold) == group_of(&pred),
-        order_by: order_of(&gold) == order_of(&pred),
-        limit: gold.limit == pred.limit,
-        set_shape: gold.body.set_op_count() == pred.body.set_op_count(),
-    })
+    Some(ComponentMatch::from_diff(&sqlkit::diff_sql(
+        gold_sql,
+        predicted_sql,
+    )?))
 }
 
 #[cfg(test)]
@@ -560,5 +506,38 @@ mod tests {
     #[test]
     fn component_match_none_on_parse_failure() {
         assert!(component_match("SELECT a FROM t", "garbage").is_none());
+    }
+
+    /// Regression for a pair the old ad-hoc comparison misjudged: the
+    /// textual dealiasing rewrote `T1.` → `t.` but left the bare style
+    /// alone, so `t.a` vs `a` (and `t.b = 2` vs `b = 2`) read as
+    /// different projections/filters even though the queries are
+    /// identical. The canonical clause diff resolves both to the same
+    /// unqualified form. It also no longer rewrites alias prefixes
+    /// *inside string literals* (`'T1.x'` used to become `'t.x'`).
+    #[test]
+    fn component_match_reconciles_qualification_styles() {
+        let gold = "SELECT a FROM t WHERE b = 2";
+        let pred = "SELECT T1.a FROM t AS T1 WHERE T1.b = 2";
+        let m = component_match(gold, pred).unwrap();
+        assert!(m.exact(), "previously misjudged pair: {m:?}");
+
+        // Literal values must stay out of identifier canonicalization:
+        // these differ only in a string literal mentioning the alias.
+        let g2 = "SELECT a FROM t AS T1 WHERE T1.b = 'T1.x'";
+        let p2 = "SELECT a FROM t AS T1 WHERE T1.b = 't.x'";
+        let m2 = component_match(g2, p2).unwrap();
+        assert!(!m2.filters, "literal difference must stay visible: {m2:?}");
+    }
+
+    /// Component matching is now a projection of the clause diff, so the
+    /// two layers cannot disagree on trivially reordered predicates.
+    #[test]
+    fn component_match_agrees_with_clause_diff() {
+        let gold = "SELECT a FROM t WHERE a = 1 AND b = 2 GROUP BY a";
+        let pred = "SELECT a FROM t WHERE b = 2 AND a = 1 GROUP BY a";
+        let d = sqlkit::diff_sql(gold, pred).unwrap();
+        assert!(d.is_empty(), "{d:?}");
+        assert!(component_match(gold, pred).unwrap().exact());
     }
 }

@@ -555,6 +555,7 @@ mod tests {
                 ExOutcome::ExecError
             },
             failure: (!correct).then_some(FailureKind::ExecError),
+            predicted_sql: None,
             latency: 1.5,
             shots_used: 0,
             hardness: h,

@@ -576,6 +576,8 @@ pub fn full_report(setup: &EvalSetup) -> String {
     out.push_str(&error_analysis(&fig_runs));
     out.push('\n');
     out.push_str(&failure_breakdown(&fig_runs));
+    out.push('\n');
+    out.push_str(&crate::forensics::forensics_report(setup, &fig_runs));
     out
 }
 

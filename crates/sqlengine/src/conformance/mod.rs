@@ -336,18 +336,34 @@ pub fn check_hazard(
 /// variant for which `diverges` still holds. Candidates that error on
 /// both executors are naturally rejected because consistent errors are
 /// not divergences.
+///
+/// Shrink ordering uses the clause differ as a distance oracle:
+/// candidates are tried smallest-first by [`sqlkit::clause_atoms`]
+/// (greediest structural shrink wins), tie-broken by
+/// [`sqlkit::diff_queries`] distance from the current query (prefer the
+/// candidate that reads as one focused deletion over one that perturbs
+/// several clauses at once), then by printed text for determinism.
 pub fn minimize_sql(sql: &str, diverges: &mut dyn FnMut(&str) -> bool) -> String {
     let Ok(mut query) = sqlkit::parse_query(sql) else {
         return sql.to_string();
     };
     // The printer's canonical form must itself still diverge, or the
     // loop below would "minimize" into a non-reproducing string.
-    if !diverges(&to_sql(&query)) {
+    let entry = to_sql(&query);
+    if !diverges(&entry) {
         return sql.to_string();
     }
     loop {
+        let mut candidates = reduction_candidates(&query);
+        candidates.sort_by_cached_key(|c| {
+            (
+                sqlkit::clause_atoms(c),
+                sqlkit::diff_queries(&query, c).distance(),
+                to_sql(c),
+            )
+        });
         let mut reduced = false;
-        for candidate in reduction_candidates(&query) {
+        for candidate in candidates {
             let text = to_sql(&candidate);
             if diverges(&text) {
                 query = candidate;
@@ -359,7 +375,15 @@ pub fn minimize_sql(sql: &str, diverges: &mut dyn FnMut(&str) -> bool) -> String
             break;
         }
     }
-    to_sql(&query)
+    // A minimized counterexample must itself still reproduce: guard
+    // against stateful or flaky predicates by re-checking the final
+    // text and falling back to the known-diverging entry form.
+    let minimized = to_sql(&query);
+    if sqlkit::parse_query(&minimized).is_ok() && diverges(&minimized) {
+        minimized
+    } else {
+        entry
+    }
 }
 
 fn reduction_candidates(q: &Query) -> Vec<Query> {

@@ -1,0 +1,1064 @@
+//! Clause-level AST diff between a gold query and a predicted query.
+//!
+//! This is the forensics core of the SQLyzr-style failure analysis: both
+//! queries are first *canonicalized* (structural dealiasing on top of the
+//! printer's fixpoint rendering), then compared clause by clause — SELECT
+//! list, FROM/join graph, WHERE predicate set, GROUP BY keys, HAVING,
+//! ORDER BY and LIMIT — producing a set of labeled [`ClauseEdit`]s rather
+//! than a yes/no verdict. Each edit carries a [`DiffClass`] (wrong join
+//! path, value-linking miss, missing group key, ...) that the evaluation
+//! layer maps onto pipeline stages.
+//!
+//! # Canonicalization
+//!
+//! [`canonicalize`] rewrites a parsed query so that surface-level choices
+//! the corpus systems make freely (alias names, qualification style,
+//! identifier case, `ORDER BY` referring to an output alias or position)
+//! do not show up as differences:
+//!
+//! * every qualified column is resolved through the scope stack and
+//!   rewritten from its alias binding to the base-table name;
+//! * in a single-table scope, qualification is dropped entirely, so
+//!   `SELECT T1.a FROM t AS T1` and `SELECT a FROM t` meet in the middle;
+//! * table aliases are erased and identifiers lowercased (string literal
+//!   *values* are left untouched — they are data, not identifiers);
+//! * `ORDER BY <output alias>` and `ORDER BY <position>` are substituted
+//!   with the projected expression they name;
+//! * projection aliases are dropped after that resolution.
+//!
+//! The rendering of canonicalized atoms reuses [`crate::printer`], whose
+//! fixpoint property (`to_sql ∘ parse ∘ to_sql = to_sql`) is pinned by the
+//! conformance tests, so equal atoms compare equal as strings.
+//!
+//! Canonicalization is deliberately lossy in one corner: a self-join whose
+//! two arms alias the same base table collapses to one name. Diffs across
+//! such queries may under-report; callers treat an empty diff on a known
+//! divergence as `unclassified` rather than inventing a class.
+//!
+//! # Properties
+//!
+//! * `diff_queries(q, q)` is empty for any parseable `q` (unit-tested and
+//!   property-tested at the workspace level);
+//! * the diff is symmetric in size: `diff(a, b).distance() ==
+//!   diff(b, a).distance()` — `Missing*`/`Extra*` mirror each other and
+//!   the `Wrong*` pairings are direction-independent.
+
+use crate::ast::{
+    ColumnRef, Expr, Join, Lit, OrderItem, Query, QueryBody, Select, SelectItem, TableRef,
+};
+use crate::parser::parse_query;
+use crate::printer::{expr_to_sql, to_sql};
+
+/// Classification of one clause-level divergence between gold and
+/// predicted SQL. Ordered roughly outer-shape-first; the derive order is
+/// also the sort order of [`ClauseDiff::edits`] and of [`DiffClass::ALL`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DiffClass {
+    /// Different set-operation tree (`UNION`/`INTERSECT`/`EXCEPT` shape).
+    WrongSetShape,
+    /// `SELECT DISTINCT` vs plain `SELECT`.
+    WrongDistinct,
+    /// Gold references a table the prediction lacks.
+    MissingTable,
+    /// Prediction references a table gold does not.
+    ExtraTable,
+    /// Same table set, different join edges (the classic wrong-join-path).
+    WrongJoinPath,
+    /// Gold projects a column the prediction dropped.
+    MissingProjection,
+    /// Prediction projects something gold does not.
+    ExtraProjection,
+    /// Both sides aggregate, but with a different function or argument.
+    WrongAggregate,
+    /// Gold filters on a predicate the prediction dropped.
+    MissingPredicate,
+    /// Prediction filters on a predicate gold does not have.
+    ExtraPredicate,
+    /// Same predicate shape, different literal — the value-linking miss.
+    ValueLinkingMiss,
+    /// Same operands, different comparison operator.
+    WrongOperator,
+    /// Gold groups by a key the prediction dropped.
+    MissingGroupKey,
+    /// Prediction groups by a key gold does not.
+    ExtraGroupKey,
+    /// `HAVING` clauses disagree.
+    WrongHaving,
+    /// `ORDER BY` sequences disagree (keys or direction).
+    WrongOrderBy,
+    /// `LIMIT` values disagree.
+    WrongLimit,
+}
+
+impl DiffClass {
+    pub const ALL: [DiffClass; 17] = [
+        DiffClass::WrongSetShape,
+        DiffClass::WrongDistinct,
+        DiffClass::MissingTable,
+        DiffClass::ExtraTable,
+        DiffClass::WrongJoinPath,
+        DiffClass::MissingProjection,
+        DiffClass::ExtraProjection,
+        DiffClass::WrongAggregate,
+        DiffClass::MissingPredicate,
+        DiffClass::ExtraPredicate,
+        DiffClass::ValueLinkingMiss,
+        DiffClass::WrongOperator,
+        DiffClass::MissingGroupKey,
+        DiffClass::ExtraGroupKey,
+        DiffClass::WrongHaving,
+        DiffClass::WrongOrderBy,
+        DiffClass::WrongLimit,
+    ];
+
+    /// Stable snake_case name used in JSON sections and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DiffClass::WrongSetShape => "wrong_set_shape",
+            DiffClass::WrongDistinct => "wrong_distinct",
+            DiffClass::MissingTable => "missing_table",
+            DiffClass::ExtraTable => "extra_table",
+            DiffClass::WrongJoinPath => "wrong_join_path",
+            DiffClass::MissingProjection => "missing_projection",
+            DiffClass::ExtraProjection => "extra_projection",
+            DiffClass::WrongAggregate => "wrong_aggregate",
+            DiffClass::MissingPredicate => "missing_predicate",
+            DiffClass::ExtraPredicate => "extra_predicate",
+            DiffClass::ValueLinkingMiss => "value_linking_miss",
+            DiffClass::WrongOperator => "wrong_operator",
+            DiffClass::MissingGroupKey => "missing_group_key",
+            DiffClass::ExtraGroupKey => "extra_group_key",
+            DiffClass::WrongHaving => "wrong_having",
+            DiffClass::WrongOrderBy => "wrong_order_by",
+            DiffClass::WrongLimit => "wrong_limit",
+        }
+    }
+}
+
+/// One labeled edit: the canonical text of the clause atom on each side.
+/// `Missing*` edits have `pred == None`; `Extra*` edits have
+/// `gold == None`; paired `Wrong*` edits carry both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClauseEdit {
+    pub class: DiffClass,
+    pub gold: Option<String>,
+    pub pred: Option<String>,
+}
+
+/// The full clause-level diff between two queries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClauseDiff {
+    pub edits: Vec<ClauseEdit>,
+}
+
+impl ClauseDiff {
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// Edit-set size; the minimizer's distance oracle.
+    pub fn distance(&self) -> usize {
+        self.edits.len()
+    }
+
+    /// Distinct classes present, in [`DiffClass::ALL`] order.
+    pub fn classes(&self) -> Vec<DiffClass> {
+        let mut out: Vec<DiffClass> = self.edits.iter().map(|e| e.class).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    pub fn has(&self, class: DiffClass) -> bool {
+        self.edits.iter().any(|e| e.class == class)
+    }
+}
+
+/// Diffs two already-parsed queries (canonicalizing both first).
+pub fn diff_queries(gold: &Query, pred: &Query) -> ClauseDiff {
+    let g = canonicalize(gold);
+    let p = canonicalize(pred);
+    let mut edits = Vec::new();
+
+    let gs = set_shape_sig(&g.body);
+    let ps = set_shape_sig(&p.body);
+    if gs == ps {
+        // Same set-operation tree: diff every arm pairwise.
+        diff_bodies(&g.body, &p.body, &mut edits);
+    } else {
+        edits.push(ClauseEdit {
+            class: DiffClass::WrongSetShape,
+            gold: Some(gs),
+            pred: Some(ps),
+        });
+        // Still compare the output-defining selects so the report sees
+        // more than just the shape mismatch.
+        diff_selects(g.leftmost_select(), p.leftmost_select(), &mut edits);
+    }
+
+    let go = order_sig(&g.order_by);
+    let po = order_sig(&p.order_by);
+    if go != po {
+        edits.push(ClauseEdit {
+            class: DiffClass::WrongOrderBy,
+            gold: Some(go),
+            pred: Some(po),
+        });
+    }
+    if g.limit != p.limit {
+        edits.push(ClauseEdit {
+            class: DiffClass::WrongLimit,
+            gold: Some(limit_sig(g.limit)),
+            pred: Some(limit_sig(p.limit)),
+        });
+    }
+
+    edits.sort_by(|a, b| {
+        (a.class, &a.gold, &a.pred)
+            .partial_cmp(&(b.class, &b.gold, &b.pred))
+            .unwrap()
+    });
+    ClauseDiff { edits }
+}
+
+/// Parses and diffs two SQL strings; `None` if either fails to parse.
+pub fn diff_sql(gold: &str, pred: &str) -> Option<ClauseDiff> {
+    let g = parse_query(gold).ok()?;
+    let p = parse_query(pred).ok()?;
+    Some(diff_queries(&g, &p))
+}
+
+/// Canonical rendering of a SQL string: parse, [`canonicalize`], print.
+/// `None` if the input does not parse.
+pub fn canonical_sql(sql: &str) -> Option<String> {
+    Some(to_sql(&canonicalize(&parse_query(sql).ok()?)))
+}
+
+/// Number of clause atoms in a query: projections, table refs, joins,
+/// WHERE conjuncts, group keys, HAVING, ORDER BY items, LIMIT, DISTINCT
+/// and set-operation nodes, summed over every SELECT. The conformance
+/// minimizer sorts shrink candidates by this (smallest first).
+pub fn clause_atoms(q: &Query) -> usize {
+    let mut n = q.order_by.len() + q.limit.is_some() as usize + q.body.set_op_count();
+    q.visit_selects(&mut |s| {
+        n += s.distinct as usize
+            + s.projections.len()
+            + s.from.len()
+            + s.joins.len()
+            + s.where_clause.as_ref().map_or(0, |w| w.conjuncts().len())
+            + s.group_by.len()
+            + s.having.is_some() as usize;
+    });
+    n
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalization
+// ---------------------------------------------------------------------------
+
+/// One name scope: the bindings visible inside a SELECT. `base` is `None`
+/// for derived tables (the binding itself is kept as the qualifier).
+struct Scope {
+    bindings: Vec<(String, Option<String>)>,
+    single: bool,
+}
+
+/// Structurally canonicalizes a query for diffing. See the module docs
+/// for the exact rewrites.
+pub fn canonicalize(q: &Query) -> Query {
+    let mut q = q.clone();
+    canon_query(&mut q, &mut Vec::new());
+    q
+}
+
+fn scope_of(s: &Select) -> Scope {
+    let mut bindings = Vec::new();
+    for t in s.table_refs() {
+        bindings.push((
+            t.binding().to_ascii_lowercase(),
+            t.base_table().map(|b| b.to_ascii_lowercase()),
+        ));
+    }
+    let single = bindings.len() == 1;
+    Scope { bindings, single }
+}
+
+fn canon_query(q: &mut Query, scopes: &mut Vec<Scope>) {
+    // Resolve ORDER BY references to output aliases / positions against
+    // the leftmost select *before* its aliases are erased.
+    {
+        let projs = q.leftmost_select().projections.clone();
+        for item in &mut q.order_by {
+            match &item.expr {
+                Expr::Literal(Lit::Int(k)) if *k >= 1 && (*k as usize) <= projs.len() => {
+                    if let SelectItem::Expr { expr, .. } = &projs[*k as usize - 1] {
+                        item.expr = expr.clone();
+                    }
+                }
+                Expr::Column(ColumnRef {
+                    table: None,
+                    column,
+                }) => {
+                    if let Some(expr) = projs.iter().find_map(|p| match p {
+                        SelectItem::Expr {
+                            expr,
+                            alias: Some(a),
+                        } if a.eq_ignore_ascii_case(column) => Some(expr),
+                        _ => None,
+                    }) {
+                        item.expr = expr.clone();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // ORDER BY expressions resolve names in the leftmost select's scope.
+    let scope = scope_of(q.leftmost_select());
+    scopes.push(scope);
+    for item in &mut q.order_by {
+        canon_expr(&mut item.expr, scopes);
+    }
+    scopes.pop();
+    canon_body(&mut q.body, scopes);
+}
+
+fn canon_body(b: &mut QueryBody, scopes: &mut Vec<Scope>) {
+    match b {
+        QueryBody::Select(s) => canon_select(s, scopes),
+        QueryBody::SetOp { left, right, .. } => {
+            canon_body(left, scopes);
+            canon_body(right, scopes);
+        }
+    }
+}
+
+fn canon_select(s: &mut Select, scopes: &mut Vec<Scope>) {
+    scopes.push(scope_of(s));
+    for item in &mut s.projections {
+        match item {
+            SelectItem::Wildcard => {}
+            SelectItem::QualifiedWildcard(t) => {
+                let mut c = ColumnRef {
+                    table: Some(std::mem::take(t)),
+                    column: String::new(),
+                };
+                canon_column(&mut c, scopes);
+                match c.table {
+                    Some(resolved) => *t = resolved,
+                    // Single-table scope: `t.*` is just `*`.
+                    None => *item = SelectItem::Wildcard,
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                canon_expr(expr, scopes);
+                *alias = None;
+            }
+        }
+    }
+    for t in &mut s.from {
+        canon_table_ref(t, scopes);
+    }
+    for j in &mut s.joins {
+        canon_table_ref(&mut j.table, scopes);
+        if let Some(on) = &mut j.on {
+            canon_expr(on, scopes);
+        }
+    }
+    if let Some(w) = &mut s.where_clause {
+        canon_expr(w, scopes);
+    }
+    for g in &mut s.group_by {
+        canon_expr(g, scopes);
+    }
+    if let Some(h) = &mut s.having {
+        canon_expr(h, scopes);
+    }
+    scopes.pop();
+}
+
+fn canon_table_ref(t: &mut TableRef, scopes: &mut Vec<Scope>) {
+    match t {
+        TableRef::Named { name, alias } => {
+            *name = name.to_ascii_lowercase();
+            *alias = None;
+        }
+        TableRef::Derived { query, alias } => {
+            *alias = alias.to_ascii_lowercase();
+            canon_query(query, scopes);
+        }
+    }
+}
+
+fn canon_column(c: &mut ColumnRef, scopes: &[Scope]) {
+    c.column = c.column.to_ascii_lowercase();
+    if let Some(t) = c.table.take() {
+        let tl = t.to_ascii_lowercase();
+        let mut resolved = None;
+        for (depth, scope) in scopes.iter().rev().enumerate() {
+            if let Some((_, base)) = scope.bindings.iter().find(|(b, _)| *b == tl) {
+                resolved = Some(if depth == 0 && scope.single {
+                    // The only table in the current scope: drop the
+                    // qualifier so bare and qualified styles converge.
+                    None
+                } else {
+                    Some(base.clone().unwrap_or_else(|| tl.clone()))
+                });
+                break;
+            }
+        }
+        c.table = match resolved {
+            Some(r) => r,
+            // Unknown qualifier (e.g. hallucinated table): keep it,
+            // lowercased, so the mismatch stays visible in atoms.
+            None => Some(tl),
+        };
+    }
+}
+
+fn canon_expr(e: &mut Expr, scopes: &mut Vec<Scope>) {
+    match e {
+        Expr::Column(c) => canon_column(c, scopes),
+        Expr::Literal(_) => {}
+        Expr::Unary { expr, .. } => canon_expr(expr, scopes),
+        Expr::Binary { left, right, .. } => {
+            canon_expr(left, scopes);
+            canon_expr(right, scopes);
+        }
+        Expr::Agg { arg, .. } => {
+            if let Some(a) = arg {
+                canon_expr(a, scopes);
+            }
+        }
+        Expr::Func { name, args } => {
+            *name = name.to_ascii_lowercase();
+            for a in args {
+                canon_expr(a, scopes);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            canon_expr(expr, scopes);
+            for v in list {
+                canon_expr(v, scopes);
+            }
+        }
+        Expr::InSubquery { expr, query, .. } => {
+            canon_expr(expr, scopes);
+            canon_query(query, scopes);
+        }
+        Expr::Exists { query, .. } => canon_query(query, scopes),
+        Expr::ScalarSubquery(query) => canon_query(query, scopes),
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            canon_expr(expr, scopes);
+            canon_expr(low, scopes);
+            canon_expr(high, scopes);
+        }
+        Expr::IsNull { expr, .. } => canon_expr(expr, scopes),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Clause comparison (inputs already canonicalized)
+// ---------------------------------------------------------------------------
+
+fn set_shape_sig(b: &QueryBody) -> String {
+    match b {
+        QueryBody::Select(_) => "select".into(),
+        QueryBody::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => format!(
+            "{}{}({},{})",
+            op.to_string().to_ascii_lowercase(),
+            if *all { " all" } else { "" },
+            set_shape_sig(left),
+            set_shape_sig(right)
+        ),
+    }
+}
+
+fn diff_bodies(g: &QueryBody, p: &QueryBody, edits: &mut Vec<ClauseEdit>) {
+    match (g, p) {
+        (QueryBody::Select(gs), QueryBody::Select(ps)) => diff_selects(gs, ps, edits),
+        (
+            QueryBody::SetOp {
+                left: gl,
+                right: gr,
+                ..
+            },
+            QueryBody::SetOp {
+                left: pl,
+                right: pr,
+                ..
+            },
+        ) => {
+            diff_bodies(gl, pl, edits);
+            diff_bodies(gr, pr, edits);
+        }
+        // Unreachable when shapes matched, but stay total.
+        _ => diff_selects(g.leftmost_select(), p.leftmost_select(), edits),
+    }
+}
+
+fn diff_selects(g: &Select, p: &Select, edits: &mut Vec<ClauseEdit>) {
+    if g.distinct != p.distinct {
+        edits.push(ClauseEdit {
+            class: DiffClass::WrongDistinct,
+            gold: Some(distinct_sig(g.distinct)),
+            pred: Some(distinct_sig(p.distinct)),
+        });
+    }
+
+    // Tables: base-name multisets.
+    let mut gt = table_multiset(g);
+    let mut pt = table_multiset(p);
+    let tables_equal = gt == pt;
+    remove_common(&mut gt, &mut pt);
+    for t in gt {
+        edits.push(ClauseEdit {
+            class: DiffClass::MissingTable,
+            gold: Some(t),
+            pred: None,
+        });
+    }
+    for t in pt {
+        edits.push(ClauseEdit {
+            class: DiffClass::ExtraTable,
+            gold: None,
+            pred: Some(t),
+        });
+    }
+
+    // Join graph: only meaningful when both sides visit the same tables;
+    // otherwise the table edits already explain the divergence.
+    if tables_equal {
+        let ge = join_sig(&g.joins);
+        let pe = join_sig(&p.joins);
+        if ge != pe {
+            edits.push(ClauseEdit {
+                class: DiffClass::WrongJoinPath,
+                gold: Some(ge.join(" & ")),
+                pred: Some(pe.join(" & ")),
+            });
+        }
+    }
+
+    // Projections: canonical-text multisets; leftover aggregate pairs
+    // become WrongAggregate, the rest missing/extra.
+    let mut gp = proj_atoms(g);
+    let mut pp = proj_atoms(p);
+    remove_common_by(&mut gp, &mut pp, |a, b| a.0 == b.0);
+    let mut gi = 0;
+    while gi < gp.len() {
+        if gp[gi].1 {
+            if let Some(pj) = pp.iter().position(|a| a.1) {
+                let (gatom, _) = gp.remove(gi);
+                let (patom, _) = pp.remove(pj);
+                edits.push(ClauseEdit {
+                    class: DiffClass::WrongAggregate,
+                    gold: Some(gatom),
+                    pred: Some(patom),
+                });
+                continue;
+            }
+        }
+        gi += 1;
+    }
+    for (atom, _) in gp {
+        edits.push(ClauseEdit {
+            class: DiffClass::MissingProjection,
+            gold: Some(atom),
+            pred: None,
+        });
+    }
+    for (atom, _) in pp {
+        edits.push(ClauseEdit {
+            class: DiffClass::ExtraProjection,
+            gold: None,
+            pred: Some(atom),
+        });
+    }
+
+    // WHERE predicate set: conjunct multisets, paired first by literal
+    // shape (value-linking miss), then by operand pair (wrong operator).
+    let mut gw = pred_atoms(g.where_clause.as_ref());
+    let mut pw = pred_atoms(p.where_clause.as_ref());
+    remove_common_by(&mut gw, &mut pw, |a, b| a.text == b.text);
+    let mut gi = 0;
+    while gi < gw.len() {
+        if let Some(shape) = &gw[gi].shape {
+            if let Some(pj) = pw.iter().position(|a| a.shape.as_ref() == Some(shape)) {
+                let gatom = gw.remove(gi);
+                let patom = pw.remove(pj);
+                edits.push(ClauseEdit {
+                    class: DiffClass::ValueLinkingMiss,
+                    gold: Some(gatom.text),
+                    pred: Some(patom.text),
+                });
+                continue;
+            }
+        }
+        gi += 1;
+    }
+    let mut gi = 0;
+    while gi < gw.len() {
+        if let Some(ops) = &gw[gi].operands {
+            if let Some(pj) = pw.iter().position(|a| a.operands.as_ref() == Some(ops)) {
+                let gatom = gw.remove(gi);
+                let patom = pw.remove(pj);
+                edits.push(ClauseEdit {
+                    class: DiffClass::WrongOperator,
+                    gold: Some(gatom.text),
+                    pred: Some(patom.text),
+                });
+                continue;
+            }
+        }
+        gi += 1;
+    }
+    for atom in gw {
+        edits.push(ClauseEdit {
+            class: DiffClass::MissingPredicate,
+            gold: Some(atom.text),
+            pred: None,
+        });
+    }
+    for atom in pw {
+        edits.push(ClauseEdit {
+            class: DiffClass::ExtraPredicate,
+            gold: None,
+            pred: Some(atom.text),
+        });
+    }
+
+    // GROUP BY keys.
+    let mut gg: Vec<String> = g.group_by.iter().map(expr_to_sql).collect();
+    let mut pg: Vec<String> = p.group_by.iter().map(expr_to_sql).collect();
+    remove_common(&mut gg, &mut pg);
+    for k in gg {
+        edits.push(ClauseEdit {
+            class: DiffClass::MissingGroupKey,
+            gold: Some(k),
+            pred: None,
+        });
+    }
+    for k in pg {
+        edits.push(ClauseEdit {
+            class: DiffClass::ExtraGroupKey,
+            gold: None,
+            pred: Some(k),
+        });
+    }
+
+    // HAVING.
+    let gh = g.having.as_ref().map(expr_to_sql);
+    let ph = p.having.as_ref().map(expr_to_sql);
+    if gh != ph {
+        edits.push(ClauseEdit {
+            class: DiffClass::WrongHaving,
+            gold: gh,
+            pred: ph,
+        });
+    }
+}
+
+fn distinct_sig(distinct: bool) -> String {
+    if distinct { "distinct" } else { "all" }.to_string()
+}
+
+fn limit_sig(limit: Option<u64>) -> String {
+    match limit {
+        Some(n) => n.to_string(),
+        None => "none".into(),
+    }
+}
+
+fn order_sig(items: &[OrderItem]) -> String {
+    items
+        .iter()
+        .map(|o| {
+            let dir = if o.desc { " desc" } else { "" };
+            format!("{}{dir}", expr_to_sql(&o.expr))
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn table_multiset(s: &Select) -> Vec<String> {
+    let mut out: Vec<String> = s
+        .table_refs()
+        .map(|t| match t {
+            TableRef::Named { name, .. } => name.clone(),
+            TableRef::Derived { query, alias } => format!("({}) as {alias}", to_sql(query)),
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Direction-insensitive join-edge signatures, sorted. Equality edges
+/// are normalized so `a.x = b.y` and `b.y = a.x` compare equal.
+fn join_sig(joins: &[Join]) -> Vec<String> {
+    let mut out = Vec::new();
+    for j in joins {
+        let kind = j.kind.to_string().to_ascii_lowercase();
+        match &j.on {
+            Some(on) => {
+                for c in on.conjuncts() {
+                    out.push(format!("{kind} on {}", edge_sig(c)));
+                }
+            }
+            None => out.push(format!("{kind} on true")),
+        }
+    }
+    out.sort();
+    out
+}
+
+fn edge_sig(e: &Expr) -> String {
+    if let Expr::Binary {
+        left,
+        op: crate::ast::BinOp::Eq,
+        right,
+    } = e
+    {
+        if matches!(**left, Expr::Column(_)) && matches!(**right, Expr::Column(_)) {
+            let a = expr_to_sql(left);
+            let b = expr_to_sql(right);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            return format!("{lo} = {hi}");
+        }
+    }
+    expr_to_sql(e)
+}
+
+fn proj_atoms(s: &Select) -> Vec<(String, bool)> {
+    s.projections
+        .iter()
+        .map(|item| match item {
+            SelectItem::Wildcard => ("*".to_string(), false),
+            SelectItem::QualifiedWildcard(t) => (format!("{t}.*"), false),
+            SelectItem::Expr { expr, .. } => (expr_to_sql(expr), expr.contains_aggregate()),
+        })
+        .collect()
+}
+
+/// One WHERE conjunct with its pairing keys: `shape` masks literals (set
+/// only if the conjunct contains one), `operands` strips the comparison
+/// operator (set only for binary comparisons).
+struct PredAtom {
+    text: String,
+    shape: Option<String>,
+    operands: Option<(String, String)>,
+}
+
+fn pred_atoms(w: Option<&Expr>) -> Vec<PredAtom> {
+    let Some(w) = w else {
+        return Vec::new();
+    };
+    w.conjuncts()
+        .into_iter()
+        .map(|c| {
+            let text = expr_to_sql(c);
+            let shape = has_literal(c).then(|| expr_to_sql(&mask_literals(c)));
+            let operands = match c {
+                Expr::Binary { left, op, right } if op.is_comparison() => {
+                    Some((expr_to_sql(left), expr_to_sql(right)))
+                }
+                _ => None,
+            };
+            PredAtom {
+                text,
+                shape,
+                operands,
+            }
+        })
+        .collect()
+}
+
+fn has_literal(e: &Expr) -> bool {
+    let mut found = false;
+    e.visit(&mut |x| {
+        if matches!(x, Expr::Literal(_)) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Clone of `e` with every literal replaced by the `'?'` placeholder
+/// (subqueries untouched — a literal change inside one reads as a whole
+/// different predicate, which is the honest granularity).
+fn mask_literals(e: &Expr) -> Expr {
+    match e {
+        Expr::Literal(_) => Expr::Literal(Lit::Str("?".into())),
+        Expr::Column(_) | Expr::InSubquery { .. } | Expr::Exists { .. } => e.clone(),
+        Expr::ScalarSubquery(_) => e.clone(),
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(mask_literals(expr)),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(mask_literals(left)),
+            op: *op,
+            right: Box::new(mask_literals(right)),
+        },
+        Expr::Agg {
+            func,
+            distinct,
+            arg,
+        } => Expr::Agg {
+            func: *func,
+            distinct: *distinct,
+            arg: arg.as_ref().map(|a| Box::new(mask_literals(a))),
+        },
+        Expr::Func { name, args } => Expr::Func {
+            name: name.clone(),
+            args: args.iter().map(mask_literals).collect(),
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(mask_literals(expr)),
+            list: list.iter().map(mask_literals).collect(),
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(mask_literals(expr)),
+            low: Box::new(mask_literals(low)),
+            high: Box::new(mask_literals(high)),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(mask_literals(expr)),
+            negated: *negated,
+        },
+    }
+}
+
+fn remove_common(gold: &mut Vec<String>, pred: &mut Vec<String>) {
+    remove_common_by(gold, pred, |a, b| a == b);
+}
+
+fn remove_common_by<T>(gold: &mut Vec<T>, pred: &mut Vec<T>, eq: impl Fn(&T, &T) -> bool) {
+    let mut i = 0;
+    while i < gold.len() {
+        if let Some(j) = pred.iter().position(|p| eq(&gold[i], p)) {
+            pred.remove(j);
+            gold.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(gold: &str, pred: &str) -> ClauseDiff {
+        diff_sql(gold, pred).expect("both sides must parse")
+    }
+
+    #[test]
+    fn identical_queries_have_empty_diff() {
+        let q = "SELECT count(*) FROM world_cup_result AS T1 \
+                 JOIN national_team AS T2 ON T1.team_id = T2.team_id \
+                 WHERE T2.teamname = 'England'";
+        assert!(d(q, q).is_empty());
+    }
+
+    #[test]
+    fn canonicalization_erases_alias_and_qualification_style() {
+        assert!(d(
+            "SELECT T1.a FROM t AS T1 WHERE T1.b = 2",
+            "SELECT a FROM t WHERE b = 2"
+        )
+        .is_empty());
+        assert!(d(
+            "SELECT x.a FROM t AS x JOIN u AS y ON x.id = y.id",
+            "SELECT t.a FROM t JOIN u ON u.id = t.id"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn order_by_alias_and_position_resolve_to_projection() {
+        assert!(d(
+            "SELECT teamname, count(*) AS n FROM t GROUP BY teamname ORDER BY n DESC",
+            "SELECT teamname, count(*) FROM t GROUP BY teamname ORDER BY count(*) DESC"
+        )
+        .is_empty());
+        assert!(d(
+            "SELECT a, b FROM t ORDER BY 2",
+            "SELECT a, b FROM t ORDER BY b"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn literal_change_is_a_value_linking_miss() {
+        let diff = d(
+            "SELECT a FROM t WHERE team = 'England'",
+            "SELECT a FROM t WHERE team = 'Germany'",
+        );
+        assert_eq!(diff.classes(), vec![DiffClass::ValueLinkingMiss]);
+        assert_eq!(diff.distance(), 1);
+    }
+
+    #[test]
+    fn operator_flip_is_wrong_operator() {
+        let diff = d(
+            "SELECT a FROM t WHERE b > 5",
+            "SELECT a FROM t WHERE b >= 5",
+        );
+        assert_eq!(diff.classes(), vec![DiffClass::WrongOperator]);
+    }
+
+    #[test]
+    fn unrelated_predicates_are_missing_plus_extra() {
+        let diff = d(
+            "SELECT a FROM t WHERE b = 1",
+            "SELECT a FROM t WHERE c LIKE '%x%'",
+        );
+        assert_eq!(
+            diff.classes(),
+            vec![DiffClass::MissingPredicate, DiffClass::ExtraPredicate]
+        );
+    }
+
+    #[test]
+    fn join_edge_change_is_wrong_join_path() {
+        let diff = d(
+            "SELECT count(*) FROM a JOIN b ON a.x = b.x",
+            "SELECT count(*) FROM a JOIN b ON a.y = b.x",
+        );
+        assert_eq!(diff.classes(), vec![DiffClass::WrongJoinPath]);
+    }
+
+    #[test]
+    fn table_change_reports_tables_not_join_path() {
+        let diff = d(
+            "SELECT count(*) FROM a JOIN b ON a.x = b.x",
+            "SELECT count(*) FROM a JOIN c ON a.x = c.x",
+        );
+        assert_eq!(
+            diff.classes(),
+            vec![DiffClass::MissingTable, DiffClass::ExtraTable]
+        );
+    }
+
+    #[test]
+    fn aggregate_swap_pairs_into_wrong_aggregate() {
+        let diff = d("SELECT sum(goals) FROM t", "SELECT avg(goals) FROM t");
+        assert_eq!(diff.classes(), vec![DiffClass::WrongAggregate]);
+        assert_eq!(diff.distance(), 1);
+    }
+
+    #[test]
+    fn group_having_order_limit_distinct_shape() {
+        let diff = d(
+            "SELECT DISTINCT a FROM t GROUP BY a HAVING count(*) > 1 ORDER BY a LIMIT 3",
+            "SELECT a FROM t GROUP BY a, b HAVING count(*) > 2 ORDER BY a DESC LIMIT 4",
+        );
+        let classes = diff.classes();
+        for c in [
+            DiffClass::WrongDistinct,
+            DiffClass::ExtraGroupKey,
+            DiffClass::WrongHaving,
+            DiffClass::WrongOrderBy,
+            DiffClass::WrongLimit,
+        ] {
+            assert!(classes.contains(&c), "missing {c:?} in {classes:?}");
+        }
+    }
+
+    #[test]
+    fn set_shape_mismatch_detected() {
+        let diff = d("SELECT a FROM t UNION SELECT a FROM u", "SELECT a FROM t");
+        assert!(diff.has(DiffClass::WrongSetShape));
+    }
+
+    #[test]
+    fn matching_set_shape_diffs_both_arms() {
+        let diff = d(
+            "SELECT a FROM t WHERE b = 1 UNION SELECT a FROM u WHERE c = 1",
+            "SELECT a FROM t WHERE b = 1 UNION SELECT a FROM u WHERE c = 2",
+        );
+        assert_eq!(diff.classes(), vec![DiffClass::ValueLinkingMiss]);
+    }
+
+    #[test]
+    fn diff_is_symmetric_in_size() {
+        let pairs = [
+            (
+                "SELECT a FROM t WHERE b = 1",
+                "SELECT a, c FROM t JOIN u ON t.id = u.id WHERE b = 2",
+            ),
+            (
+                "SELECT sum(x) FROM t GROUP BY k HAVING sum(x) > 1",
+                "SELECT avg(x) FROM t",
+            ),
+            (
+                "SELECT a FROM t UNION SELECT a FROM u",
+                "SELECT a FROM t ORDER BY a LIMIT 1",
+            ),
+            (
+                "SELECT DISTINCT a FROM t WHERE b > 5 AND c = 'x'",
+                "SELECT a FROM t WHERE b >= 5",
+            ),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(
+                d(a, b).distance(),
+                d(b, a).distance(),
+                "asymmetric distance for ({a}) vs ({b})"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_sql_is_a_fixpoint() {
+        let q = "SELECT T1.a, count(*) AS n FROM t AS T1 JOIN u AS T2 ON T1.id = T2.id \
+                 WHERE T2.b = 'x' GROUP BY T1.a ORDER BY n DESC LIMIT 5";
+        let c1 = canonical_sql(q).unwrap();
+        let c2 = canonical_sql(&c1).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn clause_atoms_counts_every_clause() {
+        let q = parse_query(
+            "SELECT a, b FROM t JOIN u ON t.id = u.id WHERE x = 1 AND y = 2 \
+             GROUP BY a HAVING count(*) > 1 ORDER BY a LIMIT 3",
+        )
+        .unwrap();
+        // 2 projections + 1 from + 1 join + 2 conjuncts + 1 group key
+        // + 1 having + 1 order item + 1 limit = 10
+        assert_eq!(clause_atoms(&q), 10);
+    }
+
+    #[test]
+    fn hallucinated_column_shows_as_predicate_edit() {
+        let diff = d(
+            "SELECT a FROM t WHERE b = 1",
+            "SELECT a FROM t WHERE b_id = 1",
+        );
+        assert!(!diff.is_empty());
+        assert!(
+            diff.has(DiffClass::MissingPredicate) || diff.has(DiffClass::ExtraPredicate),
+            "{diff:?}"
+        );
+    }
+}

@@ -10,6 +10,8 @@
 //!   raw string normalization ([`normalize`]);
 //! * [`mod@analyze`] — per-query characteristics (joins, projections, filters,
 //!   aggregations, set operations, subqueries; Table 3 / Figure 8);
+//! * [`mod@diff`] — canonicalizing clause-level AST diff ([`diff_sql`]) used
+//!   by the failure-forensics layer and the conformance minimizer;
 //! * [`hardness`] — the Spider hardness classifier (Figure 7);
 //! * [`compat`] — Spider-parser / SemQL compatibility checks (Section 5).
 //!
@@ -40,6 +42,7 @@
 pub mod analyze;
 pub mod ast;
 pub mod compat;
+pub mod diff;
 pub mod error;
 pub mod format;
 pub mod hardness;
@@ -51,6 +54,10 @@ pub use analyze::{analyze, analyze_sql, mean_stats, MeanStats, QueryStats};
 pub use ast::*;
 pub use compat::{
     check as spider_check, check_sql as spider_check_sql, issues as spider_issues, CompatIssue,
+};
+pub use diff::{
+    canonical_sql, canonicalize, clause_atoms, diff_queries, diff_sql, ClauseDiff, ClauseEdit,
+    DiffClass,
 };
 pub use error::SqlError;
 pub use format::{format_query, format_sql};

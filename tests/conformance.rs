@@ -10,7 +10,7 @@
 //! `cargo run --release -p bench --bin conformance`.
 
 use sqlengine::conformance::{
-    check_case, check_oracles, corpus_db, gen_corpus, run_corpus, CorpusConfig,
+    check_case, check_oracles, corpus_db, gen_corpus, minimize_sql, run_corpus, CorpusConfig,
 };
 use sqlengine::{
     execute_sql, planner_config_fingerprint, set_force_seqscan, set_vectorized, Catalog, DataType,
@@ -195,6 +195,70 @@ fn not_in_with_null_member_returns_no_nonmembers() {
     // Same through a subquery producing NULLs.
     let rs = execute_sql(&db, "SELECT id FROM t WHERE id NOT IN (SELECT v FROM t)").unwrap();
     assert!(rs.rows.is_empty(), "got {:?}", rs.rows);
+}
+
+/// A minimized counterexample must itself be a counterexample: it
+/// parses and still satisfies the divergence predicate. The minimizer
+/// shrinks by clause-atom count with the clause differ as distance
+/// oracle, so the result is also deterministic.
+#[test]
+fn minimized_counterexamples_parse_and_rediverge() {
+    let _g = mode_guard();
+    let sql = "SELECT DISTINCT squad, count(*) AS n FROM player \
+               WHERE score > 0 AND minutes > 1 AND squad <> 'x' \
+               GROUP BY squad, score HAVING count(*) > 0 ORDER BY n DESC, squad LIMIT 7";
+    // Divergence predicate: the query still groups by squad.
+    let mut diverges = |s: &str| {
+        sqlkit::parse_query(s).is_ok_and(|q| {
+            let mut grouped = false;
+            if let sqlkit::ast::QueryBody::Select(sel) = &q.body {
+                grouped = sel
+                    .group_by
+                    .iter()
+                    .any(|e| sqlkit::expr_to_sql(e).contains("squad"));
+            }
+            grouped
+        })
+    };
+    let min = minimize_sql(sql, &mut diverges);
+    let parsed = sqlkit::parse_query(&min).expect("minimized output must parse");
+    assert!(diverges(&min), "minimized output must re-diverge: {min}");
+    // And it really shrank: every deletable clause that the predicate
+    // does not pin is gone.
+    assert!(sqlkit::clause_atoms(&parsed) < 10, "did not shrink: {min}");
+    assert!(!min.contains("LIMIT"), "kept LIMIT: {min}");
+    assert!(!min.contains("WHERE"), "kept WHERE: {min}");
+    assert!(!min.contains("ORDER BY"), "kept ORDER BY: {min}");
+    // Determinism: minimizing twice yields byte-identical output.
+    assert_eq!(min, minimize_sql(sql, &mut diverges));
+}
+
+/// A stateful (flaky) predicate that stops reproducing must not yield a
+/// non-diverging "minimum": the final re-check falls back to the
+/// known-diverging entry form.
+#[test]
+fn minimizer_never_returns_a_non_reproducing_counterexample() {
+    let _g = mode_guard();
+    let sql = "SELECT a FROM t WHERE a > 0 LIMIT 3";
+    // Diverges a fixed number of times, then never again — the shape of
+    // a heisenbug that stops reproducing mid-shrink.
+    let mut budget = 3u32;
+    let mut flaky = |_: &str| {
+        if budget > 0 {
+            budget -= 1;
+            true
+        } else {
+            false
+        }
+    };
+    let min = minimize_sql(sql, &mut flaky);
+    assert!(
+        sqlkit::parse_query(&min).is_ok(),
+        "fallback must parse: {min}"
+    );
+    // The fallback is the canonical entry form, which was verified to
+    // diverge before any shrinking happened.
+    assert_eq!(min, sqlkit::to_sql(&sqlkit::parse_query(sql).unwrap()));
 }
 
 /// Regression (bag-semantics set operations): INTERSECT ALL and EXCEPT
