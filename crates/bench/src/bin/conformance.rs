@@ -24,16 +24,21 @@
 //!    amplifiers, exponential EXISTS nesting) trips the fuel budget
 //!    deterministically — same stage, same fuel count — under both
 //!    index-backed and forced-seqscan execution.
+//! 6. **Morph**: the gold corpus co-rewritten onto a handful of
+//!    synthesized morphed data models must be config-identical on each
+//!    morphed database and EX-equal to v1 (the deep sweep lives in
+//!    `bench --bin morph`; this axis keeps the cross-model property in
+//!    the conformance gate).
 //!
 //! Exit status 0 when all axes are clean, 1 on any divergence, 2 on
 //! usage errors. Divergences are printed minimized, with both result
 //! sets and the disagreeing configuration.
 
-use footballdb::{generate, load_all, DataModel};
+use footballdb::{generate, load_all, load_morphed, synthesize_models, DataModel};
 use nlq::gold::build_raw_corpus;
 use sqlengine::conformance::{
     check_hazard, check_oracles, corpus_db, gen_corpus, gen_hazard_corpus, result_bits_eq,
-    run_corpus, CorpusConfig,
+    run_corpus, run_morph_corpus, CorpusConfig,
 };
 use sqlengine::{execute_sql, set_force_seqscan, Database, ExecBudget, ResultSet};
 use xrng::Rng;
@@ -254,6 +259,35 @@ fn main() {
     println!(
         "hazard axis: {hazard_total} runaway queries x {{indexed, seqscan}} x \
          {{vectorized, rowexec}}, {hazard_diffs} divergences"
+    );
+
+    // Axis 6: morphed data models. A few synthesized transform chains
+    // from v1; every gold query co-rewritten, config-identical on the
+    // morphed database, and EX-equal to v1.
+    let v1_db = db_of(DataModel::V1);
+    let morph_corpus: Vec<String> = examples
+        .iter()
+        .map(|e| e.sql(DataModel::V1).to_string())
+        .collect();
+    let morph_models = synthesize_models(seed, if seeds == 1 { 3 } else { 6 }, &morph_corpus);
+    let mut morph_diffs = 0usize;
+    let mut morph_execs = 0usize;
+    for m in &morph_models {
+        let mdb = load_morphed(&domain, m);
+        let mut rewrite = |sql: &str| m.rewrite(sql).ok();
+        let report = run_morph_corpus(v1_db, &mdb, &morph_corpus, &mut rewrite);
+        for d in &report.divergences {
+            eprintln!("morph divergence [{}]: {d}\n", m.name);
+        }
+        morph_diffs += report.divergences.len();
+        morph_execs += report.executions;
+    }
+    failures += morph_diffs;
+    println!(
+        "morph axis: {} queries x {} morphed models ({morph_execs} executions), \
+         {morph_diffs} divergences",
+        morph_corpus.len(),
+        morph_models.len()
     );
 
     if failures > 0 {

@@ -18,11 +18,13 @@ use textosql::SystemKind;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--small] [--seed N] <target>...\n\
+        "usage: repro [--small] [--seed N] [--worst N] <target>...\n\
          targets: table1 table2 table3 table4 table5 table6 table7 table8\n\
          \u{20}        figure7 figure8 ablation-keys ablation-joinpath\n\
          \u{20}        ablation-train895 ablation-lexical tradeoff-tokens\n\
-         \u{20}        failures forensics export trace <question_id> all"
+         \u{20}        failures forensics export trace <question_id> all\n\
+         \u{20}        forensics --worst N additionally renders the N most\n\
+         \u{20}        divergent wrong_result items with inline clause diffs"
     );
     std::process::exit(2);
 }
@@ -90,6 +92,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut small = false;
     let mut seed = 7u64;
+    let mut worst = 0usize;
     let mut targets = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -97,6 +100,12 @@ fn main() {
             "--small" => small = true,
             "--seed" => {
                 seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--worst" => {
+                worst = it
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
@@ -204,6 +213,13 @@ fn main() {
             "forensics" => {
                 let runs = figure_runs(&setup);
                 print!("{}", evalkit::forensics::forensics_report(&setup, &runs));
+                if worst > 0 {
+                    println!();
+                    print!(
+                        "{}",
+                        evalkit::forensics::worst_items_report(&setup, &runs, worst)
+                    );
+                }
             }
             "export" => {
                 let dir = std::path::Path::new("dataset");

@@ -472,7 +472,7 @@ pub fn run_config_governed(
 
 /// Draws `count` success flags without replacement, weighted by the
 /// per-item probabilities.
-fn weighted_success_set(probs: &[f64], count: usize, rng: &mut Rng) -> Vec<bool> {
+pub(crate) fn weighted_success_set(probs: &[f64], count: usize, rng: &mut Rng) -> Vec<bool> {
     let mut flags = vec![false; probs.len()];
     let mut remaining: Vec<usize> = (0..probs.len()).filter(|&i| probs[i] > 0.0).collect();
     // The weight list shadows `remaining` and is updated with the same

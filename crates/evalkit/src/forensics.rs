@@ -44,6 +44,7 @@
 use crate::experiment::{EvalSetup, ItemResult, RunResult};
 use crate::metric::FailureKind;
 use crate::metrics::{hardness_name, ItemTrace, STAGES};
+use sqlkit::morph::dissolving_transform;
 use sqlkit::{diff_sql, DiffClass};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -336,8 +337,8 @@ impl ForensicsRegistry {
         );
         let _ = writeln!(
             out,
-            "{:<14} {:<4} {:>7} {:>6} {:>6}  top clause-diff classes",
-            "system", "dm", "failed", "wrong", "uncls"
+            "{:<14} {:<4} {:>7} {:>6} {:>6}  {:<34} morph suggestion",
+            "system", "dm", "failed", "wrong", "uncls", "top clause-diff classes"
         );
         // Fold hardness cells per (system, model).
         let mut folded: BTreeMap<(String, String), FingerprintCell> = BTreeMap::new();
@@ -356,6 +357,13 @@ impl ForensicsRegistry {
                 .filter(|(_, n)| *n > 0)
                 .collect();
             top.sort_by_key(|&(i, n)| (std::cmp::Reverse(n), i));
+            // The schema transform most likely to dissolve this row's
+            // dominant divergence class, from the morph layer's mapping —
+            // the forensics → robustness-sweep bridge.
+            let suggestion = top
+                .first()
+                .and_then(|&(i, _)| dissolving_transform(DiffClass::ALL[i]))
+                .unwrap_or("-");
             let top: Vec<String> = top
                 .iter()
                 .take(3)
@@ -363,7 +371,7 @@ impl ForensicsRegistry {
                 .collect();
             let _ = writeln!(
                 out,
-                "{system:<14} {model:<4} {:>7} {:>6} {:>6}  {}",
+                "{system:<14} {model:<4} {:>7} {:>6} {:>6}  {:<34} {suggestion}",
                 c.failed,
                 c.wrong_result,
                 c.unclassified,
@@ -436,6 +444,101 @@ pub fn wrong_result_total<'a>(runs: impl IntoIterator<Item = &'a RunResult>) -> 
 /// `report::full_report`).
 pub fn forensics_report(setup: &EvalSetup, runs: &[RunResult]) -> String {
     ForensicsRegistry::from_runs(setup, runs).render()
+}
+
+/// The N worst `wrong_result` items across runs — "worst" by clause-diff
+/// distance (most divergent prediction first), ties broken by
+/// (system, model, item id) so the ranking is deterministic. Each entry
+/// renders the question, gold and predicted SQL, and every clause edit
+/// inline, plus the morph transform most likely to dissolve the dominant
+/// divergence. `repro forensics --worst N` surfaces this.
+pub fn worst_items_report(setup: &EvalSetup, runs: &[RunResult], n: usize) -> String {
+    let gold: BTreeMap<usize, &nlq::GoldExample> =
+        setup.benchmark.test.iter().map(|g| (g.id, g)).collect();
+    struct Worst<'a> {
+        system: String,
+        model: String,
+        example: &'a nlq::GoldExample,
+        gold_sql: &'a str,
+        pred_sql: &'a str,
+        diff: sqlkit::ClauseDiff,
+    }
+    let mut worst: Vec<Worst> = Vec::new();
+    for run in runs {
+        for item in &run.items {
+            if item.failure != Some(FailureKind::WrongResult) {
+                continue;
+            }
+            let Some(example) = gold.get(&item.item_id) else {
+                continue;
+            };
+            let Some(pred) = item.predicted_sql.as_deref() else {
+                continue;
+            };
+            let gold_sql = example.sql(run.model);
+            let Some(diff) = diff_sql(gold_sql, pred) else {
+                continue;
+            };
+            if diff.is_empty() {
+                continue;
+            }
+            worst.push(Worst {
+                system: run.system.to_string(),
+                model: run.model.to_string(),
+                example,
+                gold_sql,
+                pred_sql: pred,
+                diff,
+            });
+        }
+    }
+    worst.sort_by(|a, b| {
+        b.diff
+            .distance()
+            .cmp(&a.diff.distance())
+            .then_with(|| a.system.cmp(&b.system))
+            .then_with(|| a.model.cmp(&b.model))
+            .then_with(|| a.example.id.cmp(&b.example.id))
+    });
+
+    let mut out = String::with_capacity(2048);
+    let _ = writeln!(
+        out,
+        "{} worst wrong_result items by clause-diff distance ({} candidates)",
+        n.min(worst.len()),
+        worst.len()
+    );
+    for (rank, w) in worst.iter().take(n).enumerate() {
+        let _ = writeln!(
+            out,
+            "\n#{} [{} on {}] question {} (distance {})",
+            rank + 1,
+            w.system,
+            w.model,
+            w.example.id,
+            w.diff.distance()
+        );
+        let _ = writeln!(out, "  Q:    {}", w.example.question);
+        let _ = writeln!(out, "  gold: {}", w.gold_sql);
+        let _ = writeln!(out, "  pred: {}", w.pred_sql);
+        for e in &w.diff.edits {
+            let _ = writeln!(
+                out,
+                "    {:<20} gold: {:<32} pred: {}",
+                e.class.name(),
+                e.gold.as_deref().unwrap_or("-"),
+                e.pred.as_deref().unwrap_or("-")
+            );
+        }
+        let suggestion = w
+            .diff
+            .classes()
+            .iter()
+            .find_map(|&c| dissolving_transform(c))
+            .unwrap_or("none (shape-level divergence)");
+        let _ = writeln!(out, "    dissolving morph: {suggestion}");
+    }
+    out
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@ pub mod experiment;
 pub mod forensics;
 pub mod metric;
 pub mod metrics;
+pub mod morph;
 pub mod parallel;
 pub mod report;
 pub mod tradeoff;
@@ -42,14 +43,18 @@ pub use experiment::{
     run_prepared, EvalSetup, FoldedResult, Governor, ItemResult, PreparedConfig, RunResult,
 };
 pub use forensics::{
-    classify_item, forensics_report, wrong_result_total, FingerprintCell, ForensicsRegistry,
-    ItemForensics,
+    classify_item, forensics_report, worst_items_report, wrong_result_total, FingerprintCell,
+    ForensicsRegistry, ItemForensics,
 };
 pub use metric::{
     accuracy, classify_engine_error, component_match, execute_classified, execution_match,
     execution_match_cached, execution_match_governed, ComponentMatch, ExOutcome, FailureKind,
     QueryOutcome,
 };
+pub use morph::{
+    canonical_budget, distance_table, run_morph_model, sweep_json, MorphModelSpec, MorphRun,
+};
+
 pub use metrics::{
     hardness_name, ItemTrace, LatencyHistogram, MetricsCell, MetricsRegistry, StageAgg, STAGES,
 };

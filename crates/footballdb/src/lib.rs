@@ -33,6 +33,7 @@ pub mod csv;
 pub mod gen;
 pub mod load;
 pub mod model;
+pub mod morph;
 pub mod names;
 pub mod schema;
 pub mod stats;
@@ -40,6 +41,7 @@ pub mod stats;
 pub use gen::generate;
 pub use load::{load, load_all};
 pub use model::Domain;
+pub use morph::{load_morphed, synthesize_models, v1_shape, MorphModel};
 pub use schema::DataModel;
 pub use stats::{dataset_stats, DatasetStats};
 

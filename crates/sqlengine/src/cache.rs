@@ -13,7 +13,10 @@
 //! transparent: [`execute_sql`] is a pure function of `(db, sql)`
 //! *under a fixed planner configuration*, so a cached result is
 //! bit-identical to a fresh execution. Entries are additionally keyed
-//! by [`planner_config_fingerprint`]: indexed and forced-seq-scan
+//! by [`planner_config_fingerprint`] mixed with the database's
+//! [`Database::catalog_fingerprint`] — synthesized morph models may
+//! accept byte-identical SQL text, so the data model is part of the
+//! key: indexed and forced-seq-scan
 //! execution are bit-identical by construction (see
 //! `exec::set_force_seqscan`), but the cache does not rely on that
 //! invariant — a result computed under one configuration is never
@@ -214,7 +217,11 @@ impl QueryCache {
             trace::cache_event(false);
             return run(db, sql).map(Arc::new);
         }
-        let fp = planner_config_fingerprint();
+        // Key memo entries by planner configuration *and* data model: two
+        // morphed models can accept byte-identical SQL with different
+        // answers, so the catalog fingerprint must split their entries.
+        let fp = planner_config_fingerprint()
+            ^ db.catalog_fingerprint().wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let key = sql.trim();
         let shard = &self.shards[shard_of(key)];
         if let Some(entry) = shard
@@ -358,6 +365,36 @@ mod tests {
         assert_eq!(*cached, direct);
         let again = cache.execute_cached(&db, sql).unwrap();
         assert_eq!(*again, direct);
+    }
+
+    #[test]
+    fn distinct_data_models_get_distinct_entries() {
+        // Two catalogs that both accept `SELECT a FROM t` but are not the
+        // same data model: a shared cache must never serve one model's
+        // result for the other, even though the SQL text is identical.
+        let db1 = db();
+        let mut db2 = Database::new(Catalog::new(vec![TableSchema::new("t")
+            .column("a", DataType::Int)
+            .column("b", DataType::Int)
+            .pk(&["a"])]));
+        for i in 0..3 {
+            db2.insert("t", vec![Value::Int(10 + i), Value::Int(i)])
+                .unwrap();
+        }
+        assert_ne!(db1.catalog_fingerprint(), db2.catalog_fingerprint());
+
+        let cache = QueryCache::new();
+        let sql = "SELECT a FROM t";
+        let r1 = cache.execute_cached(&db1, sql).unwrap();
+        let r2 = cache.execute_cached(&db2, sql).unwrap();
+        assert_ne!(*r1, *r2);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 2));
+
+        // Each model now hits its own entry and gets its own answer back.
+        assert_eq!(*cache.execute_cached(&db1, sql).unwrap(), *r1);
+        assert_eq!(*cache.execute_cached(&db2, sql).unwrap(), *r2);
+        assert_eq!(cache.stats().hits, 2);
     }
 
     #[test]

@@ -176,14 +176,13 @@ fn render(outcome: &Result<ResultSet, EngineError>) -> String {
     }
 }
 
-/// Checks one query across every axis; returns the raw disagreement (if
-/// any) without minimization. `errored` is set when both sides failed
-/// identically (a conformant but dead corpus entry).
-fn check_raw(
+/// The engine-config identity axis alone: one query bit-identical across
+/// all six {indexed, seqscan} × {vectorized, rowexec} × {fresh, cached}
+/// configurations. Returns the raw disagreement, if any.
+fn check_engine_configs(
     db: &Database,
     cache: &QueryCache,
     sql: &str,
-    errored: &mut bool,
 ) -> Option<(String, String, String)> {
     let runs: Vec<(&str, Result<ResultSet, EngineError>)> = CONFIGS
         .iter()
@@ -201,6 +200,22 @@ fn check_raw(
             ));
         }
     }
+    None
+}
+
+/// Checks one query across every axis; returns the raw disagreement (if
+/// any) without minimization. `errored` is set when both sides failed
+/// identically (a conformant but dead corpus entry).
+fn check_raw(
+    db: &Database,
+    cache: &QueryCache,
+    sql: &str,
+    errored: &mut bool,
+) -> Option<(String, String, String)> {
+    if let Some(found) = check_engine_configs(db, cache, sql) {
+        return Some(found);
+    }
+    let base = &run_config(db, cache, sql, false, true, true);
     let reference = ref_execute_sql(db, sql);
     match (base, &reference) {
         (Ok(engine_rs), Ok(ref_rs)) => {
@@ -384,6 +399,131 @@ pub fn minimize_sql(sql: &str, diverges: &mut dyn FnMut(&str) -> bool) -> String
     } else {
         entry
     }
+}
+
+// ---------------------------------------------------------------------------
+// Schema-morph cross-model conformance
+// ---------------------------------------------------------------------------
+
+/// Raw cross-model disagreement for one (source SQL, morphed SQL) pair:
+/// the morphed query must be bit-identical across every engine config axis,
+/// and its answer must be EX-equal to the source query's answer on the
+/// source model. EX ([`ResultSet::matches`]) is the right comparator
+/// across models because morphs legally rename output columns. The naive
+/// reference interpreter is deliberately NOT in this loop: it joins by
+/// cross product, which is intractable on the full-size instances this
+/// axis runs against (it already vouches for engine semantics on the
+/// generated corpus databases).
+fn morph_raw(
+    src_db: &Database,
+    src_cache: &QueryCache,
+    dst_db: &Database,
+    dst_cache: &QueryCache,
+    src_sql: &str,
+    dst_sql: &str,
+    errored: &mut bool,
+) -> Option<(String, String, String)> {
+    if let Some(found) = check_engine_configs(dst_db, dst_cache, dst_sql) {
+        return Some(found);
+    }
+    let src = run_config(src_db, src_cache, src_sql, false, false, true);
+    let dst = run_config(dst_db, dst_cache, dst_sql, false, false, true);
+    match (&src, &dst) {
+        (Ok(a), Ok(b)) if a.matches(b) => None,
+        (Err(_), Err(_)) => {
+            *errored = true;
+            None
+        }
+        _ => Some((
+            "source vs morphed (EX)".to_string(),
+            render(&src),
+            render(&dst),
+        )),
+    }
+}
+
+/// Checks one source-model query against a morphed model. `rewrite` maps
+/// source SQL to morphed SQL (returning `None` when a candidate cannot be
+/// rewritten); it is re-invoked during minimization so the shrunk source
+/// query is always paired with its own co-rewrite. A rewrite failure on
+/// the entry query is itself a divergence — every gold query must carry
+/// over to every synthesized model.
+pub fn check_morph_case(
+    src_db: &Database,
+    src_cache: &QueryCache,
+    dst_db: &Database,
+    dst_cache: &QueryCache,
+    src_sql: &str,
+    rewrite: &mut dyn FnMut(&str) -> Option<String>,
+    errored: &mut bool,
+) -> Option<Divergence> {
+    let Some(dst_sql) = rewrite(src_sql) else {
+        return Some(Divergence {
+            sql: src_sql.to_string(),
+            minimized: src_sql.to_string(),
+            config: "co-rewrite".to_string(),
+            expected: "a rewritten query on the morphed model".to_string(),
+            actual: "rewrite failed".to_string(),
+        });
+    };
+    let found = morph_raw(
+        src_db, src_cache, dst_db, dst_cache, src_sql, &dst_sql, errored,
+    )?;
+    let minimized = minimize_sql(src_sql, &mut |candidate| {
+        rewrite(candidate).is_some_and(|d| {
+            morph_raw(
+                src_db, src_cache, dst_db, dst_cache, candidate, &d, &mut false,
+            )
+            .is_some()
+        })
+    });
+    let (config, expected, actual) = rewrite(&minimized)
+        .and_then(|d| {
+            morph_raw(
+                src_db, src_cache, dst_db, dst_cache, &minimized, &d, &mut false,
+            )
+        })
+        .unwrap_or(found);
+    Some(Divergence {
+        sql: src_sql.to_string(),
+        minimized,
+        config,
+        expected,
+        actual,
+    })
+}
+
+/// Runs a whole source-model corpus against one morphed model.
+pub fn run_morph_corpus(
+    src_db: &Database,
+    dst_db: &Database,
+    corpus: &[String],
+    rewrite: &mut dyn FnMut(&str) -> Option<String>,
+) -> ConformanceReport {
+    let src_cache = QueryCache::new();
+    let dst_cache = QueryCache::new();
+    let mut report = ConformanceReport::default();
+    for sql in corpus {
+        report.queries += 1;
+        // All dst configs, plus the cross-model EX pair.
+        report.executions += CONFIGS.len() + 2;
+        let mut errored = false;
+        if let Some(d) = check_morph_case(
+            src_db,
+            &src_cache,
+            dst_db,
+            &dst_cache,
+            sql,
+            rewrite,
+            &mut errored,
+        ) {
+            report.divergences.push(d);
+        }
+        if errored {
+            report.errored += 1;
+        }
+    }
+    report
 }
 
 fn reduction_candidates(q: &Query) -> Vec<Query> {

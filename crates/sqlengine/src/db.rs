@@ -118,6 +118,10 @@ type IndexShard = RwLock<HashMap<(usize, usize), Arc<ColumnIndex>>>;
 #[derive(Debug)]
 pub struct Database {
     catalog: Catalog,
+    /// Structural fingerprint of `catalog` (see
+    /// [`crate::morph::catalog_fingerprint`]), computed eagerly so cache
+    /// keying never pays a hash of the whole catalog per query.
+    catalog_fp: u64,
     data: Vec<TableData>,
     /// Lazily built per-`(table, column)` hash indexes, lock-striped by
     /// a hash of the key so concurrent access-path setup on different
@@ -133,6 +137,7 @@ impl Clone for Database {
     fn clone(&self) -> Database {
         Database {
             catalog: self.catalog.clone(),
+            catalog_fp: self.catalog_fp,
             data: self.data.clone(),
             indexes: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             index_builds: AtomicU64::new(0),
@@ -152,8 +157,10 @@ impl Database {
             .iter()
             .map(|_| TableData::default())
             .collect();
+        let catalog_fp = crate::morph::catalog_fingerprint(&catalog);
         Database {
             catalog,
+            catalog_fp,
             data,
             indexes: std::array::from_fn(|_| RwLock::new(HashMap::new())),
             index_builds: AtomicU64::new(0),
@@ -163,6 +170,13 @@ impl Database {
 
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Structural fingerprint of this database's data model. Distinct
+    /// catalogs (including synthesized morph models) get distinct
+    /// fingerprints, which keys shared caches apart per model.
+    pub fn catalog_fingerprint(&self) -> u64 {
+        self.catalog_fp
     }
 
     fn table_index(&self, name: &str) -> Option<usize> {

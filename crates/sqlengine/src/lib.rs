@@ -51,6 +51,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod explain;
+pub mod morph;
 pub mod plan;
 pub mod result;
 pub mod trace;
@@ -67,6 +68,7 @@ pub use exec::{
     set_force_seqscan, set_vectorized,
 };
 pub use explain::{explain, explain_analyze, explain_analyze_sql, explain_sql};
+pub use morph::{catalog_fingerprint, migrate, migrate_database, schema_of};
 pub use result::ResultSet;
 pub use trace::{
     trace_execute, trace_execute_sql, trace_execute_sql_with_budget, TraceCounters, TraceGuard,

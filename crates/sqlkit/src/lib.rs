@@ -47,6 +47,7 @@ pub mod error;
 pub mod format;
 pub mod hardness;
 pub mod lexer;
+pub mod morph;
 pub mod parser;
 pub mod printer;
 
@@ -63,5 +64,9 @@ pub use error::SqlError;
 pub use format::{format_query, format_sql};
 pub use hardness::{classify, classify_sql, mean_hardness, Hardness};
 pub use lexer::{token_count, tokenize, Token};
+pub use morph::{
+    apply_chain, apply_to_schema, chain_distance, dissolving_transform, rewrite_query, rewrite_sql,
+    MorphError, MorphOp, MorphSchema, MorphTable,
+};
 pub use parser::parse_query;
 pub use printer::{expr_to_sql, normalize, to_sql};
