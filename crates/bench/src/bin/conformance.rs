@@ -30,6 +30,14 @@
 //!    `bench --bin morph`; this axis keeps the cross-model property in
 //!    the conformance gate).
 //!
+//! With `--dialects` the driver instead runs the **cross-dialect
+//! isomorphism axis**: the corpus (plus dialect-stress templates) is
+//! checked for per-dialect self-consistency under both the PostgreSQL
+//! and SQLite dialects, then swept across the pair; every cross-dialect
+//! divergence must classify against the checked-in dialect-difference
+//! oracle, and the whole record is built twice (thread override 1 vs 8)
+//! and byte-compared before `BENCH_dialect.json` is written.
+//!
 //! Exit status 0 when all axes are clean, 1 on any divergence, 2 on
 //! usage errors. Divergences are printed minimized, with both result
 //! sets and the disagreeing configuration.
@@ -37,19 +45,26 @@
 use footballdb::{generate, load_all, load_morphed, synthesize_models, DataModel};
 use nlq::gold::build_raw_corpus;
 use sqlengine::conformance::{
-    check_hazard, check_oracles, corpus_db, gen_corpus, gen_hazard_corpus, result_bits_eq,
-    run_corpus, run_morph_corpus, CorpusConfig,
+    check_dialect_oracles, check_hazard, check_oracles, corpus_db, gen_corpus, gen_dialect_corpus,
+    gen_hazard_corpus, result_bits_eq, run_corpus, run_dialect_corpus, run_morph_corpus,
+    CorpusConfig, DialectDiffClass,
 };
-use sqlengine::{execute_sql, set_force_seqscan, Database, ExecBudget, ResultSet};
+use sqlengine::{
+    execute_sql, set_dialect, set_force_seqscan, Database, Dialect, ExecBudget, ResultSet,
+};
+use std::fmt::Write as _;
 use xrng::Rng;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: conformance [--smoke] [--seed N] [--seeds N] [--queries N]\n\
+        "usage: conformance [--smoke] [--dialects] [--seed N] [--seeds N] [--queries N] [--out PATH]\n\
          \u{20} --smoke    reduced corpus for CI (1 seed x 400 queries)\n\
+         \u{20} --dialects run the cross-dialect isomorphism axis instead,\n\
+         \u{20}            writing BENCH_dialect.json\n\
          \u{20} --seed N   base corpus seed (default 40)\n\
          \u{20} --seeds N  number of consecutive seeds (default 5)\n\
-         \u{20} --queries N  queries per seed (default 1200)"
+         \u{20} --queries N  queries per seed (default 1200)\n\
+         \u{20} --out PATH output path for --dialects (default BENCH_dialect.json)"
     );
     std::process::exit(2);
 }
@@ -72,18 +87,162 @@ fn run_parallel(cases: &[Case<'_>], threads: usize) -> Vec<Result<ResultSet, Str
     out
 }
 
+/// Aggregated outcome of one full dialect-axis pass, JSON-rendered so
+/// the two passes can be byte-compared.
+struct DialectPass {
+    payload: String,
+    failures: usize,
+    legitimate_total: usize,
+}
+
+/// One complete cross-dialect pass: known-difference oracles, per-
+/// dialect self-consistency (six configs + reference under each
+/// dialect), and the classified cross-dialect sweep.
+fn dialect_pass(seed: u64, seeds: usize, queries: usize) -> DialectPass {
+    let mut failures = 0usize;
+
+    let oracle_failures = check_dialect_oracles();
+    for f in &oracle_failures {
+        eprintln!(
+            "dialect oracle FAILED [{} on {}]: {}\n  {}",
+            f.check, f.executor, f.sql, f.detail
+        );
+    }
+    failures += oracle_failures.len();
+
+    let mut total_queries = 0usize;
+    let mut cross_execs = 0usize;
+    let mut self_execs = 0usize;
+    let mut self_divs = [0usize; 2]; // [postgres, sqlite]
+    let mut agreeing = 0usize;
+    let mut panics = 0usize;
+    let mut bugs = 0usize;
+    let mut by_class: std::collections::BTreeMap<&'static str, usize> = DialectDiffClass::ALL
+        .iter()
+        .map(|c| (c.as_str(), 0))
+        .collect();
+
+    for s in seed..seed + seeds as u64 {
+        let db = corpus_db(s);
+        let mut corpus = gen_corpus(&CorpusConfig { seed: s, queries });
+        corpus.extend(gen_dialect_corpus(&CorpusConfig {
+            seed: s,
+            queries: (queries / 4).max(50),
+        }));
+
+        // Per-dialect self-consistency: each dialect must hold the six-
+        // config + reference identity on its own before the dialects
+        // are compared to each other.
+        for (i, dialect) in Dialect::ALL.into_iter().enumerate() {
+            set_dialect(Some(dialect));
+            let report = run_corpus(&db, &corpus);
+            set_dialect(None);
+            for d in &report.divergences {
+                eprintln!("[{dialect} seed {s}] {d}\n");
+            }
+            self_divs[i] += report.divergences.len();
+            self_execs += report.executions;
+        }
+
+        // Cross-dialect sweep with classification.
+        let report = run_dialect_corpus(&db, &corpus);
+        total_queries += report.queries;
+        cross_execs += report.executions;
+        agreeing += report.agreeing;
+        panics += report.panics;
+        for (class, n) in &report.legitimate {
+            *by_class.entry(class).or_insert(0) += n;
+        }
+        for b in &report.bugs {
+            eprintln!("[seed {s}] {b}\n");
+        }
+        bugs += report.bugs.len();
+    }
+    failures += self_divs[0] + self_divs[1] + bugs + panics;
+
+    let legitimate_total: usize = by_class.values().sum();
+    let mut class_json = String::new();
+    for (k, (class, n)) in by_class.iter().enumerate() {
+        if k > 0 {
+            class_json.push_str(", ");
+        }
+        let _ = write!(class_json, "\"{class}\": {n}");
+    }
+    let payload = format!(
+        "\"oracle_failures\": {},\n  \
+         \"self_consistency_divergences\": {{\"postgres\": {}, \"sqlite\": {}}},\n  \
+         \"queries\": {total_queries},\n  \
+         \"executions\": {},\n  \
+         \"agreeing\": {agreeing},\n  \
+         \"legitimate_divergences\": {legitimate_total},\n  \
+         \"by_class\": {{{class_json}}},\n  \
+         \"bug_divergences\": {bugs},\n  \
+         \"unclassified\": {bugs},\n  \
+         \"escaped_panics\": {panics}",
+        oracle_failures.len(),
+        self_divs[0],
+        self_divs[1],
+        cross_execs + self_execs,
+    );
+    DialectPass {
+        payload,
+        failures,
+        legitimate_total,
+    }
+}
+
+/// The `--dialects` entry point: two full passes (thread override 1
+/// then 8 — the axis is serial by construction, and the record must not
+/// care), byte-compared, then written.
+fn run_dialect_axis(seed: u64, seeds: usize, queries: usize, smoke: bool, out_path: &str) -> ! {
+    eprintln!("dialects: pass 1 (thread override 1)...");
+    evalkit::set_thread_override(Some(1));
+    let a = dialect_pass(seed, seeds, queries);
+    eprintln!("dialects: pass 2 (thread override 8)...");
+    evalkit::set_thread_override(Some(8));
+    let b = dialect_pass(seed, seeds, queries);
+    evalkit::set_thread_override(None);
+    let deterministic_identical = a.payload == b.payload;
+
+    let json = format!(
+        "{{\n  \"suite\": \"dialect\",\n  \"mode\": \"{}\",\n  \"seed\": {seed},\n  \
+         \"seeds\": {seeds},\n  \"queries_per_seed\": {queries},\n  \
+         \"dialects\": [\"postgres\", \"sqlite\"],\n  {},\n  \
+         \"has_legitimate_divergences\": {},\n  \
+         \"deterministic_identical\": {deterministic_identical}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        a.payload,
+        a.legitimate_total > 0,
+    );
+    std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("dialects: wrote {out_path}");
+    print!("{json}");
+
+    if a.failures > 0 || b.failures > 0 || !deterministic_identical || a.legitimate_total == 0 {
+        eprintln!("dialects: FAILED");
+        std::process::exit(1);
+    }
+    println!("dialects: clean");
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 40u64;
     let mut seeds = 5usize;
     let mut queries = 1200usize;
+    let mut smoke = false;
+    let mut dialects = false;
+    let mut out_path = "BENCH_dialect.json".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => {
                 seeds = 1;
                 queries = 400;
+                smoke = true;
             }
+            "--dialects" => dialects = true,
             "--seed" => {
                 seed = it
                     .next()
@@ -102,8 +261,12 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--out" => out_path = it.next().unwrap_or_else(|| usage()).clone(),
             _ => usage(),
         }
+    }
+    if dialects {
+        run_dialect_axis(seed, seeds, queries, smoke, &out_path);
     }
     let mut failures = 0usize;
 

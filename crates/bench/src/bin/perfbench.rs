@@ -201,7 +201,8 @@ fn main() {
          \"failure_counts\": {{{failure_json}}},\n  \
          \"forensics_wrong_result\": {},\n  \"forensics_classified\": {},\n  \
          \"forensics_unclassified\": {},\n  \
-         \"identical_to_serial\": {identical},\n  \"scale\": \"{}\",\n  \"seed\": {seed}\n}}\n",
+         \"identical_to_serial\": {identical},\n  \"dialect\": \"{}\",\n  \
+         \"scale\": \"{}\",\n  \"seed\": {seed}\n}}\n",
         stats.hits,
         stats.misses,
         stats.entries,
@@ -216,6 +217,7 @@ fn main() {
         forensics.totals().wrong_result,
         forensics.totals().classified,
         forensics.totals().unclassified,
+        sqlengine::current_dialect(),
         if small { "small" } else { "paper" },
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));

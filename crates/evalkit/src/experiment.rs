@@ -17,7 +17,7 @@ use crate::parallel::{par_map, par_map_catch};
 use footballdb::{generate, load, DataModel, Domain};
 use nlq::gold::{build_benchmark, PipelineConfig};
 use nlq::{Benchmark, GoldExample};
-use sqlengine::{CacheStats, Database, ExecBudget, QueryCache};
+use sqlengine::{current_dialect, CacheStats, Database, Dialect, ExecBudget, QueryCache};
 use sqlkit::{Hardness, QueryStats};
 use textosql::{
     predict_governed, profile_items_with_db, success_probabilities, Budget, FaultKind, FaultPlan,
@@ -32,6 +32,15 @@ pub struct EvalSetup {
     pub graphs: Vec<(DataModel, JoinGraph)>,
     pub benchmark: Benchmark,
     pub seed: u64,
+    /// The SQL dialect active when this setup was built. Profiling
+    /// executes the gold queries, so the difficulty profiles (and every
+    /// accuracy number derived from them) are tied to one backend's
+    /// semantics. Scoring is pinnable to either backend: run the whole
+    /// experiment under `REPRO_DIALECT=sqlite` (or
+    /// [`sqlengine::set_dialect`]) and the setup records it here;
+    /// [`run_prepared`] refuses to score under a different dialect than
+    /// the one the setup was profiled under.
+    pub dialect: Dialect,
     /// Memoized test-set difficulty profiles per data model (profiling
     /// executes the gold queries, so it is computed once).
     profiles: Vec<(DataModel, Vec<ItemProfile>)>,
@@ -78,6 +87,7 @@ impl EvalSetup {
             graphs,
             benchmark,
             seed,
+            dialect: current_dialect(),
             profiles: Vec::new(),
             caches: DataModel::ALL
                 .iter()
@@ -399,6 +409,17 @@ fn panicked_item(setup: &EvalSetup, model: DataModel, i: usize) -> ItemResult {
 /// classified [`FailureKind::Panic`] record — identically at any thread
 /// count — instead of aborting the sweep.
 pub fn run_prepared(setup: &EvalSetup, cells: &[PreparedConfig]) -> Vec<RunResult> {
+    // Scoring under a different dialect than the one the profiles were
+    // computed under would silently mix two backends' semantics in one
+    // accuracy number; fail loudly instead.
+    assert_eq!(
+        current_dialect(),
+        setup.dialect,
+        "EvalSetup was profiled under the {} dialect but the process is scoring under {}; \
+         pin the same dialect (REPRO_DIALECT or sqlengine::set_dialect) for both",
+        setup.dialect,
+        current_dialect(),
+    );
     // Per-cell prepare: the success draws (cheap, serial) and the
     // retrieval indexes (embedding the pools — parallel; the indexes
     // borrow the pools, which is why preparation is a distinct pass).

@@ -84,6 +84,9 @@ pub struct RateOutcome {
 pub struct ServeReport {
     pub seed: u64,
     pub threads: usize,
+    /// The dialect the snapshots were built to serve — part of the
+    /// deterministic record, since result bits depend on it.
+    pub dialect: sqlengine::Dialect,
     pub rates: Vec<RateOutcome>,
     pub cache: CacheStats,
     pub shard_drift: u64,
@@ -100,6 +103,7 @@ impl ServeReport {
         out.push_str("{\n");
         let _ = writeln!(out, "{indent}  \"seed\": {},", self.seed);
         let _ = writeln!(out, "{indent}  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "{indent}  \"dialect\": \"{}\",", self.dialect);
         let _ = writeln!(out, "{indent}  \"rates\": [");
         for (i, r) in self.rates.iter().enumerate() {
             let s = &r.sim;
@@ -237,6 +241,7 @@ pub fn run(cfg: &ServeConfig, pipeline: &PipelineConfig) -> ServeReport {
     ServeReport {
         seed: cfg.seed,
         threads: cfg.threads,
+        dialect: state.dialect(),
         rates,
         cache: state.cache_stats(),
         shard_drift: state.shard_drift(),

@@ -9,7 +9,7 @@
 
 use evalkit::par_map;
 use footballdb::{generate, load, DataModel, Domain};
-use sqlengine::{CacheStats, Database, QueryCache};
+use sqlengine::{current_dialect, CacheStats, Database, Dialect, QueryCache};
 use std::sync::Arc;
 
 /// The three data-model snapshots plus their per-model query caches,
@@ -17,8 +17,18 @@ use std::sync::Arc;
 /// is addressable by its catalog fingerprint, so two models that accept
 /// byte-identical SQL text still resolve to distinct databases and
 /// distinct cache spaces.
+///
+/// A state also records the [`Dialect`] it was built to serve. The
+/// snapshot data itself is dialect-independent, but results are not
+/// (`7 / 2` is `3` under PostgreSQL semantics and `3.5` under SQLite),
+/// so the dialect is part of the deployment's identity next to the
+/// catalog fingerprints. Cache entries key on the planner-config
+/// fingerprint — which folds in the active dialect — so even if the
+/// process dialect were flipped mid-run, a cache could never serve one
+/// dialect's rows to the other's queries.
 pub struct ServeState {
     pub domain: Domain,
+    dialect: Dialect,
     models: Vec<(DataModel, Arc<Database>, QueryCache)>,
     /// Morphed snapshots: (catalog fingerprint, name, db, cache).
     morphed: Vec<(u64, String, Arc<Database>, QueryCache)>,
@@ -27,17 +37,34 @@ pub struct ServeState {
 impl ServeState {
     /// Loads all three data-model instances (fanned out) with fresh,
     /// empty caches. Content depends only on the deterministic domain
-    /// generator, so two states are interchangeable.
+    /// generator, so two states are interchangeable. The state serves
+    /// the dialect active at build time (`REPRO_DIALECT` or
+    /// [`sqlengine::set_dialect`]; PostgreSQL by default).
     pub fn build() -> ServeState {
+        Self::build_with_dialect(current_dialect())
+    }
+
+    /// Like [`ServeState::build`], but pins the dialect this state is
+    /// meant to serve regardless of the process default. The caller is
+    /// responsible for executing requests under the same dialect
+    /// (`set_dialect(Some(state.dialect()))`); this constructor does
+    /// not mutate the process-global switch.
+    pub fn build_with_dialect(dialect: Dialect) -> ServeState {
         let domain = generate(footballdb::DEFAULT_SEED);
         let models = par_map(&DataModel::ALL, |&m| {
             (m, Arc::new(load(&domain, m)), QueryCache::new())
         });
         ServeState {
             domain,
+            dialect,
             models,
             morphed: Vec::new(),
         }
+    }
+
+    /// The dialect this state was built to serve.
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
     }
 
     pub fn db(&self, model: DataModel) -> &Arc<Database> {
@@ -149,6 +176,16 @@ mod tests {
     use super::*;
     use sqlengine::migrate_database;
     use sqlkit::MorphOp;
+
+    #[test]
+    fn state_records_the_dialect_it_serves() {
+        // `build()` captures the process dialect (PostgreSQL unless the
+        // environment overrides it); `build_with_dialect` pins one.
+        let state = ServeState::build_with_dialect(Dialect::Sqlite);
+        assert_eq!(state.dialect(), Dialect::Sqlite);
+        // Pinning a dialect never mutates the process-global switch.
+        assert_eq!(current_dialect(), Dialect::Postgres);
+    }
 
     #[test]
     fn morphed_snapshots_are_keyed_by_fingerprint() {

@@ -220,6 +220,10 @@ impl QueryCache {
         // Key memo entries by planner configuration *and* data model: two
         // morphed models can accept byte-identical SQL with different
         // answers, so the catalog fingerprint must split their entries.
+        // The planner fingerprint includes the active dialect, whose
+        // results legitimately differ (`7 / 2`!) — the integration suite
+        // pins that a dialect flip can never serve the other backend's
+        // rows.
         let fp = planner_config_fingerprint()
             ^ db.catalog_fingerprint().wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let key = sql.trim();

@@ -50,10 +50,13 @@ const COACHES: [&str; 4] = ["kim", "lee", "mo", "nia"];
 ///
 /// Schema: `player(pid, squad, score, ratio, nick)`,
 /// `appearance(aid, pid, minutes, card)` with some dangling `pid`s (the
-/// engine audits rather than enforces foreign keys), and
-/// `squad_info(squad, coach, wins)`. Every non-key column is nullable
-/// with high probability and drawn from tiny domains, so duplicates and
-/// NULLs dominate.
+/// engine audits rather than enforces foreign keys),
+/// `squad_info(squad, coach, wins)`, and `roster(rid, active, tag)` —
+/// a boolean column plus a text column holding numeric-looking and
+/// non-numeric strings, the raw material for the cross-dialect
+/// comparison templates. Every non-key column is nullable with high
+/// probability and drawn from tiny domains, so duplicates and NULLs
+/// dominate.
 pub fn corpus_db(seed: u64) -> Database {
     let catalog = Catalog::new(vec![
         TableSchema::new("player")
@@ -75,6 +78,11 @@ pub fn corpus_db(seed: u64) -> Database {
             .column("coach", DataType::Text)
             .column("wins", DataType::Int)
             .pk(&["squad"]),
+        TableSchema::new("roster")
+            .column("rid", DataType::Int)
+            .column("active", DataType::Bool)
+            .column("tag", DataType::Text)
+            .pk(&["rid"]),
     ]);
     let mut db = Database::new(catalog);
     let mut rng = Rng::new(seed).fork("corpus-db");
@@ -126,6 +134,23 @@ pub fn corpus_db(seed: u64) -> Database {
         let coach = Value::text(*rng.choose(&COACHES));
         let wins = Value::Int(rng.range_i64(0, 9));
         db.insert("squad_info", vec![Value::text(*squad), coach, wins])
+            .unwrap();
+    }
+    for rid in 1..=20_i64 {
+        let active = if rng.chance(0.2) {
+            Value::Null
+        } else {
+            Value::Bool(rng.chance(0.5))
+        };
+        // Exactly one unparseable tag string ('x'): PostgreSQL-dialect
+        // text-affinity errors then carry the same message on every
+        // failing row, so the error is independent of evaluation order.
+        let tag = if rng.chance(0.25) {
+            Value::Null
+        } else {
+            Value::text(*rng.choose(&["1", "2", "5", "10", "x"]))
+        };
+        db.insert("roster", vec![Value::Int(rid), active, tag])
             .unwrap();
     }
     db
@@ -812,6 +837,175 @@ fn gen_subquery(rng: &mut Rng) -> Query {
     q
 }
 
+// ---- dialect-stress templates ---------------------------------------------
+
+/// The cross-dialect corpus: queries engineered to sit on the
+/// PostgreSQL/SQLite semantic boundary — integer division (including
+/// occasional division by zero), uppercase `LIKE` patterns over
+/// lowercase data, NULL-dense `ORDER BY`, boolean-vs-text literals, and
+/// text-vs-numeric affinity comparisons. Deliberately *not* part of
+/// [`gen_corpus`]: these templates intentionally produce dialect
+/// divergences, which the cross-dialect sweep
+/// ([`crate::conformance::run_dialect_corpus`]) must classify as
+/// legitimate, while per-dialect self-consistency (six configs +
+/// reference) must still hold exactly.
+///
+/// Every template is single-table with either a unique-key ORDER BY or
+/// no ORDER BY, so per-dialect output is deterministic, and every
+/// error-capable comparison is the sole predicate with a
+/// row-independent error message, so all configurations and the
+/// reference interpreter fail identically when PostgreSQL semantics
+/// reject an operand.
+pub fn gen_dialect_corpus(cfg: &CorpusConfig) -> Vec<String> {
+    let root = Rng::new(cfg.seed).fork("dialect");
+    (0..cfg.queries)
+        .map(|i| {
+            let mut rng = root.fork(&format!("d{i}"));
+            to_sql(&gen_dialect_query(&mut rng))
+        })
+        .collect()
+}
+
+fn gen_dialect_query(rng: &mut Rng) -> Query {
+    match rng.choose_weighted(&[3.0, 2.0, 3.0, 2.0, 2.0]) {
+        0 => gen_division(rng),
+        1 => gen_like_case(rng),
+        2 => gen_null_order(rng),
+        3 => gen_bool_text(rng),
+        _ => gen_affinity(rng),
+    }
+}
+
+/// Integer division in a projection or predicate. `int / int` is the
+/// canonical truncate-vs-promote difference; a zero divisor (~15%)
+/// exercises error-vs-NULL.
+fn gen_division(rng: &mut Rng) -> Query {
+    let (tab, key, num) =
+        *rng.choose(&[("player", "pid", "score"), ("appearance", "aid", "minutes")]);
+    let k = if rng.chance(0.15) {
+        0
+    } else {
+        *rng.choose(&[2, 3, 4])
+    };
+    let div = Expr::binary(Expr::bare_col(num), BinOp::Div, Expr::int(k));
+    let mut s = Select::default();
+    s.projections.push(item(Expr::bare_col(key)));
+    if rng.chance(0.6) {
+        s.projections.push(aliased_item(div, "q"));
+        if rng.chance(0.4) {
+            s.where_clause = Some(Expr::IsNull {
+                expr: Box::new(Expr::bare_col(num)),
+                negated: true,
+            });
+        }
+    } else {
+        let cmp = *rng.choose(&[BinOp::Gte, BinOp::Lt, BinOp::Eq]);
+        s.where_clause = Some(Expr::binary(div, cmp, Expr::int(rng.range_i64(0, 3))));
+    }
+    s.from.push(named(tab));
+    let mut q = Query::select(s);
+    q.order_by.push(order(Expr::bare_col(key), rng.chance(0.3)));
+    q
+}
+
+/// Uppercase (and mixed-case) LIKE patterns over all-lowercase domains:
+/// case-sensitive PostgreSQL matches nothing, ASCII-case-insensitive
+/// SQLite matches the lowercase data.
+fn gen_like_case(rng: &mut Rng) -> Query {
+    let (tab, col, key) = *rng.choose(&[
+        ("player", "nick", "pid"),
+        ("player", "squad", "pid"),
+        ("appearance", "card", "aid"),
+    ]);
+    let pat = *rng.choose(&["A%", "B%", "C%", "D%", "%E", "%A%", "_O%", "Y%", "R%", "Z%"]);
+    let op = if rng.chance(0.7) {
+        BinOp::Like
+    } else {
+        BinOp::NotLike
+    };
+    let mut s = Select::default();
+    s.projections.push(item(Expr::bare_col(key)));
+    s.projections.push(item(Expr::bare_col(col)));
+    s.from.push(named(tab));
+    s.where_clause = Some(Expr::binary(Expr::bare_col(col), op, Expr::text(pat)));
+    let mut q = Query::select(s);
+    if rng.chance(0.6) {
+        q.order_by.push(order(Expr::bare_col(key), rng.chance(0.5)));
+    }
+    q
+}
+
+/// ORDER BY over NULL-dense columns, often with LIMIT so the cut falls
+/// inside or beside the NULL block: NULLS LAST (PG, ascending) vs
+/// NULLS FIRST (SQLite, ascending).
+fn gen_null_order(rng: &mut Rng) -> Query {
+    let tab = *rng.choose(&[Tab::Player, Tab::Appearance]);
+    let cands: &[&str] = match tab {
+        Tab::Player => &["squad", "score", "ratio", "nick"],
+        Tab::Appearance => &["pid", "minutes", "card"],
+    };
+    let k = 1 + rng.index(2);
+    let keys: Vec<&str> = rng
+        .sample_indices(cands.len(), k)
+        .into_iter()
+        .map(|i| cands[i])
+        .collect();
+    let mut s = Select::default();
+    for key in &keys {
+        s.projections.push(item(Expr::bare_col(key)));
+    }
+    s.from.push(named(tab.name()));
+    if rng.chance(0.3) {
+        s.where_clause = Some(gen_pred(rng, tab.cols(), None, 0));
+    }
+    let mut q = Query::select(s);
+    for key in &keys {
+        q.order_by.push(order(Expr::bare_col(key), rng.chance(0.5)));
+    }
+    if rng.chance(0.6) {
+        q.limit = Some(rng.below(25));
+    }
+    q
+}
+
+/// Boolean column against a text literal: PostgreSQL parses boolean
+/// input forms (erroring on anything else), SQLite's storage classes
+/// make the pair simply unequal. The comparison is always the sole
+/// predicate so the PG-side error, when it fires, is identical on
+/// every configuration.
+fn gen_bool_text(rng: &mut Rng) -> Query {
+    let lit = *rng.choose(&["true", "false", "t", "f", "yes", "no", "on", "off", "maybe"]);
+    let op = if rng.chance(0.6) {
+        BinOp::Eq
+    } else {
+        BinOp::Neq
+    };
+    let mut s = Select::default();
+    s.projections.push(item(Expr::bare_col("rid")));
+    s.projections.push(item(Expr::bare_col("active")));
+    s.from.push(named("roster"));
+    s.where_clause = Some(Expr::binary(Expr::bare_col("active"), op, Expr::text(lit)));
+    let mut q = Query::select(s);
+    q.order_by.push(order(Expr::bare_col("rid"), false));
+    q
+}
+
+/// Text column against an integer literal: PostgreSQL coerces the text
+/// to numeric (erroring on the one unparseable domain string `'x'`),
+/// SQLite ranks numerics before non-numeric text.
+fn gen_affinity(rng: &mut Rng) -> Query {
+    let op = *rng.choose(&[BinOp::Eq, BinOp::Neq, BinOp::Lt, BinOp::Gt]);
+    let lit = Expr::int(*rng.choose(&[1, 2, 5, 7]));
+    let mut s = Select::default();
+    s.projections.push(item(Expr::bare_col("rid")));
+    s.projections.push(item(Expr::bare_col("tag")));
+    s.from.push(named("roster"));
+    s.where_clause = Some(Expr::binary(Expr::bare_col("tag"), op, lit));
+    let mut q = Query::select(s);
+    q.order_by.push(order(Expr::bare_col("rid"), false));
+    q
+}
+
 // ---- hazard: runaway templates --------------------------------------------
 
 /// The `hazard: runaway` corpus: queries engineered to do unbounded
@@ -952,6 +1146,7 @@ mod tests {
         assert_eq!(a.row_count("player"), 44);
         assert_eq!(a.row_count("appearance"), 60);
         assert_eq!(a.row_count("squad_info"), 6);
+        assert_eq!(a.row_count("roster"), 20);
         let nulls = a
             .rows("player")
             .unwrap()
@@ -960,6 +1155,29 @@ mod tests {
             .filter(|v| v.is_null())
             .count();
         assert!(nulls > 10, "expected a NULL-dense corpus, got {nulls}");
+    }
+
+    #[test]
+    fn dialect_corpus_is_deterministic_and_parses() {
+        let cfg = CorpusConfig {
+            seed: 13,
+            queries: 200,
+        };
+        let corpus = gen_dialect_corpus(&cfg);
+        assert_eq!(corpus, gen_dialect_corpus(&cfg));
+        for sql in &corpus {
+            let parsed = sqlkit::parse_query(sql)
+                .unwrap_or_else(|e| panic!("generated unparseable SQL: {e}\n{sql}"));
+            assert_eq!(to_sql(&parsed), *sql);
+        }
+        // Every boundary family is represented.
+        let count = |needle: &str| corpus.iter().filter(|s| s.contains(needle)).count();
+        assert!(count(" / ") > 0, "no division template");
+        assert!(count(" / 0") > 0, "no division-by-zero template");
+        assert!(count("LIKE") > 0, "no LIKE template");
+        assert!(count("ORDER BY") > 0, "no ordering template");
+        assert!(count("active") > 0, "no boolean-vs-text template");
+        assert!(count("tag") > 0, "no text-affinity template");
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!    be *bit-identical*, not merely EX-equal. (The thread-count and
 //!    cross-data-model axes need crates above `sqlengine` and live in
 //!    the `conformance` bench driver.)
+//! 4. **Dialect layer** ([`dialects`]): the corpus is re-run under the
+//!    SQLite dialect and compared against the PostgreSQL-dialect run;
+//!    divergences must be explained by a checked-in table of known
+//!    backend differences or they are reported as cross-dialect bugs.
 //!
 //! Divergences are minimized by clause deletion ([`minimize_sql`]) and
 //! reported with both result sets and the disagreeing configuration, so
@@ -30,10 +34,15 @@
 //! machine.
 
 pub mod corpus;
+pub mod dialects;
 pub mod oracle;
 pub mod reference;
 
-pub use corpus::{corpus_db, gen_corpus, gen_hazard_corpus, CorpusConfig};
+pub use corpus::{corpus_db, gen_corpus, gen_dialect_corpus, gen_hazard_corpus, CorpusConfig};
+pub use dialects::{
+    check_dialect_oracles, classify_divergence, dialect_db, run_dialect_corpus, DialectDiffClass,
+    DialectDivergence, DialectReport,
+};
 pub use oracle::{check_oracles, OracleFailure, Truth, AND3, NOT3, OR3};
 pub use reference::{ref_execute, ref_execute_sql};
 

@@ -24,6 +24,7 @@
 use super::oracle::{and3, not3, or3, truth_of, Truth};
 use crate::db::Database;
 use crate::error::EngineError;
+use crate::exec::current_dialect;
 use crate::result::ResultSet;
 use crate::value::{like_match, value_key_eq, Value};
 use sqlkit::ast::{
@@ -418,7 +419,8 @@ fn output_order_value(expr: &Expr, out_row: &[Value], out_columns: &[String]) ->
 }
 
 /// Stable sort of `rows` by precomputed `keys`, honoring per-key
-/// direction, NULLS LAST ascending / NULLS FIRST descending.
+/// direction and the active dialect's default NULL placement
+/// (PostgreSQL: NULLS LAST ascending; SQLite: NULLS FIRST ascending).
 fn stable_sort_rows(
     rows: Vec<Vec<Value>>,
     keys: Vec<Vec<Value>>,
@@ -426,8 +428,9 @@ fn stable_sort_rows(
 ) -> Vec<Vec<Value>> {
     let mut idx: Vec<usize> = (0..rows.len()).collect();
     idx.sort_by(|&a, &b| {
+        let dialect = current_dialect();
         for ((x, y), o) in keys[a].iter().zip(&keys[b]).zip(order_by) {
-            let ord = x.sort_cmp(y);
+            let ord = x.sort_cmp(y, dialect);
             let ord = if o.desc { ord.reverse() } else { ord };
             if ord != Ordering::Equal {
                 return ord;
@@ -786,7 +789,7 @@ fn r_compute_aggregate(
                 best = Some(match best {
                     None => v,
                     Some(b) => {
-                        let take_new = match v.sql_cmp(&b) {
+                        let take_new = match v.sql_cmp(&b, current_dialect())? {
                             Some(ord) => {
                                 (func == AggFunc::Min && ord == Ordering::Less)
                                     || (func == AggFunc::Max && ord == Ordering::Greater)
@@ -846,7 +849,7 @@ fn r_eval(db: &Database, expr: &Expr, scope: &Scope<'_>) -> Result<Value, Engine
             for item in list {
                 items.push(r_eval(db, item, scope)?);
             }
-            Ok(in_membership(&v, &items, *negated))
+            in_membership(&v, &items, *negated)
         }
         Expr::InSubquery {
             expr,
@@ -860,7 +863,7 @@ fn r_eval(db: &Database, expr: &Expr, scope: &Scope<'_>) -> Result<Value, Engine
                 .iter()
                 .map(|row| row.first().cloned().unwrap_or(Value::Null))
                 .collect();
-            Ok(in_membership(&v, &items, *negated))
+            in_membership(&v, &items, *negated)
         }
         Expr::Exists { query, negated } => {
             let rs = r_query(db, query, Some(scope))?;
@@ -883,8 +886,9 @@ fn r_eval(db: &Database, expr: &Expr, scope: &Scope<'_>) -> Result<Value, Engine
             let v = r_eval(db, expr, scope)?;
             let lo = r_eval(db, low, scope)?;
             let hi = r_eval(db, high, scope)?;
-            let ge = v.sql_cmp(&lo).map(|o| o != Ordering::Less);
-            let le = v.sql_cmp(&hi).map(|o| o != Ordering::Greater);
+            let dialect = current_dialect();
+            let ge = v.sql_cmp(&lo, dialect)?.map(|o| o != Ordering::Less);
+            let le = v.sql_cmp(&hi, dialect)?.map(|o| o != Ordering::Greater);
             Ok(match (ge, le) {
                 (Some(a), Some(b)) => Value::Bool((a && b) != *negated),
                 _ => Value::Null,
@@ -900,13 +904,13 @@ fn r_eval(db: &Database, expr: &Expr, scope: &Scope<'_>) -> Result<Value, Engine
 /// SQL `[NOT] IN` membership per the three-valued rules: a NULL probe is
 /// UNKNOWN; a positive match decides; otherwise any NULL member makes
 /// the result UNKNOWN instead of FALSE/TRUE.
-fn in_membership(v: &Value, items: &[Value], negated: bool) -> Value {
+fn in_membership(v: &Value, items: &[Value], negated: bool) -> Result<Value, EngineError> {
     if v.is_null() {
-        return Value::Null;
+        return Ok(Value::Null);
     }
     let mut membership = Truth::False;
     for item in items {
-        match v.sql_eq(item) {
+        match v.sql_eq(item, current_dialect())? {
             Some(true) => {
                 membership = Truth::True;
                 break;
@@ -920,7 +924,7 @@ fn in_membership(v: &Value, items: &[Value], negated: bool) -> Value {
     } else {
         membership
     };
-    result.to_value()
+    Ok(result.to_value())
 }
 
 fn lit_value(l: &Lit) -> Value {
@@ -947,12 +951,15 @@ fn r_unary(op: UnaryOp, v: &Value) -> Result<Value, EngineError> {
 
 fn r_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, EngineError> {
     use BinOp::*;
+    let dialect = current_dialect();
     match op {
         And => Ok(and3(truth_of(l), truth_of(r)).to_value()),
         Or => Ok(or3(truth_of(l), truth_of(r)).to_value()),
-        Eq => Ok(l.sql_eq(r).map_or(Value::Null, Value::Bool)),
-        Neq => Ok(l.sql_eq(r).map_or(Value::Null, |b| Value::Bool(!b))),
-        Lt | Lte | Gt | Gte => Ok(match l.sql_cmp(r) {
+        Eq => Ok(l.sql_eq(r, dialect)?.map_or(Value::Null, Value::Bool)),
+        Neq => Ok(l
+            .sql_eq(r, dialect)?
+            .map_or(Value::Null, |b| Value::Bool(!b))),
+        Lt | Lte | Gt | Gte => Ok(match l.sql_cmp(r, dialect)? {
             None => Value::Null,
             Some(ord) => Value::Bool(match op {
                 Lt => ord == Ordering::Less,
@@ -965,7 +972,7 @@ fn r_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, EngineError> {
         Like | NotLike => match (l, r) {
             (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
             (Value::Text(t), Value::Text(p)) => {
-                let m = like_match(t, p);
+                let m = like_match(t, p, dialect);
                 Ok(Value::Bool(if op == Like { m } else { !m }))
             }
             _ => Err(EngineError::Eval("LIKE requires text operands".into())),
@@ -974,21 +981,23 @@ fn r_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, EngineError> {
             if l.is_null() || r.is_null() {
                 return Ok(Value::Null);
             }
-            // Dialect spec: Int ∘ Int stays Int with wrapping arithmetic,
-            // except division which always yields a Float; division by
-            // zero yields NULL.
+            // Dialect spec: Int ∘ Int stays Int with wrapping
+            // arithmetic, except `/` — PostgreSQL truncating integer
+            // division erroring on zero, SQLite real division yielding
+            // NULL on zero. Must mirror `exec::apply_binary` exactly.
             if let (Value::Int(a), Value::Int(b)) = (l, r) {
                 return Ok(match op {
                     Add => Value::Int(a.wrapping_add(*b)),
                     Sub => Value::Int(a.wrapping_sub(*b)),
                     Mul => Value::Int(a.wrapping_mul(*b)),
-                    Div => {
-                        if *b == 0 {
-                            Value::Null
-                        } else {
-                            Value::Float(*a as f64 / *b as f64)
+                    Div => match (dialect, *b) {
+                        (sqlkit::Dialect::Postgres, 0) => {
+                            return Err(EngineError::Eval("division by zero".into()))
                         }
-                    }
+                        (sqlkit::Dialect::Postgres, b) => Value::Int(a.wrapping_div(b)),
+                        (sqlkit::Dialect::Sqlite, 0) => Value::Null,
+                        (sqlkit::Dialect::Sqlite, b) => Value::Float(*a as f64 / b as f64),
+                    },
                     _ => unreachable!(),
                 });
             }
@@ -1003,7 +1012,12 @@ fn r_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, EngineError> {
                 Mul => Value::Float(a * b),
                 Div => {
                     if b == 0.0 {
-                        Value::Null
+                        match dialect {
+                            sqlkit::Dialect::Postgres => {
+                                return Err(EngineError::Eval("division by zero".into()))
+                            }
+                            sqlkit::Dialect::Sqlite => Value::Null,
+                        }
                     } else {
                         Value::Float(a / b)
                     }

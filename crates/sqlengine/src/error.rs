@@ -110,6 +110,12 @@ impl From<sqlkit::SqlError> for EngineError {
     }
 }
 
+impl From<crate::value::CmpTypeError> for EngineError {
+    fn from(e: crate::value::CmpTypeError) -> EngineError {
+        EngineError::Eval(e.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,6 +26,7 @@ use crate::trace;
 use crate::value::{like_match, value_key_eq, value_key_hash, Value};
 use sqlkit::ast::*;
 use sqlkit::printer::expr_to_sql;
+use sqlkit::Dialect;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::Hasher;
@@ -104,8 +105,16 @@ pub fn set_force_seqscan(force: Option<bool>) {
 /// even though today the modes are bit-identical by construction, the
 /// cache must not *rely* on that invariant. Any future planner toggle
 /// must be folded in here.
+///
+/// The dialect bit is the one toggle that is *not* observationally
+/// neutral — `7 / 2` really is `3` under Postgres and `3.5` under
+/// SQLite — so folding it in here is what keeps a cached Postgres
+/// result from ever answering a SQLite query (and splits the serve
+/// layer's sharded caches per dialect for free).
 pub fn planner_config_fingerprint() -> u64 {
-    force_seqscan() as u64 | (vectorized_enabled() as u64) << 1
+    force_seqscan() as u64
+        | (vectorized_enabled() as u64) << 1
+        | ((current_dialect() == Dialect::Sqlite) as u64) << 2
 }
 
 /// True when index access paths are disabled.
@@ -147,6 +156,41 @@ pub(crate) fn vectorized_enabled() -> bool {
         2 => false,
         _ => !*VECTORIZED_ENV.get_or_init(|| {
             std::env::var("REPRO_FORCE_ROWEXEC").is_ok_and(|v| !v.trim().is_empty() && v != "0")
+        }),
+    }
+}
+
+/// 0 = follow `REPRO_DIALECT`; 1 = Postgres; 2 = Sqlite.
+static DIALECT_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+static DIALECT_ENV: OnceLock<Dialect> = OnceLock::new();
+
+/// Programmatic override of the `REPRO_DIALECT` environment variable:
+/// pins the whole engine — both executors, ordering, `LIKE`, arithmetic
+/// — to one backend's observable semantics. `None` restores environment
+/// resolution (default: [`Dialect::Postgres`], the semantics this
+/// engine has always had). Process wide, like the other mode switches;
+/// unlike them the dialect is *observable* in results, which is exactly
+/// why it is folded into [`planner_config_fingerprint`] and therefore
+/// into every query-cache key.
+pub fn set_dialect(dialect: Option<Dialect>) {
+    let v = match dialect {
+        None => 0,
+        Some(Dialect::Postgres) => 1,
+        Some(Dialect::Sqlite) => 2,
+    };
+    DIALECT_OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+/// The active SQL dialect (see [`set_dialect`]).
+pub fn current_dialect() -> Dialect {
+    match DIALECT_OVERRIDE.load(Ordering::Relaxed) {
+        1 => Dialect::Postgres,
+        2 => Dialect::Sqlite,
+        _ => *DIALECT_ENV.get_or_init(|| {
+            std::env::var("REPRO_DIALECT")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(Dialect::Postgres)
         }),
     }
 }
@@ -522,8 +566,9 @@ impl PartialOrd for TopKEntry {
 
 impl Ord for TopKEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let dialect = current_dialect();
         for ((x, y), desc) in self.keys.iter().zip(&other.keys).zip(self.desc.iter()) {
-            let ord = x.sort_cmp(y);
+            let ord = x.sort_cmp(y, dialect);
             let ord = if *desc { ord.reverse() } else { ord };
             if ord != std::cmp::Ordering::Equal {
                 return ord;
@@ -867,10 +912,11 @@ fn order_key_row(
 }
 
 fn sort_indices(idx: &mut [usize], keys: &[Vec<Value>], order_by: &[OrderItem]) {
+    let dialect = current_dialect();
     idx.sort_by(|&a, &b| {
         for (k, o) in keys[a].iter().zip(&keys[b]).zip(order_by) {
             let (x, y) = k;
-            let ord = x.sort_cmp(y);
+            let ord = x.sort_cmp(y, dialect);
             let ord = if o.desc { ord.reverse() } else { ord };
             if ord != std::cmp::Ordering::Equal {
                 return ord;
@@ -1772,7 +1818,7 @@ fn compute_aggregate(
                 best = Some(match best {
                     None => v,
                     Some(b) => {
-                        let take_new = match v.sql_cmp(&b) {
+                        let take_new = match v.sql_cmp(&b, current_dialect())? {
                             Some(ord) => {
                                 (func == AggFunc::Min && ord == std::cmp::Ordering::Less)
                                     || (func == AggFunc::Max && ord == std::cmp::Ordering::Greater)
@@ -1975,7 +2021,7 @@ pub(crate) fn eval(db: &Database, expr: &Expr, env: &Env<'_>) -> Result<Value, E
             let mut saw_null = false;
             for item in list {
                 let w = eval(db, item, env)?;
-                match v.sql_eq(&w) {
+                match v.sql_eq(&w, current_dialect())? {
                     Some(true) => return Ok(Value::Bool(!negated)),
                     Some(false) => {}
                     None => saw_null = true,
@@ -2000,7 +2046,7 @@ pub(crate) fn eval(db: &Database, expr: &Expr, env: &Env<'_>) -> Result<Value, E
             let mut saw_null = false;
             for row in &rs.rows {
                 let w = row.first().cloned().unwrap_or(Value::Null);
-                match v.sql_eq(&w) {
+                match v.sql_eq(&w, current_dialect())? {
                     Some(true) => return Ok(Value::Bool(!negated)),
                     Some(false) => {}
                     None => saw_null = true,
@@ -2033,8 +2079,13 @@ pub(crate) fn eval(db: &Database, expr: &Expr, env: &Env<'_>) -> Result<Value, E
             let v = eval(db, expr, env)?;
             let lo = eval(db, low, env)?;
             let hi = eval(db, high, env)?;
-            let ge = v.sql_cmp(&lo).map(|o| o != std::cmp::Ordering::Less);
-            let le = v.sql_cmp(&hi).map(|o| o != std::cmp::Ordering::Greater);
+            let dialect = current_dialect();
+            let ge = v
+                .sql_cmp(&lo, dialect)?
+                .map(|o| o != std::cmp::Ordering::Less);
+            let le = v
+                .sql_cmp(&hi, dialect)?
+                .map(|o| o != std::cmp::Ordering::Greater);
             Ok(match (ge, le) {
                 (Some(a), Some(b)) => Value::Bool((a && b) != *negated),
                 _ => Value::Null,
@@ -2076,6 +2127,7 @@ pub(crate) fn apply_unary(op: UnaryOp, v: &Value) -> Result<Value, EngineError> 
 
 pub(crate) fn apply_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, EngineError> {
     use BinOp::*;
+    let dialect = current_dialect();
     match op {
         And | Or => {
             // Handled with short-circuiting in `eval`; direct calls (e.g.
@@ -2088,9 +2140,11 @@ pub(crate) fn apply_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, Eng
             };
             Ok(res.map_or(Value::Null, Value::Bool))
         }
-        Eq => Ok(l.sql_eq(r).map_or(Value::Null, Value::Bool)),
-        Neq => Ok(l.sql_eq(r).map_or(Value::Null, |b| Value::Bool(!b))),
-        Lt | Lte | Gt | Gte => Ok(match l.sql_cmp(r) {
+        Eq => Ok(l.sql_eq(r, dialect)?.map_or(Value::Null, Value::Bool)),
+        Neq => Ok(l
+            .sql_eq(r, dialect)?
+            .map_or(Value::Null, |b| Value::Bool(!b))),
+        Lt | Lte | Gt | Gte => Ok(match l.sql_cmp(r, dialect)? {
             None => Value::Null,
             Some(ord) => Value::Bool(match op {
                 Lt => ord == std::cmp::Ordering::Less,
@@ -2103,7 +2157,7 @@ pub(crate) fn apply_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, Eng
         Like | NotLike => match (l, r) {
             (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
             (Value::Text(t), Value::Text(p)) => {
-                let m = like_match(t, p);
+                let m = like_match(t, p, dialect);
                 Ok(Value::Bool(if op == Like { m } else { !m }))
             }
             _ => Err(EngineError::Eval("LIKE requires text operands".into())),
@@ -2112,18 +2166,23 @@ pub(crate) fn apply_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, Eng
             if l.is_null() || r.is_null() {
                 return Ok(Value::Null);
             }
+            // Dialect split on `/`: PostgreSQL divides integers as
+            // integers (truncating toward zero) and raises on a zero
+            // divisor; SQLite divides as reals and yields NULL on a
+            // zero divisor. Everything else is dialect-independent.
             if let (Value::Int(a), Value::Int(b)) = (l, r) {
                 return Ok(match op {
                     Add => Value::Int(a.wrapping_add(*b)),
                     Sub => Value::Int(a.wrapping_sub(*b)),
                     Mul => Value::Int(a.wrapping_mul(*b)),
-                    Div => {
-                        if *b == 0 {
-                            Value::Null
-                        } else {
-                            Value::Float(*a as f64 / *b as f64)
+                    Div => match (dialect, *b) {
+                        (Dialect::Postgres, 0) => {
+                            return Err(EngineError::Eval("division by zero".into()))
                         }
-                    }
+                        (Dialect::Postgres, b) => Value::Int(a.wrapping_div(b)),
+                        (Dialect::Sqlite, 0) => Value::Null,
+                        (Dialect::Sqlite, b) => Value::Float(*a as f64 / b as f64),
+                    },
                     _ => unreachable!(),
                 });
             }
@@ -2138,7 +2197,12 @@ pub(crate) fn apply_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, Eng
                 Mul => Value::Float(a * b),
                 Div => {
                     if b == 0.0 {
-                        Value::Null
+                        match dialect {
+                            Dialect::Postgres => {
+                                return Err(EngineError::Eval("division by zero".into()))
+                            }
+                            Dialect::Sqlite => Value::Null,
+                        }
                     } else {
                         Value::Float(a / b)
                     }
@@ -2517,6 +2581,12 @@ mod tests {
 
     #[test]
     fn arithmetic_and_division() {
+        // Default dialect is Postgres: integer division truncates and a
+        // zero divisor is an error. (The engine used to return 3.5 and
+        // NULL here while claiming PostgreSQL semantics — the dialect
+        // sweep flushed that out; SQLite-mode behavior is pinned by the
+        // conformance dialect oracles and the integration tests, which
+        // serialize the process-global dialect switch.)
         let db = test_db();
         let rs = run(
             &db,
@@ -2524,9 +2594,13 @@ mod tests {
         );
         assert_eq!(rs.rows[0][0], Value::Int(8));
         let rs = run(&db, "SELECT 7 / 2");
-        assert_eq!(rs.rows[0][0], Value::Float(3.5));
-        let rs = run(&db, "SELECT 1 / 0");
-        assert!(rs.rows[0][0].is_null());
+        assert_eq!(rs.rows[0][0], Value::Int(3));
+        let rs = run(&db, "SELECT (0 - 7) / 2");
+        assert_eq!(rs.rows[0][0], Value::Int(-3), "truncation is toward zero");
+        let err = execute_sql(&db, "SELECT 1 / 0").unwrap_err();
+        assert_eq!(err.to_string(), "eval: division by zero");
+        let err = execute_sql(&db, "SELECT 1.5 / 0").unwrap_err();
+        assert_eq!(err.to_string(), "eval: division by zero");
     }
 
     #[test]
@@ -2744,7 +2818,7 @@ mod tests {
         );
         let vals: Vec<&Value> = rs.rows.iter().map(|r| &r[1]).collect();
         let mut sorted = vals.clone();
-        sorted.sort_by(|a, b| a.sort_cmp(b));
+        sorted.sort_by(|a, b| a.sort_cmp(b, Dialect::Postgres));
         assert_eq!(vals, sorted, "alias value must drive the sort");
     }
 

@@ -64,14 +64,15 @@ pub use catalog::{Catalog, ColumnDef, DataType, ForeignKey, TableSchema};
 pub use db::{ColumnIndex, Database, IndexStats};
 pub use error::EngineError;
 pub use exec::{
-    execute, execute_sql, execute_sql_with_budget, execute_with_budget, planner_config_fingerprint,
-    set_force_seqscan, set_vectorized,
+    current_dialect, execute, execute_sql, execute_sql_with_budget, execute_with_budget,
+    planner_config_fingerprint, set_dialect, set_force_seqscan, set_vectorized,
 };
 pub use explain::{explain, explain_analyze, explain_analyze_sql, explain_sql};
 pub use morph::{catalog_fingerprint, migrate, migrate_database, schema_of};
 pub use result::ResultSet;
+pub use sqlkit::Dialect;
 pub use trace::{
     trace_execute, trace_execute_sql, trace_execute_sql_with_budget, TraceCounters, TraceGuard,
     TraceSpan,
 };
-pub use value::{like_match, IndexKey, Value};
+pub use value::{canon_f64, like_match, CmpTypeError, IndexKey, Value};

@@ -281,11 +281,33 @@ pub(crate) fn has_equi_key(on: &Option<Expr>) -> bool {
     })
 }
 
+/// True when an equality probe with this literal can be answered by the
+/// hash index on a column of declared type `ty`: the literal's type
+/// class must match the column's. A mismatched pair (text literal on a
+/// numeric column, boolean on text, ...) is *not* indexable, because
+/// both dialects give such comparisons coercion semantics (or errors)
+/// that the storage-class [`crate::value::IndexKey`] cannot express —
+/// declining the probe keeps indexed and forced-seqscan execution
+/// bit-identical by routing the conjunct through the dialect-aware
+/// residual filter. NULL never matches anything, so it stays indexable
+/// (the lookup finds nothing, which is correct).
+fn probe_type_compatible(ty: crate::catalog::DataType, key: &Value) -> bool {
+    use crate::catalog::DataType as T;
+    match key {
+        Value::Null => true,
+        Value::Int(_) | Value::Float(_) => matches!(ty, T::Int | T::Float),
+        Value::Text(_) => matches!(ty, T::Text | T::Date),
+        Value::Bool(_) => matches!(ty, T::Bool),
+    }
+}
+
 /// Picks the index driver for a filtered scan: the first pushed conjunct
 /// of the form `col = literal` (either side) or `col IN (literal, ...)`
-/// naming a column of the scanned table. Returns the schema column
-/// position and the literal probe keys. A pure function of schema and
-/// predicates, so EXPLAIN reports exactly the executor's choice.
+/// naming a column of the scanned table, with every probe key
+/// type-compatible with the column (see [`probe_type_compatible`]).
+/// Returns the schema column position and the literal probe keys. A
+/// pure function of schema and predicates, so EXPLAIN reports exactly
+/// the executor's choice.
 pub(crate) fn scan_index_choice(
     schema: &crate::catalog::TableSchema,
     mine: &[&Expr],
@@ -300,7 +322,10 @@ pub(crate) fn scan_index_choice(
                 for (c, l) in [(left, right), (right, left)] {
                     if let (Expr::Column(cr), Expr::Literal(lit)) = (c.as_ref(), l.as_ref()) {
                         if let Some(ci) = schema.column_index(&cr.column) {
-                            return Some((ci, vec![lit_value(lit)]));
+                            let key = lit_value(lit);
+                            if probe_type_compatible(schema.columns[ci].ty, &key) {
+                                return Some((ci, vec![key]));
+                            }
                         }
                     }
                 }
@@ -320,7 +345,12 @@ pub(crate) fn scan_index_choice(
                             })
                             .collect();
                         if let Some(keys) = keys {
-                            return Some((ci, keys));
+                            if keys
+                                .iter()
+                                .all(|k| probe_type_compatible(schema.columns[ci].ty, k))
+                            {
+                                return Some((ci, keys));
+                            }
                         }
                     }
                 }

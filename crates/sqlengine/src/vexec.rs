@@ -366,7 +366,7 @@ fn veval(expr: &Expr, env: &VEnv<'_, '_>) -> Result<Value, EngineError> {
             let mut saw_null = false;
             for item in list {
                 let w = veval(item, env)?;
-                match v.sql_eq(&w) {
+                match v.sql_eq(&w, crate::exec::current_dialect())? {
                     Some(true) => return Ok(Value::Bool(!negated)),
                     Some(false) => {}
                     None => saw_null = true,
@@ -387,8 +387,13 @@ fn veval(expr: &Expr, env: &VEnv<'_, '_>) -> Result<Value, EngineError> {
             let v = veval(expr, env)?;
             let lo = veval(low, env)?;
             let hi = veval(high, env)?;
-            let ge = v.sql_cmp(&lo).map(|o| o != std::cmp::Ordering::Less);
-            let le = v.sql_cmp(&hi).map(|o| o != std::cmp::Ordering::Greater);
+            let dialect = crate::exec::current_dialect();
+            let ge = v
+                .sql_cmp(&lo, dialect)?
+                .map(|o| o != std::cmp::Ordering::Less);
+            let le = v
+                .sql_cmp(&hi, dialect)?
+                .map(|o| o != std::cmp::Ordering::Greater);
             Ok(match (ge, le) {
                 (Some(a), Some(b)) => Value::Bool((a && b) != *negated),
                 _ => Value::Null,

@@ -42,6 +42,7 @@
 pub mod analyze;
 pub mod ast;
 pub mod compat;
+pub mod dialect;
 pub mod diff;
 pub mod error;
 pub mod format;
@@ -56,6 +57,7 @@ pub use ast::*;
 pub use compat::{
     check as spider_check, check_sql as spider_check_sql, issues as spider_issues, CompatIssue,
 };
+pub use dialect::Dialect;
 pub use diff::{
     canonical_sql, canonicalize, clause_atoms, diff_queries, diff_sql, ClauseDiff, ClauseEdit,
     DiffClass,
@@ -63,10 +65,10 @@ pub use diff::{
 pub use error::SqlError;
 pub use format::{format_query, format_sql};
 pub use hardness::{classify, classify_sql, mean_hardness, Hardness};
-pub use lexer::{token_count, tokenize, Token};
+pub use lexer::{token_count, tokenize, tokenize_dialect, Token};
 pub use morph::{
     apply_chain, apply_to_schema, chain_distance, dissolving_transform, rewrite_query, rewrite_sql,
     MorphError, MorphOp, MorphSchema, MorphTable,
 };
-pub use parser::parse_query;
-pub use printer::{expr_to_sql, normalize, to_sql};
+pub use parser::{parse_query, parse_query_dialect};
+pub use printer::{expr_to_sql, normalize, to_sql, to_sql_for};

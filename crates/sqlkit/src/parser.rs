@@ -1,13 +1,23 @@
 //! Recursive-descent SQL parser for the benchmark's SQL subset.
 
 use crate::ast::*;
+use crate::dialect::Dialect;
 use crate::error::SqlError;
-use crate::lexer::{tokenize, Spanned, Token};
+use crate::lexer::{tokenize_dialect, Spanned, Token};
 
 /// Parses a single SQL query (a `SELECT`, possibly a set-operation chain,
-/// with optional trailing `ORDER BY` / `LIMIT` and `;`).
+/// with optional trailing `ORDER BY` / `LIMIT` and `;`). PostgreSQL
+/// mode — the workspace's canonical form.
 pub fn parse_query(input: &str) -> Result<Query, SqlError> {
-    let tokens = tokenize(input)?;
+    parse_query_dialect(input, Dialect::Postgres)
+}
+
+/// Parses a single SQL query under a specific dialect's lexical rules
+/// (see [`tokenize_dialect`]); the grammar itself is shared. Both modes
+/// produce the same AST for text they both accept, so the canonical
+/// printer fixpoint is dialect-independent.
+pub fn parse_query_dialect(input: &str, dialect: Dialect) -> Result<Query, SqlError> {
+    let tokens = tokenize_dialect(input, dialect)?;
     let mut p = Parser { tokens, pos: 0 };
     let q = p.parse_query()?;
     p.accept(&Token::Semicolon);
@@ -979,5 +989,18 @@ mod tests {
     #[test]
     fn parses_semicolon_terminated() {
         assert!(parse_query("SELECT 1;").is_ok());
+    }
+
+    #[test]
+    fn sqlite_mode_accepts_bracket_quoted_identifiers() {
+        // Brackets are a SQLite tolerance; PostgreSQL mode rejects them.
+        assert!(parse_query("SELECT [home goals] FROM [match]").is_err());
+        let q = parse_query_dialect("SELECT [home goals] FROM [match]", Dialect::Sqlite).unwrap();
+        // Bracket quoting lexes to the same quoted-identifier token as
+        // the shared forms, so the AST matches the double-quoted parse.
+        assert_eq!(
+            q,
+            parse_query("SELECT \"home goals\" FROM \"match\"").unwrap()
+        );
     }
 }

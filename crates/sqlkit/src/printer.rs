@@ -13,24 +13,38 @@
 //! masquerade as an engine divergence.
 
 use crate::ast::*;
+use crate::dialect::Dialect;
 use std::fmt::Write;
 
-/// Renders a query as canonical SQL text.
+/// Renders a query as canonical SQL text (PostgreSQL mode — the
+/// workspace's canonical form).
 pub fn to_sql(query: &Query) -> String {
+    to_sql_for(query, Dialect::Postgres)
+}
+
+/// Renders a query as SQL text accepted by the given backend. The two
+/// modes differ only where the dialects' *syntax* does: SQLite mode
+/// prints boolean literals as `1`/`0` (TRUE/FALSE keywords are a late
+/// SQLite addition, and the integer forms are the storage-class
+/// canonical spelling that the engine's SQLite comparison semantics
+/// treat identically). Everything else — quoting, precedence,
+/// keywords — is shared, so PostgreSQL mode is byte-identical to
+/// [`to_sql`].
+pub fn to_sql_for(query: &Query, dialect: Dialect) -> String {
     let mut out = String::with_capacity(128);
-    write_query(&mut out, query);
+    write_query(&mut out, query, dialect);
     out
 }
 
-fn write_query(out: &mut String, q: &Query) {
-    write_body(out, &q.body);
+fn write_query(out: &mut String, q: &Query, d: Dialect) {
+    write_body(out, &q.body, d);
     if !q.order_by.is_empty() {
         out.push_str(" ORDER BY ");
         for (i, item) in q.order_by.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
             }
-            write_expr(out, &item.expr);
+            write_expr(out, &item.expr, d);
             if item.desc {
                 out.push_str(" DESC");
             }
@@ -41,27 +55,27 @@ fn write_query(out: &mut String, q: &Query) {
     }
 }
 
-fn write_body(out: &mut String, body: &QueryBody) {
+fn write_body(out: &mut String, body: &QueryBody, d: Dialect) {
     match body {
-        QueryBody::Select(s) => write_select(out, s),
+        QueryBody::Select(s) => write_select(out, s, d),
         QueryBody::SetOp {
             op,
             all,
             left,
             right,
         } => {
-            write_body(out, left);
+            write_body(out, left, d);
             let _ = write!(out, " {op}");
             if *all {
                 out.push_str(" ALL");
             }
             out.push(' ');
-            write_body(out, right);
+            write_body(out, right, d);
         }
     }
 }
 
-fn write_select(out: &mut String, s: &Select) {
+fn write_select(out: &mut String, s: &Select, d: Dialect) {
     out.push_str("SELECT ");
     if s.distinct {
         out.push_str("DISTINCT ");
@@ -76,7 +90,7 @@ fn write_select(out: &mut String, s: &Select) {
                 let _ = write!(out, "{t}.*");
             }
             SelectItem::Expr { expr, alias } => {
-                write_expr(out, expr);
+                write_expr(out, expr, d);
                 if let Some(a) = alias {
                     let _ = write!(out, " AS {a}");
                 }
@@ -89,20 +103,20 @@ fn write_select(out: &mut String, s: &Select) {
             if i > 0 {
                 out.push_str(", ");
             }
-            write_table_ref(out, t);
+            write_table_ref(out, t, d);
         }
         for j in &s.joins {
             let _ = write!(out, " {} ", j.kind);
-            write_table_ref(out, &j.table);
+            write_table_ref(out, &j.table, d);
             if let Some(on) = &j.on {
                 out.push_str(" ON ");
-                write_expr(out, on);
+                write_expr(out, on, d);
             }
         }
     }
     if let Some(w) = &s.where_clause {
         out.push_str(" WHERE ");
-        write_expr(out, w);
+        write_expr(out, w, d);
     }
     if !s.group_by.is_empty() {
         out.push_str(" GROUP BY ");
@@ -110,16 +124,16 @@ fn write_select(out: &mut String, s: &Select) {
             if i > 0 {
                 out.push_str(", ");
             }
-            write_expr(out, g);
+            write_expr(out, g, d);
         }
     }
     if let Some(h) = &s.having {
         out.push_str(" HAVING ");
-        write_expr(out, h);
+        write_expr(out, h, d);
     }
 }
 
-fn write_table_ref(out: &mut String, t: &TableRef) {
+fn write_table_ref(out: &mut String, t: &TableRef, d: Dialect) {
     match t {
         TableRef::Named { name, alias } => {
             out.push_str(name);
@@ -129,7 +143,7 @@ fn write_table_ref(out: &mut String, t: &TableRef) {
         }
         TableRef::Derived { query, alias } => {
             out.push('(');
-            write_query(out, query);
+            write_query(out, query, d);
             let _ = write!(out, ") AS {alias}");
         }
     }
@@ -153,24 +167,24 @@ fn precedence(op: BinOp) -> u8 {
     }
 }
 
-fn write_expr(out: &mut String, e: &Expr) {
-    write_expr_prec(out, e, 0);
+fn write_expr(out: &mut String, e: &Expr, d: Dialect) {
+    write_expr_prec(out, e, 0, d);
 }
 
-fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8) {
+fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8, d: Dialect) {
     match e {
         Expr::Column(c) => {
             let _ = write!(out, "{c}");
         }
-        Expr::Literal(l) => write_lit(out, l),
+        Expr::Literal(l) => write_lit(out, l, d),
         Expr::Unary { op, expr } => match op {
             UnaryOp::Not => {
                 out.push_str("NOT ");
-                write_expr_prec(out, expr, 6);
+                write_expr_prec(out, expr, 6, d);
             }
             UnaryOp::Neg => {
                 out.push('-');
-                write_expr_prec(out, expr, 6);
+                write_expr_prec(out, expr, 6, d);
             }
         },
         Expr::Binary { left, op, right } => {
@@ -179,10 +193,10 @@ fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8) {
             if needs_parens {
                 out.push('(');
             }
-            write_expr_prec(out, left, prec);
+            write_expr_prec(out, left, prec, d);
             let _ = write!(out, " {op} ");
             // Right side binds one tighter for left-associative printing.
-            write_expr_prec(out, right, prec + 1);
+            write_expr_prec(out, right, prec + 1, d);
             if needs_parens {
                 out.push(')');
             }
@@ -197,7 +211,7 @@ fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8) {
                 out.push_str("DISTINCT ");
             }
             match arg {
-                Some(a) => write_expr(out, a),
+                Some(a) => write_expr(out, a, d),
                 None => out.push('*'),
             }
             out.push(')');
@@ -208,7 +222,7 @@ fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8) {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                write_expr(out, a);
+                write_expr(out, a, d);
             }
             out.push(')');
         }
@@ -217,7 +231,7 @@ fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8) {
             list,
             negated,
         } => {
-            write_expr_prec(out, expr, 4);
+            write_expr_prec(out, expr, 4, d);
             if *negated {
                 out.push_str(" NOT");
             }
@@ -226,7 +240,7 @@ fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8) {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                write_expr(out, item);
+                write_expr(out, item, d);
             }
             out.push(')');
         }
@@ -235,12 +249,12 @@ fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8) {
             query,
             negated,
         } => {
-            write_expr_prec(out, expr, 4);
+            write_expr_prec(out, expr, 4, d);
             if *negated {
                 out.push_str(" NOT");
             }
             out.push_str(" IN (");
-            write_query(out, query);
+            write_query(out, query, d);
             out.push(')');
         }
         Expr::Exists { query, negated } => {
@@ -248,12 +262,12 @@ fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8) {
                 out.push_str("NOT ");
             }
             out.push_str("EXISTS (");
-            write_query(out, query);
+            write_query(out, query, d);
             out.push(')');
         }
         Expr::ScalarSubquery(query) => {
             out.push('(');
-            write_query(out, query);
+            write_query(out, query, d);
             out.push(')');
         }
         Expr::Between {
@@ -262,17 +276,17 @@ fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8) {
             high,
             negated,
         } => {
-            write_expr_prec(out, expr, 4);
+            write_expr_prec(out, expr, 4, d);
             if *negated {
                 out.push_str(" NOT");
             }
             out.push_str(" BETWEEN ");
-            write_expr_prec(out, low, 4);
+            write_expr_prec(out, low, 4, d);
             out.push_str(" AND ");
-            write_expr_prec(out, high, 4);
+            write_expr_prec(out, high, 4, d);
         }
         Expr::IsNull { expr, negated } => {
-            write_expr_prec(out, expr, 4);
+            write_expr_prec(out, expr, 4, d);
             if *negated {
                 out.push_str(" IS NOT NULL");
             } else {
@@ -282,7 +296,7 @@ fn write_expr_prec(out: &mut String, e: &Expr, parent_prec: u8) {
     }
 }
 
-fn write_lit(out: &mut String, l: &Lit) {
+fn write_lit(out: &mut String, l: &Lit, d: Dialect) {
     match l {
         Lit::Int(v) => {
             let _ = write!(out, "{v}");
@@ -300,7 +314,10 @@ fn write_lit(out: &mut String, l: &Lit) {
             }
             out.push('\'');
         }
-        Lit::Bool(b) => out.push_str(if *b { "TRUE" } else { "FALSE" }),
+        Lit::Bool(b) => match d {
+            Dialect::Postgres => out.push_str(if *b { "TRUE" } else { "FALSE" }),
+            Dialect::Sqlite => out.push(if *b { '1' } else { '0' }),
+        },
         Lit::Null => out.push_str("NULL"),
     }
 }
@@ -309,7 +326,7 @@ fn write_lit(out: &mut String, l: &Lit) {
 /// column names).
 pub fn expr_to_sql(e: &Expr) -> String {
     let mut out = String::with_capacity(16);
-    write_expr(&mut out, e);
+    write_expr(&mut out, e, Dialect::Postgres);
     out
 }
 
@@ -446,5 +463,30 @@ mod tests {
     fn normalize_handles_empty() {
         assert_eq!(normalize(""), "");
         assert_eq!(normalize("   \n\t "), "");
+    }
+
+    #[test]
+    fn sqlite_mode_prints_bools_as_integers() {
+        let q = parse_query("SELECT * FROM t WHERE a = TRUE AND b != false").unwrap();
+        assert_eq!(
+            to_sql_for(&q, Dialect::Postgres),
+            "SELECT * FROM t WHERE a = TRUE AND b != FALSE"
+        );
+        assert_eq!(
+            to_sql_for(&q, Dialect::Sqlite),
+            "SELECT * FROM t WHERE a = 1 AND b != 0"
+        );
+        // PostgreSQL mode IS the canonical printer.
+        assert_eq!(to_sql_for(&q, Dialect::Postgres), to_sql(&q));
+    }
+
+    #[test]
+    fn dialect_modes_agree_away_from_bool_literals() {
+        let q = parse_query(
+            "SELECT x, count(*) FROM t JOIN u ON t.id = u.id \
+             WHERE y LIKE 'a%' GROUP BY x ORDER BY x DESC LIMIT 3",
+        )
+        .unwrap();
+        assert_eq!(to_sql_for(&q, Dialect::Sqlite), to_sql(&q));
     }
 }

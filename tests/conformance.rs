@@ -10,23 +10,26 @@
 //! `cargo run --release -p bench --bin conformance`.
 
 use sqlengine::conformance::{
-    check_case, check_oracles, corpus_db, gen_corpus, minimize_sql, run_corpus, CorpusConfig,
+    check_case, check_dialect_oracles, check_oracles, corpus_db, gen_corpus, gen_dialect_corpus,
+    minimize_sql, run_corpus, run_dialect_corpus, CorpusConfig,
 };
 use sqlengine::{
-    execute_sql, planner_config_fingerprint, set_force_seqscan, set_vectorized, Catalog, DataType,
-    Database, QueryCache, TableSchema, Value,
+    execute_sql, planner_config_fingerprint, set_dialect, set_force_seqscan, set_vectorized,
+    Catalog, DataType, Database, Dialect, QueryCache, TableSchema, Value,
 };
 use std::sync::Mutex;
 
 /// Serializes every test that toggles (or observes the effect of) the
-/// process-global forced-seqscan mode. A poisoned lock is fine to
-/// reuse — the state it guards is reset on each acquisition.
+/// process-global forced-seqscan, vectorization, or dialect modes. A
+/// poisoned lock is fine to reuse — the state it guards is reset on
+/// each acquisition.
 static MODE_LOCK: Mutex<()> = Mutex::new(());
 
 fn mode_guard() -> std::sync::MutexGuard<'static, ()> {
     let guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     set_force_seqscan(None);
     set_vectorized(None);
+    set_dialect(None);
     guard
 }
 
@@ -285,4 +288,212 @@ fn bag_set_operations_respect_multiplicities() {
     let rs = execute_sql(&db, "SELECT v FROM t EXCEPT SELECT v FROM t WHERE id > 2").unwrap();
     // Set EXCEPT: distinct left values {3,N,1,2} minus {1,N,2} = {3}.
     assert_eq!(rs.rows, vec![vec![Value::Int(3)]]);
+}
+
+// ---- cross-dialect axis ---------------------------------------------------
+
+/// Every known-difference scenario holds under both dialects on both
+/// engine scan paths and on the reference interpreter, and the
+/// divergence classifier attributes each to its declared class.
+#[test]
+fn dialect_oracles_hold_and_classify() {
+    let _g = mode_guard();
+    let failures = check_dialect_oracles();
+    assert!(
+        failures.is_empty(),
+        "{} dialect-oracle failure(s):\n{}",
+        failures.len(),
+        failures
+            .iter()
+            .map(|f| format!("[{} on {}] {}: {}", f.check, f.executor, f.sql, f.detail))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The SQLite dialect must be just as self-consistent as the PostgreSQL
+/// one: six planner configurations plus the reference interpreter agree
+/// bit-for-bit on the generated corpus (including the dialect-stress
+/// templates, which are engineered to sit on the semantic boundary).
+#[test]
+fn sqlite_dialect_is_self_consistent() {
+    let _g = mode_guard();
+    for seed in 40..42 {
+        let db = corpus_db(seed);
+        let mut corpus = gen_corpus(&CorpusConfig { seed, queries: 120 });
+        corpus.extend(gen_dialect_corpus(&CorpusConfig { seed, queries: 80 }));
+        set_dialect(Some(Dialect::Sqlite));
+        let report = run_corpus(&db, &corpus);
+        set_dialect(None);
+        assert!(
+            report.is_clean(),
+            "seed {seed}: {} divergence(s) under sqlite, first:\n{}",
+            report.divergences.len(),
+            report.divergences[0]
+        );
+    }
+}
+
+/// The PostgreSQL dialect stays self-consistent on the dialect-stress
+/// templates too (the plain corpus is covered by
+/// `generated_corpus_is_conformant_on_every_seed`). This is where the
+/// error-producing comparisons (division by zero, unparseable text,
+/// invalid boolean forms) must fail identically across all six
+/// configurations and the reference interpreter.
+#[test]
+fn postgres_dialect_is_self_consistent_on_stress_templates() {
+    let _g = mode_guard();
+    for seed in 40..42 {
+        let db = corpus_db(seed);
+        let corpus = gen_dialect_corpus(&CorpusConfig { seed, queries: 100 });
+        let report = run_corpus(&db, &corpus);
+        assert!(
+            report.is_clean(),
+            "seed {seed}: {} divergence(s) under postgres, first:\n{}",
+            report.divergences.len(),
+            report.divergences[0]
+        );
+    }
+}
+
+/// The tentpole invariant at test scale: sweeping the corpus across
+/// both dialects yields zero unclassified divergences and zero escaped
+/// panics, while the stress templates guarantee a healthy population of
+/// legitimate, classified differences.
+#[test]
+fn cross_dialect_sweep_classifies_every_divergence() {
+    let _g = mode_guard();
+    for seed in 40..43 {
+        let db = corpus_db(seed);
+        let mut corpus = gen_corpus(&CorpusConfig { seed, queries: 150 });
+        corpus.extend(gen_dialect_corpus(&CorpusConfig { seed, queries: 100 }));
+        let report = run_dialect_corpus(&db, &corpus);
+        assert!(
+            report.is_clean(),
+            "seed {seed}: {} cross-dialect bug(s), {} panic(s); first:\n{}",
+            report.bugs.len(),
+            report.panics,
+            report.bugs[0]
+        );
+        assert_eq!(report.queries, 250);
+        assert_eq!(report.executions, 500);
+        assert!(
+            report.legitimate_total() > 0,
+            "seed {seed}: stress templates must produce classified divergences"
+        );
+        assert!(
+            report.agreeing > 0,
+            "seed {seed}: dialect-neutral queries must agree"
+        );
+    }
+}
+
+/// Regression (latent engine bug, found by the cross-dialect axis): the
+/// engine always computed `int / int` as float division and returned
+/// NULL on division by zero — SQLite semantics — while everything else
+/// claimed PostgreSQL. Under the PostgreSQL dialect, integer division
+/// truncates toward zero and division by zero is an evaluation error.
+#[test]
+fn postgres_integer_division_truncates_and_zero_errors() {
+    let _g = mode_guard();
+    let db = null_db();
+    set_dialect(Some(Dialect::Postgres));
+    let rs = execute_sql(&db, "SELECT 7 / 2").unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Int(3)]]);
+    let rs = execute_sql(&db, "SELECT (0 - 7) / 2").unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Int(-3)]]);
+    let err = execute_sql(&db, "SELECT 1 / 0").unwrap_err();
+    assert!(err.to_string().contains("division by zero"), "{err}");
+    let err = execute_sql(&db, "SELECT 1.5 / 0").unwrap_err();
+    assert!(err.to_string().contains("division by zero"), "{err}");
+    set_dialect(Some(Dialect::Sqlite));
+    let rs = execute_sql(&db, "SELECT 7 / 2").unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Float(3.5)]]);
+    let rs = execute_sql(&db, "SELECT 1 / 0").unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Null]]);
+    set_dialect(None);
+}
+
+/// Regression (latent engine bug, found while building the dialect
+/// axis): equality and index keys collapsed `Int` through `f64`, so
+/// integers beyond 2^53 aliased — `9007199254740993 = 9007199254740992`
+/// came back true and an index probe could return the wrong row. Exact
+/// integer comparison must hold on both scan paths, bit-identically.
+#[test]
+fn huge_integers_do_not_alias_on_either_scan_path() {
+    let _g = mode_guard();
+    let mut db = Database::new(Catalog::new(vec![TableSchema::new("big")
+        .column("id", DataType::Int)
+        .column("v", DataType::Int)
+        .pk(&["id"])]));
+    let two53 = 9_007_199_254_740_992_i64; // 2^53
+    for (id, v) in [(1, two53), (2, two53 + 1), (3, 7)] {
+        db.insert("big", vec![Value::Int(id), Value::Int(v)])
+            .unwrap();
+    }
+    let sql = "SELECT id FROM big WHERE v = 9007199254740993";
+    let mut outcomes = Vec::new();
+    for force in [false, true] {
+        set_force_seqscan(Some(force));
+        outcomes.push(execute_sql(&db, sql).unwrap());
+        set_force_seqscan(None);
+    }
+    // Only the 2^53 + 1 row matches, and indexed vs forced-seqscan are
+    // bit-identical.
+    assert_eq!(outcomes[0].rows, vec![vec![Value::Int(2)]]);
+    assert_eq!(outcomes[0].rows, outcomes[1].rows);
+    assert_eq!(outcomes[0].columns, outcomes[1].columns);
+}
+
+/// Regression (latent engine bug, found by the dialect axis): comparing
+/// a boolean column to a text literal silently returned false through a
+/// `_ => Some(false)` catch-all, regardless of the literal. Under the
+/// PostgreSQL dialect boolean input forms parse ('yes' matches true)
+/// and garbage errors; under SQLite the pair is simply unequal.
+#[test]
+fn bool_text_comparison_is_dialect_governed() {
+    let _g = mode_guard();
+    let mut db = Database::new(Catalog::new(vec![TableSchema::new("f")
+        .column("id", DataType::Int)
+        .column("flag", DataType::Bool)
+        .pk(&["id"])]));
+    for (id, b) in [(1, Value::Bool(true)), (2, Value::Bool(false))] {
+        db.insert("f", vec![Value::Int(id), b]).unwrap();
+    }
+    set_dialect(Some(Dialect::Postgres));
+    let rs = execute_sql(&db, "SELECT id FROM f WHERE flag = 'yes'").unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Int(1)]]);
+    let err = execute_sql(&db, "SELECT id FROM f WHERE flag = 'maybe'").unwrap_err();
+    assert!(
+        err.to_string()
+            .contains("invalid input syntax for type boolean"),
+        "{err}"
+    );
+    set_dialect(Some(Dialect::Sqlite));
+    let rs = execute_sql(&db, "SELECT id FROM f WHERE flag = 'true'").unwrap();
+    assert!(rs.rows.is_empty(), "sqlite never equates bool and text");
+    set_dialect(None);
+}
+
+/// The planner-config fingerprint separates dialects, so the query
+/// cache can never serve one dialect's result to the other.
+#[test]
+fn query_cache_does_not_serve_results_across_dialects() {
+    let _g = mode_guard();
+    let db = null_db();
+    let cache = QueryCache::new();
+    let sql = "SELECT 7 / 2";
+
+    set_dialect(Some(Dialect::Postgres));
+    let fp_pg = planner_config_fingerprint();
+    let pg = cache.execute_cached(&db, sql).unwrap();
+    set_dialect(Some(Dialect::Sqlite));
+    let fp_lite = planner_config_fingerprint();
+    let lite = cache.execute_cached(&db, sql).unwrap();
+    set_dialect(None);
+
+    assert_ne!(fp_pg, fp_lite, "fingerprint must separate dialects");
+    assert_eq!(cache.stats().hits, 0, "no cross-dialect cache hit");
+    assert_eq!(pg.rows, vec![vec![Value::Int(3)]]);
+    assert_eq!(lite.rows, vec![vec![Value::Float(3.5)]]);
 }

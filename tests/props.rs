@@ -9,7 +9,7 @@
 
 use footballdb::{generate, load, DataModel};
 use nlq::gold::build_raw_corpus;
-use sqlengine::{execute_sql, set_force_seqscan, Value};
+use sqlengine::{execute_sql, set_force_seqscan, Dialect, Value};
 use std::sync::{Mutex, OnceLock};
 use xrng::Rng;
 
@@ -207,7 +207,8 @@ fn value_total_order_is_transitive() {
     }
 }
 
-/// SQL LIKE agrees with direct equality for patterns without wildcards.
+/// SQL LIKE without wildcards is equality under PostgreSQL and
+/// ASCII-case-insensitive equality under SQLite.
 #[test]
 fn like_without_wildcards_is_equality() {
     let chars = alpha_space();
@@ -215,11 +216,21 @@ fn like_without_wildcards_is_equality() {
     for _ in 0..CASES {
         let s = rand_from(&mut rng, &chars, 0, 20);
         let t = rand_from(&mut rng, &chars, 0, 20);
-        assert_eq!(sqlengine::like_match(&s, &t), s == t, "{s:?} LIKE {t:?}");
+        assert_eq!(
+            sqlengine::like_match(&s, &t, Dialect::Postgres),
+            s == t,
+            "{s:?} LIKE {t:?}"
+        );
+        assert_eq!(
+            sqlengine::like_match(&s, &t, Dialect::Sqlite),
+            s.eq_ignore_ascii_case(&t),
+            "{s:?} LIKE {t:?} (sqlite)"
+        );
     }
 }
 
-/// `%pattern%` matches exactly the containment relation.
+/// `%pattern%` matches exactly the containment relation (dialects agree
+/// on single-case inputs).
 #[test]
 fn like_percent_wrapping_is_contains() {
     let lower: Vec<char> = ('a'..='z').collect();
@@ -228,11 +239,13 @@ fn like_percent_wrapping_is_contains() {
         let s = rand_from(&mut rng, &lower, 0, 15);
         let inner = rand_from(&mut rng, &lower, 1, 5);
         let pattern = format!("%{inner}%");
-        assert_eq!(
-            sqlengine::like_match(&s, &pattern),
-            s.contains(&inner),
-            "{s:?} LIKE {pattern:?}"
-        );
+        for d in Dialect::ALL {
+            assert_eq!(
+                sqlengine::like_match(&s, &pattern, d),
+                s.contains(&inner),
+                "{s:?} LIKE {pattern:?} ({d})"
+            );
+        }
     }
 }
 
@@ -437,6 +450,97 @@ fn conformance_corpus_has_no_divergences() {
             report.divergences.len(),
             report.divergences[0]
         );
+    }
+}
+
+/// Satellite of the dialect work: division semantics pinned in BOTH
+/// executors (row-at-a-time and vectorized) under BOTH dialects.
+/// PostgreSQL: `/` on integers truncates and a zero divisor is an
+/// error (integer or float). SQLite: `/` on integers is real-valued
+/// and a zero divisor yields NULL. Takes [`MODE_LOCK`] because both
+/// the executor and dialect switches are process-global.
+#[test]
+fn division_semantics_hold_in_both_dialects_and_executors() {
+    use sqlengine::conformance::dialect_db;
+    use sqlengine::{set_dialect, set_vectorized};
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let db = dialect_db();
+    let run = |sql: &str| {
+        execute_sql(&db, sql)
+            .map(|rs| rs.rows)
+            .map_err(|e| e.to_string())
+    };
+    // nums(n) holds 1, 2, 10.
+    for vectorized in [false, true] {
+        set_vectorized(Some(vectorized));
+
+        set_dialect(Some(Dialect::Postgres));
+        assert_eq!(
+            run("SELECT n / 4 FROM nums ORDER BY n"),
+            Ok(vec![
+                vec![Value::Int(0)],
+                vec![Value::Int(0)],
+                vec![Value::Int(2)]
+            ]),
+            "postgres truncating division (vectorized: {vectorized})"
+        );
+        for sql in ["SELECT n / 0 FROM nums", "SELECT n / 0.0 FROM nums"] {
+            let err = run(sql).expect_err("postgres zero divisor must error");
+            assert!(
+                err.contains("division by zero"),
+                "unexpected message {err:?} for {sql} (vectorized: {vectorized})"
+            );
+        }
+
+        set_dialect(Some(Dialect::Sqlite));
+        assert_eq!(
+            run("SELECT n / 4 FROM nums ORDER BY n"),
+            Ok(vec![
+                vec![Value::Float(0.25)],
+                vec![Value::Float(0.5)],
+                vec![Value::Float(2.5)]
+            ]),
+            "sqlite real-valued division (vectorized: {vectorized})"
+        );
+        for sql in ["SELECT n / 0 FROM nums", "SELECT n / 0.0 FROM nums"] {
+            assert_eq!(
+                run(sql),
+                Ok(vec![vec![Value::Null]; 3]),
+                "sqlite zero divisor yields NULL (vectorized: {vectorized})"
+            );
+        }
+        set_dialect(None);
+    }
+    set_vectorized(None);
+}
+
+/// The canonical float key: `-0.0` collapses onto `0.0`, non-finite
+/// values pass through unchanged, and canonicalization is idempotent
+/// over arbitrary bit patterns (idempotence is what makes canon
+/// equality transitive, so sort order and equality can never disagree).
+#[test]
+fn canon_f64_normalizes_zero_and_preserves_non_finite() {
+    use sqlengine::canon_f64;
+    assert_eq!(canon_f64(-0.0).to_bits(), 0.0f64.to_bits());
+    assert_eq!(canon_f64(0.0).to_bits(), 0.0f64.to_bits());
+    assert!(canon_f64(f64::NAN).is_nan());
+    assert_eq!(canon_f64(f64::INFINITY), f64::INFINITY);
+    assert_eq!(canon_f64(f64::NEG_INFINITY), f64::NEG_INFINITY);
+    let mut rng = Rng::new(0xD1A);
+    for i in 0..CASES {
+        // Raw bit patterns cover subnormals, NaN payloads, and both
+        // zero signs alongside ordinary magnitudes.
+        let f = f64::from_bits(rng.next_u64());
+        let c = canon_f64(f);
+        if c.is_nan() {
+            assert!(f.is_nan(), "case {i}: NaN appeared from {f:?}");
+        } else {
+            assert_eq!(
+                canon_f64(c).to_bits(),
+                c.to_bits(),
+                "case {i}: canon_f64 is not idempotent on {f:?}"
+            );
+        }
     }
 }
 
